@@ -1,0 +1,585 @@
+//! One executor per attack of Table II.
+//!
+//! Each executor builds a fresh world for its vendor design, drives the
+//! victim to the attack's *targeted state*, performs the forgery over the
+//! WAN, and classifies the outcome from observable evidence — the same
+//! methodology as the paper's Section VI (response messages and end-to-end
+//! effects), including the honesty rule that attacks requiring unknown
+//! device-message formats are reported `O` (unconfirmable), not guessed.
+
+use rb_core::attacks::{AttackId, Feasibility};
+use rb_core::design::{BindScheme, DeviceAuthScheme, FirmwareKnowledge, VendorDesign};
+use rb_core::shadow::ShadowState;
+use rb_scenario::{World, WorldBuilder};
+use rb_wire::messages::{
+    BindPayload, ControlAction, DeviceAttributes, Message, Response, StatusAuth,
+    StatusPayload, UnbindPayload,
+};
+use rb_wire::telemetry::{ScheduleEntry, TelemetryFrame};
+use rb_wire::tokens::{UserId, UserPw};
+
+use crate::adversary::{Adversary, ATTACKER_ID, ATTACKER_PW};
+
+/// The record of one executed (or refused) attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackRun {
+    /// Which attack.
+    pub id: AttackId,
+    /// The observed outcome, in the paper's ✓/✗/O vocabulary.
+    pub outcome: Feasibility,
+    /// Evidence lines for the experiment log.
+    pub evidence: Vec<String>,
+}
+
+impl AttackRun {
+    fn feasible(id: AttackId, evidence: Vec<String>) -> Self {
+        AttackRun { id, outcome: Feasibility::Feasible, evidence }
+    }
+
+    fn blocked(id: AttackId, by: impl Into<String>, evidence: Vec<String>) -> Self {
+        AttackRun { id, outcome: Feasibility::blocked(by), evidence }
+    }
+
+    fn unconfirmable(id: AttackId, reason: impl Into<String>) -> Self {
+        AttackRun { id, outcome: Feasibility::unconfirmable(reason), evidence: Vec::new() }
+    }
+}
+
+/// Runs one attack against one design. Dispatches to the specific
+/// executor; `seed` controls the whole world's randomness.
+pub fn run_attack(design: &VendorDesign, id: AttackId, seed: u64) -> AttackRun {
+    match id {
+        AttackId::A1 => run_a1(design, seed),
+        AttackId::A2 => run_a2(design, seed),
+        AttackId::A3_1 => run_a3_1(design, seed),
+        AttackId::A3_2 => run_a3_2(design, seed),
+        AttackId::A3_3 => run_a3_3(design, seed),
+        AttackId::A3_4 => run_a3_4(design, seed),
+        AttackId::A4_1 => run_a4_1(design, seed),
+        AttackId::A4_2 => run_a4_2(design, seed),
+        AttackId::A4_3 => run_a4_3(design, seed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared pieces.
+// ---------------------------------------------------------------------------
+
+/// Knowledge gate for device-originated status forgery: returns the
+/// ✗-or-O verdict when the attacker cannot construct the message.
+fn status_forgery_gate(design: &VendorDesign, id: AttackId) -> Option<AttackRun> {
+    if design.status_forgeable() {
+        return None;
+    }
+    if design.status_forgery_unconfirmable() {
+        Some(AttackRun::unconfirmable(
+            id,
+            "unable to confirm due to firmware challenges (device message format unknown)",
+        ))
+    } else {
+        Some(AttackRun::blocked(
+            id,
+            format!("{} device authentication is unforgeable", design.auth),
+            Vec::new(),
+        ))
+    }
+}
+
+/// Builds the bind forgery for this design, or explains why none exists.
+fn forged_bind(
+    design: &VendorDesign,
+    world: &World,
+    adv: &Adversary,
+) -> Result<Message, Feasibility> {
+    let dev_id = world.homes[0].dev_id.clone();
+    match design.bind {
+        BindScheme::AclApp => {
+            let user_token = adv.user_token.expect("adversary logged in");
+            Ok(Message::Bind(BindPayload::AclApp { dev_id, user_token }))
+        }
+        BindScheme::AclDevice => {
+            if design.firmware == FirmwareKnowledge::Opaque {
+                return Err(Feasibility::unconfirmable(
+                    "device-sent bind format unknown without firmware",
+                ));
+            }
+            Ok(Message::Bind(BindPayload::AclDevice {
+                dev_id,
+                user_id: UserId::new(ATTACKER_ID),
+                user_pw: UserPw::new(ATTACKER_PW),
+            }))
+        }
+        BindScheme::Capability => Err(Feasibility::blocked(
+            "capability-based binding: the BindToken never leaves the victim's LAN",
+        )),
+    }
+}
+
+/// Summarizes the alerts the victim cloud's passive monitor raised during
+/// the attack — what a watchful vendor *could* have noticed.
+fn alert_summary(world: &World) -> String {
+    let alerts = world.cloud().monitor().alerts();
+    if alerts.is_empty() {
+        return "cloud monitor: no alerts".to_owned();
+    }
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for a in alerts {
+        *counts.entry(a.kind()).or_default() += 1;
+    }
+    let parts: Vec<String> = counts.iter().map(|(k, n)| format!("{k}×{n}")).collect();
+    format!("cloud monitor: {}", parts.join(", "))
+}
+
+/// Downgrades a mechanically successful hijack-control to the paper's "O"
+/// when the vendor channel was never inspected: the simulator's optimistic
+/// model of an unknown channel is not evidence.
+fn control_feasibility(design: &VendorDesign, works: bool, blocked_note: &str) -> Feasibility {
+    if !works {
+        return Feasibility::blocked(blocked_note.to_owned());
+    }
+    if design.auth == DeviceAuthScheme::Opaque {
+        Feasibility::unconfirmable(
+            "whether control is relayed cannot be confirmed without inspecting the vendor channel",
+        )
+    } else {
+        Feasibility::Feasible
+    }
+}
+
+fn forged_register(world: &World) -> Message {
+    let dev_id = world.homes[0].dev_id.clone();
+    Message::Status(StatusPayload::register(
+        StatusAuth::DevId(dev_id.clone()),
+        dev_id,
+        DeviceAttributes::new("forged", "0.0.0"),
+    ))
+}
+
+fn forged_heartbeat(world: &World, telemetry: Vec<TelemetryFrame>) -> Message {
+    let dev_id = world.homes[0].dev_id.clone();
+    let mut payload = StatusPayload::heartbeat(StatusAuth::DevId(dev_id.clone()), dev_id);
+    payload.telemetry = telemetry;
+    Message::Status(payload)
+}
+
+/// The attacker attempts to actually drive the device after acquiring a
+/// binding: sends `TurnOn` and checks the physical relay.
+fn control_check(world: &mut World, adv: &mut Adversary, evidence: &mut Vec<String>) -> bool {
+    let dev_id = world.homes[0].dev_id.clone();
+    let user_token = adv.user_token.expect("adversary logged in");
+    // A hijacker presents whatever session token came with the stolen
+    // binding, exactly as the protocol demands.
+    let session = adv.hijack_session;
+    let rsp = adv.request(
+        world,
+        Message::Control { dev_id, user_token, session, action: ControlAction::TurnOn },
+    );
+    world.run_for(5_000);
+    match rsp {
+        Some(Response::ControlOk { .. }) => {
+            let on = world.device(0).is_on();
+            evidence.push(format!("control accepted by cloud; device relay on = {on}"));
+            evidence.push(alert_summary(world));
+            on
+        }
+        Some(Response::Denied { reason }) => {
+            evidence.push(format!("control denied: {reason}"));
+            evidence.push(alert_summary(world));
+            false
+        }
+        other => {
+            evidence.push(format!("control got {other:?}"));
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A1: data injection and stealing.
+// ---------------------------------------------------------------------------
+
+fn run_a1(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A1;
+    if let Some(run) = status_forgery_gate(design, ID) {
+        return run;
+    }
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    adv.login(&mut world);
+    let mut evidence = Vec::new();
+
+    // Open a forged device session.
+    let register = forged_register(&world);
+    match adv.request(&mut world, register) {
+        Some(Response::StatusAccepted { .. }) => {
+            evidence.push("forged registration accepted".into());
+        }
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("forged registration denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("no registration response: {other:?}"), evidence),
+    }
+    // If the registration nuked the binding, there is no user left to
+    // deceive (TP-LINK: the forgery lands as A3-4 instead).
+    if world.cloud().bound_user(&world.homes[0].dev_id) != Some(world.homes[0].user_id.clone()) {
+        return AttackRun::blocked(
+            ID,
+            "registration reset the binding; no bound user left to deceive (see A3-4)",
+            evidence,
+        );
+    }
+
+    // Injection: report an absurd power reading and check it reaches the
+    // victim's app.
+    let marker = TelemetryFrame::PowerMilliwatts(999_000_000);
+    let heartbeat = forged_heartbeat(&world, vec![marker.clone()]);
+    adv.request(&mut world, heartbeat);
+    world.run_for(5_000);
+    let injected = world.app(0).events.iter().any(|e| match e {
+        rb_app::AppEvent::Telemetry(frames) => frames.contains(&marker),
+        _ => false,
+    });
+    evidence.push(format!("fake telemetry reached the victim app: {injected}"));
+
+    // Stealing: the victim stores a schedule; the forged device session
+    // receives the push meant for the real device.
+    let secret_entry = ScheduleEntry { at_tick: 0x5EC2E7, turn_on: false };
+    world.app_mut(0).queue_control(ControlAction::SetSchedule(secret_entry.clone()));
+    world.run_for(10_000);
+    adv.drain(&mut world, None);
+    let stolen = adv.saw_push(|rsp| {
+        matches!(rsp, Response::ControlPush { action: ControlAction::SetSchedule(e), .. } if *e == secret_entry)
+    });
+    evidence.push(format!("victim's schedule exfiltrated to the attacker: {stolen}"));
+
+    evidence.push(alert_summary(&world));
+    if injected && stolen {
+        AttackRun::feasible(ID, evidence)
+    } else {
+        AttackRun::blocked(ID, "forged session did not carry user data both ways", evidence)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A2: binding denial-of-service.
+// ---------------------------------------------------------------------------
+
+fn run_a2(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A2;
+    // Target the *initial* state: the device is manufactured and its ID
+    // leaked, but the victim has not set it up yet.
+    let mut world = WorldBuilder::new(design.clone(), seed).victim_paused().build();
+    let mut adv = Adversary::new();
+    adv.login(&mut world);
+    let mut evidence = Vec::new();
+
+    let bind = match forged_bind(design, &world, &adv) {
+        Ok(m) => m,
+        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+    };
+    match adv.request(&mut world, bind) {
+        Some(Response::Bound { session }) => {
+            adv.hijack_session = session;
+            evidence.push("attacker's pre-emptive binding accepted".into());
+        }
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("pre-emptive bind denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("no bind response: {other:?}"), evidence),
+    }
+
+    // Now the victim unboxes the device and tries to set it up.
+    world.resume_victims();
+    let converged = world.try_run_setup(150_000);
+    let holder = world.cloud().bound_user(&world.homes[0].dev_id);
+    evidence.push(format!("victim setup converged: {converged}; binding holder: {holder:?}"));
+    evidence.push(alert_summary(&world));
+    if !converged && holder == Some(UserId::new(ATTACKER_ID)) {
+        AttackRun::feasible(ID, evidence)
+    } else {
+        AttackRun::blocked(
+            ID,
+            "the victim completed binding anyway (replacement semantics or re-bind)",
+            evidence,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A3-1 / A3-2: device unbinding by forged unbind messages.
+// ---------------------------------------------------------------------------
+
+fn run_a3_1(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A3_1;
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    let mut evidence = Vec::new();
+    let dev_id = world.homes[0].dev_id.clone();
+    match adv.request(&mut world, Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id.clone() })) {
+        Some(Response::Unbound) => {
+            let unbound = world.cloud().bound_user(&dev_id).is_none();
+            evidence.push(format!("cloud accepted Unbind:DevId; binding revoked: {unbound}"));
+            evidence.push(alert_summary(&world));
+            if unbound {
+                AttackRun::feasible(ID, evidence)
+            } else {
+                AttackRun::blocked(ID, "binding survived", evidence)
+            }
+        }
+        Some(Response::Denied { reason }) => {
+            AttackRun::blocked(ID, format!("denied: {reason}"), evidence)
+        }
+        other => AttackRun::blocked(ID, format!("no response: {other:?}"), evidence),
+    }
+}
+
+fn run_a3_2(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A3_2;
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    let user_token = adv.login(&mut world);
+    let mut evidence = Vec::new();
+    let dev_id = world.homes[0].dev_id.clone();
+    match adv.request(
+        &mut world,
+        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id.clone(), user_token }),
+    ) {
+        Some(Response::Unbound) => {
+            let unbound = world.cloud().bound_user(&dev_id).is_none();
+            evidence.push(format!(
+                "cloud accepted the attacker's token on unbind; binding revoked: {unbound}"
+            ));
+            evidence.push(alert_summary(&world));
+            if unbound {
+                AttackRun::feasible(ID, evidence)
+            } else {
+                AttackRun::blocked(ID, "binding survived", evidence)
+            }
+        }
+        Some(Response::Denied { reason }) => {
+            AttackRun::blocked(ID, format!("denied: {reason}"), evidence)
+        }
+        other => AttackRun::blocked(ID, format!("no response: {other:?}"), evidence),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A3-3: device unbinding via replacing bind (no control).
+// ---------------------------------------------------------------------------
+
+fn run_a3_3(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A3_3;
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    adv.login(&mut world);
+    let mut evidence = Vec::new();
+
+    let bind = match forged_bind(design, &world, &adv) {
+        Ok(m) => m,
+        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+    };
+    match adv.request(&mut world, bind) {
+        Some(Response::Bound { session }) => {
+            adv.hijack_session = session;
+            evidence.push("attacker's replacing bind accepted".into());
+        }
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("replacing bind denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("no bind response: {other:?}"), evidence),
+    }
+    world.run_for(5_000);
+    let victim_disconnected = !world.app(0).is_bound();
+    evidence.push(format!("victim app lost its binding: {victim_disconnected}"));
+    if !victim_disconnected {
+        return AttackRun::blocked(ID, "victim binding survived", evidence);
+    }
+    // If the replacement also yields *confirmed* control, the stronger
+    // A4-1 classification applies and this run does not count as A3-3.
+    let works = control_check(&mut world, &mut adv, &mut evidence);
+    if works && design.auth != DeviceAuthScheme::Opaque {
+        AttackRun::blocked(ID, "subsumed by A4-1: the replacement yields control", evidence)
+    } else {
+        AttackRun::feasible(ID, evidence)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A3-4: device unbinding via forged status.
+// ---------------------------------------------------------------------------
+
+fn run_a3_4(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A3_4;
+    if let Some(run) = status_forgery_gate(design, ID) {
+        return run;
+    }
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    let mut evidence = Vec::new();
+    let register = forged_register(&world);
+    match adv.request(&mut world, register) {
+        Some(Response::StatusAccepted { .. }) => {
+            evidence.push("forged registration accepted".into());
+        }
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("forged registration denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("no response: {other:?}"), evidence),
+    }
+    world.run_for(2_000);
+    let unbound = world.cloud().bound_user(&world.homes[0].dev_id).is_none();
+    evidence.push(format!("binding revoked by the registration: {unbound}"));
+    evidence.push(alert_summary(&world));
+    if unbound {
+        AttackRun::feasible(ID, evidence)
+    } else {
+        AttackRun::blocked(ID, "a fresh registration does not reset the binding", evidence)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A4-1: hijack via replacing bind in the control state.
+// ---------------------------------------------------------------------------
+
+fn run_a4_1(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A4_1;
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    adv.login(&mut world);
+    let mut evidence = Vec::new();
+
+    let bind = match forged_bind(design, &world, &adv) {
+        Ok(m) => m,
+        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+    };
+    match adv.request(&mut world, bind) {
+        Some(Response::Bound { session }) => {
+            adv.hijack_session = session;
+            evidence.push("attacker's replacing bind accepted".into());
+        }
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("replacing bind denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("no bind response: {other:?}"), evidence),
+    }
+    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let outcome = control_feasibility(design, works, "binding replaced but control is not relayed");
+    AttackRun { id: ID, outcome, evidence }
+}
+
+// ---------------------------------------------------------------------------
+// A4-2: hijack by racing the setup window.
+// ---------------------------------------------------------------------------
+
+fn run_a4_2(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A4_2;
+    let mut world = WorldBuilder::new(design.clone(), seed).victim_paused().build();
+    let mut adv = Adversary::new();
+    adv.login(&mut world);
+    let mut evidence = Vec::new();
+
+    // Can the attacker even construct a bind?
+    if let Err(f) = forged_bind(design, &world, &adv) {
+        return AttackRun { id: ID, outcome: f, evidence };
+    }
+
+    // The victim starts setting up; the attacker fires binds blindly at a
+    // realistic probe cadence, hoping to land inside the online-unbound
+    // window.
+    world.resume_victims();
+    let mut occupied = false;
+    for _round in 0..600 {
+        let bind = forged_bind(design, &world, &adv).expect("checked above");
+        adv.fire(&mut world, bind);
+        world.run_for(250);
+        if let Some(Response::Bound { session }) = latest_bind_response(&mut adv, &mut world) {
+            adv.hijack_session = session;
+            occupied = true;
+            break;
+        }
+        if world.app(0).is_bound() && world.shadow_state(0) == ShadowState::Control {
+            // The victim won the race and holds a sticky binding.
+            if !world.design.bind_replaces() {
+                break;
+            }
+        }
+    }
+    if !occupied {
+        evidence.push("never landed inside the online-unbound window".into());
+        return AttackRun::blocked(ID, "setup window unexploitable", evidence);
+    }
+    evidence.push("bound inside the setup window".into());
+    // Let the victim finish flailing; with sticky semantics their binds are
+    // now rejected.
+    world.try_run_setup(60_000);
+    let holder = world.cloud().bound_user(&world.homes[0].dev_id);
+    evidence.push(format!("final binding holder: {holder:?}"));
+    if holder != Some(UserId::new(ATTACKER_ID)) {
+        return AttackRun::blocked(ID, "the victim displaced the attacker's binding", evidence);
+    }
+    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let outcome = control_feasibility(design, works, "window won but control is not relayed");
+    AttackRun { id: ID, outcome, evidence }
+}
+
+fn latest_bind_response(adv: &mut Adversary, world: &mut World) -> Option<Response> {
+    adv.drain(world, None);
+    let stash: Vec<_> = adv.stashed_responses().to_vec();
+    stash.into_iter().map(|(_, r)| r).rfind(|r| matches!(r, Response::Bound { .. }))
+}
+
+// ---------------------------------------------------------------------------
+// A4-3: hijack by unbind-then-bind.
+// ---------------------------------------------------------------------------
+
+fn run_a4_3(design: &VendorDesign, seed: u64) -> AttackRun {
+    const ID: AttackId = AttackId::A4_3;
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    let user_token = adv.login(&mut world);
+    let mut evidence = Vec::new();
+    let dev_id = world.homes[0].dev_id.clone();
+
+    // Step 1: revoke the victim's binding.
+    let unbind = if design.unbind.dev_id_only {
+        Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id.clone() })
+    } else {
+        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id.clone(), user_token })
+    };
+    match adv.request(&mut world, unbind) {
+        Some(Response::Unbound) => evidence.push("step 1: victim unbound".into()),
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("step 1 (unbind) denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("step 1 got {other:?}"), evidence),
+    }
+
+    // Step 2: bind the now-unbound device to the attacker.
+    let bind = match forged_bind(design, &world, &adv) {
+        Ok(m) => m,
+        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+    };
+    match adv.request(&mut world, bind) {
+        Some(Response::Bound { session }) => {
+            adv.hijack_session = session;
+            evidence.push("step 2: attacker bound".into());
+        }
+        Some(Response::Denied { reason }) => {
+            return AttackRun::blocked(ID, format!("step 2 (bind) denied: {reason}"), evidence);
+        }
+        other => return AttackRun::blocked(ID, format!("step 2 got {other:?}"), evidence),
+    }
+
+    // Step 3: absolute control.
+    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let outcome =
+        control_feasibility(design, works, "bound but control is not relayed to the device");
+    AttackRun { id: ID, outcome, evidence }
+}

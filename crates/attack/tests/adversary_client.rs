@@ -1,0 +1,106 @@
+//! Unit-level tests of the adversary client and the knowledge gates.
+
+use rb_attack::exec::run_attack;
+use rb_attack::Adversary;
+use rb_core::attacks::{AttackId, Feasibility};
+use rb_core::vendors;
+use rb_scenario::WorldBuilder;
+use rb_wire::messages::{Message, Response};
+use rb_wire::tokens::UserId;
+
+#[test]
+fn adversary_login_and_request_roundtrip() {
+    let mut world = WorldBuilder::new(vendors::d_link(), 77).build();
+    let mut adv = Adversary::new();
+    let token = adv.login(&mut world);
+    assert_eq!(adv.user_token, Some(token));
+    // A diagnostic query gets a well-formed reply.
+    let dev_id = world.homes[0].dev_id.clone();
+    let rsp = adv.request(&mut world, Message::QueryShadow { dev_id });
+    assert!(matches!(rsp, Some(Response::ShadowState { .. })), "{rsp:?}");
+}
+
+#[test]
+fn fired_requests_land_in_the_stash() {
+    let mut world = WorldBuilder::new(vendors::d_link(), 78).build();
+    let mut adv = Adversary::new();
+    adv.login(&mut world);
+    let dev_id = world.homes[0].dev_id.clone();
+    let c1 = adv.fire(&mut world, Message::QueryShadow { dev_id: dev_id.clone() });
+    let c2 = adv.fire(&mut world, Message::QueryShadow { dev_id });
+    world.run_for(5_000);
+    assert_eq!(adv.drain(&mut world, None), None, "no awaited corr");
+    let stash = adv.stashed_responses();
+    assert!(stash.iter().any(|(c, _)| *c == c1));
+    assert!(stash.iter().any(|(c, _)| *c == c2));
+}
+
+#[test]
+fn attacker_node_cannot_reach_the_lan() {
+    // The WAN-only attacker cannot deliver LAN frames: send a provisioning
+    // request straight at the device node and observe nothing changes.
+    let mut world = WorldBuilder::new(vendors::d_link(), 79).victim_paused().build();
+    world.resume_victims();
+    let device_node = world.homes[0].device;
+    let junk = vec![0xB2]; // a LocalCtl::FactoryReset frame, hand-crafted
+    world.attacker_mut().queue(rb_netsim::Dest::Unicast(device_node), junk);
+    world.run_for(5_000);
+    assert_eq!(world.device(0).stats.resets, 0, "the LAN boundary held");
+}
+
+#[test]
+fn knowledge_gates_refuse_unattemptable_forgeries() {
+    // Belkin (DevToken): definitive ✗ without touching the network.
+    let run = run_attack(&vendors::belkin(), AttackId::A1, 1);
+    assert!(matches!(run.outcome, Feasibility::Infeasible { .. }));
+    assert!(run.evidence.is_empty(), "refused before any traffic");
+    // OZWI (DevId but opaque firmware): epistemic O.
+    let run = run_attack(&vendors::ozwi(), AttackId::A1, 1);
+    assert!(matches!(run.outcome, Feasibility::Unconfirmable { .. }));
+    // Capability reference: bind forgeries impossible by construction.
+    let run = run_attack(&vendors::capability_reference(), AttackId::A2, 1);
+    match run.outcome {
+        Feasibility::Infeasible { ref blocked_by } => {
+            assert!(blocked_by.contains("BindToken"), "{blocked_by}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn a2_leaves_the_attacker_as_holder_and_victim_locked_out() {
+    let run = run_attack(&vendors::ozwi(), AttackId::A2, 5);
+    assert!(run.outcome.is_feasible(), "{run:?}");
+    assert!(run
+        .evidence
+        .iter()
+        .any(|e| e.contains("binding holder: Some(UserId(\"attacker@evil.example\"))")));
+}
+
+#[test]
+fn victim_account_is_never_touched() {
+    // The attacks use only the attacker's own account plus the device ID —
+    // verify the victim's account still works afterwards (no lockout, no
+    // credential use).
+    let mut world = WorldBuilder::new(vendors::belkin(), 80).build();
+    world.run_setup();
+    let mut adv = Adversary::new();
+    let token = adv.login(&mut world);
+    let dev_id = world.homes[0].dev_id.clone();
+    adv.request(
+        &mut world,
+        Message::Unbind(rb_wire::messages::UnbindPayload::DevIdUserToken {
+            dev_id,
+            user_token: token,
+        }),
+    );
+    world.run_for(5_000);
+    assert!(!world.app(0).is_bound());
+    // The victim taps "add device" again and recovers.
+    world.app_mut(0).restart_setup();
+    assert!(world.try_run_setup(120_000), "victim recovers by re-binding");
+    assert_eq!(
+        world.cloud().bound_user(&world.homes[0].dev_id),
+        Some(UserId::new("user0@example.com"))
+    );
+}

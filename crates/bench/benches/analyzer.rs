@@ -1,0 +1,40 @@
+//! Analyzer benchmarks: the cost of one design audit and of the exhaustive
+//! design-space survey — the numbers behind the claim that the "automatic
+//! detection without physical devices" is essentially free.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rb_core::analyzer::analyze;
+use rb_core::explore::{all_designs, survey};
+use rb_core::recommend::recommendations;
+use rb_core::vendors::vendor_designs;
+
+fn bench_analyzer(c: &mut Criterion) {
+    let designs = vendor_designs();
+    let mut group = c.benchmark_group("analyzer");
+
+    group.throughput(Throughput::Elements(designs.len() as u64));
+    group.bench_function("analyze_ten_vendors", |b| {
+        b.iter(|| {
+            designs.iter().map(|d| black_box(analyze(d)).verdicts.len()).sum::<usize>()
+        })
+    });
+
+    group.throughput(Throughput::Elements(designs.len() as u64));
+    group.bench_function("recommend_ten_vendors", |b| {
+        b.iter(|| {
+            designs.iter().map(|d| black_box(recommendations(d)).len()).sum::<usize>()
+        })
+    });
+
+    group.sample_size(10);
+    let space = all_designs().len() as u64;
+    group.throughput(Throughput::Elements(space));
+    group.bench_function("survey_whole_design_space", |b| {
+        b.iter(|| black_box(survey()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

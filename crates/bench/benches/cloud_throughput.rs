@@ -1,0 +1,125 @@
+//! Cloud handler throughput: how many protocol messages per second one
+//! vendor backend sustains, for the hot mixes the simulation generates
+//! (heartbeat storms, bind/unbind churn, control relays).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rb_cloud::{CloudConfig, CloudService};
+use rb_core::vendors;
+use rb_netsim::{NodeId, SimRng, Tick};
+use rb_wire::ids::DevId;
+use rb_wire::messages::{
+    BindPayload, ControlAction, DeviceAttributes, Message, Response, StatusAuth, StatusPayload,
+    UnbindPayload,
+};
+use rb_wire::tokens::{UserId, UserPw, UserToken};
+
+struct Bench {
+    cloud: CloudService,
+    rng: SimRng,
+    user_token: UserToken,
+    dev_ids: Vec<DevId>,
+    tick: u64,
+}
+
+fn setup(devices: usize) -> Bench {
+    let design = vendors::d_link();
+    let mut cloud = CloudService::new(CloudConfig::new(design.clone()));
+    let mut rng = SimRng::new(1);
+    cloud.provision_account(UserId::new("u"), UserPw::new("p"));
+    let rsp = cloud.handle_message(
+        NodeId(0),
+        Tick(0),
+        &Message::Login { user_id: UserId::new("u"), user_pw: UserPw::new("p") },
+        &mut rng,
+    );
+    let Response::LoginOk { user_token } = rsp.reply else { panic!("login") };
+    let mut dev_ids = Vec::new();
+    for i in 0..devices {
+        let dev_id = design.id_scheme.id_at(i as u64);
+        cloud.manufacture(dev_id.clone(), 0, None);
+        // Register + bind each device.
+        cloud.handle_message(
+            NodeId(100 + i as u32),
+            Tick(1),
+            &Message::Status(StatusPayload::register(
+                StatusAuth::DevId(dev_id.clone()),
+                dev_id.clone(),
+                DeviceAttributes::default(),
+            )),
+            &mut rng,
+        );
+        cloud.handle_message(
+            NodeId(0),
+            Tick(2),
+            &Message::Bind(BindPayload::AclApp { dev_id: dev_id.clone(), user_token }),
+            &mut rng,
+        );
+        dev_ids.push(dev_id);
+    }
+    Bench { cloud, rng, user_token, dev_ids, tick: 10 }
+}
+
+fn bench_cloud(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloud");
+    group.throughput(Throughput::Elements(1));
+
+    let mut b1 = setup(100);
+    group.bench_function("heartbeat_storm_100_devices", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % b1.dev_ids.len();
+            b1.tick += 1;
+            let dev_id = b1.dev_ids[i].clone();
+            let msg = Message::Status(StatusPayload::heartbeat(
+                StatusAuth::DevId(dev_id.clone()),
+                dev_id,
+            ));
+            black_box(b1.cloud.handle_message(
+                NodeId(100 + i as u32),
+                Tick(b1.tick),
+                &msg,
+                &mut b1.rng,
+            ))
+        })
+    });
+
+    let mut b2 = setup(100);
+    group.bench_function("control_relay", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % b2.dev_ids.len();
+            b2.tick += 1;
+            let msg = Message::Control {
+                dev_id: b2.dev_ids[i].clone(),
+                user_token: b2.user_token,
+                session: None,
+                action: ControlAction::TurnOn,
+            };
+            black_box(b2.cloud.handle_message(NodeId(0), Tick(b2.tick), &msg, &mut b2.rng))
+        })
+    });
+
+    let mut b3 = setup(100);
+    group.bench_function("bind_unbind_churn", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % b3.dev_ids.len();
+            b3.tick += 1;
+            let unbind = Message::Unbind(UnbindPayload::DevIdUserToken {
+                dev_id: b3.dev_ids[i].clone(),
+                user_token: b3.user_token,
+            });
+            b3.cloud.handle_message(NodeId(0), Tick(b3.tick), &unbind, &mut b3.rng);
+            let bind = Message::Bind(BindPayload::AclApp {
+                dev_id: b3.dev_ids[i].clone(),
+                user_token: b3.user_token,
+            });
+            black_box(b3.cloud.handle_message(NodeId(0), Tick(b3.tick), &bind, &mut b3.rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cloud);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Wire-codec microbenchmarks: encode/decode throughput for the message
+//! shapes the cloud handles on its hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rb_wire::codec::{decode_message, encode_message};
+use rb_wire::envelope::{CorrId, Envelope};
+use rb_wire::ids::{DevId, MacAddr};
+use rb_wire::messages::{
+    BindPayload, DeviceAttributes, Message, StatusAuth, StatusKind, StatusPayload,
+};
+use rb_wire::telemetry::TelemetryFrame;
+use rb_wire::tokens::UserToken;
+
+fn sample_status() -> Message {
+    let dev_id = DevId::Mac(MacAddr::from_oui([1, 2, 3], 0x123456));
+    Message::Status(StatusPayload {
+        auth: StatusAuth::DevId(dev_id.clone()),
+        dev_id,
+        kind: StatusKind::Heartbeat,
+        attributes: DeviceAttributes::new("HS100", "1.2.3"),
+        session: None,
+        telemetry: vec![
+            TelemetryFrame::PowerMilliwatts(45_000),
+            TelemetryFrame::SwitchState { on: true },
+            TelemetryFrame::TemperatureMilliC(21_500),
+        ],
+        button_pressed: false,
+    })
+}
+
+fn sample_bind() -> Message {
+    Message::Bind(BindPayload::AclApp {
+        dev_id: DevId::Digits { value: 123_456, width: 6 },
+        user_token: UserToken::from_entropy(42),
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let status = sample_status();
+    let bind = sample_bind();
+    let status_bytes = encode_message(&status);
+    let bind_bytes = encode_message(&bind);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(status_bytes.len() as u64));
+    group.bench_function("encode_status", |b| b.iter(|| encode_message(black_box(&status))));
+    group.bench_function("decode_status", |b| {
+        b.iter(|| decode_message(black_box(&status_bytes)).unwrap())
+    });
+    group.throughput(Throughput::Bytes(bind_bytes.len() as u64));
+    group.bench_function("encode_bind", |b| b.iter(|| encode_message(black_box(&bind))));
+    group.bench_function("decode_bind", |b| {
+        b.iter(|| decode_message(black_box(&bind_bytes)).unwrap())
+    });
+    let env = Envelope::Request { corr: CorrId(7), msg: sample_status() };
+    let env_bytes = env.encode();
+    group.bench_function("envelope_roundtrip", |b| {
+        b.iter(|| Envelope::decode(black_box(&env_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Device-ID enumeration rate: how fast the attacker's sweep generates and
+//! tests candidates — the constant behind the EXP-ID time-to-exhaust
+//! numbers.
+
+use std::collections::HashSet;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rb_attack::idspace::{random_sweep, sequential_sweep};
+use rb_netsim::SimRng;
+use rb_wire::ids::{DevId, IdScheme};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+
+    let schemes = [
+        ("mac_oui", IdScheme::MacWithOui { oui: [1, 2, 3] }),
+        ("digits6", IdScheme::ShortDigits { width: 6 }),
+        ("serial", IdScheme::SequentialSerial { vendor: 9, start: 0 }),
+        ("uuid", IdScheme::RandomUuid),
+    ];
+
+    for (name, scheme) in &schemes {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_function(format!("id_at_{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in 0..10_000u64 {
+                    acc = acc.wrapping_add(black_box(scheme.id_at(i)).short().len());
+                }
+                acc
+            })
+        });
+    }
+
+    let scheme = IdScheme::ShortDigits { width: 6 };
+    let population: HashSet<DevId> = (0..1_000).map(|i| scheme.id_at(i * 7)).collect();
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("sequential_sweep_10k_probes", |b| {
+        b.iter(|| black_box(sequential_sweep(&scheme, &population, 10_000)))
+    });
+    group.bench_function("random_sweep_10k_probes", |b| {
+        let mut rng = SimRng::new(5);
+        b.iter(|| black_box(random_sweep(&scheme, &population, 10_000, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

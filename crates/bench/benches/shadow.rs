@@ -1,0 +1,49 @@
+//! State-machine microbenchmarks: transition application and full
+//! life-cycle churn on the shadow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rb_core::shadow::{Primitive, Shadow, ShadowState};
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow");
+
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("apply_all_transitions", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for s in ShadowState::ALL {
+                for p in Primitive::ALL {
+                    acc = acc.wrapping_add(black_box(s.apply(p)) as u32);
+                }
+            }
+            acc
+        })
+    });
+
+    group.throughput(Throughput::Elements(4));
+    group.bench_function("lifecycle_churn", |b| {
+        b.iter(|| {
+            let mut shadow: Shadow<u32> = Shadow::new();
+            shadow.on_status(black_box(1));
+            shadow.on_bind(black_box(7));
+            shadow.on_unbind();
+            shadow.expire(black_box(100), 10);
+            shadow
+        })
+    });
+
+    group.bench_function("binding_replacement", |b| {
+        let mut shadow: Shadow<u64> = Shadow::new();
+        shadow.on_status(1);
+        let mut user = 0u64;
+        b.iter(|| {
+            user = user.wrapping_add(1);
+            shadow.on_bind(black_box(user))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shadow);
+criterion_main!(benches);

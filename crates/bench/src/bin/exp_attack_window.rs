@@ -1,0 +1,118 @@
+//! EXP-WIN — §V-E (A4-2): "the attacker can bind with the user's device
+//! before the user does, by exploiting the time window during user's
+//! device setup."
+//!
+//! Sweeps the human setup delay (the online-unbound window) and measures
+//! the hijack success rate for the vulnerable OZWI design, a DevToken
+//! design (Belkin), and a device-initiated design (TP-LINK, whose window
+//! is a few milliseconds).
+//!
+//! ```text
+//! cargo run -p rb-bench --bin exp_attack_window [seeds-per-point]
+//! ```
+
+use rb_attack::Adversary;
+use rb_bench::render_table;
+use rb_core::design::VendorDesign;
+use rb_core::vendors;
+use rb_scenario::WorldBuilder;
+use rb_wire::messages::{BindPayload, ControlAction, Message, Response};
+use rb_wire::tokens::UserId;
+
+/// One race: attacker fires binds every `probe_every` ticks while the
+/// victim sets up with `window` ticks of human delay. Returns whether the
+/// attacker ends up *controlling the device* (A4-2 is a hijack, not just
+/// an occupation).
+fn race(design: &VendorDesign, window: u64, probe_every: u64, seed: u64) -> bool {
+    let mut world = WorldBuilder::new(design.clone(), seed)
+        .user_bind_delay(window)
+        .victim_paused()
+        .build();
+    let mut adv = Adversary::new();
+    let user_token = adv.login(&mut world);
+    world.resume_victims();
+
+    let deadline = world.now().saturating_add(window + 120_000);
+    while world.now() < deadline {
+        let dev_id = world.homes[0].dev_id.clone();
+        adv.fire(&mut world, Message::Bind(BindPayload::AclApp { dev_id, user_token }));
+        world.run_for(probe_every);
+        adv.drain(&mut world, None);
+        let stash: Vec<_> = adv.stashed_responses().to_vec();
+        if stash.iter().any(|(_, r)| matches!(r, Response::Bound { .. })) {
+            break;
+        }
+        if world.app(0).is_bound() && !design.bind_replaces() {
+            break; // victim won a sticky binding; no point continuing
+        }
+    }
+    world.try_run_setup(60_000);
+    let holds_binding = world.cloud().bound_user(&world.homes[0].dev_id)
+        == Some(UserId::new(rb_attack::adversary::ATTACKER_ID));
+    if !holds_binding {
+        return false;
+    }
+    // The hijack only counts if the attacker's commands reach the relay.
+    let session = adv
+        .stashed_responses()
+        .iter()
+        .find_map(|(_, r)| match r {
+            Response::Bound { session } => Some(*session),
+            _ => None,
+        })
+        .flatten();
+    let dev_id = world.homes[0].dev_id.clone();
+    adv.request(
+        &mut world,
+        Message::Control { dev_id, user_token, session, action: ControlAction::TurnOn },
+    );
+    world.run_for(5_000);
+    world.device(0).is_on()
+}
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("EXP-WIN: A4-2 setup-window race (attacker probes every 250 ms, {seeds} seeds/point)\n");
+
+    let designs = [
+        ("OZWI (DevId, app bind)", vendors::ozwi()),
+        ("Belkin (DevToken)", vendors::belkin()),
+        ("TP-LINK (device bind)", vendors::tp_link()),
+    ];
+
+    // Fan the (window, design, seed) grid out across threads; every cell is
+    // an independent deterministic world.
+    let windows = [500u64, 2_000, 5_000, 15_000, 60_000];
+    let results = parking_lot::Mutex::new(std::collections::BTreeMap::new());
+    crossbeam::thread::scope(|scope| {
+        for (wi, &window) in windows.iter().enumerate() {
+            for (di, (_, design)) in designs.iter().enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let wins = (0..seeds)
+                        .filter(|&s| race(design, window, 250, 0xA42 + s * 31 + window))
+                        .count();
+                    results.lock().insert((wi, di), wins);
+                });
+            }
+        }
+    })
+    .expect("sweep scope");
+    let results = results.into_inner();
+    let mut rows = Vec::new();
+    for (wi, &window) in windows.iter().enumerate() {
+        let mut row = vec![format!("{} ms", window)];
+        for di in 0..designs.len() {
+            let wins = results[&(wi, di)];
+            row.push(format!("{wins}/{seeds}"));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> =
+        std::iter::once("setup window").chain(designs.iter().map(|(n, _)| *n)).collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!("shape check (paper §V-E): the race wins reliably on the DevId+app-bind design once");
+    println!("the window exceeds the probe interval; DevToken designs never yield control; the");
+    println!("device-initiated design leaves a ~2 ms window that realistic probing cannot hit.");
+}

@@ -1,0 +1,89 @@
+//! EXP-DOS — §V-C: "given that some vendors use sequential device IDs for
+//! its products, attackers can enumerate or brute-force the device IDs,
+//! and it could even cause scalable denial-of-service attacks to the
+//! entire product series of a vendor."
+//!
+//! The attacker enumerates the ID space of a product series and occupies
+//! every binding before the owners set up. Measured across series sizes,
+//! for a vulnerable design vs the capability-based reference.
+//!
+//! ```text
+//! cargo run -p rb-bench --bin exp_dos_scale
+//! ```
+
+use rb_attack::Adversary;
+use rb_bench::render_table;
+use rb_core::design::VendorDesign;
+use rb_core::vendors;
+use rb_scenario::WorldBuilder;
+use rb_wire::ids::IdScheme;
+use rb_wire::messages::{BindPayload, Message, Response};
+
+/// Occupies every enumerable device of a series pre-setup, then lets the
+/// victims try. Returns (bindings occupied, victims locked out).
+fn dos_series(design: &VendorDesign, homes: usize, seed: u64) -> (usize, usize) {
+    let mut world = WorldBuilder::new(design.clone(), seed).homes(homes).victim_paused().build();
+    let mut adv = Adversary::new();
+    let user_token = adv.login(&mut world);
+
+    // Enumerate the ID space in allocation order (sequential IDs!) and fire
+    // a bind for each candidate — the attacker does not even know which IDs
+    // were sold.
+    let mut occupied = 0;
+    let budget = (homes as u64) * 2; // sweep a window of the sequence
+    for i in 0..budget {
+        let dev_id = design.id_scheme.id_at(i);
+        let rsp = adv.request_wait(
+            &mut world,
+            Message::Bind(BindPayload::AclApp { dev_id, user_token }),
+            300,
+        );
+        if matches!(rsp, Some(Response::Bound { .. })) {
+            occupied += 1;
+        }
+    }
+
+    // The victims unbox their devices.
+    world.resume_victims();
+    world.try_run_setup(150_000);
+    let locked_out = (0..homes).filter(|&i| !world.app(i).is_bound()).count();
+    (occupied, locked_out)
+}
+
+fn main() {
+    println!("EXP-DOS: scalable binding denial-of-service over a product series\n");
+
+    // A vulnerable vendor with sequential IDs (OZWI-style camera line).
+    let mut vulnerable = vendors::ozwi();
+    vulnerable.id_scheme = IdScheme::SequentialSerial { vendor: 0x0102, start: 0 };
+    let secure = vendors::capability_reference();
+
+    let mut rows = Vec::new();
+    for homes in [1usize, 2, 4, 8, 16] {
+        let (occ_v, lock_v) = dos_series(&vulnerable, homes, 7_000 + homes as u64);
+        let (occ_s, lock_s) = dos_series(&secure, homes, 9_000 + homes as u64);
+        rows.push(vec![
+            homes.to_string(),
+            format!("{occ_v}/{homes}"),
+            format!("{lock_v}/{homes}"),
+            format!("{occ_s}/{homes}"),
+            format!("{lock_s}/{homes}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "series size",
+                "occupied (vulnerable)",
+                "victims locked out (vulnerable)",
+                "occupied (capability)",
+                "victims locked out (capability)"
+            ],
+            &rows
+        )
+    );
+
+    println!("shape check (paper §V-C): the DoS scales linearly over the whole series for");
+    println!("ACL designs with sequential IDs, and is identically zero for capability binding.");
+}

@@ -1,0 +1,71 @@
+//! FIG2 — regenerates the paper's Figure 2: the device-shadow state
+//! machine, as an exhaustive transition table with the paper's ①–⑥ edge
+//! labels, plus the Table I notation when asked.
+//!
+//! ```text
+//! cargo run -p rb-bench --bin fig2_state_machine [--notation]
+//! ```
+
+use rb_bench::render_table;
+use rb_core::shadow::{Primitive, ShadowState};
+
+fn main() {
+    println!("Figure 2: state machine of a device shadow\n");
+    println!("states are (online?, bound?):");
+    for s in ShadowState::ALL {
+        println!("  {:8} online={} bound={}", s.to_string(), s.is_online(), s.is_bound());
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for s in ShadowState::ALL {
+        for p in Primitive::ALL {
+            let next = s.apply(p);
+            let label = s
+                .transition_label(p)
+                .map(|n| {
+                    // The paper's circled digits.
+                    char::from_u32(0x2460 + u32::from(n) - 1).unwrap_or('?').to_string()
+                })
+                .unwrap_or_else(|| "·".to_owned());
+            rows.push(vec![
+                s.to_string(),
+                p.to_string(),
+                next.to_string(),
+                label,
+                if next == s { "self-loop".to_owned() } else { String::new() },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["from", "primitive", "to", "figure label", "note"], &rows)
+    );
+
+    println!("labels: ①⑥ device authentication, ②④ binding creation, ③⑤ binding revocation");
+    println!("(offline edges — heartbeat expiry — are unlabeled in the figure)\n");
+
+    // The figure's central observation: both orders reach the control
+    // state.
+    use Primitive::*;
+    use ShadowState::*;
+    assert_eq!(Initial.apply(Status).apply(Bind), Control);
+    assert_eq!(Initial.apply(Bind).apply(Status), Control);
+    println!("verified: initial→online→control and initial→bound→control both exist.");
+
+    if std::env::args().any(|a| a == "--notation") {
+        println!("\nTable I: notations");
+        let rows = vec![
+            vec!["Status".into(), "messages to report device status (sent by the device)".into()],
+            vec!["Bind".into(), "messages to create bindings in the cloud".into()],
+            vec!["Unbind".into(), "messages to revoke bindings in the cloud".into()],
+            vec!["DevId".into(), "a piece of definite data for device authentication".into()],
+            vec!["DevToken".into(), "a piece of random data for device authentication".into()],
+            vec!["BindToken".into(), "a piece of random data for binding authorization".into()],
+            vec!["UserToken".into(), "a piece of random data for user authentication".into()],
+            vec!["UserId".into(), "identifier (e.g. email address) of user account".into()],
+            vec!["UserPw".into(), "password of user account".into()],
+        ];
+        println!("{}", render_table(&["notation", "meaning"], &rows));
+    }
+}

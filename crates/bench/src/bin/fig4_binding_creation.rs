@@ -1,0 +1,57 @@
+//! FIG4 — regenerates the paper's Figure 4: the three binding-creation
+//! flows (ACL-based via app, ACL-based via device, capability-based),
+//! executed end to end on the corresponding vendor designs.
+//!
+//! ```text
+//! cargo run -p rb-bench --bin fig4_binding_creation
+//! ```
+
+use rb_bench::render_table;
+use rb_core::vendors;
+use rb_scenario::WorldBuilder;
+
+fn main() {
+    println!("Figure 4: binding creation (executed flows)\n");
+    let mut rows = Vec::new();
+
+    // (a) ACL-based, binding message sent by the app.
+    let mut world = WorldBuilder::new(vendors::belkin(), 41).build();
+    world.run_setup();
+    rows.push(vec![
+        "(a) ACL, sent by app".into(),
+        "Bind:(DevId, UserToken)".into(),
+        format!("{} bind attempts by the app", world.app(0).stats.bind_attempts),
+        world.shadow_state(0).to_string(),
+        "the device ID is ambient authority: any valid user token binds it".into(),
+    ]);
+
+    // (b) ACL-based, binding message sent by the device.
+    let mut world = WorldBuilder::new(vendors::tp_link(), 42).build();
+    world.run_setup();
+    rows.push(vec![
+        "(b) ACL, sent by device".into(),
+        "Bind:(DevId, UserId, UserPw)".into(),
+        format!("{} bind attempts by the app (device bound itself)", world.app(0).stats.bind_attempts),
+        world.shadow_state(0).to_string(),
+        "the user's account credentials travel to the device — paper lesson 4".into(),
+    ]);
+
+    // (c) Capability-based.
+    let mut world = WorldBuilder::new(vendors::capability_reference(), 43).build();
+    world.run_setup();
+    rows.push(vec![
+        "(c) capability-based".into(),
+        "Bind:BindToken".into(),
+        "token: cloud -> app -> (LAN) -> device -> cloud".into(),
+        world.shadow_state(0).to_string(),
+        "possession proves local co-presence: remote forgery impossible".into(),
+    ]);
+
+    println!(
+        "{}",
+        render_table(&["flow", "binding message", "observed", "end state", "property"], &rows)
+    );
+
+    println!("assessment (paper §IV-B): ACL-based binding grants ambient authority through the");
+    println!("device ID; capability-based binding (Samsung SmartThings style) confirms ownership.");
+}

@@ -1,0 +1,230 @@
+//! `rbsim` — the remote-binding analysis toolkit, as a CLI.
+//!
+//! ```text
+//! rbsim list                      # the studied vendor designs
+//! rbsim audit <vendor>            # static attack-surface audit + fixes
+//! rbsim campaign <vendor> [seed]  # execute all nine attacks live
+//! rbsim attack <vendor> <A4-3>    # execute one attack with evidence
+//! rbsim taxonomy                  # Table II
+//! rbsim table3                    # full live Table III
+//! rbsim space                     # exhaustive design-space survey
+//! ```
+//!
+//! Run through cargo: `cargo run -p rb-bench --bin rbsim -- audit tp-link`.
+
+use rb_attack::campaign::{run_all_parallel, run_campaign};
+use rb_attack::exec::run_attack;
+use rb_bench::render_table;
+use rb_core::analyzer::{analyze, taxonomy, taxonomy_witnesses};
+use rb_core::attacks::{AttackFamily, AttackId};
+use rb_core::design::VendorDesign;
+use rb_core::explore::survey;
+use rb_core::spec::{check, cross_check};
+use rb_core::recommend::recommendations;
+use rb_core::vendors::{capability_reference, public_key_reference, vendor_designs, weakest_design};
+
+fn find_design(name: &str) -> Option<VendorDesign> {
+    let needle = name.to_lowercase().replace(['-', '_', ' '], "");
+    let mut all = vendor_designs();
+    all.push(capability_reference());
+    all.push(public_key_reference());
+    all.push(weakest_design());
+    all.into_iter().find(|d| d.vendor.to_lowercase().replace(['-', '_', ' '], "").contains(&needle))
+}
+
+fn parse_attack(name: &str) -> Option<AttackId> {
+    let needle = name.to_uppercase().replace('_', "-");
+    AttackId::ALL.into_iter().find(|a| a.to_string() == needle)
+}
+
+fn cmd_list() {
+    let rows: Vec<Vec<String>> = vendor_designs()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            vec![
+                format!("#{}", i + 1),
+                d.vendor.clone(),
+                d.device.to_string(),
+                d.auth.to_string(),
+                d.bind.to_string(),
+                d.unbind.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["#", "vendor", "device", "status", "bind", "unbind"], &rows));
+    println!("also available: 'capability', 'publickey', 'weakest'");
+}
+
+fn cmd_audit(design: &VendorDesign) {
+    println!("audit: {} ({})\n", design.vendor, design.device);
+    let report = analyze(design);
+    for id in AttackId::ALL {
+        println!("  {:5} [{}] {}", id.to_string(), report.verdict(id).symbol(), report.verdict(id));
+    }
+    print!("\nfamily cells:");
+    for family in AttackFamily::ALL {
+        print!(" {}={}", family, report.family_cell(family));
+    }
+    println!("\n\nremediations:");
+    for rec in recommendations(design) {
+        let kills: Vec<String> = rec.eliminates.iter().map(|a| a.to_string()).collect();
+        println!(
+            "  [{}] {}{}",
+            rec.id,
+            rec.advice,
+            if kills.is_empty() { String::new() } else { format!(" (eliminates {})", kills.join(", ")) }
+        );
+    }
+}
+
+fn cmd_campaign(design: &VendorDesign, seed: u64) {
+    println!("executing all nine attacks against {} (seed {seed})...\n", design.vendor);
+    let campaign = run_campaign(design, seed);
+    for id in AttackId::ALL {
+        let run = &campaign.runs[&id];
+        println!("  {:5} [{}] {}", id.to_string(), run.outcome.symbol(), run.outcome);
+        for line in &run.evidence {
+            println!("         {line}");
+        }
+    }
+    let row = campaign.row();
+    println!("\nrow: A1={} A2={} A3={} A4={}", row[0], row[1], row[2], row[3]);
+    let disagreements = campaign.disagreements();
+    if disagreements.is_empty() {
+        println!("analyzer agrees with every executed outcome.");
+    } else {
+        for d in disagreements {
+            println!("DISAGREEMENT: {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn cmd_attack(design: &VendorDesign, id: AttackId, seed: u64) {
+    println!("executing {id} against {}...\n", design.vendor);
+    let run = run_attack(design, id, seed);
+    println!("outcome: [{}] {}", run.outcome.symbol(), run.outcome);
+    for line in &run.evidence {
+        println!("  {line}");
+    }
+}
+
+fn cmd_verify(design: &VendorDesign) {
+    println!("model-checking {}...\n", design.vendor);
+    let spec = check(design);
+    println!("reachable abstract states: {}", spec.reachable);
+    let show = |name: &str, trace: &Option<Vec<rb_core::spec::Act>>| match trace {
+        Some(t) => println!("  {name}: REACHABLE via {t:?}"),
+        None => println!("  {name}: unreachable"),
+    };
+    show("ATTACKER-BOUND  ", &spec.attacker_bound);
+    show("ATTACKER-CONTROL", &spec.attacker_control);
+    show("USER-DISCONNECT ", &spec.user_disconnect);
+    if spec.is_secure() {
+        println!("\nverdict: SECURE under the abstract model.");
+    } else {
+        println!("\nverdict: VULNERABLE (witness traces above are minimal).");
+    }
+    let disagreements = cross_check(std::slice::from_ref(design));
+    if disagreements.is_empty() {
+        println!("checker and analyzer agree on this design.");
+    } else {
+        for d in disagreements {
+            println!("DISAGREEMENT: {d}");
+        }
+    }
+}
+
+fn cmd_taxonomy() {
+    let witnesses = taxonomy_witnesses();
+    for row in taxonomy() {
+        println!(
+            "{:5} forging {:45} in {:22} => {:8} | witness: {}",
+            row.attack.to_string(),
+            row.forged,
+            row.targeted.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("+"),
+            row.end_state.to_string(),
+            witnesses.get(&row.attack).cloned().unwrap_or_default(),
+        );
+    }
+}
+
+fn cmd_table3() {
+    let campaigns = run_all_parallel(0xD51_2019);
+    let rows: Vec<Vec<String>> = campaigns
+        .iter()
+        .map(|c| {
+            let row = c.row();
+            vec![c.design.vendor.clone(), row[0].clone(), row[1].clone(), row[2].clone(), row[3].clone()]
+        })
+        .collect();
+    println!("{}", render_table(&["vendor", "A1", "A2", "A3", "A4"], &rows));
+}
+
+fn cmd_space() {
+    let stats = survey();
+    println!("designs analyzed: {}", stats.total);
+    for id in AttackId::ALL {
+        println!(
+            "  {:5} feasible on {:5} designs, unconfirmable on {}",
+            id.to_string(),
+            stats.feasible_counts.get(&id).copied().unwrap_or(0),
+            stats.unconfirmable_counts.get(&id).copied().unwrap_or(0),
+        );
+    }
+    println!("fully secure: {} | provably secure: {}", stats.fully_secure, stats.provably_secure);
+}
+
+fn usage() -> ! {
+    eprintln!("usage: rbsim <list|audit|verify|campaign|attack|taxonomy|table3|space> [args]");
+    eprintln!("  rbsim audit tp-link");
+    eprintln!("  rbsim campaign e-link 42");
+    eprintln!("  rbsim attack tp-link A4-3");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("taxonomy") => cmd_taxonomy(),
+        Some("table3") => cmd_table3(),
+        Some("space") => cmd_space(),
+        Some("verify") => {
+            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
+                eprintln!("unknown vendor; try `rbsim list`");
+                std::process::exit(2);
+            };
+            cmd_verify(&design);
+        }
+        Some("audit") => {
+            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
+                eprintln!("unknown vendor; try `rbsim list`");
+                std::process::exit(2);
+            };
+            cmd_audit(&design);
+        }
+        Some("campaign") => {
+            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
+                eprintln!("unknown vendor; try `rbsim list`");
+                std::process::exit(2);
+            };
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+            cmd_campaign(&design, seed);
+        }
+        Some("attack") => {
+            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
+                eprintln!("unknown vendor; try `rbsim list`");
+                std::process::exit(2);
+            };
+            let Some(id) = args.get(2).and_then(|a| parse_attack(a)) else {
+                eprintln!("unknown attack; one of A1, A2, A3-1..A3-4, A4-1..A4-3");
+                std::process::exit(2);
+            };
+            let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+            cmd_attack(&design, id, seed);
+        }
+        _ => usage(),
+    }
+}

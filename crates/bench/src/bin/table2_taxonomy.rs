@@ -1,0 +1,82 @@
+//! TAB2 — regenerates the paper's Table II (the attack taxonomy) from the
+//! model: forged message shapes, targeted states, and end states are
+//! derived from the shadow state machine, checked for consistency, and
+//! each row is witnessed by a real vendor on which the analyzer finds it
+//! feasible.
+//!
+//! ```text
+//! cargo run -p rb-bench --bin table2_taxonomy
+//! ```
+
+use rb_bench::render_table;
+use rb_core::analyzer::{check_taxonomy_against_machine, taxonomy, taxonomy_witnesses};
+use rb_core::attacks::AttackFamily;
+
+fn main() {
+    println!("Table II: The Taxonomy of Attacks in Remote Binding (derived)\n");
+
+    let witnesses = taxonomy_witnesses();
+    let mut rows = Vec::new();
+    for row in taxonomy() {
+        let family = row.attack.family();
+        let family_name = format!("{}: {}", family, family.name());
+        let targeted = row
+            .targeted
+            .iter()
+            .map(|s| format!("{s} state"))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        rows.push(vec![
+            family_name,
+            row.attack.to_string(),
+            row.forged.to_owned(),
+            targeted,
+            format!("{} state", row.end_state),
+            row.consequence.to_owned(),
+            witnesses
+                .get(&row.attack)
+                .cloned()
+                .unwrap_or_else(|| "(none)".to_owned()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Attack family",
+                "Variant",
+                "Forged message",
+                "Targeted states",
+                "End state",
+                "Consequence",
+                "Witness vendor"
+            ],
+            &rows
+        )
+    );
+
+    // Model-consistency proof: every row's end state agrees with the state
+    // machine.
+    let violations = check_taxonomy_against_machine();
+    if violations.is_empty() {
+        println!("consistency: every row agrees with the device-shadow state machine.");
+    } else {
+        println!("CONSISTENCY VIOLATIONS:");
+        for v in violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+
+    // Coverage: the witnesses prove each taxonomy row is realizable among
+    // the ten studied vendors — the paper's empirical point.
+    let families_covered: std::collections::BTreeSet<_> =
+        witnesses.keys().map(|a| a.family()).collect();
+    println!(
+        "coverage: {}/{} variants witnessed by real vendors, all {} families covered.",
+        witnesses.len(),
+        taxonomy().len(),
+        families_covered.len()
+    );
+    assert_eq!(families_covered.len(), AttackFamily::ALL.len());
+}

@@ -1,0 +1,109 @@
+//! Append-only audit log of cloud decisions.
+
+use rb_netsim::{NodeId, Tick};
+use std::fmt;
+
+/// One audited decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// When.
+    pub at: Tick,
+    /// Requesting node.
+    pub from: NodeId,
+    /// Request kind (`Message::kind_str`).
+    pub request: &'static str,
+    /// Response kind (`Response::kind_str`), with the deny reason spelled
+    /// out for denials.
+    pub outcome: String,
+}
+
+impl fmt::Display for AuditEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} -> {}", self.at, self.from, self.request, self.outcome)
+    }
+}
+
+/// Bounded audit log (drops oldest entries beyond the cap).
+#[derive(Debug)]
+pub struct AuditLog {
+    entries: std::collections::VecDeque<AuditEntry>,
+    cap: usize,
+}
+
+impl AuditLog {
+    /// A log bounded at `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        AuditLog { entries: std::collections::VecDeque::new(), cap }
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn push(&mut self, entry: AuditEntry) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count of denials among retained entries.
+    pub fn denials(&self) -> usize {
+        self.entries.iter().filter(|e| e.outcome.starts_with("Denied")).count()
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, outcome: &str) -> AuditEntry {
+        AuditEntry {
+            at: Tick(at),
+            from: NodeId(1),
+            request: "Bind",
+            outcome: outcome.to_owned(),
+        }
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut log = AuditLog::new(10);
+        assert!(log.is_empty());
+        log.push(entry(1, "Bound"));
+        log.push(entry(2, "Denied(device already bound)"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.denials(), 1);
+        let first = log.entries().next().unwrap();
+        assert_eq!(first.at, Tick(1));
+        assert_eq!(first.to_string(), "t1 n1 Bind -> Bound");
+    }
+
+    #[test]
+    fn cap_evicts_oldest() {
+        let mut log = AuditLog::new(3);
+        for i in 0..5 {
+            log.push(entry(i, "Bound"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.entries().next().unwrap().at, Tick(2));
+    }
+}

@@ -1,0 +1,265 @@
+//! Runtime security monitoring.
+//!
+//! The paper's attacks succeed *silently*: nothing in the studied clouds
+//! notices a foreign unbind, a replaced binding, or an ID-space sweep. This
+//! module is the defensive counterpart — a passive monitor inside the cloud
+//! that raises [`SecurityAlert`]s on exactly the signatures the attack
+//! engine produces, so the detection experiment can measure which Table III
+//! attacks each design *could have noticed* without any protocol change.
+
+use std::collections::{HashMap, HashSet};
+
+use rb_netsim::{NodeId, Tick};
+use rb_wire::ids::DevId;
+use rb_wire::tokens::UserId;
+
+/// A security-relevant anomaly observed by the cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityAlert {
+    /// An accepted `Unbind:(DevId,UserToken)` whose requester was not the
+    /// bound user (the A3-2 signature).
+    ForeignUnbind {
+        /// The affected device.
+        dev_id: DevId,
+        /// The user whose binding was revoked.
+        victim: UserId,
+        /// The requesting user.
+        requester: UserId,
+    },
+    /// An accepted bare `Unbind:DevId` (the A3-1 signature — inherently
+    /// unattributable).
+    BareUnbind {
+        /// The affected device.
+        dev_id: DevId,
+        /// Public IP the request came from.
+        from_ip: u32,
+    },
+    /// An accepted bind displaced an existing binding of a different user
+    /// (the A3-3/A4-1 signature).
+    BindingReplaced {
+        /// The affected device.
+        dev_id: DevId,
+        /// The displaced user.
+        victim: UserId,
+        /// The new holder.
+        new_holder: UserId,
+    },
+    /// A device session moved to a different public IP (the A1/A3-4/A4
+    /// status-forgery signature; also fires on legitimate household moves,
+    /// which is why it is an alert and not a block).
+    SessionMoved {
+        /// The affected device.
+        dev_id: DevId,
+        /// Previous public IP.
+        old_ip: u32,
+        /// New public IP.
+        new_ip: u32,
+    },
+    /// One source touched many distinct device IDs (the enumeration /
+    /// scalable-DoS signature of §V-C).
+    EnumerationSuspected {
+        /// The probing source.
+        source: NodeId,
+        /// Distinct device IDs touched.
+        distinct_ids: usize,
+    },
+    /// Someone keeps being refused a binding another account holds — the
+    /// victim-experience signature of a pre-emptive occupation (A2) on
+    /// designs whose device never comes online while the DoS holds.
+    ContestedBinding {
+        /// The disputed device.
+        dev_id: DevId,
+        /// The current holder.
+        holder: UserId,
+        /// The repeatedly refused challenger.
+        challenger: UserId,
+        /// Denials observed.
+        denials: u32,
+    },
+    /// A binding was created for a device the requester's source IP has
+    /// never been co-located with (the pre-emptive A2 signature: the real
+    /// owner's app binds from the same NAT as the device sooner or later;
+    /// the attacker never does).
+    RemoteOnlyBind {
+        /// The affected device.
+        dev_id: DevId,
+        /// The binder.
+        holder: UserId,
+        /// Public IP of the bind request.
+        from_ip: u32,
+    },
+}
+
+impl SecurityAlert {
+    /// Short classifier for tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SecurityAlert::ForeignUnbind { .. } => "foreign-unbind",
+            SecurityAlert::BareUnbind { .. } => "bare-unbind",
+            SecurityAlert::BindingReplaced { .. } => "binding-replaced",
+            SecurityAlert::SessionMoved { .. } => "session-moved",
+            SecurityAlert::EnumerationSuspected { .. } => "enumeration",
+            SecurityAlert::ContestedBinding { .. } => "contested-binding",
+            SecurityAlert::RemoteOnlyBind { .. } => "remote-only-bind",
+        }
+    }
+}
+
+/// The passive monitor: fed observations by the service handlers, keeps
+/// bounded per-source statistics, and accumulates alerts.
+#[derive(Debug)]
+pub struct Monitor {
+    /// Raised alerts, in order.
+    alerts: Vec<SecurityAlert>,
+    /// Distinct device IDs touched per source.
+    touched: HashMap<NodeId, HashSet<DevId>>,
+    /// Sources already flagged for enumeration (flag once).
+    flagged: HashSet<NodeId>,
+    /// Device public IPs observed from device sessions.
+    device_ips: HashMap<DevId, u32>,
+    /// AlreadyBound denials per (device, challenger).
+    contested: HashMap<(DevId, UserId), u32>,
+    /// Contested pairs already flagged.
+    contested_flagged: HashSet<(DevId, UserId)>,
+    /// Threshold of distinct IDs per source before flagging.
+    pub enumeration_threshold: usize,
+    /// AlreadyBound denials per (device, challenger) before flagging.
+    pub contested_threshold: u32,
+}
+
+impl Monitor {
+    /// A monitor with the default enumeration threshold (8 distinct IDs).
+    pub fn new() -> Self {
+        Monitor {
+            alerts: Vec::new(),
+            touched: HashMap::new(),
+            flagged: HashSet::new(),
+            device_ips: HashMap::new(),
+            contested: HashMap::new(),
+            contested_flagged: HashSet::new(),
+            enumeration_threshold: 8,
+            contested_threshold: 3,
+        }
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[SecurityAlert] {
+        &self.alerts
+    }
+
+    /// Alerts of one kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.alerts.iter().filter(|a| a.kind() == kind).count()
+    }
+
+    /// Drains the alert list.
+    pub fn take_alerts(&mut self) -> Vec<SecurityAlert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    pub(crate) fn raise(&mut self, alert: SecurityAlert) {
+        self.alerts.push(alert);
+    }
+
+    /// Records that `source` addressed `dev_id`; raises the enumeration
+    /// alert when the per-source distinct-ID count crosses the threshold.
+    pub(crate) fn observe_target(&mut self, source: NodeId, dev_id: &DevId, _now: Tick) {
+        let set = self.touched.entry(source).or_default();
+        set.insert(dev_id.clone());
+        if set.len() >= self.enumeration_threshold && self.flagged.insert(source) {
+            self.alerts.push(SecurityAlert::EnumerationSuspected {
+                source,
+                distinct_ids: set.len(),
+            });
+        }
+    }
+
+    /// Records the public IP a device session spoke from; raises
+    /// [`SecurityAlert::SessionMoved`] on change.
+    pub(crate) fn observe_device_ip(&mut self, dev_id: &DevId, ip: u32) {
+        match self.device_ips.insert(dev_id.clone(), ip) {
+            Some(old_ip) if old_ip != ip => {
+                self.alerts.push(SecurityAlert::SessionMoved {
+                    dev_id: dev_id.clone(),
+                    old_ip,
+                    new_ip: ip,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// The last public IP a device session spoke from.
+    pub(crate) fn device_ip(&self, dev_id: &DevId) -> Option<u32> {
+        self.device_ips.get(dev_id).copied()
+    }
+
+    /// Records an `AlreadyBound` denial of `challenger` for a device held
+    /// by `holder`; flags the pair once the threshold is crossed.
+    pub(crate) fn observe_bind_denial(
+        &mut self,
+        dev_id: &DevId,
+        holder: &UserId,
+        challenger: &UserId,
+    ) {
+        let key = (dev_id.clone(), challenger.clone());
+        let n = self.contested.entry(key.clone()).or_default();
+        *n += 1;
+        if *n >= self.contested_threshold && self.contested_flagged.insert(key) {
+            self.alerts.push(SecurityAlert::ContestedBinding {
+                dev_id: dev_id.clone(),
+                holder: holder.clone(),
+                challenger: challenger.clone(),
+                denials: *n,
+            });
+        }
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_wire::ids::{DevId, MacAddr};
+
+    fn id(n: u8) -> DevId {
+        DevId::Mac(MacAddr::new([n, 0, 0, 0, 0, 0]))
+    }
+
+    #[test]
+    fn enumeration_flags_once_at_threshold() {
+        let mut m = Monitor::new();
+        m.enumeration_threshold = 3;
+        for i in 0..5 {
+            m.observe_target(NodeId(9), &id(i), Tick(1));
+        }
+        assert_eq!(m.count("enumeration"), 1, "{:?}", m.alerts());
+        // A second source has its own counter.
+        m.observe_target(NodeId(8), &id(0), Tick(2));
+        assert_eq!(m.count("enumeration"), 1);
+    }
+
+    #[test]
+    fn session_move_detected_only_on_change() {
+        let mut m = Monitor::new();
+        m.observe_device_ip(&id(1), 100);
+        m.observe_device_ip(&id(1), 100);
+        assert_eq!(m.count("session-moved"), 0);
+        m.observe_device_ip(&id(1), 200);
+        assert_eq!(m.count("session-moved"), 1);
+        assert_eq!(m.device_ip(&id(1)), Some(200));
+    }
+
+    #[test]
+    fn take_alerts_drains() {
+        let mut m = Monitor::new();
+        m.raise(SecurityAlert::BareUnbind { dev_id: id(1), from_ip: 5 });
+        assert_eq!(m.take_alerts().len(), 1);
+        assert!(m.alerts().is_empty());
+    }
+}

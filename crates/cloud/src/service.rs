@@ -1,0 +1,901 @@
+//! The cloud service: message handlers parameterized by a vendor design.
+//!
+//! Every accept/deny branch here corresponds to a design element of
+//! [`VendorDesign`]; the static analyzer in `rb-core` reasons about those
+//! elements symbolically, and this module *executes* them, so the Table III
+//! experiment can cross-check prediction against execution.
+
+use std::collections::HashMap;
+
+use rb_core::design::{BindScheme, DeviceAuthScheme, VendorDesign};
+use rb_core::shadow::ShadowState;
+use rb_netsim::{Actor, Ctx, Dest, NodeId, SimRng, Tick};
+use rb_wire::envelope::Envelope;
+use rb_wire::ids::DevId;
+use rb_wire::messages::{
+    AutomationRule, BindPayload, ControlAction, DenyReason, Message, Response, StatusAuth,
+    StatusKind, StatusPayload, UnbindPayload,
+};
+use rb_wire::tokens::{SessionToken, UserId, UserPw, UserToken};
+
+use crate::accounts::AccountStore;
+use crate::audit::{AuditEntry, AuditLog};
+use crate::issued::{BindTokenLedger, DevTokenLedger};
+use crate::monitor::{Monitor, SecurityAlert};
+use crate::registry::{DeviceRecord, DeviceRegistry};
+use crate::state::DeviceState;
+
+/// Per-source request rate limiting — the defense that prices remote ID
+/// enumeration out of the §I "within an hour" regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Window length in ticks.
+    pub window: u64,
+    /// Maximum requests per source node per window.
+    pub max: u32,
+}
+
+/// Cloud configuration.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// The vendor design that parameterizes every handler.
+    pub design: VendorDesign,
+    /// Ticks without a status message before a device is considered
+    /// offline.
+    pub heartbeat_timeout: u64,
+    /// Window (ticks) within which a reported button press counts as a
+    /// local-presence proof (Philips Hue: 30 seconds).
+    pub button_window: u64,
+    /// Audit-log capacity.
+    pub audit_cap: usize,
+    /// Optional per-source rate limit (off by default — none of the studied
+    /// vendors deployed one, which is what makes enumeration viable).
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl CloudConfig {
+    /// A configuration with realistic defaults (30 s heartbeat timeout,
+    /// 30 s button window at 1 tick = 1 ms).
+    pub fn new(design: VendorDesign) -> Self {
+        CloudConfig {
+            design,
+            heartbeat_timeout: 30_000,
+            button_window: 30_000,
+            audit_cap: 65_536,
+            rate_limit: None,
+        }
+    }
+}
+
+/// The result of handling one request: the direct reply plus any pushes to
+/// other parties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Reply to the requester.
+    pub reply: Response,
+    /// Unsolicited pushes `(recipient, response)`.
+    pub pushes: Vec<(NodeId, Response)>,
+}
+
+impl Outcome {
+    fn deny(reason: DenyReason) -> Self {
+        Outcome { reply: Response::Denied { reason }, pushes: Vec::new() }
+    }
+
+    fn reply(reply: Response) -> Self {
+        Outcome { reply, pushes: Vec::new() }
+    }
+}
+
+const TIMER_EXPIRE: u64 = 1;
+
+/// The simulated IoT cloud.
+///
+/// See the [crate docs](crate) for the component map. Drive it through the
+/// network simulator (it implements [`Actor`]) or call
+/// [`CloudService::handle_message`] directly in protocol tests.
+pub struct CloudService {
+    config: CloudConfig,
+    accounts: AccountStore,
+    registry: DeviceRegistry,
+    dev_tokens: DevTokenLedger,
+    bind_tokens: BindTokenLedger,
+    state: DeviceState,
+    audit: AuditLog,
+    nat: HashMap<NodeId, u32>,
+    rules: HashMap<rb_wire::tokens::UserId, Vec<AutomationRule>>,
+    rate: HashMap<NodeId, (Tick, u32)>,
+    monitor: Monitor,
+}
+
+impl CloudService {
+    /// Creates a cloud for one vendor design.
+    pub fn new(config: CloudConfig) -> Self {
+        let audit = AuditLog::new(config.audit_cap);
+        CloudService {
+            config,
+            accounts: AccountStore::new(),
+            registry: DeviceRegistry::new(),
+            dev_tokens: DevTokenLedger::new(),
+            bind_tokens: BindTokenLedger::new(),
+            state: DeviceState::new(),
+            audit,
+            nat: HashMap::new(),
+            rules: HashMap::new(),
+            rate: HashMap::new(),
+            monitor: Monitor::new(),
+        }
+    }
+
+    /// The design this cloud implements.
+    pub fn design(&self) -> &VendorDesign {
+        &self.config.design
+    }
+
+    /// Vendor-side account signup.
+    pub fn provision_account(&mut self, user_id: UserId, user_pw: UserPw) {
+        self.accounts.register(user_id, user_pw);
+    }
+
+    /// Manufactures a device: registers its ID, factory secret, and
+    /// (optionally) a signing key.
+    pub fn manufacture(&mut self, dev_id: DevId, factory_secret: u128, key: Option<(u64, u128)>) {
+        self.registry.add(dev_id, DeviceRecord { factory_secret, key });
+    }
+
+    /// Declares the public IP (NAT identity) a node's traffic arrives from.
+    /// Nodes sharing a home router share an IP; used by the Hue-style
+    /// source-IP comparison.
+    pub fn set_public_ip(&mut self, node: NodeId, ip: u32) {
+        self.nat.insert(node, ip);
+    }
+
+    fn public_ip(&self, node: NodeId) -> u32 {
+        // Unmapped nodes get a unique synthetic address.
+        self.nat.get(&node).copied().unwrap_or(0xffff_0000 | node.0)
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The passive security monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Mutable access to the monitor (drain alerts, tune thresholds).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Diagnostic access to a device's shadow state.
+    pub fn shadow_state(&self, dev_id: &DevId) -> ShadowState {
+        self.state.shadow_state(dev_id)
+    }
+
+    /// Diagnostic access to the bound user of a device.
+    pub fn bound_user(&self, dev_id: &DevId) -> Option<UserId> {
+        self.state.record(dev_id).and_then(|r| r.shadow.bound_user().cloned())
+    }
+
+    /// Diagnostic access to the nodes currently speaking as a device.
+    pub fn device_nodes(&self, dev_id: &DevId) -> Vec<NodeId> {
+        self.state.session(dev_id).map(|s| s.nodes.clone()).unwrap_or_default()
+    }
+
+    /// Handles one request, returning the reply and pushes. This is the
+    /// transport-independent core; the [`Actor`] impl wraps it.
+    pub fn handle_message(
+        &mut self,
+        from: NodeId,
+        now: Tick,
+        msg: &Message,
+        rng: &mut SimRng,
+    ) -> Outcome {
+        let outcome = if self.rate_limited(from, now) {
+            Outcome::deny(DenyReason::RateLimited)
+        } else {
+            self.dispatch(from, now, msg, rng)
+        };
+        self.audit.push(AuditEntry {
+            at: now,
+            from,
+            request: msg.kind_str(),
+            outcome: outcome.reply.to_string(),
+        });
+        outcome
+    }
+
+    /// Whether this request from `from` exceeds the configured rate limit
+    /// (and counts it against the window).
+    fn rate_limited(&mut self, from: NodeId, now: Tick) -> bool {
+        let Some(limit) = self.config.rate_limit else { return false };
+        let entry = self.rate.entry(from).or_insert((now, 0));
+        if now - entry.0 >= limit.window {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        entry.1 > limit.max
+    }
+
+    /// Expires stale device sessions (heartbeat timeout). Normally driven
+    /// by the actor timer; exposed for direct-drive tests.
+    pub fn expire(&mut self, now: Tick) -> Vec<DevId> {
+        self.state.expire_sessions(now, self.config.heartbeat_timeout)
+    }
+
+    fn dispatch(&mut self, from: NodeId, now: Tick, msg: &Message, rng: &mut SimRng) -> Outcome {
+        match msg {
+            Message::Login { user_id, user_pw } => {
+                match self.accounts.login(user_id, user_pw, from, rng) {
+                    Ok(user_token) => Outcome::reply(Response::LoginOk { user_token }),
+                    Err(reason) => Outcome::deny(reason),
+                }
+            }
+            Message::RequestDevToken { user_token } => {
+                let user = match self.accounts.verify_token(user_token) {
+                    Ok(u) => u.clone(),
+                    Err(reason) => return Outcome::deny(reason),
+                };
+                let dev_token = self.dev_tokens.issue(user, rng);
+                Outcome::reply(Response::DevTokenIssued { dev_token })
+            }
+            Message::RequestBindToken { user_token } => {
+                let user = match self.accounts.verify_token(user_token) {
+                    Ok(u) => u.clone(),
+                    Err(reason) => return Outcome::deny(reason),
+                };
+                let bind_token = self.bind_tokens.issue(user, rng);
+                Outcome::reply(Response::BindTokenIssued { bind_token })
+            }
+            Message::Status(payload) => self.handle_status(from, now, payload),
+            Message::Bind(payload) => self.handle_bind(from, now, payload, rng),
+            Message::Unbind(payload) => self.handle_unbind(from, now, payload),
+            Message::Control { dev_id, user_token, session, action } => {
+                self.handle_control(dev_id, user_token, *session, action)
+            }
+            Message::Share { dev_id, user_token, grantee } => {
+                self.handle_share(dev_id, user_token, grantee, true)
+            }
+            Message::SetRule { user_token, rule } => self.handle_set_rule(user_token, rule),
+            Message::Unshare { dev_id, user_token, grantee } => {
+                self.handle_share(dev_id, user_token, grantee, false)
+            }
+            Message::QueryShadow { dev_id } => {
+                let state = self.state.shadow_state(dev_id);
+                Outcome::reply(Response::ShadowState {
+                    online: state.is_online(),
+                    bound: state.is_bound(),
+                })
+            }
+        }
+    }
+
+    // -- Status ------------------------------------------------------------
+
+    fn authenticate_status(
+        &self,
+        payload: &StatusPayload,
+    ) -> Result<Option<UserId>, DenyReason> {
+        match self.config.design.auth {
+            DeviceAuthScheme::DevToken => match &payload.auth {
+                StatusAuth::DevToken(token) => {
+                    Ok(Some(self.dev_tokens.verify(token)?.clone()))
+                }
+                _ => Err(DenyReason::DeviceAuthFailed),
+            },
+            DeviceAuthScheme::DevId => match &payload.auth {
+                StatusAuth::DevId(id) if *id == payload.dev_id => Ok(None),
+                _ => Err(DenyReason::DeviceAuthFailed),
+            },
+            DeviceAuthScheme::PublicKey => match &payload.auth {
+                StatusAuth::PublicKey { key_id, signature } => {
+                    if self.registry.verify_signature(*key_id, &payload.dev_id, *signature) {
+                        Ok(None)
+                    } else {
+                        Err(DenyReason::DeviceAuthFailed)
+                    }
+                }
+                _ => Err(DenyReason::DeviceAuthFailed),
+            },
+            // The vendor channel we could not inspect: modeled as a
+            // per-device factory secret only the real firmware holds.
+            DeviceAuthScheme::Opaque => match &payload.auth {
+                StatusAuth::DevToken(token)
+                    if Some(token.to_u128()) == self.registry.factory_secret(&payload.dev_id) =>
+                {
+                    Ok(None)
+                }
+                _ => Err(DenyReason::DeviceAuthFailed),
+            },
+        }
+    }
+
+    fn handle_status(&mut self, from: NodeId, now: Tick, payload: &StatusPayload) -> Outcome {
+        self.monitor.observe_target(from, &payload.dev_id, now);
+        if !self.registry.knows(&payload.dev_id) {
+            return Outcome::deny(DenyReason::UnknownDevice);
+        }
+        let auth_user = match self.authenticate_status(payload) {
+            Ok(u) => u,
+            Err(reason) => return Outcome::deny(reason),
+        };
+        // Heartbeats are only valid within an established device session;
+        // a new source must register first (TCP-connection semantics).
+        if payload.kind == StatusKind::Heartbeat {
+            let member = self
+                .state
+                .session(&payload.dev_id)
+                .map(|s| s.nodes.contains(&from))
+                .unwrap_or(false);
+            if !member {
+                return Outcome::deny(DenyReason::DeviceAuthFailed);
+            }
+        }
+
+        let mut pushes = Vec::new();
+        let design = self.config.design.clone();
+
+        // TP-LINK semantics: a fresh registration implies a factory reset,
+        // revoking any existing binding (attack surface A3-4).
+        if design.checks.register_resets_binding
+            && payload.kind == StatusKind::Register
+            && self.state.shadow_state(&payload.dev_id).is_bound()
+        {
+            let record = self.state.record_mut(&payload.dev_id);
+            let revoked = record.shadow.on_unbind();
+            record.binding_session = None;
+            record.guests.clear();
+            if let Some(user) = revoked {
+                if let Some(node) = self.accounts.node_of(&user) {
+                    pushes.push((node, Response::BindingRevoked));
+                }
+            }
+        }
+
+        let _displaced = self.state.touch_session(
+            &payload.dev_id,
+            from,
+            auth_user.clone(),
+            payload.session,
+            now,
+            design.checks.concurrent_device_sessions,
+        );
+
+        let from_ip = self.public_ip(from);
+        self.monitor.observe_device_ip(&payload.dev_id, from_ip);
+        // Retroactive co-location check: a binding created before the
+        // device ever connected is flagged once the device's real IP shows
+        // up somewhere else (the pre-emptive A2 occupation signature).
+        {
+            let record = self.state.record_mut(&payload.dev_id);
+            if !record.remote_bind_flagged {
+                if let (Some(holder), Some(bind_ip)) =
+                    (record.shadow.bound_user().cloned(), record.binding_ip)
+                {
+                    if bind_ip != from_ip {
+                        record.remote_bind_flagged = true;
+                        self.monitor.raise(SecurityAlert::RemoteOnlyBind {
+                            dev_id: payload.dev_id.clone(),
+                            holder,
+                            from_ip: bind_ip,
+                        });
+                    }
+                }
+            }
+        }
+        let record = self.state.record_mut(&payload.dev_id);
+        record.shadow.on_status(now.as_u64());
+        if payload.button_pressed {
+            record.button_at = Some(now);
+            record.button_ip = Some(from_ip);
+        }
+        let bound_user = record.shadow.bound_user().cloned();
+        let binding_session = record.binding_session;
+        if !payload.telemetry.is_empty() {
+            record.last_telemetry = payload.telemetry.clone();
+            if let Some(user) = &bound_user {
+                if let Some(node) = self.accounts.node_of(user) {
+                    pushes.push((
+                        node,
+                        Response::TelemetryPush {
+                            dev_id: payload.dev_id.clone(),
+                            telemetry: payload.telemetry.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+
+        // Automation rules (IFTTT-style): telemetry from a bound device may
+        // trigger actions on the owner's other devices — the cascade that
+        // makes A1 injection consequential (§V-B).
+        if !payload.telemetry.is_empty() {
+            if let Some(owner) = &bound_user {
+                pushes.extend(self.fire_rules(owner.clone(), &payload.dev_id, &payload.telemetry));
+            }
+        }
+
+        // Only a session authenticated as the bound user may learn the
+        // binding session token from the cloud; everyone else receives it
+        // through the local channel.
+        let session_echo = match (&auth_user, &bound_user) {
+            (Some(a), Some(b)) if a == b => binding_session,
+            _ => None,
+        };
+        Outcome { reply: Response::StatusAccepted { session: session_echo }, pushes }
+    }
+
+    // -- Bind ----------------------------------------------------------------
+
+    fn handle_bind(
+        &mut self,
+        from: NodeId,
+        now: Tick,
+        payload: &BindPayload,
+        rng: &mut SimRng,
+    ) -> Outcome {
+        let design = self.config.design.clone();
+        // Resolve the requesting user and target device per the design's
+        // accepted bind shape.
+        let (dev_id, user) = match (design.bind, payload) {
+            (BindScheme::AclApp, BindPayload::AclApp { dev_id, user_token }) => {
+                match self.accounts.verify_token(user_token) {
+                    Ok(u) => (dev_id.clone(), u.clone()),
+                    Err(reason) => return Outcome::deny(reason),
+                }
+            }
+            (BindScheme::AclDevice, BindPayload::AclDevice { dev_id, user_id, user_pw }) => {
+                if let Err(reason) = self.accounts.verify_password(user_id, user_pw) {
+                    return Outcome::deny(reason);
+                }
+                (dev_id.clone(), user_id.clone())
+            }
+            (BindScheme::Capability, BindPayload::Capability { bind_token }) => {
+                // The capability must be submitted by an authenticated
+                // device session — that round trip through the device is
+                // the ownership proof.
+                let Some(dev_id) = self.device_of_node(from) else {
+                    return Outcome::deny(DenyReason::DeviceAuthFailed);
+                };
+                match self.bind_tokens.consume(bind_token) {
+                    Ok(u) => (dev_id, u),
+                    Err(reason) => return Outcome::deny(reason),
+                }
+            }
+            _ => return Outcome::deny(DenyReason::UnsupportedOperation),
+        };
+
+        self.monitor.observe_target(from, &dev_id, now);
+        if !self.registry.knows(&dev_id) {
+            return Outcome::deny(DenyReason::UnknownDevice);
+        }
+        if design.checks.bind_requires_online_device
+            && !self.state.shadow_state(&dev_id).is_online()
+        {
+            return Outcome::deny(DenyReason::DeviceOffline);
+        }
+        if design.checks.bind_requires_local_proof {
+            let requester_ip = self.public_ip(from);
+            let record = self.state.record_mut(&dev_id);
+            let fresh_button = record
+                .button_at
+                .is_some_and(|at| now - at <= self.config.button_window);
+            let same_ip = record.button_ip == Some(requester_ip);
+            if !(fresh_button && same_ip) {
+                return Outcome::deny(DenyReason::OwnershipProofFailed);
+            }
+        }
+        let shadow_bound = self.state.shadow_state(&dev_id).is_bound();
+        if design.checks.reject_bind_when_bound && shadow_bound {
+            let holder = self.state.record(&dev_id).and_then(|r| r.shadow.bound_user()).cloned();
+            if holder.as_ref() != Some(&user) {
+                if let Some(holder) = holder {
+                    self.monitor.observe_bind_denial(&dev_id, &holder, &user);
+                }
+                return Outcome::deny(DenyReason::AlreadyBound);
+            }
+        }
+
+        // Accept: create (or replace) the binding.
+        let session = if design.checks.post_binding_session {
+            Some(SessionToken::from_entropy(rng.entropy128()))
+        } else {
+            None
+        };
+        let bind_ip = self.public_ip(from);
+        let record = self.state.record_mut(&dev_id);
+        let displaced = record.shadow.on_bind(user.clone());
+        record.binding_session = session;
+        record.binding_ip = Some(bind_ip);
+        record.remote_bind_flagged = false;
+        if displaced.is_some() {
+            record.guests.clear();
+        }
+        if let Some(prev) = &displaced {
+            self.monitor.raise(SecurityAlert::BindingReplaced {
+                dev_id: dev_id.clone(),
+                victim: prev.clone(),
+                new_holder: user.clone(),
+            });
+        }
+        // A bind whose source IP has never been co-located with the device
+        // is the pre-emptive-occupation signature. If the device has not
+        // connected yet, the check re-runs when it does (handle_status).
+        if let Some(dev_ip) = self.monitor.device_ip(&dev_id) {
+            if dev_ip != bind_ip {
+                self.monitor.raise(SecurityAlert::RemoteOnlyBind {
+                    dev_id: dev_id.clone(),
+                    holder: user.clone(),
+                    from_ip: bind_ip,
+                });
+                self.state.record_mut(&dev_id).remote_bind_flagged = true;
+            }
+        }
+        let mut pushes = Vec::new();
+        if let Some(prev) = displaced {
+            if let Some(node) = self.accounts.node_of(&prev) {
+                pushes.push((node, Response::BindingRevoked));
+            }
+        }
+        // In the capability flow the bind arrives from the *device*; the
+        // user learns the outcome (and the session token) through a push.
+        if design.bind == BindScheme::Capability {
+            let binder = self.state.record(&dev_id).and_then(|r| r.shadow.bound_user().cloned());
+            if let Some(node) = binder.as_ref().and_then(|u| self.accounts.node_of(u)) {
+                pushes.push((node, Response::Bound { session }));
+            }
+        }
+        Outcome { reply: Response::Bound { session }, pushes }
+    }
+
+    fn device_of_node(&self, node: NodeId) -> Option<DevId> {
+        self.state
+            .iter_records()
+            .map(|(id, _)| id)
+            .find(|id| {
+                self.state.session(id).map(|s| s.nodes.contains(&node)).unwrap_or(false)
+            })
+            .cloned()
+    }
+
+    // -- Unbind ---------------------------------------------------------------
+
+    fn handle_unbind(&mut self, from: NodeId, now: Tick, payload: &UnbindPayload) -> Outcome {
+        let design = self.config.design.clone();
+        let dev_id = payload.dev_id().clone();
+        self.monitor.observe_target(from, &dev_id, now);
+        if !self.registry.knows(&dev_id) {
+            return Outcome::deny(DenyReason::UnknownDevice);
+        }
+        let mut requester: Option<UserId> = None;
+        match payload {
+            UnbindPayload::DevIdUserToken { user_token, .. } => {
+                if !design.unbind.dev_id_user_token {
+                    return Outcome::deny(DenyReason::UnsupportedOperation);
+                }
+                let user = match self.accounts.verify_token(user_token) {
+                    Ok(u) => u.clone(),
+                    Err(reason) => return Outcome::deny(reason),
+                };
+                let bound = self.state.record(&dev_id).and_then(|r| r.shadow.bound_user());
+                let Some(bound) = bound else {
+                    return Outcome::deny(DenyReason::NotBound);
+                };
+                if design.checks.verify_unbind_is_bound_user && *bound != user {
+                    return Outcome::deny(DenyReason::NotBoundUser);
+                }
+                requester = Some(user);
+            }
+            UnbindPayload::DevIdOnly { .. } => {
+                if !design.unbind.dev_id_only {
+                    return Outcome::deny(DenyReason::UnsupportedOperation);
+                }
+                if !self.state.shadow_state(&dev_id).is_bound() {
+                    return Outcome::deny(DenyReason::NotBound);
+                }
+            }
+        }
+        let from_ip = self.public_ip(from);
+        let record = self.state.record_mut(&dev_id);
+        let revoked = record.shadow.on_unbind();
+        record.binding_session = None;
+        record.guests.clear();
+        match (payload, &revoked, &requester) {
+            // Legitimate resets come from the device's own NAT; a bare
+            // unbind from anywhere else is the A3-1 signature.
+            (UnbindPayload::DevIdOnly { .. }, _, _)
+                if self.monitor.device_ip(&dev_id) != Some(from_ip) =>
+            {
+                self.monitor
+                    .raise(SecurityAlert::BareUnbind { dev_id: dev_id.clone(), from_ip });
+            }
+            (UnbindPayload::DevIdUserToken { .. }, Some(victim), Some(req)) if victim != req => {
+                self.monitor.raise(SecurityAlert::ForeignUnbind {
+                    dev_id: dev_id.clone(),
+                    victim: victim.clone(),
+                    requester: req.clone(),
+                });
+            }
+            _ => {}
+        }
+        let mut pushes = Vec::new();
+        if let Some(user) = revoked {
+            if let Some(node) = self.accounts.node_of(&user) {
+                if node != from {
+                    pushes.push((node, Response::BindingRevoked));
+                }
+            }
+        }
+        Outcome { reply: Response::Unbound, pushes }
+    }
+
+    // -- Control ---------------------------------------------------------------
+
+    fn handle_control(
+        &mut self,
+        dev_id: &DevId,
+        user_token: &UserToken,
+        session: Option<SessionToken>,
+        action: &ControlAction,
+    ) -> Outcome {
+        let design = self.config.design.clone();
+        let user = match self.accounts.verify_token(user_token) {
+            Ok(u) => u.clone(),
+            Err(reason) => return Outcome::deny(reason),
+        };
+        let Some(record) = self.state.record(dev_id) else {
+            return Outcome::deny(DenyReason::UnknownDevice);
+        };
+        let Some(bound) = record.shadow.bound_user() else {
+            return Outcome::deny(DenyReason::NotBound);
+        };
+        let is_owner = *bound == user;
+        if !is_owner && !record.guests.contains(&user) {
+            return Outcome::deny(DenyReason::NotBoundUser);
+        }
+        if !record.shadow.state().is_online() {
+            return Outcome::deny(DenyReason::DeviceOffline);
+        }
+        let binding_session = record.binding_session;
+        if design.checks.post_binding_session {
+            // Both sides must hold the binding's session token: the user
+            // presents it in the request, the device must have presented it
+            // in a status message after receiving it over the local
+            // channel. A hijacker can satisfy neither for the real device.
+            let device_session =
+                self.state.session(dev_id).and_then(|s| s.presented_session);
+            if session != binding_session || device_session != binding_session {
+                return Outcome::deny(DenyReason::BadSession);
+            }
+        }
+        if design.auth == DeviceAuthScheme::DevToken {
+            // The device's session is keyed to the user whose DevToken it
+            // authenticated with; a binding by anyone else gets no relay.
+            // Guests are covered by the owner's grant, so the comparison is
+            // against the *owner*.
+            let owner = self
+                .state
+                .record(dev_id)
+                .and_then(|r| r.shadow.bound_user().cloned());
+            let session_user =
+                self.state.session(dev_id).and_then(|s| s.auth_user.clone());
+            if session_user != owner {
+                return Outcome::deny(DenyReason::BadSession);
+            }
+        }
+
+        let device_nodes = self.device_nodes(dev_id);
+        let mut pushes = Vec::new();
+        let reply = match action {
+            ControlAction::TurnOn | ControlAction::TurnOff | ControlAction::SetBrightness(_) => {
+                for node in &device_nodes {
+                    pushes.push((
+                        *node,
+                        Response::ControlPush { action: action.clone(), session: binding_session },
+                    ));
+                }
+                Response::ControlOk { schedule: Vec::new(), telemetry: Vec::new() }
+            }
+            ControlAction::SetSchedule(entry) => {
+                let record = self.state.record_mut(dev_id);
+                record.schedule.push(entry.clone());
+                // The schedule is pushed to the device so it can run
+                // offline — the channel a forged device session exfiltrates
+                // (A1 stealing).
+                for node in &device_nodes {
+                    pushes.push((
+                        *node,
+                        Response::ControlPush { action: action.clone(), session: binding_session },
+                    ));
+                }
+                Response::ControlOk { schedule: Vec::new(), telemetry: Vec::new() }
+            }
+            ControlAction::QuerySchedule => Response::ControlOk {
+                schedule: record.schedule.clone(),
+                telemetry: Vec::new(),
+            },
+            ControlAction::QueryTelemetry => Response::ControlOk {
+                schedule: Vec::new(),
+                telemetry: record.last_telemetry.clone(),
+            },
+        };
+        Outcome { reply, pushes }
+    }
+}
+
+impl CloudService {
+    /// Grants (`grant = true`) or revokes a device share. Only the bound
+    /// owner may manage shares; grantees must be real accounts.
+    fn handle_share(
+        &mut self,
+        dev_id: &DevId,
+        user_token: &UserToken,
+        grantee: &UserId,
+        grant: bool,
+    ) -> Outcome {
+        let user = match self.accounts.verify_token(user_token) {
+            Ok(u) => u.clone(),
+            Err(reason) => return Outcome::deny(reason),
+        };
+        if !self.registry.knows(dev_id) {
+            return Outcome::deny(DenyReason::UnknownDevice);
+        }
+        let Some(record) = self.state.record(dev_id) else {
+            return Outcome::deny(DenyReason::NotBound);
+        };
+        let Some(bound) = record.shadow.bound_user() else {
+            return Outcome::deny(DenyReason::NotBound);
+        };
+        if *bound != user {
+            return Outcome::deny(DenyReason::NotBoundUser);
+        }
+        if grant && !self.accounts.exists(grantee) {
+            return Outcome::deny(DenyReason::UnknownUser);
+        }
+        if grant && *grantee == user {
+            // Owner already has full access; treat as a no-op grant.
+            let record = self.state.record(dev_id).expect("checked above");
+            return Outcome::reply(Response::ShareOk {
+                session: record.binding_session,
+                guests: record.guests.len() as u16,
+            });
+        }
+        let record = self.state.record_mut(dev_id);
+        if grant {
+            if !record.guests.contains(grantee) {
+                record.guests.push(grantee.clone());
+            }
+        } else {
+            record.guests.retain(|g| g != grantee);
+        }
+        Outcome::reply(Response::ShareOk {
+            session: record.binding_session,
+            guests: record.guests.len() as u16,
+        })
+    }
+
+    /// Diagnostic access to a device's guest list.
+    pub fn guests(&self, dev_id: &DevId) -> Vec<UserId> {
+        self.state.record(dev_id).map(|r| r.guests.clone()).unwrap_or_default()
+    }
+
+    /// Maximum rules stored per account.
+    pub const MAX_RULES_PER_USER: usize = 64;
+
+    /// Stores an automation rule after checking the requester controls both
+    /// endpoints (owner or guest).
+    fn handle_set_rule(&mut self, user_token: &UserToken, rule: &AutomationRule) -> Outcome {
+        let user = match self.accounts.verify_token(user_token) {
+            Ok(u) => u.clone(),
+            Err(reason) => return Outcome::deny(reason),
+        };
+        for dev in [&rule.trigger_dev, &rule.action_dev] {
+            if !self.registry.knows(dev) {
+                return Outcome::deny(DenyReason::UnknownDevice);
+            }
+            let authorized = self.state.record(dev).is_some_and(|r| {
+                r.shadow.bound_user() == Some(&user) || r.guests.contains(&user)
+            });
+            if !authorized {
+                return Outcome::deny(DenyReason::NotBoundUser);
+            }
+        }
+        let rules = self.rules.entry(user).or_default();
+        if rules.len() >= Self::MAX_RULES_PER_USER {
+            return Outcome::deny(DenyReason::RateLimited);
+        }
+        rules.push(rule.clone());
+        Outcome::reply(Response::RuleSet { count: rules.len() as u16 })
+    }
+
+    /// Evaluates the owner's rules against fresh telemetry from
+    /// `trigger_dev`; returns the control pushes for fired actions.
+    fn fire_rules(
+        &mut self,
+        owner: UserId,
+        trigger_dev: &DevId,
+        telemetry: &[rb_wire::telemetry::TelemetryFrame],
+    ) -> Vec<(NodeId, Response)> {
+        let Some(rules) = self.rules.get(&owner) else { return Vec::new() };
+        let fired: Vec<AutomationRule> = rules
+            .iter()
+            .filter(|r| {
+                r.trigger_dev == *trigger_dev
+                    && telemetry.iter().any(|f| r.trigger.matches(f))
+            })
+            .cloned()
+            .collect();
+        let mut pushes = Vec::new();
+        for rule in fired {
+            // Re-check authorization at fire time: the action device must
+            // still belong to the rule owner.
+            let still_owned = self
+                .state
+                .record(&rule.action_dev)
+                .is_some_and(|r| r.shadow.bound_user() == Some(&owner));
+            if !still_owned {
+                continue;
+            }
+            let session =
+                self.state.record(&rule.action_dev).and_then(|r| r.binding_session);
+            for node in self.device_nodes(&rule.action_dev) {
+                pushes.push((
+                    node,
+                    Response::ControlPush { action: rule.action.clone(), session },
+                ));
+            }
+        }
+        pushes
+    }
+
+    /// Diagnostic access to a user's rule count.
+    pub fn rule_count(&self, user: &UserId) -> usize {
+        self.rules.get(user).map(Vec::len).unwrap_or(0)
+    }
+}
+
+impl Actor for CloudService {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.config.heartbeat_timeout / 2, TIMER_EXPIRE);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        let Ok(Envelope::Request { corr, msg }) = Envelope::decode(payload) else {
+            // Responses and garbage are ignored; a real cloud would log.
+            return;
+        };
+        let now = ctx.now();
+        // Split the borrow: effects buffer lives in ctx, rng is shared.
+        let outcome = {
+            let rng = ctx.rng();
+            // Fork keeps determinism while avoiding aliasing ctx.
+            let mut local = rng.fork();
+            self.handle_message(from, now, &msg, &mut local)
+        };
+        ctx.send(Dest::Unicast(from), Envelope::Response { corr, rsp: outcome.reply }.encode().to_vec());
+        for (node, rsp) in outcome.pushes {
+            ctx.send(Dest::Unicast(node), Envelope::push(rsp).encode().to_vec());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: u64) {
+        if key == TIMER_EXPIRE {
+            let now = ctx.now();
+            self.expire(now);
+            ctx.set_timer(self.config.heartbeat_timeout / 2, TIMER_EXPIRE);
+        }
+    }
+}
+
+impl std::fmt::Debug for CloudService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudService")
+            .field("vendor", &self.config.design.vendor)
+            .field("devices", &self.registry.len())
+            .field("audit_entries", &self.audit.len())
+            .finish()
+    }
+}

@@ -1,0 +1,233 @@
+//! Automation-rules tests, including the paper's §V-B cascade: "when an air
+//! conditioning system is associated with a temperature sensor, fake data
+//! of the sensor may turn on or turn off the air conditioning system."
+
+use rb_cloud::{CloudConfig, CloudService};
+use rb_core::vendors;
+use rb_netsim::{NodeId, SimRng, Tick};
+use rb_wire::ids::DevId;
+use rb_wire::messages::{
+    AutomationRule, BindPayload, ControlAction, DenyReason, DeviceAttributes, Message, Response,
+    StatusAuth, StatusPayload,
+};
+use rb_wire::telemetry::{RuleTrigger, TelemetryFrame};
+use rb_wire::tokens::{UserId, UserPw, UserToken};
+
+const USER_NODE: NodeId = NodeId(1);
+const SENSOR_NODE: NodeId = NodeId(2);
+const AC_NODE: NodeId = NodeId(3);
+const ATTACKER_NODE: NodeId = NodeId(4);
+
+fn sensor_id() -> DevId {
+    DevId::Digits { value: 111_111, width: 6 }
+}
+
+fn ac_id() -> DevId {
+    DevId::Digits { value: 222_222, width: 6 }
+}
+
+struct H {
+    cloud: CloudService,
+    rng: SimRng,
+    now: Tick,
+}
+
+impl H {
+    /// D-LINK-style DevId cloud with a sensor and an AC bound to one user.
+    fn new() -> (Self, UserToken) {
+        let mut cloud = CloudService::new(CloudConfig::new(vendors::d_link()));
+        cloud.provision_account(UserId::new("resident"), UserPw::new("pw"));
+        cloud.manufacture(sensor_id(), 0, None);
+        cloud.manufacture(ac_id(), 0, None);
+        let mut h = H { cloud, rng: SimRng::new(9), now: Tick(0) };
+        let token = h.login();
+        for (node, dev) in [(SENSOR_NODE, sensor_id()), (AC_NODE, ac_id())] {
+            let r = h.send(
+                node,
+                Message::Status(StatusPayload::register(
+                    StatusAuth::DevId(dev.clone()),
+                    dev.clone(),
+                    DeviceAttributes::default(),
+                )),
+            );
+            assert!(r.reply.is_ok());
+            let r = h.send(USER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev, user_token: token }));
+            assert!(r.reply.is_ok());
+        }
+        (h, token)
+    }
+
+    fn login(&mut self) -> UserToken {
+        match self
+            .send(
+                USER_NODE,
+                Message::Login { user_id: UserId::new("resident"), user_pw: UserPw::new("pw") },
+            )
+            .reply
+        {
+            Response::LoginOk { user_token } => user_token,
+            other => panic!("{other}"),
+        }
+    }
+
+    fn send(&mut self, from: NodeId, msg: Message) -> rb_cloud::Outcome {
+        self.now += 10;
+        let now = self.now;
+        self.cloud.handle_message(from, now, &msg, &mut self.rng)
+    }
+
+    fn ac_rule(&mut self, token: UserToken) -> rb_cloud::Outcome {
+        self.send(
+            USER_NODE,
+            Message::SetRule {
+                user_token: token,
+                rule: AutomationRule {
+                    trigger_dev: sensor_id(),
+                    trigger: RuleTrigger::TemperatureAbove(28_000),
+                    action_dev: ac_id(),
+                    action: ControlAction::TurnOn,
+                },
+            },
+        )
+    }
+
+    fn sensor_reports(&mut self, from: NodeId, milli_c: i32) -> rb_cloud::Outcome {
+        let mut hb = StatusPayload::heartbeat(StatusAuth::DevId(sensor_id()), sensor_id());
+        hb.telemetry = vec![TelemetryFrame::TemperatureMilliC(milli_c)];
+        self.send(from, Message::Status(hb))
+    }
+}
+
+#[test]
+fn legitimate_cascade_fires_the_ac() {
+    let (mut h, token) = H::new();
+    let r = h.ac_rule(token);
+    assert_eq!(r.reply, Response::RuleSet { count: 1 });
+    assert_eq!(h.cloud.rule_count(&UserId::new("resident")), 1);
+
+    // A hot reading from the real sensor turns the AC on.
+    let r = h.sensor_reports(SENSOR_NODE, 31_000);
+    assert!(r.reply.is_ok());
+    let fired = r.pushes.iter().any(|(n, p)| {
+        *n == AC_NODE
+            && matches!(p, Response::ControlPush { action: ControlAction::TurnOn, .. })
+    });
+    assert!(fired, "{:?}", r.pushes);
+
+    // A mild reading does not.
+    let r = h.sensor_reports(SENSOR_NODE, 22_000);
+    let fired = r.pushes.iter().any(|(n, _)| *n == AC_NODE);
+    assert!(!fired);
+}
+
+#[test]
+fn injected_telemetry_triggers_the_cascade_a1_style() {
+    // The §V-B attack: the attacker forges the *sensor's* telemetry and the
+    // cloud dutifully turns the victim's AC on.
+    let (mut h, token) = H::new();
+    h.ac_rule(token);
+    // Attacker opens a forged sensor session (DevId design, concurrent
+    // sessions on D-LINK).
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Status(StatusPayload::register(
+            StatusAuth::DevId(sensor_id()),
+            sensor_id(),
+            DeviceAttributes::default(),
+        )),
+    );
+    assert!(r.reply.is_ok());
+    let r = h.sensor_reports(ATTACKER_NODE, 45_000);
+    assert!(r.reply.is_ok());
+    let fired = r.pushes.iter().any(|(n, p)| {
+        *n == AC_NODE
+            && matches!(p, Response::ControlPush { action: ControlAction::TurnOn, .. })
+    });
+    assert!(fired, "fake heat turned on the real AC: {:?}", r.pushes);
+}
+
+#[test]
+fn rules_require_owning_both_endpoints() {
+    let (mut h, _token) = H::new();
+    h.cloud.provision_account(UserId::new("stranger"), UserPw::new("s"));
+    let stranger = match h
+        .send(
+            ATTACKER_NODE,
+            Message::Login { user_id: UserId::new("stranger"), user_pw: UserPw::new("s") },
+        )
+        .reply
+    {
+        Response::LoginOk { user_token } => user_token,
+        other => panic!("{other}"),
+    };
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::SetRule {
+            user_token: stranger,
+            rule: AutomationRule {
+                trigger_dev: sensor_id(),
+                trigger: RuleTrigger::AlarmTriggered,
+                action_dev: ac_id(),
+                action: ControlAction::TurnOff,
+            },
+        },
+    );
+    assert_eq!(r.reply, Response::Denied { reason: DenyReason::NotBoundUser });
+}
+
+#[test]
+fn rules_stop_firing_after_the_action_device_changes_hands() {
+    let (mut h, token) = H::new();
+    h.ac_rule(token);
+    // The AC is unbound (resold).
+    let r = h.send(
+        USER_NODE,
+        Message::Unbind(rb_wire::messages::UnbindPayload::DevIdUserToken {
+            dev_id: ac_id(),
+            user_token: token,
+        }),
+    );
+    assert!(r.reply.is_ok());
+    let r = h.sensor_reports(SENSOR_NODE, 40_000);
+    assert!(!r.pushes.iter().any(|(n, _)| *n == AC_NODE), "stale rule must not fire");
+}
+
+#[test]
+fn rule_storage_is_capped() {
+    let (mut h, token) = H::new();
+    for i in 0..CloudService::MAX_RULES_PER_USER {
+        let r = h.send(
+            USER_NODE,
+            Message::SetRule {
+                user_token: token,
+                rule: AutomationRule {
+                    trigger_dev: sensor_id(),
+                    trigger: RuleTrigger::TemperatureAbove(i as i32),
+                    action_dev: ac_id(),
+                    action: ControlAction::TurnOn,
+                },
+            },
+        );
+        assert!(r.reply.is_ok(), "rule {i}");
+    }
+    let r = h.ac_rule(token);
+    assert_eq!(r.reply, Response::Denied { reason: DenyReason::RateLimited });
+}
+
+#[test]
+fn unknown_devices_in_rules_are_rejected() {
+    let (mut h, token) = H::new();
+    let r = h.send(
+        USER_NODE,
+        Message::SetRule {
+            user_token: token,
+            rule: AutomationRule {
+                trigger_dev: DevId::Uuid(0xBAD),
+                trigger: RuleTrigger::AlarmTriggered,
+                action_dev: ac_id(),
+                action: ControlAction::TurnOff,
+            },
+        },
+    );
+    assert_eq!(r.reply, Response::Denied { reason: DenyReason::UnknownDevice });
+}

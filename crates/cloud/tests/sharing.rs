@@ -1,0 +1,252 @@
+//! Device-sharing (many-to-one binding) tests — the extension of the
+//! paper's footnote 2, with its own authorization surface: only the owner
+//! grants, guests control but cannot administer, and every binding change
+//! evicts the guest list.
+
+use rb_cloud::{CloudConfig, CloudService};
+use rb_core::vendors;
+use rb_netsim::{NodeId, SimRng, Tick};
+use rb_wire::ids::{DevId, MacAddr};
+use rb_wire::messages::{
+    BindPayload, ControlAction, DenyReason, DeviceAttributes, Message, Response, StatusAuth,
+    StatusPayload, UnbindPayload,
+};
+use rb_wire::tokens::{UserId, UserPw, UserToken};
+
+const OWNER_NODE: NodeId = NodeId(1);
+const DEVICE_NODE: NodeId = NodeId(2);
+const GUEST_NODE: NodeId = NodeId(3);
+const ATTACKER_NODE: NodeId = NodeId(4);
+
+fn dev_id() -> DevId {
+    DevId::Mac(MacAddr::new([9, 9, 9, 9, 9, 9]))
+}
+
+struct H {
+    cloud: CloudService,
+    rng: SimRng,
+    now: Tick,
+}
+
+impl H {
+    fn new() -> Self {
+        // D-LINK design: DevId auth keeps the control path simple.
+        let mut cloud = CloudService::new(CloudConfig::new(vendors::d_link()));
+        cloud.provision_account(UserId::new("owner"), UserPw::new("o"));
+        cloud.provision_account(UserId::new("guest"), UserPw::new("g"));
+        cloud.provision_account(UserId::new("mallory"), UserPw::new("m"));
+        cloud.manufacture(dev_id(), 0, None);
+        H { cloud, rng: SimRng::new(5), now: Tick(0) }
+    }
+
+    fn send(&mut self, from: NodeId, msg: Message) -> Response {
+        self.now += 10;
+        let now = self.now;
+        self.cloud.handle_message(from, now, &msg, &mut self.rng).reply
+    }
+
+    fn login(&mut self, from: NodeId, user: &str, pw: &str) -> UserToken {
+        match self.send(from, Message::Login { user_id: UserId::new(user), user_pw: UserPw::new(pw) })
+        {
+            Response::LoginOk { user_token } => user_token,
+            other => panic!("{other}"),
+        }
+    }
+
+    /// Owner online + bound.
+    fn bound(&mut self) -> UserToken {
+        let owner = self.login(OWNER_NODE, "owner", "o");
+        let r = self.send(
+            DEVICE_NODE,
+            Message::Status(StatusPayload::register(
+                StatusAuth::DevId(dev_id()),
+                dev_id(),
+                DeviceAttributes::default(),
+            )),
+        );
+        assert!(r.is_ok());
+        let r = self.send(OWNER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: owner }));
+        assert!(r.is_ok());
+        owner
+    }
+
+    fn share(&mut self, token: UserToken, grantee: &str) -> Response {
+        self.send(
+            OWNER_NODE,
+            Message::Share { dev_id: dev_id(), user_token: token, grantee: UserId::new(grantee) },
+        )
+    }
+}
+
+#[test]
+fn owner_shares_and_guest_controls() {
+    let mut h = H::new();
+    let owner = h.bound();
+    let guest = h.login(GUEST_NODE, "guest", "g");
+
+    // Before sharing, the guest is a stranger.
+    let r = h.send(
+        GUEST_NODE,
+        Message::Control { dev_id: dev_id(), user_token: guest, session: None, action: ControlAction::TurnOn },
+    );
+    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+
+    // Owner grants; guest can now control.
+    let r = h.share(owner, "guest");
+    assert!(matches!(r, Response::ShareOk { guests: 1, .. }), "{r}");
+    let r = h.send(
+        GUEST_NODE,
+        Message::Control { dev_id: dev_id(), user_token: guest, session: None, action: ControlAction::TurnOn },
+    );
+    assert!(r.is_ok(), "{r}");
+    assert_eq!(h.cloud.guests(&dev_id()), vec![UserId::new("guest")]);
+}
+
+#[test]
+fn only_the_owner_may_grant_or_revoke() {
+    let mut h = H::new();
+    let owner = h.bound();
+    let mallory = h.login(ATTACKER_NODE, "mallory", "m");
+    // Mallory tries to share the victim's device with herself.
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Share { dev_id: dev_id(), user_token: mallory, grantee: UserId::new("mallory") },
+    );
+    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    // And a guest cannot re-share.
+    h.share(owner, "guest");
+    let guest = h.login(GUEST_NODE, "guest", "g");
+    let r = h.send(
+        GUEST_NODE,
+        Message::Share { dev_id: dev_id(), user_token: guest, grantee: UserId::new("mallory") },
+    );
+    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(h.cloud.guests(&dev_id()).len(), 1);
+}
+
+#[test]
+fn unknown_grantee_is_rejected() {
+    let mut h = H::new();
+    let owner = h.bound();
+    let r = h.share(owner, "ghost@nowhere");
+    assert_eq!(r, Response::Denied { reason: DenyReason::UnknownUser });
+}
+
+#[test]
+fn unshare_revokes_control() {
+    let mut h = H::new();
+    let owner = h.bound();
+    h.share(owner, "guest");
+    let guest = h.login(GUEST_NODE, "guest", "g");
+    let r = h.send(
+        OWNER_NODE,
+        Message::Unshare { dev_id: dev_id(), user_token: owner, grantee: UserId::new("guest") },
+    );
+    assert!(matches!(r, Response::ShareOk { guests: 0, .. }));
+    let r = h.send(
+        GUEST_NODE,
+        Message::Control { dev_id: dev_id(), user_token: guest, session: None, action: ControlAction::TurnOff },
+    );
+    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+}
+
+#[test]
+fn guests_cannot_unbind() {
+    let mut h = H::new();
+    let owner = h.bound();
+    h.share(owner, "guest");
+    let guest = h.login(GUEST_NODE, "guest", "g");
+    let r = h.send(
+        GUEST_NODE,
+        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: guest }),
+    );
+    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("owner")));
+}
+
+#[test]
+fn unbind_evicts_all_guests() {
+    let mut h = H::new();
+    let owner = h.bound();
+    h.share(owner, "guest");
+    h.share(owner, "mallory"); // the owner may share with anyone
+    assert_eq!(h.cloud.guests(&dev_id()).len(), 2);
+    let r = h.send(
+        OWNER_NODE,
+        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: owner }),
+    );
+    assert_eq!(r, Response::Unbound);
+    assert!(h.cloud.guests(&dev_id()).is_empty(), "guests do not survive unbinding");
+}
+
+#[test]
+fn sharing_is_idempotent_and_self_grant_is_noop() {
+    let mut h = H::new();
+    let owner = h.bound();
+    h.share(owner, "guest");
+    let r = h.share(owner, "guest");
+    assert!(matches!(r, Response::ShareOk { guests: 1, .. }), "{r}");
+    let r = h.share(owner, "owner");
+    assert!(matches!(r, Response::ShareOk { guests: 1, .. }), "owner self-grant is a no-op: {r}");
+}
+
+#[test]
+fn hijacker_replacement_evicts_guests_too() {
+    // On a replace-semantics design, an A4-1 hijack also severs every
+    // guest — the amplified blast radius of device sharing.
+    let mut cloud = CloudService::new(CloudConfig::new(vendors::e_link()));
+    let mut rng = SimRng::new(6);
+    cloud.provision_account(UserId::new("owner"), UserPw::new("o"));
+    cloud.provision_account(UserId::new("guest"), UserPw::new("g"));
+    cloud.provision_account(UserId::new("mallory"), UserPw::new("m"));
+    cloud.manufacture(dev_id(), 0, None);
+    let mut send = |cloud: &mut CloudService, from: NodeId, msg: Message, t: u64| {
+        cloud.handle_message(from, Tick(t), &msg, &mut rng).reply
+    };
+    let owner = match send(
+        &mut cloud,
+        OWNER_NODE,
+        Message::Login { user_id: UserId::new("owner"), user_pw: UserPw::new("o") },
+        1,
+    ) {
+        Response::LoginOk { user_token } => user_token,
+        other => panic!("{other}"),
+    };
+    send(
+        &mut cloud,
+        DEVICE_NODE,
+        Message::Status(StatusPayload::register(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+            DeviceAttributes::default(),
+        )),
+        2,
+    );
+    send(&mut cloud, OWNER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: owner }), 3);
+    send(
+        &mut cloud,
+        OWNER_NODE,
+        Message::Share { dev_id: dev_id(), user_token: owner, grantee: UserId::new("guest") },
+        4,
+    );
+    assert_eq!(cloud.guests(&dev_id()).len(), 1);
+    // Mallory hijacks via replacing bind (A4-1).
+    let mallory = match send(
+        &mut cloud,
+        ATTACKER_NODE,
+        Message::Login { user_id: UserId::new("mallory"), user_pw: UserPw::new("m") },
+        5,
+    ) {
+        Response::LoginOk { user_token } => user_token,
+        other => panic!("{other}"),
+    };
+    let r = send(
+        &mut cloud,
+        ATTACKER_NODE,
+        Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: mallory }),
+        6,
+    );
+    assert!(r.is_ok());
+    assert_eq!(cloud.bound_user(&dev_id()), Some(UserId::new("mallory")));
+    assert!(cloud.guests(&dev_id()).is_empty(), "guests evicted by the hijack");
+}

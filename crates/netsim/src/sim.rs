@@ -1,0 +1,742 @@
+//! The discrete-event simulation engine.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::actor::{Actor, Ctx, Effect, TimerKey};
+use crate::quality::LinkQuality;
+use crate::rng::SimRng;
+use crate::time::Tick;
+use crate::topology::{LanId, NodeId};
+use crate::trace::{TraceEntry, TraceEvent};
+
+/// Where a packet is going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// A single node (routed over the LAN if shared, else the WAN).
+    Unicast(NodeId),
+    /// Every powered node on a LAN except the sender. Only nodes *on* that
+    /// LAN may broadcast to it — this is the firewall the paper's adversary
+    /// cannot cross.
+    Broadcast(LanId),
+}
+
+/// Connectivity of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Human-readable name for traces.
+    pub name: String,
+    /// LAN membership, if any.
+    pub lan: Option<LanId>,
+    /// Whether the node can reach the WAN.
+    pub wan: bool,
+}
+
+impl NodeConfig {
+    /// A node with WAN access only (cloud, remote attacker).
+    pub fn wan_only(name: impl Into<String>) -> Self {
+        NodeConfig { name: name.into(), lan: None, wan: true }
+    }
+
+    /// A node confined to a LAN (an unprovisioned device, a Zigbee bulb
+    /// behind a hub).
+    pub fn lan_only(name: impl Into<String>, lan: LanId) -> Self {
+        NodeConfig { name: name.into(), lan: Some(lan), wan: false }
+    }
+
+    /// A node on a LAN with WAN access through the home router (a
+    /// provisioned device, the user's phone).
+    pub fn dual(name: impl Into<String>, lan: LanId) -> Self {
+        NodeConfig { name: name.into(), lan: Some(lan), wan: true }
+    }
+}
+
+struct Node {
+    config: NodeConfig,
+    powered: bool,
+    wan_partitioned: bool,
+    actor: Box<dyn Actor>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start { node: NodeId },
+    Deliver { from: NodeId, to: NodeId, payload: Vec<u8> },
+    Timer { node: NodeId, key: TimerKey },
+}
+
+struct Event {
+    at: Tick,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the [crate docs](crate) for an overview and example.
+pub struct Simulation {
+    nodes: Vec<Node>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: Tick,
+    seq: u64,
+    rng: SimRng,
+    lan_quality: LinkQuality,
+    wan_quality: LinkQuality,
+    trace: Option<Vec<TraceEntry>>,
+    /// NAT connection tracking: `(inside, outside)` pairs for which the
+    /// LAN-homed `inside` node has initiated WAN traffic to `outside`,
+    /// opening the return path through its home router.
+    nat_flows: HashSet<(NodeId, NodeId)>,
+}
+
+impl Simulation {
+    /// Creates a simulation with realistic default link qualities
+    /// ([`LinkQuality::lan`] / [`LinkQuality::wan`]).
+    pub fn new(seed: u64) -> Self {
+        Simulation::with_quality(seed, LinkQuality::lan(), LinkQuality::wan())
+    }
+
+    /// Creates a simulation with explicit link qualities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quality is invalid (`latency_min > latency_max` or
+    /// drop rate > 1000‰).
+    pub fn with_quality(seed: u64, lan: LinkQuality, wan: LinkQuality) -> Self {
+        assert!(lan.is_valid(), "invalid lan quality");
+        assert!(wan.is_valid(), "invalid wan quality");
+        Simulation {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: Tick::ZERO,
+            seq: 0,
+            rng: SimRng::new(seed),
+            lan_quality: lan,
+            wan_quality: wan,
+            trace: None,
+            nat_flows: HashSet::new(),
+        }
+    }
+
+    /// Enables event tracing (off by default; traces grow unbounded).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The trace collected so far (empty if tracing is disabled).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Appends a free-form note to the trace.
+    pub fn note(&mut self, node: NodeId, text: impl Into<String>) {
+        let at = self.now;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEntry { at, event: TraceEvent::Note { node, text: text.into() } });
+        }
+    }
+
+    /// Registers a node and schedules its [`Actor::on_start`] at the
+    /// current instant. Returns the new node's id.
+    pub fn add_node(&mut self, config: NodeConfig, actor: Box<dyn Actor>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { config, powered: true, wan_partitioned: false, actor });
+        let at = self.now;
+        self.push_event(at, EventKind::Start { node: id });
+        id
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configured name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].config.name
+    }
+
+    /// Immutable access to a node's actor, downcast to its concrete type.
+    pub fn actor<T: Actor>(&self, id: NodeId) -> Option<&T> {
+        let a: &dyn Actor = self.nodes.get(id.0 as usize)?.actor.as_ref();
+        (a as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node's actor, downcast to its concrete type.
+    pub fn actor_mut<T: Actor>(&mut self, id: NodeId) -> Option<&mut T> {
+        let a: &mut dyn Actor = self.nodes.get_mut(id.0 as usize)?.actor.as_mut();
+        (a as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Powers a node on or off. Powered-off nodes receive no packets or
+    /// timers; pending deliveries to them are dropped at delivery time.
+    pub fn set_power(&mut self, id: NodeId, powered: bool) {
+        let node = &mut self.nodes[id.0 as usize];
+        if node.powered == powered {
+            return;
+        }
+        node.powered = powered;
+        let at = self.now;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEntry { at, event: TraceEvent::Power { node: id, powered } });
+        }
+        self.with_actor(id, |actor, ctx| actor.on_power(ctx, powered));
+    }
+
+    /// Whether a node is currently powered.
+    pub fn is_powered(&self, id: NodeId) -> bool {
+        self.nodes[id.0 as usize].powered
+    }
+
+    /// Cuts (or restores) a node's WAN uplink without touching its LAN —
+    /// models the "connection disruption" consequence of the paper's A3
+    /// attacks, and ISP outages for failure injection.
+    pub fn partition_wan(&mut self, id: NodeId, partitioned: bool) {
+        self.nodes[id.0 as usize].wan_partitioned = partitioned;
+    }
+
+    /// Runs the event loop until virtual time reaches `until` (inclusive of
+    /// events at `until`). The clock is left at `until`.
+    pub fn run_until(&mut self, until: Tick) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            self.now = ev.at;
+            self.dispatch(ev);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Runs for `delta` more ticks.
+    pub fn run_for(&mut self, delta: u64) {
+        let until = self.now.saturating_add(delta);
+        self.run_until(until);
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                self.now = ev.at;
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any events remain scheduled.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn push_event(&mut self, at: Tick, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Start { node } => {
+                if self.nodes[node.0 as usize].powered {
+                    self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+                }
+            }
+            EventKind::Deliver { from, to, payload } => {
+                if !self.nodes[to.0 as usize].powered {
+                    let at = self.now;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEntry { at, event: TraceEvent::Dropped { from, to } });
+                    }
+                    return;
+                }
+                let at = self.now;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEntry {
+                        at,
+                        event: TraceEvent::Delivered { from, to, bytes: payload.len() },
+                    });
+                }
+                self.with_actor(to, |actor, ctx| actor.on_packet(ctx, from, &payload));
+            }
+            EventKind::Timer { node, key } => {
+                if self.nodes[node.0 as usize].powered {
+                    self.with_actor(node, |actor, ctx| actor.on_timer(ctx, key));
+                }
+            }
+        }
+    }
+
+    /// Runs `f` against a node's actor with a fresh context, then applies
+    /// the effects the actor produced.
+    fn with_actor(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+        let mut effects = Vec::new();
+        {
+            let node = &mut self.nodes[id.0 as usize];
+            let mut ctx =
+                Ctx { now: self.now, self_id: id, rng: &mut self.rng, effects: &mut effects };
+            f(node.actor.as_mut(), &mut ctx);
+        }
+        for effect in effects {
+            match effect {
+                Effect::Send { dest, payload } => self.route(id, dest, payload),
+                Effect::Timer { fire_at, key } => {
+                    self.push_event(fire_at, EventKind::Timer { node: id, key });
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, dest: Dest, payload: Vec<u8>) {
+        match dest {
+            Dest::Unicast(to) => self.route_unicast(from, to, payload),
+            Dest::Broadcast(lan) => {
+                // Only a member of the LAN may broadcast on it.
+                if self.nodes[from.0 as usize].config.lan != Some(lan) {
+                    let at = self.now;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEntry { at, event: TraceEvent::Unroutable { from, to: from } });
+                    }
+                    return;
+                }
+                let recipients: Vec<NodeId> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, n)| {
+                        NodeId(*i as u32) != from && n.powered && n.config.lan == Some(lan)
+                    })
+                    .map(|(i, _)| NodeId(i as u32))
+                    .collect();
+                for to in recipients {
+                    self.schedule_delivery(from, to, payload.clone(), self.lan_quality);
+                }
+            }
+        }
+    }
+
+    fn route_unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        let Some(quality) = self.path_quality(from, to) else {
+            let at = self.now;
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceEntry { at, event: TraceEvent::Unroutable { from, to } });
+            }
+            return;
+        };
+        // NAT semantics on the WAN path: a LAN-homed node sits behind its
+        // home router and is unreachable from the WAN unless it initiated
+        // traffic to that peer first (connection tracking). This enforces
+        // the paper's adversary model: remote attackers can talk to the
+        // cloud, never to the devices.
+        let same_lan = {
+            let a = &self.nodes[from.0 as usize].config;
+            let b = &self.nodes[to.0 as usize].config;
+            a.lan.is_some() && a.lan == b.lan
+        };
+        if !same_lan {
+            let to_behind_nat = self.nodes[to.0 as usize].config.lan.is_some();
+            if to_behind_nat && !self.nat_flows.contains(&(to, from)) {
+                let at = self.now;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEntry { at, event: TraceEvent::Unroutable { from, to } });
+                }
+                return;
+            }
+            if self.nodes[from.0 as usize].config.lan.is_some() {
+                self.nat_flows.insert((from, to));
+            }
+        }
+        self.schedule_delivery(from, to, payload, quality);
+    }
+
+    /// The link quality of the path `from -> to`, or `None` if no path
+    /// exists under the current topology.
+    fn path_quality(&self, from: NodeId, to: NodeId) -> Option<LinkQuality> {
+        if from == to || to.0 as usize >= self.nodes.len() {
+            return None;
+        }
+        let a = &self.nodes[from.0 as usize];
+        let b = &self.nodes[to.0 as usize];
+        // Same LAN: local path, unaffected by WAN partitions.
+        if a.config.lan.is_some() && a.config.lan == b.config.lan {
+            return Some(self.lan_quality);
+        }
+        // Otherwise both ends need working WAN uplinks.
+        if a.config.wan && b.config.wan && !a.wan_partitioned && !b.wan_partitioned {
+            return Some(self.wan_quality);
+        }
+        None
+    }
+
+    fn schedule_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+        quality: LinkQuality,
+    ) {
+        let at = self.now;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEntry { at, event: TraceEvent::Sent { from, to, bytes: payload.len() } });
+        }
+        match quality.sample(&mut self.rng) {
+            Some(latency) => {
+                let deliver_at = self.now.saturating_add(latency.max(1));
+                self.push_event(deliver_at, EventKind::Deliver { from, to, payload });
+            }
+            None => {
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEntry { at, event: TraceEvent::Dropped { from, to } });
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records everything it receives.
+    struct Sink {
+        received: Vec<(NodeId, Vec<u8>)>,
+        timer_fired: Vec<TimerKey>,
+        power_events: Vec<bool>,
+    }
+
+    impl Sink {
+        fn new() -> Self {
+            Sink { received: Vec::new(), timer_fired: Vec::new(), power_events: Vec::new() }
+        }
+    }
+
+    impl Actor for Sink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+            self.received.push((from, payload.to_vec()));
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, key: TimerKey) {
+            self.timer_fired.push(key);
+        }
+        fn on_power(&mut self, _ctx: &mut Ctx<'_>, powered: bool) {
+            self.power_events.push(powered);
+        }
+    }
+
+    /// Sends one payload at start.
+    struct OneShot {
+        dest: Dest,
+        payload: Vec<u8>,
+    }
+
+    impl Actor for OneShot {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.dest, self.payload.clone());
+        }
+    }
+
+    fn perfect_sim(seed: u64) -> Simulation {
+        Simulation::with_quality(seed, LinkQuality::perfect(), LinkQuality::perfect())
+    }
+
+    #[test]
+    fn unicast_over_wan_delivers() {
+        let mut sim = perfect_sim(1);
+        let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+        let _src = sim.add_node(
+            NodeConfig::wan_only("src"),
+            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1, 2, 3] }),
+        );
+        sim.run_until(Tick(10));
+        let sink = sim.actor::<Sink>(sink).unwrap();
+        assert_eq!(sink.received.len(), 1);
+        assert_eq!(sink.received[0].1, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lan_only_node_is_unreachable_from_wan() {
+        let mut sim = perfect_sim(1);
+        sim.enable_trace();
+        let lan = LanId(0);
+        let sink = sim.add_node(NodeConfig::lan_only("device", lan), Box::new(Sink::new()));
+        let _attacker = sim.add_node(
+            NodeConfig::wan_only("attacker"),
+            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![9] }),
+        );
+        sim.run_until(Tick(10));
+        assert!(sim.actor::<Sink>(sink).unwrap().received.is_empty());
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::Unroutable { .. })));
+    }
+
+    #[test]
+    fn wan_only_node_cannot_broadcast_into_lan() {
+        // The adversary-model invariant: no LAN access for remote attackers.
+        let mut sim = perfect_sim(2);
+        let lan = LanId(5);
+        let dev = sim.add_node(NodeConfig::lan_only("device", lan), Box::new(Sink::new()));
+        let _attacker = sim.add_node(
+            NodeConfig::wan_only("attacker"),
+            Box::new(OneShot { dest: Dest::Broadcast(lan), payload: vec![7] }),
+        );
+        sim.run_until(Tick(10));
+        assert!(sim.actor::<Sink>(dev).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_lan_members_except_sender() {
+        let mut sim = perfect_sim(3);
+        let lan = LanId(0);
+        let a = sim.add_node(NodeConfig::dual("a", lan), Box::new(Sink::new()));
+        let b = sim.add_node(NodeConfig::lan_only("b", lan), Box::new(Sink::new()));
+        let other = sim.add_node(NodeConfig::lan_only("other", LanId(1)), Box::new(Sink::new()));
+        let src = sim.add_node(
+            NodeConfig::dual("src", lan),
+            Box::new(OneShot { dest: Dest::Broadcast(lan), payload: vec![1] }),
+        );
+        sim.run_until(Tick(10));
+        assert_eq!(sim.actor::<Sink>(a).unwrap().received.len(), 1);
+        assert_eq!(sim.actor::<Sink>(b).unwrap().received.len(), 1);
+        assert!(sim.actor::<Sink>(other).unwrap().received.is_empty(), "other LAN isolated");
+        assert_eq!(sim.actor::<Sink>(a).unwrap().received[0].0, src);
+    }
+
+    #[test]
+    fn same_lan_works_even_when_wan_partitioned() {
+        let mut sim = perfect_sim(4);
+        let lan = LanId(0);
+        let sink = sim.add_node(NodeConfig::dual("sink", lan), Box::new(Sink::new()));
+        let src = sim.add_node(
+            NodeConfig::dual("src", lan),
+            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+        );
+        sim.partition_wan(src, true);
+        sim.partition_wan(sink, true);
+        sim.run_until(Tick(10));
+        assert_eq!(sim.actor::<Sink>(sink).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn wan_partition_blocks_cross_lan_traffic() {
+        let mut sim = perfect_sim(5);
+        let sink = sim.add_node(NodeConfig::wan_only("cloud", ), Box::new(Sink::new()));
+        let src = sim.add_node(
+            NodeConfig::dual("device", LanId(0)),
+            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+        );
+        sim.partition_wan(src, true);
+        sim.run_until(Tick(10));
+        assert!(sim.actor::<Sink>(sink).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn powered_off_node_drops_deliveries_and_timers() {
+        let mut sim = perfect_sim(6);
+        let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+        let _src = sim.add_node(
+            NodeConfig::wan_only("src"),
+            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+        );
+        sim.set_power(sink, false);
+        sim.run_until(Tick(10));
+        let s = sim.actor::<Sink>(sink).unwrap();
+        assert!(s.received.is_empty());
+        assert_eq!(s.power_events, vec![false]);
+        // Power back on: nothing replayed (packet was dropped, not queued).
+        sim.set_power(sink, true);
+        sim.run_until(Tick(20));
+        assert!(sim.actor::<Sink>(sink).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Holder {
+            fired: Vec<(Tick, TimerKey)>,
+        }
+        impl Actor for Holder {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(30, 3);
+                ctx.set_timer(10, 1);
+                ctx.set_timer(20, 2);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
+                self.fired.push((ctx.now(), key));
+            }
+        }
+        let mut sim = perfect_sim(7);
+        let h = sim.add_node(NodeConfig::wan_only("h"), Box::new(Holder { fired: Vec::new() }));
+        sim.run_until(Tick(100));
+        let h = sim.actor::<Holder>(h).unwrap();
+        assert_eq!(h.fired, vec![(Tick(10), 1), (Tick(20), 2), (Tick(30), 3)]);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        fn run(seed: u64) -> Vec<String> {
+            let mut sim = Simulation::new(seed); // realistic jittery links
+            sim.enable_trace();
+            let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+            for i in 0..20 {
+                sim.add_node(
+                    NodeConfig::dual("src", LanId(0)),
+                    Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![i] }),
+                );
+            }
+            sim.run_until(Tick(1000));
+            sim.trace().iter().map(|e| e.to_string()).collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds must differ");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = perfect_sim(8);
+        sim.run_until(Tick(500));
+        assert_eq!(sim.now(), Tick(500));
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn step_processes_one_event_at_a_time() {
+        let mut sim = perfect_sim(9);
+        let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+        let src = sim.add_node(
+            NodeConfig::wan_only("src"),
+            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+        );
+        // Events: Start(sink), Start(src) [sends], Deliver.
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(!sim.step());
+        assert_eq!(sim.actor::<Sink>(sink).unwrap().received.len(), 1);
+        assert_eq!(sim.node_name(src), "src");
+        assert_eq!(sim.node_count(), 2);
+    }
+
+    #[test]
+    fn actor_downcast_to_wrong_type_returns_none() {
+        let mut sim = perfect_sim(10);
+        let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+        assert!(sim.actor::<OneShot>(sink).is_none());
+        assert!(sim.actor_mut::<Sink>(sink).is_some());
+    }
+
+    #[test]
+    fn self_send_is_unroutable() {
+        let mut sim = perfect_sim(11);
+        struct SelfSender;
+        impl Actor for SelfSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = ctx.id();
+                ctx.send(Dest::Unicast(me), vec![1]);
+            }
+        }
+        sim.enable_trace();
+        sim.add_node(NodeConfig::wan_only("s"), Box::new(SelfSender));
+        sim.run_until(Tick(10));
+        assert!(sim.trace().iter().any(|e| matches!(e.event, TraceEvent::Unroutable { .. })));
+    }
+
+    #[test]
+    fn nat_blocks_unsolicited_wan_traffic_to_lan_nodes() {
+        // A WAN-only sender cannot reach a dual (NAT'd) node cold…
+        let mut sim = perfect_sim(20);
+        let victim = sim.add_node(NodeConfig::dual("victim", LanId(0)), Box::new(Sink::new()));
+        let _attacker = sim.add_node(
+            NodeConfig::wan_only("attacker"),
+            Box::new(OneShot { dest: Dest::Unicast(victim), payload: vec![6] }),
+        );
+        sim.run_until(Tick(10));
+        assert!(sim.actor::<Sink>(victim).unwrap().received.is_empty(), "NAT held");
+    }
+
+    #[test]
+    fn nat_return_path_opens_after_outbound_traffic() {
+        struct EchoServer;
+        impl Actor for EchoServer {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+                ctx.send(Dest::Unicast(from), payload.to_vec());
+            }
+        }
+        let mut sim = perfect_sim(21);
+        let server = sim.add_node(NodeConfig::wan_only("server"), Box::new(EchoServer));
+        struct Client {
+            server: NodeId,
+            replies: u32,
+        }
+        impl Actor for Client {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(Dest::Unicast(self.server), vec![1]);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _payload: &[u8]) {
+                self.replies += 1;
+            }
+        }
+        let client = sim.add_node(
+            NodeConfig::dual("client", LanId(0)),
+            Box::new(Client { server, replies: 0 }),
+        );
+        sim.run_until(Tick(50));
+        assert_eq!(
+            sim.actor::<Client>(client).unwrap().replies,
+            1,
+            "connection tracking lets replies back in"
+        );
+    }
+
+    #[test]
+    fn note_appears_in_trace() {
+        let mut sim = perfect_sim(12);
+        sim.enable_trace();
+        let n = sim.add_node(NodeConfig::wan_only("n"), Box::new(Sink::new()));
+        sim.note(n, "hello");
+        assert!(sim.trace().iter().any(
+            |e| matches!(&e.event, TraceEvent::Note { text, .. } if text == "hello")
+        ));
+    }
+}

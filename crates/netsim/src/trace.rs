@@ -1,0 +1,115 @@
+//! Execution tracing for experiments and figures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::time::Tick;
+use crate::topology::NodeId;
+
+/// What happened at one traced instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A packet left a node.
+    Sent {
+        /// Sender.
+        from: NodeId,
+        /// Receiver (individual delivery; broadcasts appear once per
+        /// recipient).
+        to: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A packet arrived at a node.
+    Delivered {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A packet was lost in transit.
+    Dropped {
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A packet could not be routed (no connectivity between the nodes).
+    Unroutable {
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A node's power state changed.
+    Power {
+        /// The node.
+        node: NodeId,
+        /// New state.
+        powered: bool,
+    },
+    /// A free-form annotation emitted by an actor or the harness.
+    Note {
+        /// Node the note concerns.
+        node: NodeId,
+        /// Text of the note.
+        text: String,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: Tick,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.event {
+            TraceEvent::Sent { from, to, bytes } => {
+                write!(f, "{} {from} -> {to} sent {bytes}B", self.at)
+            }
+            TraceEvent::Delivered { from, to, bytes } => {
+                write!(f, "{} {from} -> {to} delivered {bytes}B", self.at)
+            }
+            TraceEvent::Dropped { from, to } => {
+                write!(f, "{} {from} -> {to} DROPPED", self.at)
+            }
+            TraceEvent::Unroutable { from, to } => {
+                write!(f, "{} {from} -> {to} UNROUTABLE", self.at)
+            }
+            TraceEvent::Power { node, powered } => {
+                write!(f, "{} {node} power={}", self.at, if *powered { "on" } else { "off" })
+            }
+            TraceEvent::Note { node, text } => write!(f, "{} {node} note: {text}", self.at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEntry {
+            at: Tick(3),
+            event: TraceEvent::Sent { from: NodeId(1), to: NodeId(2), bytes: 10 },
+        };
+        assert_eq!(e.to_string(), "t3 n1 -> n2 sent 10B");
+        let e = TraceEntry {
+            at: Tick(4),
+            event: TraceEvent::Unroutable { from: NodeId(9), to: NodeId(1) },
+        };
+        assert!(e.to_string().contains("UNROUTABLE"));
+        let e = TraceEntry {
+            at: Tick(5),
+            event: TraceEvent::Power { node: NodeId(1), powered: false },
+        };
+        assert!(e.to_string().ends_with("power=off"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Airkiss-style provisioning framing (WeChat's SmartConfig variant).
+//!
+//! Airkiss also modulates data onto datagram lengths, but with a different
+//! frame grammar: a *magic* field announcing the total length, a *prefix*
+//! field carrying the password length and its CRC, and *sequence* groups of
+//! four data bytes each protected by a per-group CRC. This module implements
+//! that grammar over the simulator's length channel.
+//!
+//! Differences from [`crate::smartconfig`] are deliberate: the paper's
+//! vendors mix both ecosystems, and having two independent codecs lets the
+//! test suite check that a device listens only for its own vendor's scheme.
+
+use crate::smartconfig::crc8;
+use crate::wifi::WifiCredentials;
+use crate::ProvisionError;
+
+// Field encodings: high nibble selects the field type, low bits carry data.
+const MAGIC_BASE: u16 = 0x1000;
+const PREFIX_BASE: u16 = 0x2000;
+const SEQ_HDR_BASE: u16 = 0x3000;
+const SEQ_DATA_BASE: u16 = 0x4000;
+
+/// Bytes per sequence group.
+const GROUP: usize = 4;
+
+fn payload_of(creds: &WifiCredentials) -> Vec<u8> {
+    // Airkiss sends: ssid_len, psk_len, ssid, psk.
+    let ssid = creds.ssid().as_bytes();
+    let psk = creds.psk().as_bytes();
+    let mut out = Vec::with_capacity(2 + ssid.len() + psk.len());
+    out.push(ssid.len() as u8);
+    out.push(psk.len() as u8);
+    out.extend_from_slice(ssid);
+    out.extend_from_slice(psk);
+    out
+}
+
+/// Encodes credentials into an Airkiss-style length sequence.
+pub fn encode(creds: &WifiCredentials) -> Vec<u16> {
+    let payload = payload_of(creds);
+    let mut out = Vec::new();
+    // Magic: total payload length in two 4-bit halves.
+    out.push(MAGIC_BASE | ((payload.len() as u16 >> 4) & 0xf));
+    out.push(MAGIC_BASE | 0x10 | (payload.len() as u16 & 0xf));
+    // Prefix: CRC of the whole payload in two halves.
+    let crc = u16::from(crc8(&payload));
+    out.push(PREFIX_BASE | ((crc >> 4) & 0xf));
+    out.push(PREFIX_BASE | 0x10 | (crc & 0xf));
+    // Sequence groups.
+    for (gi, group) in payload.chunks(GROUP).enumerate() {
+        let mut hdr_input = vec![gi as u8];
+        hdr_input.extend_from_slice(group);
+        out.push(SEQ_HDR_BASE | u16::from(crc8(&hdr_input)));
+        out.push(SEQ_HDR_BASE | 0x100 | (gi as u16 & 0xff));
+        for &b in group {
+            out.push(SEQ_DATA_BASE | u16::from(b));
+        }
+    }
+    out
+}
+
+/// Decodes a complete Airkiss-style length sequence.
+///
+/// # Errors
+///
+/// Returns [`ProvisionError`] variants for truncation, bad framing, group
+/// or payload checksum failures, and malformed payloads.
+pub fn decode(lengths: &[u16]) -> Result<WifiCredentials, ProvisionError> {
+    let mut it = lengths.iter().copied();
+    let mut next = |_what: &'static str| it.next().ok_or(ProvisionError::Incomplete);
+
+    let m0 = next("magic0")?;
+    let m1 = next("magic1")?;
+    if m0 & 0xf010 != MAGIC_BASE || m1 & 0xf010 != MAGIC_BASE | 0x10 {
+        return Err(ProvisionError::BadFraming { what: "magic field" });
+    }
+    let total = usize::from(((m0 & 0xf) << 4) | (m1 & 0xf));
+
+    let p0 = next("prefix0")?;
+    let p1 = next("prefix1")?;
+    if p0 & 0xf010 != PREFIX_BASE || p1 & 0xf010 != PREFIX_BASE | 0x10 {
+        return Err(ProvisionError::BadFraming { what: "prefix field" });
+    }
+    let expected_crc = (((p0 & 0xf) << 4) | (p1 & 0xf)) as u8;
+
+    let mut payload = Vec::with_capacity(total);
+    let groups = total.div_ceil(GROUP);
+    for gi in 0..groups {
+        let hdr_crc = next("group crc")?;
+        let hdr_idx = next("group index")?;
+        if hdr_crc & 0xff00 != SEQ_HDR_BASE {
+            return Err(ProvisionError::BadFraming { what: "group crc field" });
+        }
+        if hdr_idx & 0xff00 != SEQ_HDR_BASE | 0x100 {
+            return Err(ProvisionError::BadFraming { what: "group index field" });
+        }
+        if usize::from(hdr_idx & 0xff) != gi {
+            return Err(ProvisionError::BadFraming { what: "group out of order" });
+        }
+        let in_group = GROUP.min(total - payload.len());
+        let mut group_bytes = Vec::with_capacity(in_group);
+        for _ in 0..in_group {
+            let d = next("group data")?;
+            if d & 0xff00 != SEQ_DATA_BASE {
+                return Err(ProvisionError::BadFraming { what: "data field" });
+            }
+            group_bytes.push((d & 0xff) as u8);
+        }
+        let mut hdr_input = vec![gi as u8];
+        hdr_input.extend_from_slice(&group_bytes);
+        let actual = crc8(&hdr_input);
+        let expected = (hdr_crc & 0xff) as u8;
+        if actual != expected {
+            return Err(ProvisionError::ChecksumMismatch { expected, actual });
+        }
+        payload.extend_from_slice(&group_bytes);
+    }
+
+    let actual = crc8(&payload);
+    if actual != expected_crc {
+        return Err(ProvisionError::ChecksumMismatch { expected: expected_crc, actual });
+    }
+    if payload.len() < 2 {
+        return Err(ProvisionError::BadFraming { what: "payload too short" });
+    }
+    let ssid_len = usize::from(payload[0]);
+    let psk_len = usize::from(payload[1]);
+    if 2 + ssid_len + psk_len != payload.len() {
+        return Err(ProvisionError::BadFraming { what: "length fields inconsistent" });
+    }
+    let ssid = std::str::from_utf8(&payload[2..2 + ssid_len])
+        .map_err(|_| ProvisionError::InvalidUtf8)?;
+    let psk = std::str::from_utf8(&payload[2 + ssid_len..])
+        .map_err(|_| ProvisionError::InvalidUtf8)?;
+    Ok(WifiCredentials::new(ssid, psk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn creds() -> WifiCredentials {
+        WifiCredentials::new("Apartment42", "hunter2hunter2")
+    }
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(decode(&encode(&creds())).unwrap(), creds());
+    }
+
+    #[test]
+    fn roundtrip_group_boundary_sizes() {
+        // Payload sizes that are exact multiples of the group size and ±1.
+        for ssid_len in [1usize, 2, 3, 4, 5, 8, 13] {
+            for psk_len in [0usize, 1, 4, 7, 8] {
+                let c = WifiCredentials::new("s".repeat(ssid_len), "p".repeat(psk_len));
+                assert_eq!(decode(&encode(&c)).unwrap(), c, "ssid={ssid_len} psk={psk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_corruption_detected() {
+        let mut lengths = encode(&creds());
+        // Corrupt a data byte in the first group (offset 6 = after magic,
+        // prefix, group header).
+        lengths[6] ^= 0x3;
+        assert!(matches!(
+            decode(&lengths),
+            Err(ProvisionError::ChecksumMismatch { .. }) | Err(ProvisionError::BadFraming { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_incomplete() {
+        let lengths = encode(&creds());
+        assert_eq!(decode(&lengths[..5]), Err(ProvisionError::Incomplete));
+    }
+
+    #[test]
+    fn wrong_scheme_is_rejected() {
+        // A SmartConfig stream must not decode as Airkiss.
+        let sc = crate::smartconfig::encode(&creds());
+        assert!(decode(&sc).is_err());
+    }
+
+    #[test]
+    fn out_of_order_group_rejected() {
+        let c = WifiCredentials::new("longenoughssid", "longenoughpskpsk");
+        let mut lengths = encode(&c);
+        // Find the second group's index field and break its order.
+        let pos = lengths
+            .iter()
+            .position(|&l| l & 0xff00 == SEQ_HDR_BASE | 0x100 && l & 0xff == 1)
+            .expect("second group exists");
+        lengths[pos] = SEQ_HDR_BASE | 0x100 | 7;
+        assert_eq!(
+            decode(&lengths),
+            Err(ProvisionError::BadFraming { what: "group out of order" })
+        );
+    }
+}

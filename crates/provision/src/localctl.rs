@@ -1,0 +1,91 @@
+//! Local (LAN-only) control messages between the app and the device.
+//!
+//! Two operations matter to the binding life cycle:
+//!
+//! * **Session assignment** — in designs with post-binding authorization
+//!   the cloud returns a session token to the binding user, and the *app*
+//!   delivers it to the device over the LAN. A remote attacker cannot make
+//!   this hop, which is exactly why a forged binding never yields control
+//!   on those designs.
+//! * **Factory reset** — the local trigger for binding revocation.
+
+use crate::ProvisionError;
+
+const TAG_SESSION: u8 = 0xB1;
+const TAG_RESET: u8 = 0xB2;
+const TAG_ACK: u8 = 0xB3;
+
+/// A LAN-local control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalCtl {
+    /// Deliver the post-binding session token to the device.
+    SessionAssign {
+        /// Raw token material.
+        token: [u8; 16],
+    },
+    /// Ask the device to factory-reset.
+    FactoryReset,
+    /// Device acknowledgment.
+    Ack,
+}
+
+impl LocalCtl {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            LocalCtl::SessionAssign { token } => {
+                let mut out = vec![TAG_SESSION];
+                out.extend_from_slice(token);
+                out
+            }
+            LocalCtl::FactoryReset => vec![TAG_RESET],
+            LocalCtl::Ack => vec![TAG_ACK],
+        }
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProvisionError`] on unknown tags or truncation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProvisionError> {
+        match bytes.first() {
+            Some(&TAG_SESSION) => {
+                if bytes.len() != 17 {
+                    return Err(ProvisionError::Incomplete);
+                }
+                let mut token = [0u8; 16];
+                token.copy_from_slice(&bytes[1..]);
+                Ok(LocalCtl::SessionAssign { token })
+            }
+            Some(&TAG_RESET) if bytes.len() == 1 => Ok(LocalCtl::FactoryReset),
+            Some(&TAG_ACK) if bytes.len() == 1 => Ok(LocalCtl::Ack),
+            Some(_) => Err(ProvisionError::BadFraming { what: "local-ctl tag" }),
+            None => Err(ProvisionError::Incomplete),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        for msg in [
+            LocalCtl::SessionAssign { token: [7; 16] },
+            LocalCtl::FactoryReset,
+            LocalCtl::Ack,
+        ] {
+            assert_eq!(LocalCtl::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(LocalCtl::decode(&[]).is_err());
+        assert!(LocalCtl::decode(&[0x99]).is_err());
+        assert!(LocalCtl::decode(&[TAG_SESSION, 1, 2]).is_err());
+        assert!(LocalCtl::decode(&[TAG_RESET, 0]).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! SmartConfig-style credential broadcast via datagram *lengths*.
+//!
+//! An unprovisioned device cannot decrypt WPA2 traffic, but it can observe
+//! frame lengths in monitor mode. SmartConfig therefore modulates data onto
+//! the lengths of broadcast datagrams. This module implements a faithful
+//! simplification:
+//!
+//! * a 4-packet preamble `[1795, 1794, 1793, 1792]` announces a
+//!   transmission (chosen above every data band so no encoded byte can be
+//!   mistaken for a preamble);
+//! * a header encodes the payload length and a CRC-8 of the payload;
+//! * each payload byte `b` at offset `i` is sent as an *index packet*
+//!   (`0x100 | (i & 0xff)`) followed by a *data packet* (`0x200 | b`);
+//! * the payload is `ssid_len, ssid bytes, psk bytes`.
+//!
+//! The decoder is a resumable state machine ([`Decoder`]) that tolerates
+//! duplicated packets (Wi-Fi retransmissions) and restarts cleanly on a new
+//! preamble. Corruption is caught by the CRC.
+
+use crate::wifi::WifiCredentials;
+use crate::ProvisionError;
+
+/// Datagram lengths forming the preamble. Strictly above every data band
+/// (index `0x100..0x1ff`, data `0x200..0x2ff`, length `0x400..`, crc
+/// `0x600..`), so mid-stream payload bytes can never alias a preamble
+/// frame and reset the decoder.
+pub const PREAMBLE: [u16; 4] = [0x703, 0x702, 0x701, 0x700];
+
+const IDX_BASE: u16 = 0x100;
+const DATA_BASE: u16 = 0x200;
+const HDR_LEN_BASE: u16 = 0x400;
+const HDR_CRC_BASE: u16 = 0x600;
+
+/// CRC-8/ATM (poly 0x07) over a byte slice.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+fn payload_of(creds: &WifiCredentials) -> Vec<u8> {
+    let ssid = creds.ssid().as_bytes();
+    let psk = creds.psk().as_bytes();
+    let mut out = Vec::with_capacity(1 + ssid.len() + psk.len());
+    out.push(ssid.len() as u8);
+    out.extend_from_slice(ssid);
+    out.extend_from_slice(psk);
+    out
+}
+
+/// Encodes credentials into the sequence of datagram lengths the app
+/// broadcasts.
+///
+/// The sequence can be replayed through the network simulator: each length
+/// becomes one LAN broadcast whose payload size *is* the length.
+pub fn encode(creds: &WifiCredentials) -> Vec<u16> {
+    let payload = payload_of(creds);
+    let mut out = Vec::with_capacity(8 + payload.len() * 2);
+    out.extend_from_slice(&PREAMBLE);
+    out.push(HDR_LEN_BASE | payload.len() as u16);
+    out.push(HDR_CRC_BASE | u16::from(crc8(&payload)));
+    for (i, &b) in payload.iter().enumerate() {
+        out.push(IDX_BASE | (i as u16 & 0xff));
+        out.push(DATA_BASE | u16::from(b));
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Counting preamble packets seen so far.
+    Preamble(u8),
+    /// Waiting for the length header.
+    Len,
+    /// Waiting for the CRC header.
+    Crc,
+    /// Receiving (index, data) pairs; `expect_data` is set between an index
+    /// packet and its data packet.
+    Data { expect_data: bool },
+}
+
+/// Resumable decoder run by the unprovisioned device.
+///
+/// Feed every observed datagram length to [`Decoder::observe`]; it returns
+/// the decoded credentials once a complete, CRC-valid transmission has been
+/// seen.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    phase: Phase,
+    expected_len: usize,
+    expected_crc: u8,
+    next_index: usize,
+    payload: Vec<u8>,
+}
+
+impl Decoder {
+    /// A decoder in its initial state.
+    pub fn new() -> Self {
+        Decoder {
+            phase: Phase::Preamble(0),
+            expected_len: 0,
+            expected_crc: 0,
+            next_index: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Decoder::new();
+    }
+
+    /// Consumes one observed datagram length.
+    ///
+    /// Returns `Ok(Some(creds))` when a full transmission decodes, and
+    /// `Ok(None)` while more packets are needed. Unexpected lengths restart
+    /// the state machine (real receivers do the same: they wait for the
+    /// next preamble).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProvisionError::ChecksumMismatch`] when a complete
+    /// transmission fails its CRC, and [`ProvisionError::InvalidUtf8`] /
+    /// [`ProvisionError::BadFraming`] when the payload is malformed. After
+    /// an error the decoder has reset itself and can keep observing.
+    pub fn observe(&mut self, len: u16) -> Result<Option<WifiCredentials>, ProvisionError> {
+        // A preamble start always restarts reception.
+        if len == PREAMBLE[0] && !matches!(self.phase, Phase::Preamble(_)) {
+            self.reset();
+        }
+        match self.phase {
+            Phase::Preamble(n) => {
+                if len == PREAMBLE[n as usize] {
+                    if n as usize == PREAMBLE.len() - 1 {
+                        self.phase = Phase::Len;
+                    } else {
+                        self.phase = Phase::Preamble(n + 1);
+                    }
+                } else if len == PREAMBLE[0] {
+                    self.phase = Phase::Preamble(1);
+                } else {
+                    self.phase = Phase::Preamble(0);
+                }
+                Ok(None)
+            }
+            Phase::Len => {
+                if len & !0x1ff != HDR_LEN_BASE {
+                    self.reset();
+                    return Ok(None);
+                }
+                self.expected_len = usize::from(len & 0x1ff);
+                self.phase = Phase::Crc;
+                Ok(None)
+            }
+            Phase::Crc => {
+                if len & !0xff != HDR_CRC_BASE {
+                    self.reset();
+                    return Ok(None);
+                }
+                self.expected_crc = (len & 0xff) as u8;
+                if self.expected_len == 0 {
+                    let r = self.finish();
+                    self.reset();
+                    return r.map(Some);
+                }
+                self.phase = Phase::Data { expect_data: false };
+                Ok(None)
+            }
+            Phase::Data { expect_data } => {
+                if expect_data {
+                    if len & !0xff != DATA_BASE {
+                        self.reset();
+                        return Ok(None);
+                    }
+                    self.payload.push((len & 0xff) as u8);
+                    self.next_index += 1;
+                    if self.payload.len() == self.expected_len {
+                        let r = self.finish();
+                        self.reset();
+                        return r.map(Some);
+                    }
+                    self.phase = Phase::Data { expect_data: false };
+                    Ok(None)
+                } else {
+                    if len & !0xff != IDX_BASE {
+                        self.reset();
+                        return Ok(None);
+                    }
+                    let idx = usize::from(len & 0xff);
+                    if idx == (self.next_index.wrapping_sub(1)) & 0xff && self.next_index > 0 {
+                        // Duplicate of the previous pair: ignore the index
+                        // and the following data packet by staying put.
+                        self.phase = Phase::Data { expect_data: true };
+                        self.payload.pop();
+                        self.next_index -= 1;
+                        return Ok(None);
+                    }
+                    if idx != self.next_index & 0xff {
+                        self.reset();
+                        return Ok(None);
+                    }
+                    self.phase = Phase::Data { expect_data: true };
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Result<WifiCredentials, ProvisionError> {
+        let actual = crc8(&self.payload);
+        if actual != self.expected_crc {
+            return Err(ProvisionError::ChecksumMismatch {
+                expected: self.expected_crc,
+                actual,
+            });
+        }
+        if self.payload.is_empty() {
+            return Err(ProvisionError::BadFraming { what: "empty payload" });
+        }
+        let ssid_len = usize::from(self.payload[0]);
+        if 1 + ssid_len > self.payload.len() {
+            return Err(ProvisionError::BadFraming { what: "ssid length exceeds payload" });
+        }
+        let ssid = std::str::from_utf8(&self.payload[1..1 + ssid_len])
+            .map_err(|_| ProvisionError::InvalidUtf8)?;
+        let psk = std::str::from_utf8(&self.payload[1 + ssid_len..])
+            .map_err(|_| ProvisionError::InvalidUtf8)?;
+        Ok(WifiCredentials::new(ssid, psk))
+    }
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Decoder::new()
+    }
+}
+
+/// Decodes a complete observed length sequence in one call.
+///
+/// # Errors
+///
+/// Returns [`ProvisionError::Incomplete`] if the sequence ends before a
+/// full transmission, or the first decoding error encountered.
+pub fn decode(lengths: &[u16]) -> Result<WifiCredentials, ProvisionError> {
+    let mut dec = Decoder::new();
+    for &len in lengths {
+        if let Some(creds) = dec.observe(len)? {
+            return Ok(creds);
+        }
+    }
+    Err(ProvisionError::Incomplete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn creds() -> WifiCredentials {
+        WifiCredentials::new("HomeNet-5G", "correct horse battery")
+    }
+
+    #[test]
+    fn roundtrip() {
+        let lengths = encode(&creds());
+        assert_eq!(decode(&lengths).unwrap(), creds());
+    }
+
+    #[test]
+    fn roundtrip_empty_psk_and_short_ssid() {
+        let c = WifiCredentials::new("a", "");
+        assert_eq!(decode(&encode(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn decoder_survives_leading_noise() {
+        let mut lengths = vec![42, 1000, 77, 0x703, 99]; // false preamble start
+        lengths.extend(encode(&creds()));
+        assert_eq!(decode(&lengths).unwrap(), creds());
+    }
+
+    #[test]
+    fn duplicated_pairs_are_tolerated() {
+        let orig = encode(&creds());
+        // Duplicate every (idx, data) pair — models 802.11 retransmission.
+        let mut lengths = orig[..6].to_vec();
+        for pair in orig[6..].chunks(2) {
+            lengths.extend_from_slice(pair);
+            lengths.extend_from_slice(pair);
+        }
+        assert_eq!(decode(&lengths).unwrap(), creds());
+    }
+
+    #[test]
+    fn corruption_is_detected_by_crc() {
+        let mut lengths = encode(&creds());
+        // Flip one data packet's low bits.
+        let i = lengths.len() - 1;
+        lengths[i] ^= 0x01;
+        match decode(&lengths) {
+            Err(ProvisionError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_incomplete() {
+        let lengths = encode(&creds());
+        assert_eq!(decode(&lengths[..lengths.len() - 3]), Err(ProvisionError::Incomplete));
+    }
+
+    #[test]
+    fn decoder_restarts_on_new_preamble() {
+        // A transmission aborts mid-way, then a fresh one succeeds.
+        let mut lengths = encode(&creds());
+        lengths.truncate(10);
+        lengths.extend(encode(&creds()));
+        assert_eq!(decode(&lengths).unwrap(), creds());
+    }
+
+    #[test]
+    fn out_of_order_data_resets_cleanly() {
+        let good = encode(&creds());
+        let mut lengths = good[..6].to_vec();
+        // Jump straight to index 5 — decoder must reset, not panic.
+        lengths.push(IDX_BASE | 5);
+        lengths.push(DATA_BASE | 0x41);
+        lengths.extend(&good);
+        assert_eq!(decode(&lengths).unwrap(), creds());
+    }
+
+    #[test]
+    fn crc8_known_values() {
+        assert_eq!(crc8(&[]), 0);
+        assert_eq!(crc8(b"123456789"), 0xf4); // CRC-8/ATM check value
+    }
+
+    #[test]
+    fn unicode_credentials_roundtrip() {
+        let c = WifiCredentials::new("café-net", "pässwörd");
+        assert_eq!(decode(&encode(&c)).unwrap(), c);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the provisioning codecs.
+
+use proptest::prelude::*;
+
+use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
+use rb_provision::label::DeviceLabel;
+use rb_provision::localctl::LocalCtl;
+use rb_provision::{airkiss, smartconfig, WifiCredentials};
+use rb_wire::ids::{DevId, MacAddr};
+
+fn arb_creds() -> impl Strategy<Value = WifiCredentials> {
+    ("[ -~]{1,32}", "[ -~]{0,63}").prop_map(|(ssid, psk)| WifiCredentials::new(ssid, psk))
+}
+
+fn arb_dev_id() -> impl Strategy<Value = DevId> {
+    prop_oneof![
+        any::<[u8; 6]>().prop_map(|b| DevId::Mac(MacAddr::new(b))),
+        (any::<u16>(), any::<u64>()).prop_map(|(v, s)| DevId::Serial { vendor: v, seq: s }),
+        (1u8..=9).prop_flat_map(|w| {
+            (0..10u64.pow(u32::from(w))).prop_map(move |v| DevId::Digits { value: v as u32, width: w })
+        }),
+        any::<u128>().prop_map(DevId::Uuid),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn smartconfig_roundtrips_any_credentials(creds in arb_creds()) {
+        let lengths = smartconfig::encode(&creds);
+        prop_assert_eq!(smartconfig::decode(&lengths).unwrap(), creds);
+    }
+
+    #[test]
+    fn smartconfig_decoder_never_panics_on_noise(
+        lengths in proptest::collection::vec(any::<u16>(), 0..512)
+    ) {
+        let mut dec = smartconfig::Decoder::new();
+        for len in lengths {
+            let _ = dec.observe(len);
+        }
+    }
+
+    #[test]
+    fn smartconfig_survives_interleaved_noise(
+        creds in arb_creds(),
+        noise in proptest::collection::vec(0u16..90, 0..16),
+    ) {
+        // Noise below the encoding bands (all real frames are >= 0x100)
+        // must not derail an in-progress reception... as long as it comes
+        // before the preamble.
+        let mut lengths: Vec<u16> = noise;
+        lengths.extend(smartconfig::encode(&creds));
+        prop_assert_eq!(smartconfig::decode(&lengths).unwrap(), creds);
+    }
+
+    #[test]
+    fn airkiss_roundtrips_any_credentials(creds in arb_creds()) {
+        let lengths = airkiss::encode(&creds);
+        prop_assert_eq!(airkiss::decode(&lengths).unwrap(), creds);
+    }
+
+    #[test]
+    fn airkiss_rejects_any_single_data_corruption(creds in arb_creds(), pos in any::<prop::sample::Index>(), flip in 1u16..0xff) {
+        let mut lengths = airkiss::encode(&creds);
+        let i = pos.index(lengths.len());
+        lengths[i] ^= flip;
+        // Either an error, or (if the corruption landed harmlessly, e.g.
+        // flipping high bits of a field that is re-masked) the same creds —
+        // never silently *different* credentials.
+        if let Ok(decoded) = airkiss::decode(&lengths) { prop_assert_eq!(decoded, creds) }
+    }
+
+    #[test]
+    fn provision_request_roundtrips(
+        creds in arb_creds(),
+        dev_token in proptest::option::of(any::<[u8; 16]>()),
+        bind_token in proptest::option::of(any::<[u8; 16]>()),
+        user in proptest::option::of(("[a-z0-9@.]{1,30}".prop_map(String::from), "[ -~]{0,30}".prop_map(String::from))),
+    ) {
+        let req = ProvisionRequest {
+            wifi: creds,
+            pairing: PairingMaterial { dev_token, bind_token, user_credentials: user },
+        };
+        prop_assert_eq!(ProvisionRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn provision_reply_roundtrips(info in "[ -~]{0,100}") {
+        let reply = ProvisionReply::Accepted { device_info: info };
+        prop_assert_eq!(ProvisionReply::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn labels_roundtrip_for_any_device(dev_id in arb_dev_id(), code in any::<u16>()) {
+        let label = DeviceLabel::new(dev_id, code);
+        prop_assert_eq!(DeviceLabel::scan(&label.print()).unwrap(), label);
+    }
+
+    #[test]
+    fn localctl_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = LocalCtl::decode(&bytes);
+        let _ = ProvisionRequest::decode(&bytes);
+        let _ = ProvisionReply::decode(&bytes);
+        let _ = DeviceLabel::scan(std::str::from_utf8(&bytes).unwrap_or(""));
+    }
+}

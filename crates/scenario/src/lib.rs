@@ -1,0 +1,22 @@
+//! # rb-scenario
+//!
+//! Builds complete, reproducible worlds: a vendor cloud, one or more homes
+//! (each a LAN with a companion app and a device), and a WAN-only attacker
+//! endpoint — the exact topology of the paper's experimental setup
+//! (Section VI-A), with the adversary model enforced by the network
+//! simulator.
+//!
+//! ```rust
+//! use rb_core::vendors;
+//! use rb_scenario::WorldBuilder;
+//!
+//! let mut world = WorldBuilder::new(vendors::d_link(), 42).build();
+//! world.run_setup();
+//! assert!(world.app(0).is_bound());
+//! ```
+
+mod raw;
+mod world;
+
+pub use raw::RawEndpoint;
+pub use world::{Home, World, WorldBuilder};

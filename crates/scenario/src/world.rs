@@ -1,0 +1,354 @@
+//! The world builder.
+
+use rb_app::{AppAgent, AppConfig};
+use rb_cloud::{CloudConfig, CloudService};
+use rb_core::design::{DeviceAuthScheme, SetupOrder, VendorDesign};
+use rb_core::shadow::ShadowState;
+use rb_device::{DeviceAgent, DeviceConfig, ProvisioningMode};
+use rb_netsim::{LanId, LinkQuality, NodeConfig, NodeId, SimRng, Simulation, Tick};
+use rb_wire::ids::DevId;
+use rb_wire::tokens::{UserId, UserPw};
+
+/// One home: a LAN with the user's phone and device.
+#[derive(Debug, Clone)]
+pub struct Home {
+    /// The home LAN.
+    pub lan: LanId,
+    /// The companion app's node.
+    pub app: NodeId,
+    /// The device's node.
+    pub device: NodeId,
+    /// The device's ID.
+    pub dev_id: DevId,
+    /// The resident's account.
+    pub user_id: UserId,
+    /// The resident's password.
+    pub user_pw: UserPw,
+}
+
+/// Builder for a [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    design: VendorDesign,
+    seed: u64,
+    homes: usize,
+    lan_quality: LinkQuality,
+    wan_quality: LinkQuality,
+    heartbeat_every: u64,
+    user_bind_delay: u64,
+    provisioning: ProvisioningMode,
+    trace: bool,
+    victim_paused: bool,
+}
+
+impl WorldBuilder {
+    /// A single-home world with deterministic (perfect) links — the
+    /// configuration the attack campaigns use.
+    pub fn new(design: VendorDesign, seed: u64) -> Self {
+        WorldBuilder {
+            design,
+            seed,
+            homes: 1,
+            lan_quality: LinkQuality::perfect(),
+            wan_quality: LinkQuality::perfect(),
+            heartbeat_every: 2_000,
+            user_bind_delay: 5_000,
+            provisioning: ProvisioningMode::ApMode,
+            trace: false,
+            victim_paused: false,
+        }
+    }
+
+    /// Number of victim homes (each with one app and one device).
+    pub fn homes(mut self, n: usize) -> Self {
+        self.homes = n.max(1);
+        self
+    }
+
+    /// Use realistic lossy/jittery links instead of perfect ones.
+    pub fn realistic_links(mut self) -> Self {
+        self.lan_quality = LinkQuality::lan();
+        self.wan_quality = LinkQuality::wan();
+        self
+    }
+
+    /// Override the link qualities.
+    pub fn link_quality(mut self, lan: LinkQuality, wan: LinkQuality) -> Self {
+        self.lan_quality = lan;
+        self.wan_quality = wan;
+        self
+    }
+
+    /// Device heartbeat period in ticks.
+    pub fn heartbeat_every(mut self, ticks: u64) -> Self {
+        self.heartbeat_every = ticks;
+        self
+    }
+
+    /// The human delay between device setup and binding (the A4-2 window).
+    pub fn user_bind_delay(mut self, ticks: u64) -> Self {
+        self.user_bind_delay = ticks;
+        self
+    }
+
+    /// Wi-Fi provisioning mode for the devices.
+    pub fn provisioning(mut self, mode: ProvisioningMode) -> Self {
+        self.provisioning = mode;
+        self
+    }
+
+    /// Enable network tracing (for the figure experiments).
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Start with every victim home powered off — the devices are still in
+    /// their boxes (the *initial* shadow state the A2 attack targets).
+    /// Call [`World::resume_victims`] to unbox them.
+    pub fn victim_paused(mut self) -> Self {
+        self.victim_paused = true;
+        self
+    }
+
+    /// Assembles the world.
+    pub fn build(self) -> World {
+        let mut sim =
+            Simulation::with_quality(self.seed, self.lan_quality, self.wan_quality);
+        if self.trace {
+            sim.enable_trace();
+        }
+        let mut rng = SimRng::new(self.seed ^ 0x5eed_5eed);
+
+        let mut cloud_service = CloudService::new(CloudConfig::new(self.design.clone()));
+        cloud_service.provision_account(UserId::new("attacker@evil.example"), UserPw::new("attacker-pw"));
+
+        // Manufacture one device per home plus a registry tail, so the ID
+        // space looks like a real product series (the DoS experiment
+        // enumerates it).
+        let mut dev_ids = Vec::new();
+        let mut secrets = Vec::new();
+        let mut keys = Vec::new();
+        for i in 0..self.homes {
+            let dev_id = self.design.id_scheme.id_at(i as u64);
+            let secret = rng.entropy128();
+            let key = if self.design.auth == DeviceAuthScheme::PublicKey {
+                Some((i as u64 + 1, rng.entropy128()))
+            } else {
+                None
+            };
+            cloud_service.manufacture(dev_id.clone(), secret, key);
+            dev_ids.push(dev_id);
+            secrets.push(secret);
+            keys.push(key);
+        }
+
+        let mut accounts = Vec::new();
+        for i in 0..self.homes {
+            let user_id = UserId::new(format!("user{i}@example.com"));
+            let user_pw = UserPw::new(format!("pw-{i}"));
+            cloud_service.provision_account(user_id.clone(), user_pw.clone());
+            accounts.push((user_id, user_pw));
+        }
+
+        let cloud = sim.add_node(NodeConfig::wan_only("cloud"), Box::new(cloud_service));
+
+        let mut homes = Vec::new();
+        for i in 0..self.homes {
+            let lan = LanId(i as u32);
+            let (user_id, user_pw) = accounts[i].clone();
+            let dev_id = dev_ids[i].clone();
+
+            let device = sim.add_node(
+                NodeConfig::dual(format!("device{i}"), lan),
+                Box::new(DeviceAgent::new(DeviceConfig {
+                    design: self.design.clone(),
+                    dev_id: dev_id.clone(),
+                    factory_secret: secrets[i],
+                    key: keys[i],
+                    cloud,
+                    lan,
+                    mode: self.provisioning,
+                    heartbeat_every: self.heartbeat_every,
+                    bind_delay: 2,
+                })),
+            );
+
+            let mut app_config = AppConfig::new(
+                self.design.clone(),
+                cloud,
+                lan,
+                user_id.clone(),
+                user_pw.clone(),
+            );
+            app_config.user_bind_delay = self.user_bind_delay;
+            app_config.wifi_broadcast = match self.provisioning {
+                ProvisioningMode::Airkiss => rb_app::WifiBroadcast::Airkiss,
+                _ => rb_app::WifiBroadcast::SmartConfig,
+            };
+            if self.design.setup_order == SetupOrder::BindFirst {
+                app_config.known_label = Some(dev_id.clone());
+            }
+            let app = sim.add_node(
+                NodeConfig::dual(format!("app{i}"), lan),
+                Box::new(AppAgent::new(app_config)),
+            );
+
+            // NAT: the whole home shares one public IP.
+            let public_ip = 1000 + i as u32;
+            let cloud_actor = sim.actor_mut::<CloudService>(cloud).expect("cloud exists");
+            cloud_actor.set_public_ip(app, public_ip);
+            cloud_actor.set_public_ip(device, public_ip);
+
+            homes.push(Home { lan, app, device, dev_id, user_id, user_pw });
+        }
+
+        if self.victim_paused {
+            for home in &homes {
+                sim.set_power(home.app, false);
+                sim.set_power(home.device, false);
+            }
+        }
+
+        let attacker =
+            sim.add_node(NodeConfig::wan_only("attacker"), Box::new(crate::RawEndpoint::new()));
+        let cloud_actor = sim.actor_mut::<CloudService>(cloud).expect("cloud exists");
+        cloud_actor.set_public_ip(attacker, 9_999);
+
+        World { design: self.design, sim, cloud, homes, attacker }
+    }
+}
+
+/// A running world.
+pub struct World {
+    /// The vendor design in force.
+    pub design: VendorDesign,
+    /// The simulator.
+    pub sim: Simulation,
+    /// The cloud's node.
+    pub cloud: NodeId,
+    /// The victim homes.
+    pub homes: Vec<Home>,
+    /// The attacker's WAN endpoint.
+    pub attacker: NodeId,
+}
+
+impl World {
+    /// The cloud service (immutable).
+    pub fn cloud(&self) -> &CloudService {
+        self.sim.actor::<CloudService>(self.cloud).expect("cloud is a CloudService")
+    }
+
+    /// The cloud service (mutable).
+    pub fn cloud_mut(&mut self) -> &mut CloudService {
+        self.sim.actor_mut::<CloudService>(self.cloud).expect("cloud is a CloudService")
+    }
+
+    /// Home `i`'s app.
+    pub fn app(&self, i: usize) -> &AppAgent {
+        self.sim.actor::<AppAgent>(self.homes[i].app).expect("app agent")
+    }
+
+    /// Home `i`'s app (mutable: queue controls, unbinds).
+    pub fn app_mut(&mut self, i: usize) -> &mut AppAgent {
+        self.sim.actor_mut::<AppAgent>(self.homes[i].app).expect("app agent")
+    }
+
+    /// Home `i`'s device.
+    pub fn device(&self, i: usize) -> &DeviceAgent {
+        self.sim.actor::<DeviceAgent>(self.homes[i].device).expect("device agent")
+    }
+
+    /// Home `i`'s device (mutable: press buttons, queue resets).
+    pub fn device_mut(&mut self, i: usize) -> &mut DeviceAgent {
+        self.sim.actor_mut::<DeviceAgent>(self.homes[i].device).expect("device agent")
+    }
+
+    /// The attacker endpoint (mutable: queue forged frames, read inbox).
+    pub fn attacker_mut(&mut self) -> &mut crate::RawEndpoint {
+        self.sim.actor_mut::<crate::RawEndpoint>(self.attacker).expect("raw endpoint")
+    }
+
+    /// The shadow state of home `i`'s device.
+    pub fn shadow_state(&self, i: usize) -> ShadowState {
+        self.cloud().shadow_state(&self.homes[i].dev_id)
+    }
+
+    /// Runs the full setup flow for every home: provisioning, registration,
+    /// binding. Presses the device button as needed for designs requiring
+    /// the local ownership proof. Panics if setup does not converge — the
+    /// happy path must always work, for every design.
+    pub fn run_setup(&mut self) {
+        assert!(
+            self.try_run_setup(300_000),
+            "setup did not converge for {}: home states {:?}",
+            self.design.vendor,
+            (0..self.homes.len())
+                .map(|i| (self.app(i).setup_complete(), self.app(i).is_bound(), self.shadow_state(i)))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// Like [`World::run_setup`] but returns `false` instead of panicking
+    /// when the setup does not converge within `max_ticks` — which is the
+    /// *expected* result while a binding-DoS attack is in effect.
+    pub fn try_run_setup(&mut self, max_ticks: u64) -> bool {
+        let needs_button = self.design.checks.bind_requires_local_proof;
+        let deadline = self.sim.now().saturating_add(max_ticks);
+        loop {
+            // Keep the button freshly pressed through setup (the user is
+            // standing next to the device as instructed by the app).
+            if needs_button {
+                for i in 0..self.homes.len() {
+                    if !self.app(i).is_bound() {
+                        self.device_mut(i).press_button();
+                    }
+                }
+            }
+            self.sim.run_for(1_000);
+            let all_done = (0..self.homes.len()).all(|i| {
+                self.app(i).is_bound() && self.shadow_state(i) == ShadowState::Control
+            });
+            if all_done {
+                // One extra beat lets post-binding session tokens reach the
+                // device and appear in a heartbeat.
+                if self.design.checks.post_binding_session {
+                    self.sim.run_for(3 * 2_000 + 100);
+                }
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// Unboxes paused victim homes: powers their apps and devices on.
+    pub fn resume_victims(&mut self) {
+        for i in 0..self.homes.len() {
+            let (app, device) = (self.homes[i].app, self.homes[i].device);
+            self.sim.set_power(app, true);
+            self.sim.set_power(device, true);
+        }
+    }
+
+    /// Runs the simulation for `ticks`.
+    pub fn run_for(&mut self, ticks: u64) {
+        self.sim.run_for(ticks);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.sim.now()
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("vendor", &self.design.vendor)
+            .field("homes", &self.homes.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated cryptographic primitives.
+//!
+//! The reproduction does not need real cryptography — it needs the
+//! *authorization structure* of the studied protocols. [`sign_dev_id`]
+//! stands in for an asymmetric device signature (AWS/IBM/Google-style
+//! public-key authentication): unforgeable without the secret, verifiable
+//! by whoever registered the key.
+
+use crate::ids::DevId;
+
+/// Produces the simulated signature of `dev_id` under `secret`.
+///
+/// Deterministic; mixes an FNV-1a digest of the ID into the key material so
+/// signatures differ across both devices and keys.
+pub fn sign_dev_id(secret: u128, dev_id: &DevId) -> u128 {
+    let digest = dev_id
+        .short()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3));
+    secret ^ ((u128::from(digest) << 64) | u128::from(digest.rotate_left(17)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MacAddr;
+
+    #[test]
+    fn signature_depends_on_both_inputs() {
+        let a = DevId::Mac(MacAddr::new([1, 2, 3, 4, 5, 6]));
+        let b = DevId::Mac(MacAddr::new([1, 2, 3, 4, 5, 7]));
+        assert_ne!(sign_dev_id(1, &a), sign_dev_id(1, &b));
+        assert_ne!(sign_dev_id(1, &a), sign_dev_id(2, &a));
+        assert_eq!(sign_dev_id(1, &a), sign_dev_id(1, &a));
+    }
+}

@@ -1,0 +1,145 @@
+//! Request/response envelopes with correlation ids.
+//!
+//! The network simulator delivers opaque byte payloads; an [`Envelope`] adds
+//! the correlation id that lets a party match a [`Response`] to the
+//! [`Message`] it sent, and a direction discriminator so one byte stream can
+//! carry both.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{decode_message, decode_response, encode_message, encode_response};
+use crate::error::WireError;
+use crate::messages::{Message, Response};
+
+/// Correlation id matching responses to requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CorrId(pub u64);
+
+/// A framed request or response travelling over the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// A party → cloud request.
+    Request {
+        /// Correlation id chosen by the sender.
+        corr: CorrId,
+        /// The request body.
+        msg: Message,
+    },
+    /// A cloud → party response or unsolicited push.
+    Response {
+        /// Correlation id of the request being answered; pushes use
+        /// `CorrId(0)`.
+        corr: CorrId,
+        /// The response body.
+        rsp: Response,
+    },
+}
+
+const DIR_REQUEST: u8 = 0x01;
+const DIR_RESPONSE: u8 = 0x02;
+
+impl Envelope {
+    /// Correlation id of the envelope.
+    pub fn corr(&self) -> CorrId {
+        match self {
+            Envelope::Request { corr, .. } | Envelope::Response { corr, .. } => *corr,
+        }
+    }
+
+    /// Wraps a push (unsolicited response) with the conventional zero
+    /// correlation id.
+    pub fn push(rsp: Response) -> Self {
+        Envelope::Response { corr: CorrId(0), rsp }
+    }
+
+    /// Whether the envelope is an unsolicited push.
+    pub fn is_push(&self) -> bool {
+        matches!(self, Envelope::Response { corr: CorrId(0), .. })
+    }
+
+    /// Serializes the envelope.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        match self {
+            Envelope::Request { corr, msg } => {
+                buf.put_u8(DIR_REQUEST);
+                buf.put_u64(corr.0);
+                buf.put_slice(&encode_message(msg));
+            }
+            Envelope::Response { corr, rsp } => {
+                buf.put_u8(DIR_RESPONSE);
+                buf.put_u64(corr.0);
+                buf.put_slice(&encode_response(rsp));
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the frame is malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 9 {
+            return Err(WireError::Truncated { context: "Envelope header" });
+        }
+        let dir = bytes[0];
+        let corr = CorrId(u64::from_be_bytes(bytes[1..9].try_into().expect("9-byte header")));
+        let body = &bytes[9..];
+        match dir {
+            DIR_REQUEST => Ok(Envelope::Request { corr, msg: decode_message(body)? }),
+            DIR_RESPONSE => Ok(Envelope::Response { corr, rsp: decode_response(body)? }),
+            tag => Err(WireError::UnknownTag { context: "Envelope direction", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{DevId, MacAddr};
+    use crate::messages::Message;
+
+    fn dev_id() -> DevId {
+        DevId::Mac(MacAddr::new([9, 8, 7, 6, 5, 4]))
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let env = Envelope::Request { corr: CorrId(77), msg: Message::QueryShadow { dev_id: dev_id() } };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+        assert_eq!(env.corr(), CorrId(77));
+        assert!(!env.is_push());
+    }
+
+    #[test]
+    fn response_roundtrip_and_push() {
+        let env = Envelope::push(Response::BindingRevoked);
+        assert!(env.is_push());
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+
+        let answered = Envelope::Response { corr: CorrId(3), rsp: Response::Unbound };
+        assert!(!answered.is_push());
+        assert_eq!(Envelope::decode(&answered.encode()).unwrap(), answered);
+    }
+
+    #[test]
+    fn short_frames_fail_cleanly() {
+        for len in 0..9 {
+            let buf = vec![DIR_REQUEST; len];
+            assert!(Envelope::decode(&buf).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_direction_fails() {
+        let mut buf = vec![0x55];
+        buf.extend_from_slice(&0u64.to_be_bytes());
+        assert!(matches!(
+            Envelope::decode(&buf),
+            Err(WireError::UnknownTag { context: "Envelope direction", tag: 0x55 })
+        ));
+    }
+}

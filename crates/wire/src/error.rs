@@ -1,0 +1,104 @@
+//! Error types for wire-level parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while decoding or validating wire data.
+///
+/// Every variant names the offending construct so that forged or corrupted
+/// messages produce actionable diagnostics in experiment logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value being decoded was complete.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A tag byte did not correspond to any known variant.
+    UnknownTag {
+        /// What kind of value the tag was selecting.
+        context: &'static str,
+        /// The unrecognized tag value.
+        tag: u8,
+    },
+    /// A length prefix exceeded the bound allowed for its field.
+    LengthOutOfRange {
+        /// What field carried the bad length.
+        context: &'static str,
+        /// The length found on the wire.
+        len: usize,
+        /// The maximum permitted length.
+        max: usize,
+    },
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8 {
+        /// What field contained the bad bytes.
+        context: &'static str,
+    },
+    /// A numeric field was outside its valid domain (e.g. a 6-digit device
+    /// id with more than 6 digits).
+    ValueOutOfRange {
+        /// What field contained the bad value.
+        context: &'static str,
+    },
+    /// Trailing bytes remained after a complete message was decoded.
+    TrailingBytes {
+        /// Number of bytes left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "truncated buffer while decoding {context}")
+            }
+            WireError::UnknownTag { context, tag } => {
+                write!(f, "unknown tag {tag:#04x} for {context}")
+            }
+            WireError::LengthOutOfRange { context, len, max } => {
+                write!(f, "length {len} exceeds maximum {max} for {context}")
+            }
+            WireError::InvalidUtf8 { context } => {
+                write!(f, "invalid utf-8 in {context}")
+            }
+            WireError::ValueOutOfRange { context } => {
+                write!(f, "value out of range for {context}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = WireError::Truncated { context: "DevId" };
+        assert_eq!(e.to_string(), "truncated buffer while decoding DevId");
+        let e = WireError::UnknownTag { context: "Message", tag: 0xff };
+        assert_eq!(e.to_string(), "unknown tag 0xff for Message");
+        let e = WireError::LengthOutOfRange { context: "UserId", len: 999, max: 256 };
+        assert!(e.to_string().contains("999"));
+        assert!(e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn Error> = Box::new(WireError::TrailingBytes { remaining: 3 });
+        assert!(e.to_string().contains("3 trailing bytes"));
+    }
+}

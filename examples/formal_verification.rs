@@ -1,0 +1,60 @@
+//! Formal verification of binding designs — the paper's stated future work
+//! ("those homemade solutions are not formally verified"), executed.
+//!
+//! Model-checks all ten vendors, prints minimal witness traces for every
+//! violated property, then verifies the minimal secure recipe and shows the
+//! triple agreement: model checker ⇔ static analyzer ⇔ (by the test suite)
+//! live execution.
+//!
+//! ```text
+//! cargo run --example formal_verification
+//! ```
+
+use iot_remote_binding::core_model::explore::minimal_secure_design;
+use iot_remote_binding::core_model::spec::{check, cross_check, Act};
+use iot_remote_binding::core_model::vendors::vendor_designs;
+
+fn fmt_trace(trace: &Option<Vec<Act>>) -> String {
+    match trace {
+        None => "unreachable".to_owned(),
+        Some(t) => format!(
+            "via {}",
+            t.iter().map(|a| format!("{a:?}")).collect::<Vec<_>>().join(" → ")
+        ),
+    }
+}
+
+fn main() {
+    println!("bounded model checking of the ten studied designs\n");
+    for design in vendor_designs() {
+        let spec = check(&design);
+        println!(
+            "{:14} [{:2} states] {}",
+            design.vendor,
+            spec.reachable,
+            if spec.is_secure() { "SECURE" } else { "VULNERABLE" }
+        );
+        if !spec.is_secure() {
+            println!("    attacker-bound   : {}", fmt_trace(&spec.attacker_bound));
+            println!("    attacker-control : {}", fmt_trace(&spec.attacker_control));
+            println!("    user-disconnect  : {}", fmt_trace(&spec.user_disconnect));
+        }
+    }
+
+    // The checker must agree with the analyzer on every design.
+    let disagreements = cross_check(&vendor_designs());
+    assert!(disagreements.is_empty(), "{disagreements:#?}");
+    println!("\nchecker ⇔ analyzer: agreement on all ten designs (and, by the test");
+    println!("suite, on all ~18k coherent designs of the exploration space).");
+
+    // And the minimal secure recipe verifies.
+    let minimal = minimal_secure_design();
+    let spec = check(&minimal);
+    assert!(spec.is_secure());
+    println!(
+        "\nminimal secure recipe ({} reachable states): DevToken auth + capability",
+        spec.reachable
+    );
+    println!("binding + ownership-checked unbind + reject-bind-when-bound — verified");
+    println!("secure against all three properties.");
+}

@@ -1,0 +1,52 @@
+//! Run the full nine-attack battery against one vendor (default: TP-LINK,
+//! the most thoroughly broken design of the study) and print the evidence.
+//!
+//! ```text
+//! cargo run --example hijack_campaign [vendor-substring]
+//! ```
+
+use iot_remote_binding::attack::campaign::run_campaign;
+use iot_remote_binding::core_model::attacks::AttackId;
+use iot_remote_binding::core_model::vendors::vendor_designs;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "TP-LINK".to_owned());
+    let design = vendor_designs()
+        .into_iter()
+        .find(|d| d.vendor.to_lowercase().contains(&wanted.to_lowercase()))
+        .unwrap_or_else(|| {
+            eprintln!("no vendor matches {wanted:?}; known vendors:");
+            for d in vendor_designs() {
+                eprintln!("  {}", d.vendor);
+            }
+            std::process::exit(1);
+        });
+
+    println!("attacking: {} ({})", design.vendor, design.device);
+    println!("  status auth {} | bind {} | unbind {}", design.auth, design.bind, design.unbind);
+
+    let campaign = run_campaign(&design, 0xA77AC);
+
+    println!("\nper-attack outcomes:");
+    for id in AttackId::ALL {
+        let run = &campaign.runs[&id];
+        println!("  {:5} [{}] {}", id.to_string(), run.outcome.symbol(), run.outcome);
+        for line in &run.evidence {
+            println!("          {line}");
+        }
+    }
+
+    let row = campaign.row();
+    println!("\nTable III row for {}:", design.vendor);
+    println!("  A1={} A2={} A3={} A4={}", row[0], row[1], row[2], row[3]);
+
+    let disagreements = campaign.disagreements();
+    if disagreements.is_empty() {
+        println!("\nstatic analyzer agrees with every executed outcome.");
+    } else {
+        println!("\nWARNING: analyzer/execution disagreements:");
+        for d in disagreements {
+            println!("  {d}");
+        }
+    }
+}

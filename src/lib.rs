@@ -1,0 +1,45 @@
+//! # iot-remote-binding
+//!
+//! A full reproduction of *"Your IoTs Are (Not) Mine: On the Remote Binding
+//! Between IoT Devices and Users"* (Chen et al., DSN 2019) as a Rust
+//! workspace: the paper's device-shadow state machine, binding design
+//! space, vendor profiles, and attack taxonomy — plus every substrate the
+//! study depends on, rebuilt as deterministic simulations (cloud, device
+//! firmware, companion app, home LAN, provisioning protocols, and a
+//! WAN-only adversary).
+//!
+//! This facade crate re-exports the workspace members under short names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`wire`] | `rb-wire` | identifiers, tokens, messages, binary codec |
+//! | [`netsim`] | `rb-netsim` | deterministic discrete-event network |
+//! | [`provision`] | `rb-provision` | SmartConfig/Airkiss/AP-mode/labels/SSDP |
+//! | [`core_model`] | `rb-core` | state machine, design space, analyzer |
+//! | [`cloud`] | `rb-cloud` | the policy-driven IoT cloud |
+//! | [`device`] | `rb-device` | simulated firmware (and the 4-party hub) |
+//! | [`app`] | `rb-app` | the companion-app user agent |
+//! | [`scenario`] | `rb-scenario` | world builder |
+//! | [`attack`] | `rb-attack` | adversary, ID inference, campaigns |
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use iot_remote_binding::attack::campaign::run_campaign;
+//! use iot_remote_binding::core_model::vendors;
+//!
+//! // Reproduce the paper's Table III row for E-Link (#9): hijackable via
+//! // a replacing bind (A4-1).
+//! let campaign = run_campaign(&vendors::e_link(), 1);
+//! assert_eq!(campaign.row(), ["O", "✗", "✗", "A4-1"]);
+//! ```
+
+pub use rb_app as app;
+pub use rb_cloud as cloud;
+pub use rb_core as core_model;
+pub use rb_device as device;
+pub use rb_netsim as netsim;
+pub use rb_provision as provision;
+pub use rb_scenario as scenario;
+pub use rb_attack as attack;
+pub use rb_wire as wire;

@@ -10,9 +10,7 @@ use rb_provision::localctl::LocalCtl;
 use rb_provision::{airkiss, smartconfig, WifiCredentials};
 use rb_wire::envelope::{CorrId, Envelope};
 use rb_wire::ids::DevId;
-use rb_wire::messages::{
-    BindPayload, ControlAction, DenyReason, Message, Response, UnbindPayload,
-};
+use rb_wire::messages::{BindPayload, ControlAction, DenyReason, Message, Response, UnbindPayload};
 use rb_wire::telemetry::TelemetryFrame;
 use rb_wire::tokens::{BindToken, DevToken, SessionToken, UserId, UserPw, UserToken};
 
@@ -333,7 +331,9 @@ impl AppAgent {
                 self.awaiting = Await::Discovery;
             }
             Step::Provision => {
-                let Some(device_node) = self.device_node else { return };
+                let Some(device_node) = self.device_node else {
+                    return;
+                };
                 let pairing = PairingMaterial {
                     dev_token: self.dev_token.map(|t| *t.as_bytes()),
                     bind_token: self.bind_token.map(|t| *t.as_bytes()),
@@ -353,9 +353,15 @@ impl AppAgent {
                     WifiBroadcast::Airkiss => airkiss::encode(&self.config.wifi),
                 };
                 for len in lengths {
-                    ctx.send(Dest::Broadcast(self.config.lan), vec![0u8; usize::from(len)]);
+                    ctx.send(
+                        Dest::Broadcast(self.config.lan),
+                        vec![0u8; usize::from(len)],
+                    );
                 }
-                let req = ProvisionRequest { wifi: self.config.wifi.clone(), pairing };
+                let req = ProvisionRequest {
+                    wifi: self.config.wifi.clone(),
+                    pairing,
+                };
                 ctx.send(Dest::Unicast(device_node), req.encode());
                 self.last_send_at = ctx.now();
                 self.awaiting = Await::ProvisionReply;
@@ -365,7 +371,9 @@ impl AppAgent {
                 self.awaiting = Await::None;
             }
             Step::Bind => {
-                let Some(user_token) = self.user_token else { return };
+                let Some(user_token) = self.user_token else {
+                    return;
+                };
                 let dev_id = match (&self.dev_id, &self.config.known_label) {
                     (Some(id), _) => id.clone(),
                     (None, Some(label)) => label.clone(),
@@ -414,7 +422,10 @@ impl AppAgent {
                 if let (Some(s), Some(node)) = (session, self.device_node) {
                     ctx.send(
                         Dest::Unicast(node),
-                        LocalCtl::SessionAssign { token: *s.as_bytes() }.encode(),
+                        LocalCtl::SessionAssign {
+                            token: *s.as_bytes(),
+                        }
+                        .encode(),
                     );
                 }
                 self.advance(now);
@@ -458,7 +469,10 @@ impl AppAgent {
                 if let (Some(s), Some(node)) = (session, self.device_node) {
                     ctx.send(
                         Dest::Unicast(node),
-                        LocalCtl::SessionAssign { token: *s.as_bytes() }.encode(),
+                        LocalCtl::SessionAssign {
+                            token: *s.as_bytes(),
+                        }
+                        .encode(),
                     );
                 }
             }
@@ -482,9 +496,17 @@ impl AppAgent {
         if let Some((grantee, grant)) = self.share_queue.pop_front() {
             if let (Some(user_token), Some(dev_id)) = (self.user_token, self.dev_id.clone()) {
                 let msg = if grant {
-                    Message::Share { dev_id, user_token, grantee }
+                    Message::Share {
+                        dev_id,
+                        user_token,
+                        grantee,
+                    }
                 } else {
-                    Message::Unshare { dev_id, user_token, grantee }
+                    Message::Unshare {
+                        dev_id,
+                        user_token,
+                        grantee,
+                    }
                 };
                 self.send_request(ctx, msg);
             }
@@ -502,7 +524,12 @@ impl AppAgent {
                 if let (Some(user_token), Some(dev_id)) = (self.user_token, dev_id) {
                     self.send_request(
                         ctx,
-                        Message::Control { dev_id, user_token, session: self.session, action },
+                        Message::Control {
+                            dev_id,
+                            user_token,
+                            session: self.session,
+                            action,
+                        },
                     );
                 }
             }
@@ -530,7 +557,10 @@ impl Actor for AppAgent {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
         if from == self.config.cloud {
             match Envelope::decode(payload) {
-                Ok(Envelope::Response { corr: CorrId(0), rsp }) => {
+                Ok(Envelope::Response {
+                    corr: CorrId(0),
+                    rsp,
+                }) => {
                     self.handle_push(ctx, rsp);
                 }
                 Ok(Envelope::Response { corr, rsp }) => {
@@ -538,7 +568,10 @@ impl Actor for AppAgent {
                         self.on_step_response(ctx, &rsp);
                     } else {
                         match rsp {
-                            Response::ControlOk { schedule, telemetry } => {
+                            Response::ControlOk {
+                                schedule,
+                                telemetry,
+                            } => {
                                 self.last_schedule = schedule;
                                 self.last_queried_telemetry = telemetry;
                                 self.events.push(AppEvent::ControlOk);

@@ -1,6 +1,9 @@
 //! App-agent flow tests against scripted mock clouds: step ordering per
 //! design, retry behaviour, and denial handling.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rb_app::{AppAgent, AppConfig};
 use rb_core::vendors;
 use rb_netsim::{Actor, Ctx, Dest, LanId, LinkQuality, NodeConfig, NodeId, Simulation, Tick};
@@ -27,27 +30,37 @@ struct MockCloud {
 
 impl Actor for MockCloud {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
-        let Ok(Envelope::Request { corr, msg }) = Envelope::decode(payload) else { return };
+        let Ok(Envelope::Request { corr, msg }) = Envelope::decode(payload) else {
+            return;
+        };
         self.order.push(msg.kind_str());
         if self.drop_first > 0 {
             self.drop_first -= 1;
             return; // simulate a lost response
         }
         let rsp = match &msg {
-            Message::Login { .. } => {
-                Response::LoginOk { user_token: UserToken::from_entropy(1) }
-            }
-            Message::RequestDevToken { .. } => {
-                Response::DevTokenIssued { dev_token: DevToken::from_entropy(2) }
-            }
-            Message::Bind(_) if self.deny_bind => {
-                Response::Denied { reason: DenyReason::AlreadyBound }
-            }
+            Message::Login { .. } => Response::LoginOk {
+                user_token: UserToken::from_entropy(1),
+            },
+            Message::RequestDevToken { .. } => Response::DevTokenIssued {
+                dev_token: DevToken::from_entropy(2),
+            },
+            Message::Bind(_) if self.deny_bind => Response::Denied {
+                reason: DenyReason::AlreadyBound,
+            },
             Message::Bind(_) => Response::Bound { session: None },
-            Message::QueryShadow { .. } => Response::ShadowState { online: true, bound: true },
-            _ => Response::Denied { reason: DenyReason::UnsupportedOperation },
+            Message::QueryShadow { .. } => Response::ShadowState {
+                online: true,
+                bound: true,
+            },
+            _ => Response::Denied {
+                reason: DenyReason::UnsupportedOperation,
+            },
         };
-        ctx.send(Dest::Unicast(from), Envelope::Response { corr, rsp }.encode().to_vec());
+        ctx.send(
+            Dest::Unicast(from),
+            Envelope::Response { corr, rsp }.encode().to_vec(),
+        );
     }
 }
 
@@ -67,7 +80,9 @@ impl Actor for FakeDevice {
             return;
         }
         if ProvisionRequest::decode(payload).is_ok() {
-            let reply = ProvisionReply::Accepted { device_info: "ok".into() };
+            let reply = ProvisionReply::Accepted {
+                device_info: "ok".into(),
+            };
             ctx.send(Dest::Unicast(from), reply.encode());
         }
     }
@@ -83,14 +98,20 @@ fn run_flow(
     let mut sim = Simulation::with_quality(3, LinkQuality::perfect(), LinkQuality::perfect());
     let cloud = sim.add_node(
         NodeConfig::wan_only("cloud"),
-        Box::new(MockCloud { order: Vec::new(), drop_first, deny_bind }),
+        Box::new(MockCloud {
+            order: Vec::new(),
+            drop_first,
+            deny_bind,
+        }),
     );
     let _device = sim.add_node(NodeConfig::dual("device", LAN), Box::new(FakeDevice));
-    let mut config =
-        AppConfig::new(design, cloud, LAN, UserId::new("u"), UserPw::new("p"));
+    let mut config = AppConfig::new(design, cloud, LAN, UserId::new("u"), UserPw::new("p"));
     config.user_bind_delay = 200;
     config.known_label = Some(dev_id());
-    let app = sim.add_node(NodeConfig::dual("app", LAN), Box::new(AppAgent::new(config)));
+    let app = sim.add_node(
+        NodeConfig::dual("app", LAN),
+        Box::new(AppAgent::new(config)),
+    );
     sim.run_until(Tick(until));
     let bound = sim.actor::<AppAgent>(app).unwrap().is_bound();
     let order = sim.actor_mut::<MockCloud>(cloud).unwrap().order.clone();
@@ -115,14 +136,21 @@ fn bind_first_design_binds_before_provisioning() {
     let (order, bound) = run_flow(vendors::d_link(), 0, false, 20_000);
     assert!(bound);
     assert_eq!(order.first(), Some(&"Login"), "{order:?}");
-    assert_eq!(order.get(1), Some(&"Bind"), "BindFirst: bind directly after login: {order:?}");
+    assert_eq!(
+        order.get(1),
+        Some(&"Bind"),
+        "BindFirst: bind directly after login: {order:?}"
+    );
 }
 
 #[test]
 fn dev_token_design_requests_token_before_binding() {
     let (order, bound) = run_flow(vendors::belkin(), 0, false, 30_000);
     assert!(bound);
-    let token_pos = order.iter().position(|k| *k == "RequestDevToken").expect("token requested");
+    let token_pos = order
+        .iter()
+        .position(|k| *k == "RequestDevToken")
+        .expect("token requested");
     let bind_pos = order.iter().position(|k| *k == "Bind").unwrap();
     assert!(token_pos < bind_pos, "{order:?}");
 }
@@ -150,5 +178,8 @@ fn device_initiated_design_polls_the_shadow() {
     let (order, bound) = run_flow(vendors::tp_link(), 0, false, 30_000);
     assert!(bound, "bound once the shadow reports so: {order:?}");
     assert!(order.contains(&"QueryShadow"), "{order:?}");
-    assert!(!order.contains(&"Bind"), "the app never binds on AclDevice designs: {order:?}");
+    assert!(
+        !order.contains(&"Bind"),
+        "the app never binds on AclDevice designs: {order:?}"
+    );
 }

@@ -59,18 +59,14 @@ impl Adversary {
     /// Sends a forged request to the cloud and waits up to `wait` ticks for
     /// the matching response. Pushes received meanwhile are collected into
     /// [`Adversary::pushes`].
-    pub fn request_wait(
-        &mut self,
-        world: &mut World,
-        msg: Message,
-        wait: u64,
-    ) -> Option<Response> {
+    pub fn request_wait(&mut self, world: &mut World, msg: Message, wait: u64) -> Option<Response> {
         self.corr += 1;
         let corr = CorrId(self.corr);
         let cloud = world.cloud;
-        world
-            .attacker_mut()
-            .queue(Dest::Unicast(cloud), Envelope::Request { corr, msg }.encode().to_vec());
+        world.attacker_mut().queue(
+            Dest::Unicast(cloud),
+            Envelope::Request { corr, msg }.encode().to_vec(),
+        );
         world.run_for(wait);
         self.drain(world, Some(corr))
     }
@@ -86,9 +82,10 @@ impl Adversary {
         self.corr += 1;
         let corr = CorrId(self.corr);
         let cloud = world.cloud;
-        world
-            .attacker_mut()
-            .queue(Dest::Unicast(cloud), Envelope::Request { corr, msg }.encode().to_vec());
+        world.attacker_mut().queue(
+            Dest::Unicast(cloud),
+            Envelope::Request { corr, msg }.encode().to_vec(),
+        );
         corr
     }
 

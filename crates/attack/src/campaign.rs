@@ -96,7 +96,11 @@ pub fn run_campaign(design: &VendorDesign, base_seed: u64) -> VendorCampaign {
         let seed = base_seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
         runs.insert(id, run_attack(design, id, seed));
     }
-    VendorCampaign { design: design.clone(), runs, prediction: analyze(design) }
+    VendorCampaign {
+        design: design.clone(),
+        runs,
+        prediction: analyze(design),
+    }
 }
 
 /// Runs the campaign for all ten vendors of Table III, in table order.
@@ -115,26 +119,37 @@ pub fn run_all_parallel(base_seed: u64) -> Vec<VendorCampaign> {
     let designs = vendors::vendor_designs();
     let mut out: Vec<Option<VendorCampaign>> = Vec::new();
     out.resize_with(designs.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, design) in designs.iter().enumerate() {
             let seed = base_seed.wrapping_add(i as u64 * 17);
             handles.push((i, scope.spawn(move |_| run_campaign(design, seed))));
         }
         for (i, handle) in handles {
-            out[i] = Some(handle.join().expect("campaign thread panicked"));
+            out[i] = Some(
+                handle
+                    .join()
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+            );
         }
-    })
-    .expect("crossbeam scope");
-    out.into_iter().map(|c| c.expect("all campaigns filled")).collect()
+    });
+    if scope_result.is_err() {
+        unreachable!("all campaign threads are joined inside the scope");
+    }
+    out.into_iter()
+        .map(|c| c.unwrap_or_else(|| unreachable!("every campaign slot is filled above")))
+        .collect()
 }
 
 /// Runs the campaign against the secure reference designs (the extension
 /// rows of the reproduced table).
 pub fn run_reference_campaign(base_seed: u64) -> Vec<VendorCampaign> {
-    [vendors::capability_reference(), vendors::public_key_reference()]
-        .iter()
-        .enumerate()
-        .map(|(i, d)| run_campaign(d, base_seed.wrapping_add(1000 + i as u64 * 17)))
-        .collect()
+    [
+        vendors::capability_reference(),
+        vendors::public_key_reference(),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, d)| run_campaign(d, base_seed.wrapping_add(1000 + i as u64 * 17)))
+    .collect()
 }

@@ -12,8 +12,8 @@ use rb_core::design::{BindScheme, DeviceAuthScheme, FirmwareKnowledge, VendorDes
 use rb_core::shadow::ShadowState;
 use rb_scenario::{World, WorldBuilder};
 use rb_wire::messages::{
-    BindPayload, ControlAction, DeviceAttributes, Message, Response, StatusAuth,
-    StatusPayload, UnbindPayload,
+    BindPayload, ControlAction, DeviceAttributes, Message, Response, StatusAuth, StatusPayload,
+    UnbindPayload,
 };
 use rb_wire::telemetry::{ScheduleEntry, TelemetryFrame};
 use rb_wire::tokens::{UserId, UserPw};
@@ -33,15 +33,27 @@ pub struct AttackRun {
 
 impl AttackRun {
     fn feasible(id: AttackId, evidence: Vec<String>) -> Self {
-        AttackRun { id, outcome: Feasibility::Feasible, evidence }
+        AttackRun {
+            id,
+            outcome: Feasibility::Feasible,
+            evidence,
+        }
     }
 
     fn blocked(id: AttackId, by: impl Into<String>, evidence: Vec<String>) -> Self {
-        AttackRun { id, outcome: Feasibility::blocked(by), evidence }
+        AttackRun {
+            id,
+            outcome: Feasibility::blocked(by),
+            evidence,
+        }
     }
 
     fn unconfirmable(id: AttackId, reason: impl Into<String>) -> Self {
-        AttackRun { id, outcome: Feasibility::unconfirmable(reason), evidence: Vec::new() }
+        AttackRun {
+            id,
+            outcome: Feasibility::unconfirmable(reason),
+            evidence: Vec::new(),
+        }
     }
 }
 
@@ -94,7 +106,9 @@ fn forged_bind(
     let dev_id = world.homes[0].dev_id.clone();
     match design.bind {
         BindScheme::AclApp => {
-            let user_token = adv.user_token.expect("adversary logged in");
+            let Some(user_token) = adv.user_token else {
+                unreachable!("the adversary logs in before forging binds")
+            };
             Ok(Message::Bind(BindPayload::AclApp { dev_id, user_token }))
         }
         BindScheme::AclDevice => {
@@ -166,13 +180,20 @@ fn forged_heartbeat(world: &World, telemetry: Vec<TelemetryFrame>) -> Message {
 /// binding: sends `TurnOn` and checks the physical relay.
 fn control_check(world: &mut World, adv: &mut Adversary, evidence: &mut Vec<String>) -> bool {
     let dev_id = world.homes[0].dev_id.clone();
-    let user_token = adv.user_token.expect("adversary logged in");
+    let Some(user_token) = adv.user_token else {
+        unreachable!("the adversary logs in before attempting control")
+    };
     // A hijacker presents whatever session token came with the stolen
     // binding, exactly as the protocol demands.
     let session = adv.hijack_session;
     let rsp = adv.request(
         world,
-        Message::Control { dev_id, user_token, session, action: ControlAction::TurnOn },
+        Message::Control {
+            dev_id,
+            user_token,
+            session,
+            action: ControlAction::TurnOn,
+        },
     );
     world.run_for(5_000);
     match rsp {
@@ -216,9 +237,15 @@ fn run_a1(design: &VendorDesign, seed: u64) -> AttackRun {
             evidence.push("forged registration accepted".into());
         }
         Some(Response::Denied { reason }) => {
-            return AttackRun::blocked(ID, format!("forged registration denied: {reason}"), evidence);
+            return AttackRun::blocked(
+                ID,
+                format!("forged registration denied: {reason}"),
+                evidence,
+            );
         }
-        other => return AttackRun::blocked(ID, format!("no registration response: {other:?}"), evidence),
+        other => {
+            return AttackRun::blocked(ID, format!("no registration response: {other:?}"), evidence)
+        }
     }
     // If the registration nuked the binding, there is no user left to
     // deceive (TP-LINK: the forgery lands as A3-4 instead).
@@ -244,20 +271,31 @@ fn run_a1(design: &VendorDesign, seed: u64) -> AttackRun {
 
     // Stealing: the victim stores a schedule; the forged device session
     // receives the push meant for the real device.
-    let secret_entry = ScheduleEntry { at_tick: 0x5EC2E7, turn_on: false };
-    world.app_mut(0).queue_control(ControlAction::SetSchedule(secret_entry.clone()));
+    let secret_entry = ScheduleEntry {
+        at_tick: 0x5EC2E7,
+        turn_on: false,
+    };
+    world
+        .app_mut(0)
+        .queue_control(ControlAction::SetSchedule(secret_entry.clone()));
     world.run_for(10_000);
     adv.drain(&mut world, None);
     let stolen = adv.saw_push(|rsp| {
         matches!(rsp, Response::ControlPush { action: ControlAction::SetSchedule(e), .. } if *e == secret_entry)
     });
-    evidence.push(format!("victim's schedule exfiltrated to the attacker: {stolen}"));
+    evidence.push(format!(
+        "victim's schedule exfiltrated to the attacker: {stolen}"
+    ));
 
     evidence.push(alert_summary(&world));
     if injected && stolen {
         AttackRun::feasible(ID, evidence)
     } else {
-        AttackRun::blocked(ID, "forged session did not carry user data both ways", evidence)
+        AttackRun::blocked(
+            ID,
+            "forged session did not carry user data both ways",
+            evidence,
+        )
     }
 }
 
@@ -269,14 +307,22 @@ fn run_a2(design: &VendorDesign, seed: u64) -> AttackRun {
     const ID: AttackId = AttackId::A2;
     // Target the *initial* state: the device is manufactured and its ID
     // leaked, but the victim has not set it up yet.
-    let mut world = WorldBuilder::new(design.clone(), seed).victim_paused().build();
+    let mut world = WorldBuilder::new(design.clone(), seed)
+        .victim_paused()
+        .build();
     let mut adv = Adversary::new();
     adv.login(&mut world);
     let mut evidence = Vec::new();
 
     let bind = match forged_bind(design, &world, &adv) {
         Ok(m) => m,
-        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+        Err(f) => {
+            return AttackRun {
+                id: ID,
+                outcome: f,
+                evidence,
+            }
+        }
     };
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
@@ -293,7 +339,9 @@ fn run_a2(design: &VendorDesign, seed: u64) -> AttackRun {
     world.resume_victims();
     let converged = world.try_run_setup(150_000);
     let holder = world.cloud().bound_user(&world.homes[0].dev_id);
-    evidence.push(format!("victim setup converged: {converged}; binding holder: {holder:?}"));
+    evidence.push(format!(
+        "victim setup converged: {converged}; binding holder: {holder:?}"
+    ));
     evidence.push(alert_summary(&world));
     if !converged && holder == Some(UserId::new(ATTACKER_ID)) {
         AttackRun::feasible(ID, evidence)
@@ -317,10 +365,17 @@ fn run_a3_1(design: &VendorDesign, seed: u64) -> AttackRun {
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
     let dev_id = world.homes[0].dev_id.clone();
-    match adv.request(&mut world, Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id.clone() })) {
+    match adv.request(
+        &mut world,
+        Message::Unbind(UnbindPayload::DevIdOnly {
+            dev_id: dev_id.clone(),
+        }),
+    ) {
         Some(Response::Unbound) => {
             let unbound = world.cloud().bound_user(&dev_id).is_none();
-            evidence.push(format!("cloud accepted Unbind:DevId; binding revoked: {unbound}"));
+            evidence.push(format!(
+                "cloud accepted Unbind:DevId; binding revoked: {unbound}"
+            ));
             evidence.push(alert_summary(&world));
             if unbound {
                 AttackRun::feasible(ID, evidence)
@@ -345,7 +400,10 @@ fn run_a3_2(design: &VendorDesign, seed: u64) -> AttackRun {
     let dev_id = world.homes[0].dev_id.clone();
     match adv.request(
         &mut world,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id.clone(), user_token }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id.clone(),
+            user_token,
+        }),
     ) {
         Some(Response::Unbound) => {
             let unbound = world.cloud().bound_user(&dev_id).is_none();
@@ -380,7 +438,13 @@ fn run_a3_3(design: &VendorDesign, seed: u64) -> AttackRun {
 
     let bind = match forged_bind(design, &world, &adv) {
         Ok(m) => m,
-        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+        Err(f) => {
+            return AttackRun {
+                id: ID,
+                outcome: f,
+                evidence,
+            }
+        }
     };
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
@@ -394,7 +458,9 @@ fn run_a3_3(design: &VendorDesign, seed: u64) -> AttackRun {
     }
     world.run_for(5_000);
     let victim_disconnected = !world.app(0).is_bound();
-    evidence.push(format!("victim app lost its binding: {victim_disconnected}"));
+    evidence.push(format!(
+        "victim app lost its binding: {victim_disconnected}"
+    ));
     if !victim_disconnected {
         return AttackRun::blocked(ID, "victim binding survived", evidence);
     }
@@ -402,7 +468,11 @@ fn run_a3_3(design: &VendorDesign, seed: u64) -> AttackRun {
     // A4-1 classification applies and this run does not count as A3-3.
     let works = control_check(&mut world, &mut adv, &mut evidence);
     if works && design.auth != DeviceAuthScheme::Opaque {
-        AttackRun::blocked(ID, "subsumed by A4-1: the replacement yields control", evidence)
+        AttackRun::blocked(
+            ID,
+            "subsumed by A4-1: the replacement yields control",
+            evidence,
+        )
     } else {
         AttackRun::feasible(ID, evidence)
     }
@@ -427,7 +497,11 @@ fn run_a3_4(design: &VendorDesign, seed: u64) -> AttackRun {
             evidence.push("forged registration accepted".into());
         }
         Some(Response::Denied { reason }) => {
-            return AttackRun::blocked(ID, format!("forged registration denied: {reason}"), evidence);
+            return AttackRun::blocked(
+                ID,
+                format!("forged registration denied: {reason}"),
+                evidence,
+            );
         }
         other => return AttackRun::blocked(ID, format!("no response: {other:?}"), evidence),
     }
@@ -438,7 +512,11 @@ fn run_a3_4(design: &VendorDesign, seed: u64) -> AttackRun {
     if unbound {
         AttackRun::feasible(ID, evidence)
     } else {
-        AttackRun::blocked(ID, "a fresh registration does not reset the binding", evidence)
+        AttackRun::blocked(
+            ID,
+            "a fresh registration does not reset the binding",
+            evidence,
+        )
     }
 }
 
@@ -456,7 +534,13 @@ fn run_a4_1(design: &VendorDesign, seed: u64) -> AttackRun {
 
     let bind = match forged_bind(design, &world, &adv) {
         Ok(m) => m,
-        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+        Err(f) => {
+            return AttackRun {
+                id: ID,
+                outcome: f,
+                evidence,
+            }
+        }
     };
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
@@ -470,7 +554,11 @@ fn run_a4_1(design: &VendorDesign, seed: u64) -> AttackRun {
     }
     let works = control_check(&mut world, &mut adv, &mut evidence);
     let outcome = control_feasibility(design, works, "binding replaced but control is not relayed");
-    AttackRun { id: ID, outcome, evidence }
+    AttackRun {
+        id: ID,
+        outcome,
+        evidence,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -479,14 +567,20 @@ fn run_a4_1(design: &VendorDesign, seed: u64) -> AttackRun {
 
 fn run_a4_2(design: &VendorDesign, seed: u64) -> AttackRun {
     const ID: AttackId = AttackId::A4_2;
-    let mut world = WorldBuilder::new(design.clone(), seed).victim_paused().build();
+    let mut world = WorldBuilder::new(design.clone(), seed)
+        .victim_paused()
+        .build();
     let mut adv = Adversary::new();
     adv.login(&mut world);
     let mut evidence = Vec::new();
 
     // Can the attacker even construct a bind?
     if let Err(f) = forged_bind(design, &world, &adv) {
-        return AttackRun { id: ID, outcome: f, evidence };
+        return AttackRun {
+            id: ID,
+            outcome: f,
+            evidence,
+        };
     }
 
     // The victim starts setting up; the attacker fires binds blindly at a
@@ -495,7 +589,9 @@ fn run_a4_2(design: &VendorDesign, seed: u64) -> AttackRun {
     world.resume_victims();
     let mut occupied = false;
     for _round in 0..600 {
-        let bind = forged_bind(design, &world, &adv).expect("checked above");
+        let Ok(bind) = forged_bind(design, &world, &adv) else {
+            unreachable!("forgeability was checked before the probe loop")
+        };
         adv.fire(&mut world, bind);
         world.run_for(250);
         if let Some(Response::Bound { session }) = latest_bind_response(&mut adv, &mut world) {
@@ -525,13 +621,20 @@ fn run_a4_2(design: &VendorDesign, seed: u64) -> AttackRun {
     }
     let works = control_check(&mut world, &mut adv, &mut evidence);
     let outcome = control_feasibility(design, works, "window won but control is not relayed");
-    AttackRun { id: ID, outcome, evidence }
+    AttackRun {
+        id: ID,
+        outcome,
+        evidence,
+    }
 }
 
 fn latest_bind_response(adv: &mut Adversary, world: &mut World) -> Option<Response> {
     adv.drain(world, None);
     let stash: Vec<_> = adv.stashed_responses().to_vec();
-    stash.into_iter().map(|(_, r)| r).rfind(|r| matches!(r, Response::Bound { .. }))
+    stash
+        .into_iter()
+        .map(|(_, r)| r)
+        .rfind(|r| matches!(r, Response::Bound { .. }))
 }
 
 // ---------------------------------------------------------------------------
@@ -549,9 +652,14 @@ fn run_a4_3(design: &VendorDesign, seed: u64) -> AttackRun {
 
     // Step 1: revoke the victim's binding.
     let unbind = if design.unbind.dev_id_only {
-        Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id.clone() })
+        Message::Unbind(UnbindPayload::DevIdOnly {
+            dev_id: dev_id.clone(),
+        })
     } else {
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id.clone(), user_token })
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id.clone(),
+            user_token,
+        })
     };
     match adv.request(&mut world, unbind) {
         Some(Response::Unbound) => evidence.push("step 1: victim unbound".into()),
@@ -564,7 +672,13 @@ fn run_a4_3(design: &VendorDesign, seed: u64) -> AttackRun {
     // Step 2: bind the now-unbound device to the attacker.
     let bind = match forged_bind(design, &world, &adv) {
         Ok(m) => m,
-        Err(f) => return AttackRun { id: ID, outcome: f, evidence },
+        Err(f) => {
+            return AttackRun {
+                id: ID,
+                outcome: f,
+                evidence,
+            }
+        }
     };
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
@@ -579,7 +693,14 @@ fn run_a4_3(design: &VendorDesign, seed: u64) -> AttackRun {
 
     // Step 3: absolute control.
     let works = control_check(&mut world, &mut adv, &mut evidence);
-    let outcome =
-        control_feasibility(design, works, "bound but control is not relayed to the device");
-    AttackRun { id: ID, outcome, evidence }
+    let outcome = control_feasibility(
+        design,
+        works,
+        "bound but control is not relayed to the device",
+    );
+    AttackRun {
+        id: ID,
+        outcome,
+        evidence,
+    }
 }

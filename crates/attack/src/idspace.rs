@@ -126,7 +126,10 @@ pub fn sequential_sweep(
             hits.push(candidate.short());
         }
     }
-    SweepResult { probes: probe_budget, hits }
+    SweepResult {
+        probes: probe_budget,
+        hits,
+    }
 }
 
 /// Simulates a *random* enumeration sweep (for spaces with no known
@@ -145,7 +148,10 @@ pub fn random_sweep(
             hits.push(candidate.short());
         }
     }
-    SweepResult { probes: probe_budget, hits }
+    SweepResult {
+        probes: probe_budget,
+        hits,
+    }
 }
 
 /// How the paper's authors obtained each vendor's device IDs
@@ -166,9 +172,18 @@ pub fn vendor_leak_channels(vendor: &str) -> Vec<LeakChannel> {
         "KONKE" => vec![LeakChannel::LabelOnDevice],
         // MAC-as-ID without a printed label: observed from traffic and
         // enumerable through the OUI.
-        "BroadLink" => vec![LeakChannel::TrafficObservation, LeakChannel::RemoteEnumeration],
-        "Orvibo" => vec![LeakChannel::TrafficObservation, LeakChannel::RemoteEnumeration],
-        "Philips Hue" => vec![LeakChannel::TrafficObservation, LeakChannel::RemoteEnumeration],
+        "BroadLink" => vec![
+            LeakChannel::TrafficObservation,
+            LeakChannel::RemoteEnumeration,
+        ],
+        "Orvibo" => vec![
+            LeakChannel::TrafficObservation,
+            LeakChannel::RemoteEnumeration,
+        ],
+        "Philips Hue" => vec![
+            LeakChannel::TrafficObservation,
+            LeakChannel::RemoteEnumeration,
+        ],
         // Recovered by differential analysis of app messages.
         "Lightstory" => vec![LeakChannel::DifferentialAnalysis],
         _ => vec![LeakChannel::PurchaseAndReturn, LeakChannel::SupplyChain],
@@ -179,10 +194,15 @@ pub fn vendor_leak_channels(vendor: &str) -> Vec<LeakChannel> {
 /// studied scheme at several probe rates.
 pub fn cost_table() -> Vec<EnumerationCost> {
     let schemes = [
-        IdScheme::MacWithOui { oui: [0x50, 0xc7, 0xbf] },
+        IdScheme::MacWithOui {
+            oui: [0x50, 0xc7, 0xbf],
+        },
         IdScheme::ShortDigits { width: 6 },
         IdScheme::ShortDigits { width: 7 },
-        IdScheme::SequentialSerial { vendor: 1, start: 0 },
+        IdScheme::SequentialSerial {
+            vendor: 1,
+            start: 0,
+        },
         IdScheme::RandomUuid,
     ];
     let rates = [300u64, 3_000, 30_000];
@@ -229,7 +249,11 @@ mod tests {
         let scheme = IdScheme::ShortDigits { width: 6 };
         let population: HashSet<DevId> = (0..50).map(|i| scheme.id_at(i * 10)).collect();
         let result = sequential_sweep(&scheme, &population, 500);
-        assert_eq!(result.hits.len(), 50, "all 50 devices found within 500 probes");
+        assert_eq!(
+            result.hits.len(),
+            50,
+            "all 50 devices found within 500 probes"
+        );
     }
 
     #[test]
@@ -252,7 +276,10 @@ mod tests {
     #[test]
     fn leak_channels_display() {
         assert_eq!(LeakChannel::SupplyChain.to_string(), "supply chain");
-        assert_eq!(LeakChannel::RemoteEnumeration.to_string(), "remote enumeration");
+        assert_eq!(
+            LeakChannel::RemoteEnumeration.to_string(),
+            "remote enumeration"
+        );
     }
 
     #[test]
@@ -263,7 +290,10 @@ mod tests {
             .iter()
             .filter(|d| vendor_leak_channels(&d.vendor).contains(&LeakChannel::LabelOnDevice))
             .count();
-        assert_eq!(labels, 6, "6 of them directly attach the device IDs on the devices");
+        assert_eq!(
+            labels, 6,
+            "6 of them directly attach the device IDs on the devices"
+        );
         // Every MAC-scheme vendor is enumerable through its OUI.
         for d in &designs {
             if matches!(d.id_scheme, rb_wire::ids::IdScheme::MacWithOui { .. }) {

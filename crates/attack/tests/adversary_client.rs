@@ -26,7 +26,12 @@ fn fired_requests_land_in_the_stash() {
     let mut adv = Adversary::new();
     adv.login(&mut world);
     let dev_id = world.homes[0].dev_id.clone();
-    let c1 = adv.fire(&mut world, Message::QueryShadow { dev_id: dev_id.clone() });
+    let c1 = adv.fire(
+        &mut world,
+        Message::QueryShadow {
+            dev_id: dev_id.clone(),
+        },
+    );
     let c2 = adv.fire(&mut world, Message::QueryShadow { dev_id });
     world.run_for(5_000);
     assert_eq!(adv.drain(&mut world, None), None, "no awaited corr");
@@ -39,11 +44,15 @@ fn fired_requests_land_in_the_stash() {
 fn attacker_node_cannot_reach_the_lan() {
     // The WAN-only attacker cannot deliver LAN frames: send a provisioning
     // request straight at the device node and observe nothing changes.
-    let mut world = WorldBuilder::new(vendors::d_link(), 79).victim_paused().build();
+    let mut world = WorldBuilder::new(vendors::d_link(), 79)
+        .victim_paused()
+        .build();
     world.resume_victims();
     let device_node = world.homes[0].device;
     let junk = vec![0xB2]; // a LocalCtl::FactoryReset frame, hand-crafted
-    world.attacker_mut().queue(rb_netsim::Dest::Unicast(device_node), junk);
+    world
+        .attacker_mut()
+        .queue(rb_netsim::Dest::Unicast(device_node), junk);
     world.run_for(5_000);
     assert_eq!(world.device(0).stats.resets, 0, "the LAN boundary held");
 }
@@ -98,7 +107,10 @@ fn victim_account_is_never_touched() {
     assert!(!world.app(0).is_bound());
     // The victim taps "add device" again and recovers.
     world.app_mut(0).restart_setup();
-    assert!(world.try_run_setup(120_000), "victim recovers by re-binding");
+    assert!(
+        world.try_run_setup(120_000),
+        "victim recovers by re-binding"
+    );
     assert_eq!(
         world.cloud().bound_user(&world.homes[0].dev_id),
         Some(UserId::new("user0@example.com"))

@@ -15,14 +15,20 @@ fn bench_analyzer(c: &mut Criterion) {
     group.throughput(Throughput::Elements(designs.len() as u64));
     group.bench_function("analyze_ten_vendors", |b| {
         b.iter(|| {
-            designs.iter().map(|d| black_box(analyze(d)).verdicts.len()).sum::<usize>()
+            designs
+                .iter()
+                .map(|d| black_box(analyze(d)).verdicts.len())
+                .sum::<usize>()
         })
     });
 
     group.throughput(Throughput::Elements(designs.len() as u64));
     group.bench_function("recommend_ten_vendors", |b| {
         b.iter(|| {
-            designs.iter().map(|d| black_box(recommendations(d)).len()).sum::<usize>()
+            designs
+                .iter()
+                .map(|d| black_box(recommendations(d)).len())
+                .sum::<usize>()
         })
     });
 

@@ -29,10 +29,15 @@ fn setup(devices: usize) -> Bench {
     let rsp = cloud.handle_message(
         NodeId(0),
         Tick(0),
-        &Message::Login { user_id: UserId::new("u"), user_pw: UserPw::new("p") },
+        &Message::Login {
+            user_id: UserId::new("u"),
+            user_pw: UserPw::new("p"),
+        },
         &mut rng,
     );
-    let Response::LoginOk { user_token } = rsp.reply else { panic!("login") };
+    let Response::LoginOk { user_token } = rsp.reply else {
+        panic!("login")
+    };
     let mut dev_ids = Vec::new();
     for i in 0..devices {
         let dev_id = design.id_scheme.id_at(i as u64);
@@ -51,12 +56,21 @@ fn setup(devices: usize) -> Bench {
         cloud.handle_message(
             NodeId(0),
             Tick(2),
-            &Message::Bind(BindPayload::AclApp { dev_id: dev_id.clone(), user_token }),
+            &Message::Bind(BindPayload::AclApp {
+                dev_id: dev_id.clone(),
+                user_token,
+            }),
             &mut rng,
         );
         dev_ids.push(dev_id);
     }
-    Bench { cloud, rng, user_token, dev_ids, tick: 10 }
+    Bench {
+        cloud,
+        rng,
+        user_token,
+        dev_ids,
+        tick: 10,
+    }
 }
 
 fn bench_cloud(c: &mut Criterion) {
@@ -95,7 +109,10 @@ fn bench_cloud(c: &mut Criterion) {
                 session: None,
                 action: ControlAction::TurnOn,
             };
-            black_box(b2.cloud.handle_message(NodeId(0), Tick(b2.tick), &msg, &mut b2.rng))
+            black_box(
+                b2.cloud
+                    .handle_message(NodeId(0), Tick(b2.tick), &msg, &mut b2.rng),
+            )
         })
     });
 
@@ -109,12 +126,16 @@ fn bench_cloud(c: &mut Criterion) {
                 dev_id: b3.dev_ids[i].clone(),
                 user_token: b3.user_token,
             });
-            b3.cloud.handle_message(NodeId(0), Tick(b3.tick), &unbind, &mut b3.rng);
+            b3.cloud
+                .handle_message(NodeId(0), Tick(b3.tick), &unbind, &mut b3.rng);
             let bind = Message::Bind(BindPayload::AclApp {
                 dev_id: b3.dev_ids[i].clone(),
                 user_token: b3.user_token,
             });
-            black_box(b3.cloud.handle_message(NodeId(0), Tick(b3.tick), &bind, &mut b3.rng))
+            black_box(
+                b3.cloud
+                    .handle_message(NodeId(0), Tick(b3.tick), &bind, &mut b3.rng),
+            )
         })
     });
 

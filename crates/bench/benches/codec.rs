@@ -1,6 +1,9 @@
 //! Wire-codec microbenchmarks: encode/decode throughput for the message
 //! shapes the cloud handles on its hot path.
 
+// Bench code: panicking on a malformed fixture is the right behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use rb_wire::codec::{decode_message, encode_message};
 use rb_wire::envelope::{CorrId, Envelope};
@@ -30,7 +33,10 @@ fn sample_status() -> Message {
 
 fn sample_bind() -> Message {
     Message::Bind(BindPayload::AclApp {
-        dev_id: DevId::Digits { value: 123_456, width: 6 },
+        dev_id: DevId::Digits {
+            value: 123_456,
+            width: 6,
+        },
         user_token: UserToken::from_entropy(42),
     })
 }
@@ -43,16 +49,23 @@ fn bench_codec(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Bytes(status_bytes.len() as u64));
-    group.bench_function("encode_status", |b| b.iter(|| encode_message(black_box(&status))));
+    group.bench_function("encode_status", |b| {
+        b.iter(|| encode_message(black_box(&status)))
+    });
     group.bench_function("decode_status", |b| {
         b.iter(|| decode_message(black_box(&status_bytes)).unwrap())
     });
     group.throughput(Throughput::Bytes(bind_bytes.len() as u64));
-    group.bench_function("encode_bind", |b| b.iter(|| encode_message(black_box(&bind))));
+    group.bench_function("encode_bind", |b| {
+        b.iter(|| encode_message(black_box(&bind)))
+    });
     group.bench_function("decode_bind", |b| {
         b.iter(|| decode_message(black_box(&bind_bytes)).unwrap())
     });
-    let env = Envelope::Request { corr: CorrId(7), msg: sample_status() };
+    let env = Envelope::Request {
+        corr: CorrId(7),
+        msg: sample_status(),
+    };
     let env_bytes = env.encode();
     group.bench_function("envelope_roundtrip", |b| {
         b.iter(|| Envelope::decode(black_box(&env_bytes)).unwrap())

@@ -15,7 +15,13 @@ fn bench_enumeration(c: &mut Criterion) {
     let schemes = [
         ("mac_oui", IdScheme::MacWithOui { oui: [1, 2, 3] }),
         ("digits6", IdScheme::ShortDigits { width: 6 }),
-        ("serial", IdScheme::SequentialSerial { vendor: 9, start: 0 }),
+        (
+            "serial",
+            IdScheme::SequentialSerial {
+                vendor: 9,
+                start: 0,
+            },
+        ),
         ("uuid", IdScheme::RandomUuid),
     ];
 

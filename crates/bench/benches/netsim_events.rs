@@ -47,7 +47,10 @@ fn bench_netsim(c: &mut Criterion) {
             let mut sim =
                 Simulation::with_quality(1, LinkQuality::perfect(), LinkQuality::perfect());
             let a = sim.add_node(NodeConfig::wan_only("a"), Box::new(PingPong { peer: None }));
-            let _b = sim.add_node(NodeConfig::wan_only("b"), Box::new(PingPong { peer: Some(a) }));
+            let _b = sim.add_node(
+                NodeConfig::wan_only("b"),
+                Box::new(PingPong { peer: Some(a) }),
+            );
             for _ in 0..10_000 {
                 if !sim.step() {
                     break;
@@ -64,11 +67,8 @@ fn bench_netsim(c: &mut Criterion) {
             &fanout,
             |b, &fanout| {
                 b.iter(|| {
-                    let mut sim = Simulation::with_quality(
-                        1,
-                        LinkQuality::perfect(),
-                        LinkQuality::perfect(),
-                    );
+                    let mut sim =
+                        Simulation::with_quality(1, LinkQuality::perfect(), LinkQuality::perfect());
                     let lan = LanId(0);
                     sim.add_node(NodeConfig::dual("tx", lan), Box::new(Broadcaster { lan }));
                     for i in 0..fanout {

@@ -37,13 +37,20 @@ fn main() {
                 design.vendor.clone(),
                 feasible.join(", "),
                 rec.id.to_string(),
-                rec.eliminates.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", "),
+                rec.eliminates
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
             ]);
         }
     }
     println!(
         "{}",
-        render_table(&["vendor", "feasible attacks", "single fix", "eliminates"], &rows)
+        render_table(
+            &["vendor", "feasible attacks", "single fix", "eliminates"],
+            &rows
+        )
     );
 
     // Cross-vendor summary: how often each fix appears and what it kills.

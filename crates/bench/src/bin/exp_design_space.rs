@@ -33,7 +33,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["attack", "designs vulnerable", "share", "unconfirmable"], &rows)
+        render_table(
+            &["attack", "designs vulnerable", "share", "unconfirmable"],
+            &rows
+        )
     );
 
     println!(
@@ -69,8 +72,14 @@ fn main() {
     let minimal = minimal_secure_design();
     let report = analyze(&minimal);
     println!("\nminimal secure recipe (every attack definitively blocked):");
-    println!("  auth = {}, bind = {}, unbind = {} with ownership check,", minimal.auth, minimal.bind, minimal.unbind);
-    println!("  reject-bind-when-bound = {}", minimal.checks.reject_bind_when_bound);
+    println!(
+        "  auth = {}, bind = {}, unbind = {} with ownership check,",
+        minimal.auth, minimal.bind, minimal.unbind
+    );
+    println!(
+        "  reject-bind-when-bound = {}",
+        minimal.checks.reject_bind_when_bound
+    );
     for id in AttackId::ALL {
         println!("    {:5} {}", id.to_string(), report.verdict(id));
     }

@@ -35,7 +35,9 @@ fn main() {
                 .find(|e| e.starts_with("cloud monitor:"))
                 .cloned()
                 .unwrap_or_else(|| "cloud monitor: (not sampled)".to_owned());
-            let alerts = monitor_line.trim_start_matches("cloud monitor: ").to_owned();
+            let alerts = monitor_line
+                .trim_start_matches("cloud monitor: ")
+                .to_owned();
             if alerts == "no alerts" {
                 silent_successes += 1;
             } else {
@@ -46,7 +48,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["vendor", "successful attack", "alerts the monitor raised"], &rows)
+        render_table(
+            &["vendor", "successful attack", "alerts the monitor raised"],
+            &rows
+        )
     );
     println!(
         "successful attacks with at least one alert: {noisy_successes}/{} \

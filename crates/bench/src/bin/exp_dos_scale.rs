@@ -22,7 +22,10 @@ use rb_wire::messages::{BindPayload, Message, Response};
 /// Occupies every enumerable device of a series pre-setup, then lets the
 /// victims try. Returns (bindings occupied, victims locked out).
 fn dos_series(design: &VendorDesign, homes: usize, seed: u64) -> (usize, usize) {
-    let mut world = WorldBuilder::new(design.clone(), seed).homes(homes).victim_paused().build();
+    let mut world = WorldBuilder::new(design.clone(), seed)
+        .homes(homes)
+        .victim_paused()
+        .build();
     let mut adv = Adversary::new();
     let user_token = adv.login(&mut world);
 
@@ -55,7 +58,10 @@ fn main() {
 
     // A vulnerable vendor with sequential IDs (OZWI-style camera line).
     let mut vulnerable = vendors::ozwi();
-    vulnerable.id_scheme = IdScheme::SequentialSerial { vendor: 0x0102, start: 0 };
+    vulnerable.id_scheme = IdScheme::SequentialSerial {
+        vendor: 0x0102,
+        start: 0,
+    };
     let secure = vendors::capability_reference();
 
     let mut rows = Vec::new();

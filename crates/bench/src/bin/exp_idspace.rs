@@ -31,15 +31,27 @@ fn main() {
                 c.scheme.clone(),
                 format!("{}", c.search_space),
                 format!("{}/s", c.probes_per_sec),
-                c.seconds_to_exhaust.map(human_secs).unwrap_or_else(|| "forever".to_owned()),
-                if c.within_an_hour() { "YES".to_owned() } else { "no".to_owned() },
+                c.seconds_to_exhaust
+                    .map(human_secs)
+                    .unwrap_or_else(|| "forever".to_owned()),
+                if c.within_an_hour() {
+                    "YES".to_owned()
+                } else {
+                    "no".to_owned()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["scheme", "search space", "probe rate", "time to exhaust", "within an hour?"],
+            &[
+                "scheme",
+                "search space",
+                "probe rate",
+                "time to exhaust",
+                "within an hour?"
+            ],
             &rows
         )
     );
@@ -48,32 +60,47 @@ fn main() {
     let six = EnumerationCost::of(&IdScheme::ShortDigits { width: 6 }, 300);
     println!(
         "  6-digit IDs at a modest 300 probes/s: {} (paper: within an hour) -> {}",
-        human_secs(six.seconds_to_exhaust.unwrap()),
-        if six.within_an_hour() { "HOLDS" } else { "FAILS" }
+        human_secs(six.seconds_to_exhaust.unwrap_or(f64::INFINITY)),
+        if six.within_an_hour() {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     let seven = EnumerationCost::of(&IdScheme::ShortDigits { width: 7 }, 3_000);
     println!(
         "  7-digit IDs at 3000 probes/s: {} (paper: within an hour) -> {}",
-        human_secs(seven.seconds_to_exhaust.unwrap()),
-        if seven.within_an_hour() { "HOLDS" } else { "FAILS" }
+        human_secs(seven.seconds_to_exhaust.unwrap_or(f64::INFINITY)),
+        if seven.within_an_hour() {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     let mac = EnumerationCost::of(&IdScheme::MacWithOui { oui: [0, 0, 0] }, 30_000);
     println!(
         "  MAC with known OUI: 2^24 = {} candidates, {} at 30k probes/s (paper: 3-byte space)",
         mac.search_space,
-        human_secs(mac.seconds_to_exhaust.unwrap())
+        human_secs(mac.seconds_to_exhaust.unwrap_or(f64::INFINITY))
     );
 
     // §VI-A: how the attacker obtained each vendor's IDs.
-    println!("
-ID acquisition per studied vendor (paper §VI-A):");
+    println!(
+        "
+ID acquisition per studied vendor (paper §VI-A):"
+    );
     let mut rows = Vec::new();
     for design in rb_core::vendors::vendor_designs() {
-        let channels: Vec<String> =
-            vendor_leak_channels(&design.vendor).iter().map(|c| c.to_string()).collect();
+        let channels: Vec<String> = vendor_leak_channels(&design.vendor)
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         rows.push(vec![design.vendor.clone(), channels.join(", ")]);
     }
-    println!("{}", render_table(&["vendor", "acquisition channels"], &rows));
+    println!(
+        "{}",
+        render_table(&["vendor", "acquisition channels"], &rows)
+    );
 
     // Live sweep validation: a vendor ships 1000 units; how many does a
     // bounded sweep find?
@@ -81,9 +108,20 @@ ID acquisition per studied vendor (paper §VI-A):");
     let mut rng = SimRng::new(99);
     let mut rows = Vec::new();
     for (name, scheme) in [
-        ("sequential serial", IdScheme::SequentialSerial { vendor: 1, start: 5_000_000 }),
+        (
+            "sequential serial",
+            IdScheme::SequentialSerial {
+                vendor: 1,
+                start: 5_000_000,
+            },
+        ),
         ("6-digit", IdScheme::ShortDigits { width: 6 }),
-        ("MAC w/ known OUI", IdScheme::MacWithOui { oui: [0x50, 0xc7, 0xbf] }),
+        (
+            "MAC w/ known OUI",
+            IdScheme::MacWithOui {
+                oui: [0x50, 0xc7, 0xbf],
+            },
+        ),
         ("random UUID", IdScheme::RandomUuid),
     ] {
         let population: HashSet<DevId> = (0..1000).map(|i| scheme.id_at(i)).collect();
@@ -97,14 +135,19 @@ ID acquisition per studied vendor (paper §VI-A):");
     }
     println!(
         "{}",
-        render_table(&["scheme", "sequential sweep hits", "random sweep hits"], &rows)
+        render_table(
+            &["scheme", "sequential sweep hits", "random sweep hits"],
+            &rows
+        )
     );
     println!("shape check: dense/sequential spaces surrender the whole series; 128-bit random IDs surrender nothing.");
 
     // The defense none of the studied vendors deployed: per-source rate
     // limiting re-prices the whole table.
-    println!("
-with a 10 req/s per-source rate limit (rb-cloud supports one; no studied vendor used it):");
+    println!(
+        "
+with a 10 req/s per-source rate limit (rb-cloud supports one; no studied vendor used it):"
+    );
     for (name, scheme) in [
         ("6-digit ID", IdScheme::ShortDigits { width: 6 }),
         ("7-digit ID", IdScheme::ShortDigits { width: 7 }),
@@ -113,7 +156,9 @@ with a 10 req/s per-source rate limit (rb-cloud supports one; no studied vendor 
         let c = EnumerationCost::of(&scheme, 10);
         println!(
             "  {name}: {} (was minutes at unthrottled rates)",
-            c.seconds_to_exhaust.map(human_secs).unwrap_or_else(|| "forever".into())
+            c.seconds_to_exhaust
+                .map(human_secs)
+                .unwrap_or_else(|| "forever".into())
         );
     }
 }

@@ -43,7 +43,10 @@ fn main() {
         } else {
             "other "
         };
-        println!("  {} {} -> cloud: {:16} => {}", entry.at, who, entry.request, entry.outcome);
+        println!(
+            "  {} {} -> cloud: {:16} => {}",
+            entry.at, who, entry.request, entry.outcome
+        );
         shown += 1;
         if shown >= 12 {
             break;
@@ -57,5 +60,7 @@ fn main() {
     println!("  shadow   : {}", world.shadow_state(0));
 
     assert!(!world.app(0).is_bound());
-    println!("\nfull life cycle executed: authenticate → configure → bind → control state → revoke.");
+    println!(
+        "\nfull life cycle executed: authenticate → configure → bind → control state → revoke."
+    );
 }

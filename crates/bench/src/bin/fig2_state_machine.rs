@@ -13,7 +13,12 @@ fn main() {
     println!("Figure 2: state machine of a device shadow\n");
     println!("states are (online?, bound?):");
     for s in ShadowState::ALL {
-        println!("  {:8} online={} bound={}", s.to_string(), s.is_online(), s.is_bound());
+        println!(
+            "  {:8} online={} bound={}",
+            s.to_string(),
+            s.is_online(),
+            s.is_bound()
+        );
     }
     println!();
 
@@ -25,7 +30,9 @@ fn main() {
                 .transition_label(p)
                 .map(|n| {
                     // The paper's circled digits.
-                    char::from_u32(0x2460 + u32::from(n) - 1).unwrap_or('?').to_string()
+                    char::from_u32(0x2460 + u32::from(n) - 1)
+                        .unwrap_or('?')
+                        .to_string()
                 })
                 .unwrap_or_else(|| "·".to_owned());
             rows.push(vec![
@@ -33,7 +40,11 @@ fn main() {
                 p.to_string(),
                 next.to_string(),
                 label,
-                if next == s { "self-loop".to_owned() } else { String::new() },
+                if next == s {
+                    "self-loop".to_owned()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
@@ -56,14 +67,38 @@ fn main() {
     if std::env::args().any(|a| a == "--notation") {
         println!("\nTable I: notations");
         let rows = vec![
-            vec!["Status".into(), "messages to report device status (sent by the device)".into()],
-            vec!["Bind".into(), "messages to create bindings in the cloud".into()],
-            vec!["Unbind".into(), "messages to revoke bindings in the cloud".into()],
-            vec!["DevId".into(), "a piece of definite data for device authentication".into()],
-            vec!["DevToken".into(), "a piece of random data for device authentication".into()],
-            vec!["BindToken".into(), "a piece of random data for binding authorization".into()],
-            vec!["UserToken".into(), "a piece of random data for user authentication".into()],
-            vec!["UserId".into(), "identifier (e.g. email address) of user account".into()],
+            vec![
+                "Status".into(),
+                "messages to report device status (sent by the device)".into(),
+            ],
+            vec![
+                "Bind".into(),
+                "messages to create bindings in the cloud".into(),
+            ],
+            vec![
+                "Unbind".into(),
+                "messages to revoke bindings in the cloud".into(),
+            ],
+            vec![
+                "DevId".into(),
+                "a piece of definite data for device authentication".into(),
+            ],
+            vec![
+                "DevToken".into(),
+                "a piece of random data for device authentication".into(),
+            ],
+            vec![
+                "BindToken".into(),
+                "a piece of random data for binding authorization".into(),
+            ],
+            vec![
+                "UserToken".into(),
+                "a piece of random data for user authentication".into(),
+            ],
+            vec![
+                "UserId".into(),
+                "identifier (e.g. email address) of user account".into(),
+            ],
             vec!["UserPw".into(), "password of user account".into()],
         ];
         println!("{}", render_table(&["notation", "meaning"], &rows));

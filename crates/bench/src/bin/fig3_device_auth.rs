@@ -25,7 +25,11 @@ fn dev_id() -> DevId {
 }
 
 fn register(auth: StatusAuth) -> Message {
-    Message::Status(StatusPayload::register(auth, dev_id(), DeviceAttributes::default()))
+    Message::Status(StatusPayload::register(
+        auth,
+        dev_id(),
+        DeviceAttributes::default(),
+    ))
 }
 
 fn main() {
@@ -40,13 +44,24 @@ fn main() {
     let login = cloud.handle_message(
         USER,
         Tick(1),
-        &Message::Login { user_id: UserId::new("user"), user_pw: UserPw::new("pw") },
+        &Message::Login {
+            user_id: UserId::new("user"),
+            user_pw: UserPw::new("pw"),
+        },
         &mut rng,
     );
-    let Response::LoginOk { user_token } = login.reply else { panic!("login") };
-    let issued =
-        cloud.handle_message(USER, Tick(2), &Message::RequestDevToken { user_token }, &mut rng);
-    let Response::DevTokenIssued { dev_token } = issued.reply else { panic!("issue") };
+    let Response::LoginOk { user_token } = login.reply else {
+        panic!("login")
+    };
+    let issued = cloud.handle_message(
+        USER,
+        Tick(2),
+        &Message::RequestDevToken { user_token },
+        &mut rng,
+    );
+    let Response::DevTokenIssued { dev_token } = issued.reply else {
+        panic!("issue")
+    };
     // (the app now delivers dev_token to the device over the LAN)
     let real = cloud.handle_message(
         DEVICE,
@@ -70,10 +85,18 @@ fn main() {
     // -- Type 2: Status:DevId ----------------------------------------------
     let mut cloud = CloudService::new(CloudConfig::new(vendors::d_link()));
     cloud.manufacture(dev_id(), 0, None);
-    let real =
-        cloud.handle_message(DEVICE, Tick(1), &register(StatusAuth::DevId(dev_id())), &mut rng);
-    let forged =
-        cloud.handle_message(ATTACKER, Tick(2), &register(StatusAuth::DevId(dev_id())), &mut rng);
+    let real = cloud.handle_message(
+        DEVICE,
+        Tick(1),
+        &register(StatusAuth::DevId(dev_id())),
+        &mut rng,
+    );
+    let forged = cloud.handle_message(
+        ATTACKER,
+        Tick(2),
+        &register(StatusAuth::DevId(dev_id())),
+        &mut rng,
+    );
     rows.push(vec![
         "Type 2: Status:DevId".into(),
         "device presents its static ID; anyone holding the ID can too".into(),
@@ -88,13 +111,19 @@ fn main() {
     let real = cloud.handle_message(
         DEVICE,
         Tick(1),
-        &register(StatusAuth::PublicKey { key_id: 1, signature: sign_dev_id(secret, &dev_id()) }),
+        &register(StatusAuth::PublicKey {
+            key_id: 1,
+            signature: sign_dev_id(secret, &dev_id()),
+        }),
         &mut rng,
     );
     let forged = cloud.handle_message(
         ATTACKER,
         Tick(2),
-        &register(StatusAuth::PublicKey { key_id: 1, signature: 0xbad }),
+        &register(StatusAuth::PublicKey {
+            key_id: 1,
+            signature: 0xbad,
+        }),
         &mut rng,
     );
     rows.push(vec![
@@ -107,7 +136,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["mode", "mechanism", "real device", "forged (attacker holds DevId)"],
+            &[
+                "mode",
+                "mechanism",
+                "real device",
+                "forged (attacker holds DevId)"
+            ],
             &rows
         )
     );

@@ -20,7 +20,10 @@ fn main() {
     rows.push(vec![
         "(a) ACL, sent by app".into(),
         "Bind:(DevId, UserToken)".into(),
-        format!("{} bind attempts by the app", world.app(0).stats.bind_attempts),
+        format!(
+            "{} bind attempts by the app",
+            world.app(0).stats.bind_attempts
+        ),
         world.shadow_state(0).to_string(),
         "the device ID is ambient authority: any valid user token binds it".into(),
     ]);
@@ -31,7 +34,10 @@ fn main() {
     rows.push(vec![
         "(b) ACL, sent by device".into(),
         "Bind:(DevId, UserId, UserPw)".into(),
-        format!("{} bind attempts by the app (device bound itself)", world.app(0).stats.bind_attempts),
+        format!(
+            "{} bind attempts by the app (device bound itself)",
+            world.app(0).stats.bind_attempts
+        ),
         world.shadow_state(0).to_string(),
         "the user's account credentials travel to the device — paper lesson 4".into(),
     ]);
@@ -49,7 +55,16 @@ fn main() {
 
     println!(
         "{}",
-        render_table(&["flow", "binding message", "observed", "end state", "property"], &rows)
+        render_table(
+            &[
+                "flow",
+                "binding message",
+                "observed",
+                "end state",
+                "property"
+            ],
+            &rows
+        )
     );
 
     println!("assessment (paper §IV-B): ACL-based binding grants ambient authority through the");

@@ -3,12 +3,16 @@
 //! ```text
 //! rbsim list                      # the studied vendor designs
 //! rbsim audit <vendor>            # static attack-surface audit + fixes
+//! rbsim lint <vendor|--all>       # design lints (add --json or --sarif)
 //! rbsim campaign <vendor> [seed]  # execute all nine attacks live
 //! rbsim attack <vendor> <A4-3>    # execute one attack with evidence
 //! rbsim taxonomy                  # Table II
 //! rbsim table3                    # full live Table III
 //! rbsim space                     # exhaustive design-space survey
 //! ```
+//!
+//! `lint` exits nonzero when any error-severity finding fires, so it can
+//! gate a vendor's design in CI the way `clippy` gates code.
 //!
 //! Run through cargo: `cargo run -p rb-bench --bin rbsim -- audit tp-link`.
 
@@ -19,9 +23,14 @@ use rb_core::analyzer::{analyze, taxonomy, taxonomy_witnesses};
 use rb_core::attacks::{AttackFamily, AttackId};
 use rb_core::design::VendorDesign;
 use rb_core::explore::survey;
-use rb_core::spec::{check, cross_check};
 use rb_core::recommend::recommendations;
-use rb_core::vendors::{capability_reference, public_key_reference, vendor_designs, weakest_design};
+use rb_core::spec::{check, cross_check};
+use rb_core::vendors::{
+    capability_reference, public_key_reference, vendor_designs, weakest_design,
+};
+use rb_lint::diagnostic::Severity;
+use rb_lint::emit::{render_human, render_json, render_sarif};
+use rb_lint::rules::lint_design;
 
 fn find_design(name: &str) -> Option<VendorDesign> {
     let needle = name.to_lowercase().replace(['-', '_', ' '], "");
@@ -29,7 +38,12 @@ fn find_design(name: &str) -> Option<VendorDesign> {
     all.push(capability_reference());
     all.push(public_key_reference());
     all.push(weakest_design());
-    all.into_iter().find(|d| d.vendor.to_lowercase().replace(['-', '_', ' '], "").contains(&needle))
+    all.into_iter().find(|d| {
+        d.vendor
+            .to_lowercase()
+            .replace(['-', '_', ' '], "")
+            .contains(&needle)
+    })
 }
 
 fn parse_attack(name: &str) -> Option<AttackId> {
@@ -52,7 +66,13 @@ fn cmd_list() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["#", "vendor", "device", "status", "bind", "unbind"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["#", "vendor", "device", "status", "bind", "unbind"],
+            &rows
+        )
+    );
     println!("also available: 'capability', 'publickey', 'weakest'");
 }
 
@@ -60,7 +80,12 @@ fn cmd_audit(design: &VendorDesign) {
     println!("audit: {} ({})\n", design.vendor, design.device);
     let report = analyze(design);
     for id in AttackId::ALL {
-        println!("  {:5} [{}] {}", id.to_string(), report.verdict(id).symbol(), report.verdict(id));
+        println!(
+            "  {:5} [{}] {}",
+            id.to_string(),
+            report.verdict(id).symbol(),
+            report.verdict(id)
+        );
     }
     print!("\nfamily cells:");
     for family in AttackFamily::ALL {
@@ -73,23 +98,69 @@ fn cmd_audit(design: &VendorDesign) {
             "  [{}] {}{}",
             rec.id,
             rec.advice,
-            if kills.is_empty() { String::new() } else { format!(" (eliminates {})", kills.join(", ")) }
+            if kills.is_empty() {
+                String::new()
+            } else {
+                format!(" (eliminates {})", kills.join(", "))
+            }
         );
     }
 }
 
+/// Output format for `rbsim lint`.
+#[derive(Clone, Copy, PartialEq)]
+enum LintFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
+fn cmd_lint(designs: &[VendorDesign], format: LintFormat) {
+    let reports: Vec<_> = designs.iter().map(lint_design).collect();
+    match format {
+        LintFormat::Human => {
+            for report in &reports {
+                print!("{}", render_human(report));
+                println!();
+            }
+        }
+        LintFormat::Json => {
+            for report in &reports {
+                print!("{}", render_json(report));
+            }
+        }
+        LintFormat::Sarif => print!("{}", render_sarif(&reports)),
+    }
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    if errors > 0 {
+        eprintln!("rbsim lint: {errors} error-severity finding(s)");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_campaign(design: &VendorDesign, seed: u64) {
-    println!("executing all nine attacks against {} (seed {seed})...\n", design.vendor);
+    println!(
+        "executing all nine attacks against {} (seed {seed})...\n",
+        design.vendor
+    );
     let campaign = run_campaign(design, seed);
     for id in AttackId::ALL {
         let run = &campaign.runs[&id];
-        println!("  {:5} [{}] {}", id.to_string(), run.outcome.symbol(), run.outcome);
+        println!(
+            "  {:5} [{}] {}",
+            id.to_string(),
+            run.outcome.symbol(),
+            run.outcome
+        );
         for line in &run.evidence {
             println!("         {line}");
         }
     }
     let row = campaign.row();
-    println!("\nrow: A1={} A2={} A3={} A4={}", row[0], row[1], row[2], row[3]);
+    println!(
+        "\nrow: A1={} A2={} A3={} A4={}",
+        row[0], row[1], row[2], row[3]
+    );
     let disagreements = campaign.disagreements();
     if disagreements.is_empty() {
         println!("analyzer agrees with every executed outcome.");
@@ -143,7 +214,11 @@ fn cmd_taxonomy() {
             "{:5} forging {:45} in {:22} => {:8} | witness: {}",
             row.attack.to_string(),
             row.forged,
-            row.targeted.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("+"),
+            row.targeted
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
             row.end_state.to_string(),
             witnesses.get(&row.attack).cloned().unwrap_or_default(),
         );
@@ -156,10 +231,19 @@ fn cmd_table3() {
         .iter()
         .map(|c| {
             let row = c.row();
-            vec![c.design.vendor.clone(), row[0].clone(), row[1].clone(), row[2].clone(), row[3].clone()]
+            vec![
+                c.design.vendor.clone(),
+                row[0].clone(),
+                row[1].clone(),
+                row[2].clone(),
+                row[3].clone(),
+            ]
         })
         .collect();
-    println!("{}", render_table(&["vendor", "A1", "A2", "A3", "A4"], &rows));
+    println!(
+        "{}",
+        render_table(&["vendor", "A1", "A2", "A3", "A4"], &rows)
+    );
 }
 
 fn cmd_space() {
@@ -173,12 +257,17 @@ fn cmd_space() {
             stats.unconfirmable_counts.get(&id).copied().unwrap_or(0),
         );
     }
-    println!("fully secure: {} | provably secure: {}", stats.fully_secure, stats.provably_secure);
+    println!(
+        "fully secure: {} | provably secure: {}",
+        stats.fully_secure, stats.provably_secure
+    );
 }
 
 fn usage() -> ! {
-    eprintln!("usage: rbsim <list|audit|verify|campaign|attack|taxonomy|table3|space> [args]");
+    eprintln!("usage: rbsim <list|audit|lint|verify|campaign|attack|taxonomy|table3|space> [args]");
     eprintln!("  rbsim audit tp-link");
+    eprintln!("  rbsim lint tp-link");
+    eprintln!("  rbsim lint --all --sarif");
     eprintln!("  rbsim campaign e-link 42");
     eprintln!("  rbsim attack tp-link A4-3");
     std::process::exit(2);
@@ -197,6 +286,29 @@ fn main() {
                 std::process::exit(2);
             };
             cmd_verify(&design);
+        }
+        Some("lint") => {
+            let mut format = LintFormat::Human;
+            let mut all = false;
+            let mut vendor = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => format = LintFormat::Json,
+                    "--sarif" => format = LintFormat::Sarif,
+                    "--all" => all = true,
+                    name => vendor = Some(name.to_owned()),
+                }
+            }
+            let designs = if all {
+                vendor_designs()
+            } else {
+                let Some(design) = vendor.as_deref().and_then(find_design) else {
+                    eprintln!("unknown vendor; try `rbsim list` or `rbsim lint --all`");
+                    std::process::exit(2);
+                };
+                vec![design]
+            };
+            cmd_lint(&designs, format);
         }
         Some("audit") => {
             let Some(design) = args.get(1).and_then(|n| find_design(n)) else {

@@ -51,7 +51,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Vendor", "Device Type", "Status", "Bind", "Unbind", "A1", "A2", "A3", "A4"],
+            &[
+                "Vendor",
+                "Device Type",
+                "Status",
+                "Bind",
+                "Unbind",
+                "A1",
+                "A2",
+                "A3",
+                "A4"
+            ],
             &rows
         )
     );
@@ -93,7 +103,12 @@ fn main() {
             println!("\n--- {} ---", c.design.vendor);
             for id in AttackId::ALL {
                 let run = &c.runs[&id];
-                println!("  {:5} [{}] {}", id.to_string(), run.outcome.symbol(), run.outcome);
+                println!(
+                    "  {:5} [{}] {}",
+                    id.to_string(),
+                    run.outcome.symbol(),
+                    run.outcome
+                );
                 for line in &run.evidence {
                     println!("        {line}");
                 }

@@ -51,7 +51,12 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     sep(&mut out);
     for row in rows {
         for (i, cell) in row.iter().enumerate().take(cols) {
-            let _ = write!(out, "| {}{} ", cell, " ".repeat(widths[i] - display_width(cell)));
+            let _ = write!(
+                out,
+                "| {}{} ",
+                cell,
+                " ".repeat(widths[i] - display_width(cell))
+            );
         }
         out.push_str("|\n");
     }
@@ -90,7 +95,10 @@ mod tests {
     fn table_alignment_holds() {
         let t = render_table(
             &["vendor", "A1"],
-            &[vec!["Belkin".into(), "✗".into()], vec!["D-LINK".into(), "✓".into()]],
+            &[
+                vec!["Belkin".into(), "✗".into()],
+                vec!["D-LINK".into(), "✓".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 6); // 3 separators + header + 2 rows

@@ -62,11 +62,7 @@ impl AccountStore {
     /// # Errors
     ///
     /// [`DenyReason::BadCredentials`] on unknown user or wrong password.
-    pub fn verify_password(
-        &self,
-        user_id: &UserId,
-        user_pw: &UserPw,
-    ) -> Result<(), DenyReason> {
+    pub fn verify_password(&self, user_id: &UserId, user_pw: &UserPw) -> Result<(), DenyReason> {
         match self.passwords.get(user_id) {
             Some(stored) if stored.verify(user_pw) => Ok(()),
             _ => Err(DenyReason::BadCredentials),
@@ -112,8 +108,22 @@ mod tests {
         let mut store = AccountStore::new();
         let mut rng = rng();
         store.register(UserId::new("alice"), UserPw::new("pw"));
-        let t1 = store.login(&UserId::new("alice"), &UserPw::new("pw"), NodeId(1), &mut rng).unwrap();
-        let t2 = store.login(&UserId::new("alice"), &UserPw::new("pw"), NodeId(1), &mut rng).unwrap();
+        let t1 = store
+            .login(
+                &UserId::new("alice"),
+                &UserPw::new("pw"),
+                NodeId(1),
+                &mut rng,
+            )
+            .unwrap();
+        let t2 = store
+            .login(
+                &UserId::new("alice"),
+                &UserPw::new("pw"),
+                NodeId(1),
+                &mut rng,
+            )
+            .unwrap();
         assert_ne!(t1, t2);
         assert_eq!(store.verify_token(&t1).unwrap(), &UserId::new("alice"));
         assert_eq!(store.verify_token(&t2).unwrap(), &UserId::new("alice"));
@@ -125,7 +135,12 @@ mod tests {
         let mut store = AccountStore::new();
         let mut rng = rng();
         store.register(UserId::new("alice"), UserPw::new("pw"));
-        let bad_pw = store.login(&UserId::new("alice"), &UserPw::new("x"), NodeId(1), &mut rng);
+        let bad_pw = store.login(
+            &UserId::new("alice"),
+            &UserPw::new("x"),
+            NodeId(1),
+            &mut rng,
+        );
         let no_user = store.login(&UserId::new("bob"), &UserPw::new("pw"), NodeId(1), &mut rng);
         assert_eq!(bad_pw.unwrap_err(), DenyReason::BadCredentials);
         assert_eq!(no_user.unwrap_err(), DenyReason::BadCredentials);
@@ -145,7 +160,14 @@ mod tests {
         let mut store = AccountStore::new();
         let mut rng = rng();
         store.register(UserId::new("alice"), UserPw::new("pw"));
-        let t = store.login(&UserId::new("alice"), &UserPw::new("pw"), NodeId(1), &mut rng).unwrap();
+        let t = store
+            .login(
+                &UserId::new("alice"),
+                &UserPw::new("pw"),
+                NodeId(1),
+                &mut rng,
+            )
+            .unwrap();
         store.revoke_tokens_of(&UserId::new("alice"));
         assert!(store.verify_token(&t).is_err());
     }
@@ -155,9 +177,23 @@ mod tests {
         let mut store = AccountStore::new();
         let mut rng = rng();
         store.register(UserId::new("alice"), UserPw::new("pw"));
-        store.login(&UserId::new("alice"), &UserPw::new("pw"), NodeId(3), &mut rng).unwrap();
+        store
+            .login(
+                &UserId::new("alice"),
+                &UserPw::new("pw"),
+                NodeId(3),
+                &mut rng,
+            )
+            .unwrap();
         assert_eq!(store.node_of(&UserId::new("alice")), Some(NodeId(3)));
-        store.login(&UserId::new("alice"), &UserPw::new("pw"), NodeId(9), &mut rng).unwrap();
+        store
+            .login(
+                &UserId::new("alice"),
+                &UserPw::new("pw"),
+                NodeId(9),
+                &mut rng,
+            )
+            .unwrap();
         assert_eq!(store.node_of(&UserId::new("alice")), Some(NodeId(9)));
         assert_eq!(store.node_of(&UserId::new("bob")), None);
     }
@@ -166,8 +202,12 @@ mod tests {
     fn verify_password_does_not_mint() {
         let mut store = AccountStore::new();
         store.register(UserId::new("alice"), UserPw::new("pw"));
-        assert!(store.verify_password(&UserId::new("alice"), &UserPw::new("pw")).is_ok());
-        assert!(store.verify_password(&UserId::new("alice"), &UserPw::new("no")).is_err());
+        assert!(store
+            .verify_password(&UserId::new("alice"), &UserPw::new("pw"))
+            .is_ok());
+        assert!(store
+            .verify_password(&UserId::new("alice"), &UserPw::new("no"))
+            .is_err());
         assert_eq!(store.live_tokens(), 0);
     }
 }

@@ -19,7 +19,11 @@ pub struct AuditEntry {
 
 impl fmt::Display for AuditEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} -> {}", self.at, self.from, self.request, self.outcome)
+        write!(
+            f,
+            "{} {} {} -> {}",
+            self.at, self.from, self.request, self.outcome
+        )
     }
 }
 
@@ -33,7 +37,10 @@ pub struct AuditLog {
 impl AuditLog {
     /// A log bounded at `cap` entries.
     pub fn new(cap: usize) -> Self {
-        AuditLog { entries: std::collections::VecDeque::new(), cap }
+        AuditLog {
+            entries: std::collections::VecDeque::new(),
+            cap,
+        }
     }
 
     /// Appends an entry, evicting the oldest when full.
@@ -61,7 +68,10 @@ impl AuditLog {
 
     /// Count of denials among retained entries.
     pub fn denials(&self) -> usize {
-        self.entries.iter().filter(|e| e.outcome.starts_with("Denied")).count()
+        self.entries
+            .iter()
+            .filter(|e| e.outcome.starts_with("Denied"))
+            .count()
     }
 }
 

@@ -105,7 +105,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         let t = ledger.issue(UserId::new("alice"), &mut rng);
         assert_eq!(ledger.consume(&t).unwrap(), UserId::new("alice"));
-        assert_eq!(ledger.consume(&t).unwrap_err(), DenyReason::InvalidBindToken);
+        assert_eq!(
+            ledger.consume(&t).unwrap_err(),
+            DenyReason::InvalidBindToken
+        );
         assert_eq!(
             ledger.consume(&BindToken::from_entropy(5)).unwrap_err(),
             DenyReason::InvalidBindToken

@@ -258,7 +258,10 @@ mod tests {
     #[test]
     fn take_alerts_drains() {
         let mut m = Monitor::new();
-        m.raise(SecurityAlert::BareUnbind { dev_id: id(1), from_ip: 5 });
+        m.raise(SecurityAlert::BareUnbind {
+            dev_id: id(1),
+            from_ip: 5,
+        });
         assert_eq!(m.take_alerts().len(), 1);
         assert!(m.alerts().is_empty());
     }

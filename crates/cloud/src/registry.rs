@@ -93,7 +93,13 @@ mod tests {
     fn add_and_lookup() {
         let mut reg = DeviceRegistry::new();
         assert!(reg.is_empty());
-        reg.add(id(1), DeviceRecord { factory_secret: 42, key: None });
+        reg.add(
+            id(1),
+            DeviceRecord {
+                factory_secret: 42,
+                key: None,
+            },
+        );
         assert!(reg.knows(&id(1)));
         assert!(!reg.knows(&id(2)));
         assert_eq!(reg.factory_secret(&id(1)), Some(42));
@@ -106,7 +112,13 @@ mod tests {
     fn signature_verification() {
         let mut reg = DeviceRegistry::new();
         let secret = 0xdead_beef_cafe_babe_0123_4567_89ab_cdef;
-        reg.add(id(1), DeviceRecord { factory_secret: 1, key: Some((7, secret)) });
+        reg.add(
+            id(1),
+            DeviceRecord {
+                factory_secret: 1,
+                key: Some((7, secret)),
+            },
+        );
         let sig = sign(secret, &id(1));
         assert!(reg.verify_signature(7, &id(1), sig));
         // Wrong key id, wrong signature, wrong device all fail.

@@ -79,11 +79,17 @@ pub struct Outcome {
 
 impl Outcome {
     fn deny(reason: DenyReason) -> Self {
-        Outcome { reply: Response::Denied { reason }, pushes: Vec::new() }
+        Outcome {
+            reply: Response::Denied { reason },
+            pushes: Vec::new(),
+        }
     }
 
     fn reply(reply: Response) -> Self {
-        Outcome { reply, pushes: Vec::new() }
+        Outcome {
+            reply,
+            pushes: Vec::new(),
+        }
     }
 }
 
@@ -140,7 +146,13 @@ impl CloudService {
     /// Manufactures a device: registers its ID, factory secret, and
     /// (optionally) a signing key.
     pub fn manufacture(&mut self, dev_id: DevId, factory_secret: u128, key: Option<(u64, u128)>) {
-        self.registry.add(dev_id, DeviceRecord { factory_secret, key });
+        self.registry.add(
+            dev_id,
+            DeviceRecord {
+                factory_secret,
+                key,
+            },
+        );
     }
 
     /// Declares the public IP (NAT identity) a node's traffic arrives from.
@@ -177,12 +189,17 @@ impl CloudService {
 
     /// Diagnostic access to the bound user of a device.
     pub fn bound_user(&self, dev_id: &DevId) -> Option<UserId> {
-        self.state.record(dev_id).and_then(|r| r.shadow.bound_user().cloned())
+        self.state
+            .record(dev_id)
+            .and_then(|r| r.shadow.bound_user().cloned())
     }
 
     /// Diagnostic access to the nodes currently speaking as a device.
     pub fn device_nodes(&self, dev_id: &DevId) -> Vec<NodeId> {
-        self.state.session(dev_id).map(|s| s.nodes.clone()).unwrap_or_default()
+        self.state
+            .session(dev_id)
+            .map(|s| s.nodes.clone())
+            .unwrap_or_default()
     }
 
     /// Handles one request, returning the reply and pushes. This is the
@@ -211,7 +228,9 @@ impl CloudService {
     /// Whether this request from `from` exceeds the configured rate limit
     /// (and counts it against the window).
     fn rate_limited(&mut self, from: NodeId, now: Tick) -> bool {
-        let Some(limit) = self.config.rate_limit else { return false };
+        let Some(limit) = self.config.rate_limit else {
+            return false;
+        };
         let entry = self.rate.entry(from).or_insert((now, 0));
         if now - entry.0 >= limit.window {
             *entry = (now, 0);
@@ -223,7 +242,8 @@ impl CloudService {
     /// Expires stale device sessions (heartbeat timeout). Normally driven
     /// by the actor timer; exposed for direct-drive tests.
     pub fn expire(&mut self, now: Tick) -> Vec<DevId> {
-        self.state.expire_sessions(now, self.config.heartbeat_timeout)
+        self.state
+            .expire_sessions(now, self.config.heartbeat_timeout)
     }
 
     fn dispatch(&mut self, from: NodeId, now: Tick, msg: &Message, rng: &mut SimRng) -> Outcome {
@@ -253,16 +273,23 @@ impl CloudService {
             Message::Status(payload) => self.handle_status(from, now, payload),
             Message::Bind(payload) => self.handle_bind(from, now, payload, rng),
             Message::Unbind(payload) => self.handle_unbind(from, now, payload),
-            Message::Control { dev_id, user_token, session, action } => {
-                self.handle_control(dev_id, user_token, *session, action)
-            }
-            Message::Share { dev_id, user_token, grantee } => {
-                self.handle_share(dev_id, user_token, grantee, true)
-            }
+            Message::Control {
+                dev_id,
+                user_token,
+                session,
+                action,
+            } => self.handle_control(dev_id, user_token, *session, action),
+            Message::Share {
+                dev_id,
+                user_token,
+                grantee,
+            } => self.handle_share(dev_id, user_token, grantee, true),
             Message::SetRule { user_token, rule } => self.handle_set_rule(user_token, rule),
-            Message::Unshare { dev_id, user_token, grantee } => {
-                self.handle_share(dev_id, user_token, grantee, false)
-            }
+            Message::Unshare {
+                dev_id,
+                user_token,
+                grantee,
+            } => self.handle_share(dev_id, user_token, grantee, false),
             Message::QueryShadow { dev_id } => {
                 let state = self.state.shadow_state(dev_id);
                 Outcome::reply(Response::ShadowState {
@@ -275,15 +302,10 @@ impl CloudService {
 
     // -- Status ------------------------------------------------------------
 
-    fn authenticate_status(
-        &self,
-        payload: &StatusPayload,
-    ) -> Result<Option<UserId>, DenyReason> {
+    fn authenticate_status(&self, payload: &StatusPayload) -> Result<Option<UserId>, DenyReason> {
         match self.config.design.auth {
             DeviceAuthScheme::DevToken => match &payload.auth {
-                StatusAuth::DevToken(token) => {
-                    Ok(Some(self.dev_tokens.verify(token)?.clone()))
-                }
+                StatusAuth::DevToken(token) => Ok(Some(self.dev_tokens.verify(token)?.clone())),
                 _ => Err(DenyReason::DeviceAuthFailed),
             },
             DeviceAuthScheme::DevId => match &payload.auth {
@@ -292,7 +314,10 @@ impl CloudService {
             },
             DeviceAuthScheme::PublicKey => match &payload.auth {
                 StatusAuth::PublicKey { key_id, signature } => {
-                    if self.registry.verify_signature(*key_id, &payload.dev_id, *signature) {
+                    if self
+                        .registry
+                        .verify_signature(*key_id, &payload.dev_id, *signature)
+                    {
                         Ok(None)
                     } else {
                         Err(DenyReason::DeviceAuthFailed)
@@ -425,7 +450,12 @@ impl CloudService {
             (Some(a), Some(b)) if a == b => binding_session,
             _ => None,
         };
-        Outcome { reply: Response::StatusAccepted { session: session_echo }, pushes }
+        Outcome {
+            reply: Response::StatusAccepted {
+                session: session_echo,
+            },
+            pushes,
+        }
     }
 
     // -- Bind ----------------------------------------------------------------
@@ -447,7 +477,14 @@ impl CloudService {
                     Err(reason) => return Outcome::deny(reason),
                 }
             }
-            (BindScheme::AclDevice, BindPayload::AclDevice { dev_id, user_id, user_pw }) => {
+            (
+                BindScheme::AclDevice,
+                BindPayload::AclDevice {
+                    dev_id,
+                    user_id,
+                    user_pw,
+                },
+            ) => {
                 if let Err(reason) = self.accounts.verify_password(user_id, user_pw) {
                     return Outcome::deny(reason);
                 }
@@ -490,7 +527,11 @@ impl CloudService {
         }
         let shadow_bound = self.state.shadow_state(&dev_id).is_bound();
         if design.checks.reject_bind_when_bound && shadow_bound {
-            let holder = self.state.record(&dev_id).and_then(|r| r.shadow.bound_user()).cloned();
+            let holder = self
+                .state
+                .record(&dev_id)
+                .and_then(|r| r.shadow.bound_user())
+                .cloned();
             if holder.as_ref() != Some(&user) {
                 if let Some(holder) = holder {
                     self.monitor.observe_bind_denial(&dev_id, &holder, &user);
@@ -543,12 +584,18 @@ impl CloudService {
         // In the capability flow the bind arrives from the *device*; the
         // user learns the outcome (and the session token) through a push.
         if design.bind == BindScheme::Capability {
-            let binder = self.state.record(&dev_id).and_then(|r| r.shadow.bound_user().cloned());
+            let binder = self
+                .state
+                .record(&dev_id)
+                .and_then(|r| r.shadow.bound_user().cloned());
             if let Some(node) = binder.as_ref().and_then(|u| self.accounts.node_of(u)) {
                 pushes.push((node, Response::Bound { session }));
             }
         }
-        Outcome { reply: Response::Bound { session }, pushes }
+        Outcome {
+            reply: Response::Bound { session },
+            pushes,
+        }
     }
 
     fn device_of_node(&self, node: NodeId) -> Option<DevId> {
@@ -556,7 +603,10 @@ impl CloudService {
             .iter_records()
             .map(|(id, _)| id)
             .find(|id| {
-                self.state.session(id).map(|s| s.nodes.contains(&node)).unwrap_or(false)
+                self.state
+                    .session(id)
+                    .map(|s| s.nodes.contains(&node))
+                    .unwrap_or(false)
             })
             .cloned()
     }
@@ -580,7 +630,10 @@ impl CloudService {
                     Ok(u) => u.clone(),
                     Err(reason) => return Outcome::deny(reason),
                 };
-                let bound = self.state.record(&dev_id).and_then(|r| r.shadow.bound_user());
+                let bound = self
+                    .state
+                    .record(&dev_id)
+                    .and_then(|r| r.shadow.bound_user());
                 let Some(bound) = bound else {
                     return Outcome::deny(DenyReason::NotBound);
                 };
@@ -609,8 +662,10 @@ impl CloudService {
             (UnbindPayload::DevIdOnly { .. }, _, _)
                 if self.monitor.device_ip(&dev_id) != Some(from_ip) =>
             {
-                self.monitor
-                    .raise(SecurityAlert::BareUnbind { dev_id: dev_id.clone(), from_ip });
+                self.monitor.raise(SecurityAlert::BareUnbind {
+                    dev_id: dev_id.clone(),
+                    from_ip,
+                });
             }
             (UnbindPayload::DevIdUserToken { .. }, Some(victim), Some(req)) if victim != req => {
                 self.monitor.raise(SecurityAlert::ForeignUnbind {
@@ -629,7 +684,10 @@ impl CloudService {
                 }
             }
         }
-        Outcome { reply: Response::Unbound, pushes }
+        Outcome {
+            reply: Response::Unbound,
+            pushes,
+        }
     }
 
     // -- Control ---------------------------------------------------------------
@@ -665,8 +723,7 @@ impl CloudService {
             // presents it in the request, the device must have presented it
             // in a status message after receiving it over the local
             // channel. A hijacker can satisfy neither for the real device.
-            let device_session =
-                self.state.session(dev_id).and_then(|s| s.presented_session);
+            let device_session = self.state.session(dev_id).and_then(|s| s.presented_session);
             if session != binding_session || device_session != binding_session {
                 return Outcome::deny(DenyReason::BadSession);
             }
@@ -680,8 +737,7 @@ impl CloudService {
                 .state
                 .record(dev_id)
                 .and_then(|r| r.shadow.bound_user().cloned());
-            let session_user =
-                self.state.session(dev_id).and_then(|s| s.auth_user.clone());
+            let session_user = self.state.session(dev_id).and_then(|s| s.auth_user.clone());
             if session_user != owner {
                 return Outcome::deny(DenyReason::BadSession);
             }
@@ -694,10 +750,16 @@ impl CloudService {
                 for node in &device_nodes {
                     pushes.push((
                         *node,
-                        Response::ControlPush { action: action.clone(), session: binding_session },
+                        Response::ControlPush {
+                            action: action.clone(),
+                            session: binding_session,
+                        },
                     ));
                 }
-                Response::ControlOk { schedule: Vec::new(), telemetry: Vec::new() }
+                Response::ControlOk {
+                    schedule: Vec::new(),
+                    telemetry: Vec::new(),
+                }
             }
             ControlAction::SetSchedule(entry) => {
                 let record = self.state.record_mut(dev_id);
@@ -708,10 +770,16 @@ impl CloudService {
                 for node in &device_nodes {
                     pushes.push((
                         *node,
-                        Response::ControlPush { action: action.clone(), session: binding_session },
+                        Response::ControlPush {
+                            action: action.clone(),
+                            session: binding_session,
+                        },
                     ));
                 }
-                Response::ControlOk { schedule: Vec::new(), telemetry: Vec::new() }
+                Response::ControlOk {
+                    schedule: Vec::new(),
+                    telemetry: Vec::new(),
+                }
             }
             ControlAction::QuerySchedule => Response::ControlOk {
                 schedule: record.schedule.clone(),
@@ -757,7 +825,9 @@ impl CloudService {
         }
         if grant && *grantee == user {
             // Owner already has full access; treat as a no-op grant.
-            let record = self.state.record(dev_id).expect("checked above");
+            let Some(record) = self.state.record(dev_id) else {
+                return Outcome::deny(DenyReason::NotBound);
+            };
             return Outcome::reply(Response::ShareOk {
                 session: record.binding_session,
                 guests: record.guests.len() as u16,
@@ -779,7 +849,10 @@ impl CloudService {
 
     /// Diagnostic access to a device's guest list.
     pub fn guests(&self, dev_id: &DevId) -> Vec<UserId> {
-        self.state.record(dev_id).map(|r| r.guests.clone()).unwrap_or_default()
+        self.state
+            .record(dev_id)
+            .map(|r| r.guests.clone())
+            .unwrap_or_default()
     }
 
     /// Maximum rules stored per account.
@@ -796,9 +869,10 @@ impl CloudService {
             if !self.registry.knows(dev) {
                 return Outcome::deny(DenyReason::UnknownDevice);
             }
-            let authorized = self.state.record(dev).is_some_and(|r| {
-                r.shadow.bound_user() == Some(&user) || r.guests.contains(&user)
-            });
+            let authorized = self
+                .state
+                .record(dev)
+                .is_some_and(|r| r.shadow.bound_user() == Some(&user) || r.guests.contains(&user));
             if !authorized {
                 return Outcome::deny(DenyReason::NotBoundUser);
             }
@@ -808,7 +882,9 @@ impl CloudService {
             return Outcome::deny(DenyReason::RateLimited);
         }
         rules.push(rule.clone());
-        Outcome::reply(Response::RuleSet { count: rules.len() as u16 })
+        Outcome::reply(Response::RuleSet {
+            count: rules.len() as u16,
+        })
     }
 
     /// Evaluates the owner's rules against fresh telemetry from
@@ -819,12 +895,13 @@ impl CloudService {
         trigger_dev: &DevId,
         telemetry: &[rb_wire::telemetry::TelemetryFrame],
     ) -> Vec<(NodeId, Response)> {
-        let Some(rules) = self.rules.get(&owner) else { return Vec::new() };
+        let Some(rules) = self.rules.get(&owner) else {
+            return Vec::new();
+        };
         let fired: Vec<AutomationRule> = rules
             .iter()
             .filter(|r| {
-                r.trigger_dev == *trigger_dev
-                    && telemetry.iter().any(|f| r.trigger.matches(f))
+                r.trigger_dev == *trigger_dev && telemetry.iter().any(|f| r.trigger.matches(f))
             })
             .cloned()
             .collect();
@@ -839,12 +916,17 @@ impl CloudService {
             if !still_owned {
                 continue;
             }
-            let session =
-                self.state.record(&rule.action_dev).and_then(|r| r.binding_session);
+            let session = self
+                .state
+                .record(&rule.action_dev)
+                .and_then(|r| r.binding_session);
             for node in self.device_nodes(&rule.action_dev) {
                 pushes.push((
                     node,
-                    Response::ControlPush { action: rule.action.clone(), session },
+                    Response::ControlPush {
+                        action: rule.action.clone(),
+                        session,
+                    },
                 ));
             }
         }
@@ -875,7 +957,15 @@ impl Actor for CloudService {
             let mut local = rng.fork();
             self.handle_message(from, now, &msg, &mut local)
         };
-        ctx.send(Dest::Unicast(from), Envelope::Response { corr, rsp: outcome.reply }.encode().to_vec());
+        ctx.send(
+            Dest::Unicast(from),
+            Envelope::Response {
+                corr,
+                rsp: outcome.reply,
+            }
+            .encode()
+            .to_vec(),
+        );
         for (node, rsp) in outcome.pushes {
             ctx.send(Dest::Unicast(node), Envelope::push(rsp).encode().to_vec());
         }

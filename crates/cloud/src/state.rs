@@ -171,7 +171,10 @@ impl DeviceState {
 
     /// Current shadow state of a device (initial if never seen).
     pub fn shadow_state(&self, dev_id: &DevId) -> ShadowState {
-        self.records.get(dev_id).map(|r| r.shadow.state()).unwrap_or(ShadowState::Initial)
+        self.records
+            .get(dev_id)
+            .map(|r| r.shadow.state())
+            .unwrap_or(ShadowState::Initial)
     }
 
     /// Iterates over all records.

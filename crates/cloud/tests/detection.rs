@@ -16,7 +16,10 @@ const DEVICE_NODE: NodeId = NodeId(2);
 const ATTACKER_NODE: NodeId = NodeId(3);
 
 fn dev_id() -> DevId {
-    DevId::Digits { value: 424_242, width: 6 }
+    DevId::Digits {
+        value: 424_242,
+        width: 6,
+    }
 }
 
 struct H {
@@ -35,18 +38,29 @@ impl H {
         cloud.set_public_ip(USER_NODE, 100);
         cloud.set_public_ip(DEVICE_NODE, 100);
         cloud.set_public_ip(ATTACKER_NODE, 200);
-        H { cloud, rng: SimRng::new(77), now: Tick(0) }
+        H {
+            cloud,
+            rng: SimRng::new(77),
+            now: Tick(0),
+        }
     }
 
     fn send(&mut self, from: NodeId, msg: Message) -> Response {
         self.now += 10;
         let now = self.now;
-        self.cloud.handle_message(from, now, &msg, &mut self.rng).reply
+        self.cloud
+            .handle_message(from, now, &msg, &mut self.rng)
+            .reply
     }
 
     fn login(&mut self, from: NodeId, user: &str, pw: &str) -> UserToken {
-        match self.send(from, Message::Login { user_id: UserId::new(user), user_pw: UserPw::new(pw) })
-        {
+        match self.send(
+            from,
+            Message::Login {
+                user_id: UserId::new(user),
+                user_pw: UserPw::new(pw),
+            },
+        ) {
             Response::LoginOk { user_token } => user_token,
             other => panic!("{other}"),
         }
@@ -66,7 +80,10 @@ impl H {
         assert!(r.is_ok());
         let r = self.send(
             USER_NODE,
-            Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: victim }),
+            Message::Bind(BindPayload::AclApp {
+                dev_id: dev_id(),
+                user_token: victim,
+            }),
         );
         assert!(r.is_ok());
         victim
@@ -82,10 +99,23 @@ fn happy_path_raises_no_alerts() {
     h.send(DEVICE_NODE, Message::Status(hb));
     h.send(
         USER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: victim }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
     );
-    h.send(USER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: victim }));
-    assert!(h.cloud.monitor().alerts().is_empty(), "{:?}", h.cloud.monitor().alerts());
+    h.send(
+        USER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
+    );
+    assert!(
+        h.cloud.monitor().alerts().is_empty(),
+        "{:?}",
+        h.cloud.monitor().alerts()
+    );
 }
 
 #[test]
@@ -98,7 +128,10 @@ fn foreign_unbind_is_flagged() {
     let attacker = h.login(ATTACKER_NODE, "attacker", "a");
     let r = h.send(
         ATTACKER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: attacker }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
     );
     assert_eq!(r, Response::Unbound);
     assert_eq!(h.cloud.monitor().count("foreign-unbind"), 1);
@@ -127,7 +160,10 @@ fn bare_unbind_from_foreign_ip_is_flagged_but_device_reset_is_not() {
         }),
     );
     // The real device resets: bare unbind from the household IP — clean.
-    let r = h.send(DEVICE_NODE, Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }));
+    let r = h.send(
+        DEVICE_NODE,
+        Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }),
+    );
     assert_eq!(r, Response::Unbound);
     assert_eq!(h.cloud.monitor().count("bare-unbind"), 0);
     // Rebind, then the attacker does the same from the WAN.
@@ -139,7 +175,10 @@ fn bare_unbind_from_foreign_ip_is_flagged_but_device_reset_is_not() {
             user_pw: UserPw::new("v"),
         }),
     );
-    let r = h.send(ATTACKER_NODE, Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }));
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }),
+    );
     assert_eq!(r, Response::Unbound);
     assert_eq!(h.cloud.monitor().count("bare-unbind"), 1);
 }
@@ -151,13 +190,22 @@ fn binding_replacement_and_remote_bind_are_flagged() {
     let attacker = h.login(ATTACKER_NODE, "attacker", "a");
     let r = h.send(
         ATTACKER_NODE,
-        Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: attacker }),
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
     );
     assert!(r.is_ok(), "E-Link replaces bindings");
     assert_eq!(h.cloud.monitor().count("binding-replaced"), 1);
-    assert_eq!(h.cloud.monitor().count("remote-only-bind"), 1, "bind IP ≠ device IP");
+    assert_eq!(
+        h.cloud.monitor().count("remote-only-bind"),
+        1,
+        "bind IP ≠ device IP"
+    );
     match &h.cloud.monitor().alerts()[0] {
-        SecurityAlert::BindingReplaced { victim, new_holder, .. } => {
+        SecurityAlert::BindingReplaced {
+            victim, new_holder, ..
+        } => {
             assert_eq!(victim, &UserId::new("victim"));
             assert_eq!(new_holder, &UserId::new("attacker"));
         }
@@ -191,17 +239,17 @@ fn id_sweep_triggers_enumeration_alert() {
         let probe = DevId::Digits { value: i, width: 6 };
         let _ = h.send(
             ATTACKER_NODE,
-            Message::Bind(BindPayload::AclApp { dev_id: probe, user_token: attacker }),
+            Message::Bind(BindPayload::AclApp {
+                dev_id: probe,
+                user_token: attacker,
+            }),
         );
     }
     assert_eq!(h.cloud.monitor().count("enumeration"), 1);
     // The victim's single-device traffic never trips it.
-    assert!(!h
-        .cloud
-        .monitor()
-        .alerts()
-        .iter()
-        .any(|a| matches!(a, SecurityAlert::EnumerationSuspected { source, .. } if *source == USER_NODE)));
+    assert!(!h.cloud.monitor().alerts().iter().any(
+        |a| matches!(a, SecurityAlert::EnumerationSuspected { source, .. } if *source == USER_NODE)
+    ));
 }
 
 #[test]
@@ -212,14 +260,20 @@ fn contested_binding_flags_the_a2_victim_experience() {
     let attacker = h.login(ATTACKER_NODE, "attacker", "a");
     let r = h.send(
         ATTACKER_NODE,
-        Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: attacker }),
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
     );
     assert!(r.is_ok(), "occupation: {r}");
     let victim = h.login(USER_NODE, "victim", "v");
     for _ in 0..3 {
         let r = h.send(
             USER_NODE,
-            Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: victim }),
+            Message::Bind(BindPayload::AclApp {
+                dev_id: dev_id(),
+                user_token: victim,
+            }),
         );
         assert!(!r.is_ok());
     }

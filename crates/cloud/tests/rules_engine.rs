@@ -19,11 +19,17 @@ const AC_NODE: NodeId = NodeId(3);
 const ATTACKER_NODE: NodeId = NodeId(4);
 
 fn sensor_id() -> DevId {
-    DevId::Digits { value: 111_111, width: 6 }
+    DevId::Digits {
+        value: 111_111,
+        width: 6,
+    }
 }
 
 fn ac_id() -> DevId {
-    DevId::Digits { value: 222_222, width: 6 }
+    DevId::Digits {
+        value: 222_222,
+        width: 6,
+    }
 }
 
 struct H {
@@ -39,7 +45,11 @@ impl H {
         cloud.provision_account(UserId::new("resident"), UserPw::new("pw"));
         cloud.manufacture(sensor_id(), 0, None);
         cloud.manufacture(ac_id(), 0, None);
-        let mut h = H { cloud, rng: SimRng::new(9), now: Tick(0) };
+        let mut h = H {
+            cloud,
+            rng: SimRng::new(9),
+            now: Tick(0),
+        };
         let token = h.login();
         for (node, dev) in [(SENSOR_NODE, sensor_id()), (AC_NODE, ac_id())] {
             let r = h.send(
@@ -51,7 +61,13 @@ impl H {
                 )),
             );
             assert!(r.reply.is_ok());
-            let r = h.send(USER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev, user_token: token }));
+            let r = h.send(
+                USER_NODE,
+                Message::Bind(BindPayload::AclApp {
+                    dev_id: dev,
+                    user_token: token,
+                }),
+            );
             assert!(r.reply.is_ok());
         }
         (h, token)
@@ -61,7 +77,10 @@ impl H {
         match self
             .send(
                 USER_NODE,
-                Message::Login { user_id: UserId::new("resident"), user_pw: UserPw::new("pw") },
+                Message::Login {
+                    user_id: UserId::new("resident"),
+                    user_pw: UserPw::new("pw"),
+                },
             )
             .reply
         {
@@ -110,7 +129,13 @@ fn legitimate_cascade_fires_the_ac() {
     assert!(r.reply.is_ok());
     let fired = r.pushes.iter().any(|(n, p)| {
         *n == AC_NODE
-            && matches!(p, Response::ControlPush { action: ControlAction::TurnOn, .. })
+            && matches!(
+                p,
+                Response::ControlPush {
+                    action: ControlAction::TurnOn,
+                    ..
+                }
+            )
     });
     assert!(fired, "{:?}", r.pushes);
 
@@ -141,7 +166,13 @@ fn injected_telemetry_triggers_the_cascade_a1_style() {
     assert!(r.reply.is_ok());
     let fired = r.pushes.iter().any(|(n, p)| {
         *n == AC_NODE
-            && matches!(p, Response::ControlPush { action: ControlAction::TurnOn, .. })
+            && matches!(
+                p,
+                Response::ControlPush {
+                    action: ControlAction::TurnOn,
+                    ..
+                }
+            )
     });
     assert!(fired, "fake heat turned on the real AC: {:?}", r.pushes);
 }
@@ -149,11 +180,15 @@ fn injected_telemetry_triggers_the_cascade_a1_style() {
 #[test]
 fn rules_require_owning_both_endpoints() {
     let (mut h, _token) = H::new();
-    h.cloud.provision_account(UserId::new("stranger"), UserPw::new("s"));
+    h.cloud
+        .provision_account(UserId::new("stranger"), UserPw::new("s"));
     let stranger = match h
         .send(
             ATTACKER_NODE,
-            Message::Login { user_id: UserId::new("stranger"), user_pw: UserPw::new("s") },
+            Message::Login {
+                user_id: UserId::new("stranger"),
+                user_pw: UserPw::new("s"),
+            },
         )
         .reply
     {
@@ -172,7 +207,12 @@ fn rules_require_owning_both_endpoints() {
             },
         },
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
 }
 
 #[test]
@@ -189,7 +229,10 @@ fn rules_stop_firing_after_the_action_device_changes_hands() {
     );
     assert!(r.reply.is_ok());
     let r = h.sensor_reports(SENSOR_NODE, 40_000);
-    assert!(!r.pushes.iter().any(|(n, _)| *n == AC_NODE), "stale rule must not fire");
+    assert!(
+        !r.pushes.iter().any(|(n, _)| *n == AC_NODE),
+        "stale rule must not fire"
+    );
 }
 
 #[test]
@@ -211,7 +254,12 @@ fn rule_storage_is_capped() {
         assert!(r.reply.is_ok(), "rule {i}");
     }
     let r = h.ac_rule(token);
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::RateLimited });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::RateLimited
+        }
+    );
 }
 
 #[test]
@@ -229,5 +277,10 @@ fn unknown_devices_in_rules_are_rejected() {
             },
         },
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::UnknownDevice });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::UnknownDevice
+        }
+    );
 }

@@ -2,6 +2,9 @@
 //! simulator). Each test exercises one policy branch the paper's attacks
 //! probe.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rb_cloud::{CloudConfig, CloudService};
 use rb_core::design::{DeviceAuthScheme, VendorDesign};
 use rb_core::shadow::ShadowState;
@@ -41,7 +44,11 @@ impl Harness {
         cloud.set_public_ip(USER_NODE, 100);
         cloud.set_public_ip(DEVICE_NODE, 100);
         cloud.set_public_ip(ATTACKER_NODE, 200);
-        Harness { cloud, rng: SimRng::new(0xbead), now: Tick(0) }
+        Harness {
+            cloud,
+            rng: SimRng::new(0xbead),
+            now: Tick(0),
+        }
     }
 
     fn send(&mut self, from: NodeId, msg: Message) -> rb_cloud::Outcome {
@@ -52,7 +59,13 @@ impl Harness {
 
     fn login(&mut self, from: NodeId, user: &str, pw: &str) -> UserToken {
         match self
-            .send(from, Message::Login { user_id: UserId::new(user), user_pw: UserPw::new(pw) })
+            .send(
+                from,
+                Message::Login {
+                    user_id: UserId::new(user),
+                    user_pw: UserPw::new(pw),
+                },
+            )
             .reply
         {
             Response::LoginOk { user_token } => user_token,
@@ -64,7 +77,10 @@ impl Harness {
         match self.cloud.design().auth {
             DeviceAuthScheme::DevToken => {
                 let token = user_token.expect("DevToken design needs a user token");
-                match self.send(USER_NODE, Message::RequestDevToken { user_token: token }).reply {
+                match self
+                    .send(USER_NODE, Message::RequestDevToken { user_token: token })
+                    .reply
+                {
                     Response::DevTokenIssued { dev_token } => StatusAuth::DevToken(dev_token),
                     other => panic!("token request failed: {other}"),
                 }
@@ -91,7 +107,10 @@ impl Harness {
     fn bind_as(&mut self, from: NodeId, user_token: UserToken) -> rb_cloud::Outcome {
         self.send(
             from,
-            Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token }),
+            Message::Bind(BindPayload::AclApp {
+                dev_id: dev_id(),
+                user_token,
+            }),
         )
     }
 }
@@ -147,7 +166,10 @@ fn full_lifecycle_on_a_dev_token_design() {
     // Unbind by the owner works.
     let r = h.send(
         USER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: victim }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
     );
     assert_eq!(r.reply, Response::Unbound);
     assert_eq!(h.cloud.shadow_state(&dev_id()), ShadowState::Online);
@@ -175,7 +197,10 @@ fn telemetry_flows_to_the_bound_user() {
 fn schedule_set_query_and_device_push() {
     let mut h = Harness::new(vendors::d_link());
     let (victim, _auth, _) = setup_bound(&mut h);
-    let entry = ScheduleEntry { at_tick: 9999, turn_on: true };
+    let entry = ScheduleEntry {
+        at_tick: 9999,
+        turn_on: true,
+    };
     let r = h.send(
         USER_NODE,
         Message::Control {
@@ -211,10 +236,22 @@ fn schedule_set_query_and_device_push() {
 fn query_shadow_reports_state_bits() {
     let mut h = Harness::new(vendors::d_link());
     let r = h.send(USER_NODE, Message::QueryShadow { dev_id: dev_id() });
-    assert_eq!(r.reply, Response::ShadowState { online: false, bound: false });
+    assert_eq!(
+        r.reply,
+        Response::ShadowState {
+            online: false,
+            bound: false
+        }
+    );
     setup_bound(&mut h);
     let r = h.send(USER_NODE, Message::QueryShadow { dev_id: dev_id() });
-    assert_eq!(r.reply, Response::ShadowState { online: true, bound: true });
+    assert_eq!(
+        r.reply,
+        Response::ShadowState {
+            online: true,
+            bound: true
+        }
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -227,9 +264,17 @@ fn unknown_device_is_rejected() {
     let ghost = DevId::Uuid(0x6060);
     let r = h.send(
         DEVICE_NODE,
-        Message::Status(StatusPayload::heartbeat(StatusAuth::DevId(ghost.clone()), ghost)),
+        Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(ghost.clone()),
+            ghost,
+        )),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::UnknownDevice });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::UnknownDevice
+        }
+    );
 }
 
 #[test]
@@ -237,9 +282,17 @@ fn dev_token_design_rejects_dev_id_auth() {
     let mut h = Harness::new(vendors::belkin());
     let r = h.send(
         DEVICE_NODE,
-        Message::Status(StatusPayload::heartbeat(StatusAuth::DevId(dev_id()), dev_id())),
+        Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        )),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceAuthFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceAuthFailed
+        }
+    );
     // And rejects made-up tokens.
     let r = h.send(
         DEVICE_NODE,
@@ -248,7 +301,12 @@ fn dev_token_design_rejects_dev_id_auth() {
             dev_id(),
         )),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceAuthFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceAuthFailed
+        }
+    );
 }
 
 #[test]
@@ -257,9 +315,17 @@ fn opaque_design_rejects_everything_but_the_factory_secret() {
     // The attacker knows the DevId but not the factory secret.
     let r = h.send(
         ATTACKER_NODE,
-        Message::Status(StatusPayload::heartbeat(StatusAuth::DevId(dev_id()), dev_id())),
+        Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        )),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceAuthFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceAuthFailed
+        }
+    );
     // The real firmware authenticates fine.
     let r = h.device_register(StatusAuth::DevToken(DevToken::from_entropy(FACTORY_SECRET)));
     assert!(r.reply.is_ok());
@@ -271,17 +337,28 @@ fn public_key_design_verifies_signatures() {
     let secret = 0x1234_5678_9abc_def0_1111_2222_3333_4444u128;
     h.cloud.manufacture(dev_id(), 0, Some((77, secret)));
     let good = rb_cloud::registry::sign(secret, &dev_id());
-    let r = h.device_register(StatusAuth::PublicKey { key_id: 77, signature: good });
+    let r = h.device_register(StatusAuth::PublicKey {
+        key_id: 77,
+        signature: good,
+    });
     assert!(r.reply.is_ok());
     let r = h.send(
         ATTACKER_NODE,
         Message::Status(StatusPayload::register(
-            StatusAuth::PublicKey { key_id: 77, signature: good ^ 1 },
+            StatusAuth::PublicKey {
+                key_id: 77,
+                signature: good ^ 1,
+            },
             dev_id(),
             DeviceAttributes::default(),
         )),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceAuthFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceAuthFailed
+        }
+    );
 }
 
 #[test]
@@ -302,7 +379,10 @@ fn dev_id_design_accepts_forged_status() {
     // Follow-up heartbeats within the forged session are accepted too.
     let r = h.send(
         ATTACKER_NODE,
-        Message::Status(StatusPayload::heartbeat(StatusAuth::DevId(dev_id()), dev_id())),
+        Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        )),
     );
     assert!(r.reply.is_ok(), "{}", r.reply);
 }
@@ -313,9 +393,17 @@ fn heartbeat_without_a_session_is_rejected() {
     let mut h = Harness::new(vendors::d_link());
     let r = h.send(
         ATTACKER_NODE,
-        Message::Status(StatusPayload::heartbeat(StatusAuth::DevId(dev_id()), dev_id())),
+        Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        )),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceAuthFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceAuthFailed
+        }
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -326,7 +414,12 @@ fn heartbeat_without_a_session_is_rejected() {
 fn bind_with_invalid_token_rejected() {
     let mut h = Harness::new(vendors::d_link());
     let r = h.bind_as(ATTACKER_NODE, UserToken::from_entropy(999));
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::InvalidUserToken });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::InvalidUserToken
+        }
+    );
 }
 
 #[test]
@@ -335,7 +428,12 @@ fn sticky_design_rejects_second_binder() {
     setup_bound(&mut h);
     let attacker = h.login(ATTACKER_NODE, "attacker", "attacker-pw");
     let r = h.bind_as(ATTACKER_NODE, attacker);
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::AlreadyBound });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::AlreadyBound
+        }
+    );
     assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("victim")));
 }
 
@@ -357,7 +455,9 @@ fn replacing_design_displaces_and_notifies_previous_user() {
     assert!(r.reply.is_ok(), "replacement accepted: {}", r.reply);
     assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("attacker")));
     assert!(
-        r.pushes.iter().any(|(n, p)| *n == USER_NODE && *p == Response::BindingRevoked),
+        r.pushes
+            .iter()
+            .any(|(n, p)| *n == USER_NODE && *p == Response::BindingRevoked),
         "victim is notified of the revocation"
     );
 }
@@ -377,7 +477,12 @@ fn online_required_design_rejects_bind_for_offline_device() {
             user_pw: UserPw::new("attacker-pw"),
         }),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceOffline });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceOffline
+        }
+    );
 }
 
 #[test]
@@ -409,7 +514,12 @@ fn device_initiated_bind_rejects_wrong_password() {
             user_pw: UserPw::new("wrong"),
         }),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::BadCredentials });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::BadCredentials
+        }
+    );
 }
 
 #[test]
@@ -417,9 +527,16 @@ fn wrong_bind_shape_is_unsupported() {
     let mut h = Harness::new(vendors::d_link());
     let r = h.send(
         DEVICE_NODE,
-        Message::Bind(BindPayload::Capability { bind_token: BindToken::from_entropy(1) }),
+        Message::Bind(BindPayload::Capability {
+            bind_token: BindToken::from_entropy(1),
+        }),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::UnsupportedOperation });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::UnsupportedOperation
+        }
+    );
 }
 
 #[test]
@@ -431,7 +548,12 @@ fn hue_style_bind_requires_fresh_button_and_matching_ip() {
 
     // Bind without any button press: denied.
     let r = h.bind_as(USER_NODE, victim);
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::OwnershipProofFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::OwnershipProofFailed
+        }
+    );
 
     // Button pressed; bind from the same public IP: accepted.
     let mut status = StatusPayload::heartbeat(
@@ -451,7 +573,12 @@ fn hue_style_bind_requires_fresh_button_and_matching_ip() {
     h.device_register(StatusAuth::DevToken(DevToken::from_entropy(FACTORY_SECRET)));
     h.send(DEVICE_NODE, Message::Status(status));
     let r = h.bind_as(ATTACKER_NODE, attacker);
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::OwnershipProofFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::OwnershipProofFailed
+        }
+    );
 }
 
 #[test]
@@ -467,7 +594,12 @@ fn hue_button_window_expires() {
     // Let more than the 30 s window pass.
     h.now += 31_000;
     let r = h.bind_as(USER_NODE, victim);
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::OwnershipProofFailed });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::OwnershipProofFailed
+        }
+    );
 }
 
 #[test]
@@ -475,42 +607,71 @@ fn capability_bind_roundtrip() {
     let mut h = Harness::new(vendors::capability_reference());
     let victim = h.login(USER_NODE, "victim", "victim-pw");
     // App requests a capability.
-    let bind_token =
-        match h.send(USER_NODE, Message::RequestBindToken { user_token: victim }).reply {
-            Response::BindTokenIssued { bind_token } => bind_token,
-            other => panic!("{other}"),
-        };
+    let bind_token = match h
+        .send(USER_NODE, Message::RequestBindToken { user_token: victim })
+        .reply
+    {
+        Response::BindTokenIssued { bind_token } => bind_token,
+        other => panic!("{other}"),
+    };
     // Device registers (DevToken design).
     let auth = h.status_auth(Some(victim));
     let r = h.device_register(auth);
     assert!(r.reply.is_ok());
     // Device submits the capability (received over the LAN).
-    let r = h.send(DEVICE_NODE, Message::Bind(BindPayload::Capability { bind_token }));
+    let r = h.send(
+        DEVICE_NODE,
+        Message::Bind(BindPayload::Capability { bind_token }),
+    );
     assert!(r.reply.is_ok(), "{}", r.reply);
     assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("victim")));
     // The user is informed via push.
-    assert!(r.pushes.iter().any(|(n, p)| *n == USER_NODE && matches!(p, Response::Bound { .. })));
+    assert!(r
+        .pushes
+        .iter()
+        .any(|(n, p)| *n == USER_NODE && matches!(p, Response::Bound { .. })));
 }
 
 #[test]
 fn capability_cannot_be_replayed_or_submitted_by_non_device() {
     let mut h = Harness::new(vendors::capability_reference());
     let victim = h.login(USER_NODE, "victim", "victim-pw");
-    let bind_token =
-        match h.send(USER_NODE, Message::RequestBindToken { user_token: victim }).reply {
-            Response::BindTokenIssued { bind_token } => bind_token,
-            other => panic!("{other}"),
-        };
+    let bind_token = match h
+        .send(USER_NODE, Message::RequestBindToken { user_token: victim })
+        .reply
+    {
+        Response::BindTokenIssued { bind_token } => bind_token,
+        other => panic!("{other}"),
+    };
     // Submitted from a node with no device session: rejected.
-    let r = h.send(ATTACKER_NODE, Message::Bind(BindPayload::Capability { bind_token }));
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceAuthFailed });
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Bind(BindPayload::Capability { bind_token }),
+    );
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceAuthFailed
+        }
+    );
     // Legit flow consumes the token; replay fails.
     let auth = h.status_auth(Some(victim));
     h.device_register(auth);
-    let r = h.send(DEVICE_NODE, Message::Bind(BindPayload::Capability { bind_token }));
+    let r = h.send(
+        DEVICE_NODE,
+        Message::Bind(BindPayload::Capability { bind_token }),
+    );
     assert!(r.reply.is_ok());
-    let r = h.send(DEVICE_NODE, Message::Bind(BindPayload::Capability { bind_token }));
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::InvalidBindToken });
+    let r = h.send(
+        DEVICE_NODE,
+        Message::Bind(BindPayload::Capability { bind_token }),
+    );
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::InvalidBindToken
+        }
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -524,9 +685,17 @@ fn unbind_ownership_check_blocks_foreign_tokens_when_present() {
     let attacker = h.login(ATTACKER_NODE, "attacker", "attacker-pw");
     let r = h.send(
         ATTACKER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: attacker }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
     assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("victim")));
 }
 
@@ -537,12 +706,18 @@ fn missing_ownership_check_allows_foreign_unbind() {
     let attacker = h.login(ATTACKER_NODE, "attacker", "attacker-pw");
     let r = h.send(
         ATTACKER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: attacker }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
     );
     assert_eq!(r.reply, Response::Unbound);
     assert_eq!(h.cloud.bound_user(&dev_id()), None);
     // The victim hears about it.
-    assert!(r.pushes.iter().any(|(n, p)| *n == USER_NODE && *p == Response::BindingRevoked));
+    assert!(r
+        .pushes
+        .iter()
+        .any(|(n, p)| *n == USER_NODE && *p == Response::BindingRevoked));
 }
 
 #[test]
@@ -559,14 +734,25 @@ fn dev_id_only_unbind_accepted_only_where_supported() {
         }),
     );
     assert!(r.reply.is_ok());
-    let r = h.send(ATTACKER_NODE, Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }));
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }),
+    );
     assert_eq!(r.reply, Response::Unbound);
 
     // ...Belkin does not.
     let mut h = Harness::new(vendors::belkin());
     setup_bound(&mut h);
-    let r = h.send(ATTACKER_NODE, Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }));
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::UnsupportedOperation });
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() }),
+    );
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::UnsupportedOperation
+        }
+    );
 }
 
 #[test]
@@ -575,9 +761,17 @@ fn konke_has_no_unbind_at_all() {
     let (victim, _, _) = setup_bound(&mut h);
     let r = h.send(
         USER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: victim }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::UnsupportedOperation });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::UnsupportedOperation
+        }
+    );
 }
 
 #[test]
@@ -586,9 +780,17 @@ fn unbind_unbound_device_is_not_bound() {
     let victim = h.login(USER_NODE, "victim", "victim-pw");
     let r = h.send(
         USER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: victim }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::NotBound });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::NotBound
+        }
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -609,7 +811,12 @@ fn control_requires_being_the_bound_user() {
             action: ControlAction::TurnOn,
         },
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
 }
 
 #[test]
@@ -630,7 +837,12 @@ fn control_requires_online_device() {
             action: ControlAction::TurnOn,
         },
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::DeviceOffline });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::DeviceOffline
+        }
+    );
 }
 
 #[test]
@@ -657,7 +869,12 @@ fn post_binding_session_blocks_control_after_hijack() {
             action: ControlAction::TurnOn,
         },
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::BadSession });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::BadSession
+        }
+    );
 }
 
 #[test]
@@ -669,7 +886,10 @@ fn dev_token_linkage_blocks_control_after_rebind() {
     let attacker = h.login(ATTACKER_NODE, "attacker", "attacker-pw");
     let r = h.send(
         ATTACKER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: attacker }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
     );
     assert_eq!(r.reply, Response::Unbound);
     let r = h.bind_as(ATTACKER_NODE, attacker);
@@ -683,7 +903,12 @@ fn dev_token_linkage_blocks_control_after_rebind() {
             action: ControlAction::TurnOn,
         },
     );
-    assert_eq!(r.reply, Response::Denied { reason: DenyReason::BadSession });
+    assert_eq!(
+        r.reply,
+        Response::Denied {
+            reason: DenyReason::BadSession
+        }
+    );
 }
 
 #[test]
@@ -704,7 +929,10 @@ fn dev_id_design_relays_control_to_hijacker() {
         },
     );
     assert!(r.reply.is_ok(), "hijacker controls the device: {}", r.reply);
-    assert!(r.pushes.iter().any(|(n, _)| *n == DEVICE_NODE), "command reached the device");
+    assert!(
+        r.pushes.iter().any(|(n, _)| *n == DEVICE_NODE),
+        "command reached the device"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -784,7 +1012,10 @@ fn heartbeat_does_not_reset_binding_even_on_tp_link() {
     );
     h.send(
         ATTACKER_NODE,
-        Message::Status(StatusPayload::heartbeat(StatusAuth::DevId(dev_id()), dev_id())),
+        Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        )),
     );
     assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("victim")));
 }
@@ -806,7 +1037,10 @@ fn audit_log_records_decisions() {
 #[test]
 fn rate_limit_throttles_a_probing_source() {
     let mut config = rb_cloud::CloudConfig::new(vendors::d_link());
-    config.rate_limit = Some(rb_cloud::RateLimit { window: 1_000, max: 5 });
+    config.rate_limit = Some(rb_cloud::RateLimit {
+        window: 1_000,
+        max: 5,
+    });
     let mut cloud = CloudService::new(config);
     cloud.manufacture(dev_id(), 0, None);
     let mut rng = SimRng::new(1);
@@ -821,7 +1055,12 @@ fn rate_limit_throttles_a_probing_source() {
         if i < 5 {
             assert!(r.reply.is_ok(), "probe {i}: {}", r.reply);
         } else {
-            assert_eq!(r.reply, Response::Denied { reason: DenyReason::RateLimited });
+            assert_eq!(
+                r.reply,
+                Response::Denied {
+                    reason: DenyReason::RateLimited
+                }
+            );
         }
     }
     // A different source is unaffected.

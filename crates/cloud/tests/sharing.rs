@@ -36,18 +36,29 @@ impl H {
         cloud.provision_account(UserId::new("guest"), UserPw::new("g"));
         cloud.provision_account(UserId::new("mallory"), UserPw::new("m"));
         cloud.manufacture(dev_id(), 0, None);
-        H { cloud, rng: SimRng::new(5), now: Tick(0) }
+        H {
+            cloud,
+            rng: SimRng::new(5),
+            now: Tick(0),
+        }
     }
 
     fn send(&mut self, from: NodeId, msg: Message) -> Response {
         self.now += 10;
         let now = self.now;
-        self.cloud.handle_message(from, now, &msg, &mut self.rng).reply
+        self.cloud
+            .handle_message(from, now, &msg, &mut self.rng)
+            .reply
     }
 
     fn login(&mut self, from: NodeId, user: &str, pw: &str) -> UserToken {
-        match self.send(from, Message::Login { user_id: UserId::new(user), user_pw: UserPw::new(pw) })
-        {
+        match self.send(
+            from,
+            Message::Login {
+                user_id: UserId::new(user),
+                user_pw: UserPw::new(pw),
+            },
+        ) {
             Response::LoginOk { user_token } => user_token,
             other => panic!("{other}"),
         }
@@ -65,7 +76,13 @@ impl H {
             )),
         );
         assert!(r.is_ok());
-        let r = self.send(OWNER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: owner }));
+        let r = self.send(
+            OWNER_NODE,
+            Message::Bind(BindPayload::AclApp {
+                dev_id: dev_id(),
+                user_token: owner,
+            }),
+        );
         assert!(r.is_ok());
         owner
     }
@@ -73,7 +90,11 @@ impl H {
     fn share(&mut self, token: UserToken, grantee: &str) -> Response {
         self.send(
             OWNER_NODE,
-            Message::Share { dev_id: dev_id(), user_token: token, grantee: UserId::new(grantee) },
+            Message::Share {
+                dev_id: dev_id(),
+                user_token: token,
+                grantee: UserId::new(grantee),
+            },
         )
     }
 }
@@ -87,16 +108,31 @@ fn owner_shares_and_guest_controls() {
     // Before sharing, the guest is a stranger.
     let r = h.send(
         GUEST_NODE,
-        Message::Control { dev_id: dev_id(), user_token: guest, session: None, action: ControlAction::TurnOn },
+        Message::Control {
+            dev_id: dev_id(),
+            user_token: guest,
+            session: None,
+            action: ControlAction::TurnOn,
+        },
     );
-    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
 
     // Owner grants; guest can now control.
     let r = h.share(owner, "guest");
     assert!(matches!(r, Response::ShareOk { guests: 1, .. }), "{r}");
     let r = h.send(
         GUEST_NODE,
-        Message::Control { dev_id: dev_id(), user_token: guest, session: None, action: ControlAction::TurnOn },
+        Message::Control {
+            dev_id: dev_id(),
+            user_token: guest,
+            session: None,
+            action: ControlAction::TurnOn,
+        },
     );
     assert!(r.is_ok(), "{r}");
     assert_eq!(h.cloud.guests(&dev_id()), vec![UserId::new("guest")]);
@@ -110,17 +146,35 @@ fn only_the_owner_may_grant_or_revoke() {
     // Mallory tries to share the victim's device with herself.
     let r = h.send(
         ATTACKER_NODE,
-        Message::Share { dev_id: dev_id(), user_token: mallory, grantee: UserId::new("mallory") },
+        Message::Share {
+            dev_id: dev_id(),
+            user_token: mallory,
+            grantee: UserId::new("mallory"),
+        },
     );
-    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
     // And a guest cannot re-share.
     h.share(owner, "guest");
     let guest = h.login(GUEST_NODE, "guest", "g");
     let r = h.send(
         GUEST_NODE,
-        Message::Share { dev_id: dev_id(), user_token: guest, grantee: UserId::new("mallory") },
+        Message::Share {
+            dev_id: dev_id(),
+            user_token: guest,
+            grantee: UserId::new("mallory"),
+        },
     );
-    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
     assert_eq!(h.cloud.guests(&dev_id()).len(), 1);
 }
 
@@ -129,7 +183,12 @@ fn unknown_grantee_is_rejected() {
     let mut h = H::new();
     let owner = h.bound();
     let r = h.share(owner, "ghost@nowhere");
-    assert_eq!(r, Response::Denied { reason: DenyReason::UnknownUser });
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: DenyReason::UnknownUser
+        }
+    );
 }
 
 #[test]
@@ -140,14 +199,28 @@ fn unshare_revokes_control() {
     let guest = h.login(GUEST_NODE, "guest", "g");
     let r = h.send(
         OWNER_NODE,
-        Message::Unshare { dev_id: dev_id(), user_token: owner, grantee: UserId::new("guest") },
+        Message::Unshare {
+            dev_id: dev_id(),
+            user_token: owner,
+            grantee: UserId::new("guest"),
+        },
     );
     assert!(matches!(r, Response::ShareOk { guests: 0, .. }));
     let r = h.send(
         GUEST_NODE,
-        Message::Control { dev_id: dev_id(), user_token: guest, session: None, action: ControlAction::TurnOff },
+        Message::Control {
+            dev_id: dev_id(),
+            user_token: guest,
+            session: None,
+            action: ControlAction::TurnOff,
+        },
     );
-    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
 }
 
 #[test]
@@ -158,9 +231,17 @@ fn guests_cannot_unbind() {
     let guest = h.login(GUEST_NODE, "guest", "g");
     let r = h.send(
         GUEST_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: guest }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: guest,
+        }),
     );
-    assert_eq!(r, Response::Denied { reason: DenyReason::NotBoundUser });
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: DenyReason::NotBoundUser
+        }
+    );
     assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("owner")));
 }
 
@@ -173,10 +254,16 @@ fn unbind_evicts_all_guests() {
     assert_eq!(h.cloud.guests(&dev_id()).len(), 2);
     let r = h.send(
         OWNER_NODE,
-        Message::Unbind(UnbindPayload::DevIdUserToken { dev_id: dev_id(), user_token: owner }),
+        Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: owner,
+        }),
     );
     assert_eq!(r, Response::Unbound);
-    assert!(h.cloud.guests(&dev_id()).is_empty(), "guests do not survive unbinding");
+    assert!(
+        h.cloud.guests(&dev_id()).is_empty(),
+        "guests do not survive unbinding"
+    );
 }
 
 #[test]
@@ -187,7 +274,10 @@ fn sharing_is_idempotent_and_self_grant_is_noop() {
     let r = h.share(owner, "guest");
     assert!(matches!(r, Response::ShareOk { guests: 1, .. }), "{r}");
     let r = h.share(owner, "owner");
-    assert!(matches!(r, Response::ShareOk { guests: 1, .. }), "owner self-grant is a no-op: {r}");
+    assert!(
+        matches!(r, Response::ShareOk { guests: 1, .. }),
+        "owner self-grant is a no-op: {r}"
+    );
 }
 
 #[test]
@@ -206,7 +296,10 @@ fn hijacker_replacement_evicts_guests_too() {
     let owner = match send(
         &mut cloud,
         OWNER_NODE,
-        Message::Login { user_id: UserId::new("owner"), user_pw: UserPw::new("o") },
+        Message::Login {
+            user_id: UserId::new("owner"),
+            user_pw: UserPw::new("o"),
+        },
         1,
     ) {
         Response::LoginOk { user_token } => user_token,
@@ -222,11 +315,23 @@ fn hijacker_replacement_evicts_guests_too() {
         )),
         2,
     );
-    send(&mut cloud, OWNER_NODE, Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: owner }), 3);
     send(
         &mut cloud,
         OWNER_NODE,
-        Message::Share { dev_id: dev_id(), user_token: owner, grantee: UserId::new("guest") },
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: owner,
+        }),
+        3,
+    );
+    send(
+        &mut cloud,
+        OWNER_NODE,
+        Message::Share {
+            dev_id: dev_id(),
+            user_token: owner,
+            grantee: UserId::new("guest"),
+        },
         4,
     );
     assert_eq!(cloud.guests(&dev_id()).len(), 1);
@@ -234,7 +339,10 @@ fn hijacker_replacement_evicts_guests_too() {
     let mallory = match send(
         &mut cloud,
         ATTACKER_NODE,
-        Message::Login { user_id: UserId::new("mallory"), user_pw: UserPw::new("m") },
+        Message::Login {
+            user_id: UserId::new("mallory"),
+            user_pw: UserPw::new("m"),
+        },
         5,
     ) {
         Response::LoginOk { user_token } => user_token,
@@ -243,10 +351,16 @@ fn hijacker_replacement_evicts_guests_too() {
     let r = send(
         &mut cloud,
         ATTACKER_NODE,
-        Message::Bind(BindPayload::AclApp { dev_id: dev_id(), user_token: mallory }),
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: mallory,
+        }),
         6,
     );
     assert!(r.is_ok());
     assert_eq!(cloud.bound_user(&dev_id()), Some(UserId::new("mallory")));
-    assert!(cloud.guests(&dev_id()).is_empty(), "guests evicted by the hijack");
+    assert!(
+        cloud.guests(&dev_id()).is_empty(),
+        "guests evicted by the hijack"
+    );
 }

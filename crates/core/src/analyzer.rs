@@ -47,7 +47,11 @@ impl AnalysisReport {
 
     /// The feasible variants within a family.
     pub fn feasible_variants(&self, family: AttackFamily) -> Vec<AttackId> {
-        family.variants().into_iter().filter(|a| self.feasible(*a)).collect()
+        family
+            .variants()
+            .into_iter()
+            .filter(|a| self.feasible(*a))
+            .collect()
     }
 
     /// Renders the Table III cell for a family: `✓`/`✗`/`O` for A1 and A2,
@@ -84,17 +88,16 @@ pub fn analyze(design: &VendorDesign) -> AnalysisReport {
     verdicts.insert(AttackId::A4_1, analyze_a4_1(design));
     verdicts.insert(AttackId::A4_2, analyze_a4_2(design));
     verdicts.insert(AttackId::A4_3, analyze_a4_3(design));
-    AnalysisReport { vendor: design.vendor.clone(), verdicts }
+    AnalysisReport {
+        vendor: design.vendor.clone(),
+        verdicts,
+    }
 }
 
 fn status_block_reason(design: &VendorDesign) -> Feasibility {
     match design.auth {
-        DeviceAuthScheme::DevToken => {
-            Feasibility::blocked("DevToken device authentication")
-        }
-        DeviceAuthScheme::PublicKey => {
-            Feasibility::blocked("public-key device authentication")
-        }
+        DeviceAuthScheme::DevToken => Feasibility::blocked("DevToken device authentication"),
+        DeviceAuthScheme::PublicKey => Feasibility::blocked("public-key device authentication"),
         DeviceAuthScheme::DevId => {
             Feasibility::unconfirmable("firmware unavailable: device message format unknown")
         }
@@ -248,8 +251,7 @@ fn analyze_a4_2(design: &VendorDesign) -> Feasibility {
 }
 
 fn analyze_a4_3(design: &VendorDesign) -> Feasibility {
-    let unbind_possible =
-        analyze_a3_1(design).is_feasible() || analyze_a3_2(design).is_feasible();
+    let unbind_possible = analyze_a3_1(design).is_feasible() || analyze_a3_2(design).is_feasible();
     if !unbind_possible {
         return Feasibility::blocked("no forgeable unbinding message (step 1 fails)");
     }
@@ -326,7 +328,10 @@ pub fn check_taxonomy_against_machine() -> Vec<String> {
             for &s in &row.targeted {
                 let end = s.apply(Primitive::Unbind).apply(Primitive::Bind);
                 if end != row.end_state {
-                    violations.push(format!("{}: {} -> {} != {}", row.attack, s, end, row.end_state));
+                    violations.push(format!(
+                        "{}: {} -> {} != {}",
+                        row.attack, s, end, row.end_state
+                    ));
                 }
             }
             continue;
@@ -362,16 +367,16 @@ mod tests {
     /// The expected Table III attack cells, in vendor order #1..#10.
     fn expected_cells() -> Vec<[&'static str; 4]> {
         vec![
-            ["✗", "✓", "A3-2", "✗"],          // #1 Belkin
-            ["O", "✓", "✗", "✗"],             // #2 BroadLink
-            ["✗", "✗", "A3-3", "✗"],          // #3 KONKE
-            ["✗", "✓", "✗", "✗"],             // #4 Lightstory
-            ["O", "✓", "A3-2", "✗"],          // #5 Orvibo
-            ["O", "✓", "✗", "A4-2"],          // #6 OZWI
-            ["O", "✗", "✗", "✗"],             // #7 Philips Hue
-            ["✗", "✗", "A3-1 & A3-4", "A4-3"],// #8 TP-LINK
-            ["O", "✗", "✗", "A4-1"],          // #9 E-Link Smart
-            ["✓", "✓", "✗", "✗"],             // #10 D-LINK
+            ["✗", "✓", "A3-2", "✗"],           // #1 Belkin
+            ["O", "✓", "✗", "✗"],              // #2 BroadLink
+            ["✗", "✗", "A3-3", "✗"],           // #3 KONKE
+            ["✗", "✓", "✗", "✗"],              // #4 Lightstory
+            ["O", "✓", "A3-2", "✗"],           // #5 Orvibo
+            ["O", "✓", "✗", "A4-2"],           // #6 OZWI
+            ["O", "✗", "✗", "✗"],              // #7 Philips Hue
+            ["✗", "✗", "A3-1 & A3-4", "A4-3"], // #8 TP-LINK
+            ["O", "✗", "✗", "A4-1"],           // #9 E-Link Smart
+            ["✓", "✓", "✗", "✗"],              // #10 D-LINK
         ]
     }
 
@@ -388,12 +393,9 @@ mod tests {
                 report.family_cell(AttackFamily::A4),
             ];
             assert_eq!(
-                got,
-                *want,
+                got, *want,
                 "vendor {} predicted {:?}, paper says {:?}",
-                design.vendor,
-                got,
-                want
+                design.vendor, got, want
             );
         }
     }
@@ -402,7 +404,12 @@ mod tests {
     fn every_report_covers_all_nine_attacks() {
         for design in vendor_designs() {
             let report = analyze(&design);
-            assert_eq!(report.verdicts.len(), AttackId::ALL.len(), "{}", design.vendor);
+            assert_eq!(
+                report.verdicts.len(),
+                AttackId::ALL.len(),
+                "{}",
+                design.vendor
+            );
         }
     }
 
@@ -497,7 +504,10 @@ mod tests {
         let mut with_session = base.clone();
         with_session.checks.post_binding_session = true;
         let report = analyze(&with_session);
-        assert!(!report.feasible(AttackId::A4_2), "session token kills the hijack");
+        assert!(
+            !report.feasible(AttackId::A4_2),
+            "session token kills the hijack"
+        );
         assert!(report.feasible(AttackId::A2), "but DoS remains");
 
         let mut with_token = base.clone();

@@ -97,7 +97,9 @@ impl AttackId {
     /// The consequence column of Table II.
     pub fn consequence(self) -> &'static str {
         match self.family() {
-            AttackFamily::A1 => "The attacker can inject fake device data or steal private user data.",
+            AttackFamily::A1 => {
+                "The attacker can inject fake device data or steal private user data."
+            }
             AttackFamily::A2 => {
                 "The attacker can cause denial-of-service to the user's binding operation."
             }
@@ -152,8 +154,12 @@ pub enum AttackFamily {
 
 impl AttackFamily {
     /// All four families.
-    pub const ALL: [AttackFamily; 4] =
-        [AttackFamily::A1, AttackFamily::A2, AttackFamily::A3, AttackFamily::A4];
+    pub const ALL: [AttackFamily; 4] = [
+        AttackFamily::A1,
+        AttackFamily::A2,
+        AttackFamily::A3,
+        AttackFamily::A4,
+    ];
 
     /// Human-readable name used in the paper's table.
     pub fn name(self) -> &'static str {
@@ -167,7 +173,11 @@ impl AttackFamily {
 
     /// The attack variants within this family.
     pub fn variants(self) -> Vec<AttackId> {
-        AttackId::ALL.iter().copied().filter(|a| a.family() == self).collect()
+        AttackId::ALL
+            .iter()
+            .copied()
+            .filter(|a| a.family() == self)
+            .collect()
     }
 }
 
@@ -205,12 +215,16 @@ pub enum Feasibility {
 impl Feasibility {
     /// Convenience constructor for [`Feasibility::Infeasible`].
     pub fn blocked(by: impl Into<String>) -> Self {
-        Feasibility::Infeasible { blocked_by: by.into() }
+        Feasibility::Infeasible {
+            blocked_by: by.into(),
+        }
     }
 
     /// Convenience constructor for [`Feasibility::Unconfirmable`].
     pub fn unconfirmable(reason: impl Into<String>) -> Self {
-        Feasibility::Unconfirmable { reason: reason.into() }
+        Feasibility::Unconfirmable {
+            reason: reason.into(),
+        }
     }
 
     /// Whether the verdict is `Feasible`.
@@ -259,12 +273,21 @@ mod tests {
     #[test]
     fn table_ii_shapes() {
         assert_eq!(AttackId::A1.forged_message_str(), "Status:DevId");
-        assert_eq!(AttackId::A3_2.forged_message_str(), "Unbind:(DevId,UserToken)");
-        assert_eq!(AttackId::A1.targeted_states(), &[ShadowState::Control, ShadowState::Bound]);
+        assert_eq!(
+            AttackId::A3_2.forged_message_str(),
+            "Unbind:(DevId,UserToken)"
+        );
+        assert_eq!(
+            AttackId::A1.targeted_states(),
+            &[ShadowState::Control, ShadowState::Bound]
+        );
         assert_eq!(AttackId::A2.end_state(), ShadowState::Bound);
         assert_eq!(AttackId::A3_3.end_state(), ShadowState::Online);
         assert_eq!(AttackId::A4_2.targeted_states(), &[ShadowState::Online]);
-        assert_eq!(AttackId::A4_3.forged_primitives(), &[Primitive::Unbind, Primitive::Bind]);
+        assert_eq!(
+            AttackId::A4_3.forged_primitives(),
+            &[Primitive::Unbind, Primitive::Bind]
+        );
     }
 
     #[test]
@@ -299,6 +322,8 @@ mod tests {
         assert_eq!(Feasibility::unconfirmable("no firmware").symbol(), "O");
         assert!(Feasibility::Feasible.is_feasible());
         assert!(!Feasibility::blocked("x").is_feasible());
-        assert!(Feasibility::blocked("the check").to_string().contains("the check"));
+        assert!(Feasibility::blocked("the check")
+            .to_string()
+            .contains("the check"));
     }
 }

@@ -78,12 +78,18 @@ pub struct UnbindSupport {
 impl UnbindSupport {
     /// Both message types (TP-LINK).
     pub fn both() -> Self {
-        UnbindSupport { dev_id_user_token: true, dev_id_only: true }
+        UnbindSupport {
+            dev_id_user_token: true,
+            dev_id_only: true,
+        }
     }
 
     /// Only the token-checked type (the common case).
     pub fn token_only() -> Self {
-        UnbindSupport { dev_id_user_token: true, dev_id_only: false }
+        UnbindSupport {
+            dev_id_user_token: true,
+            dev_id_only: false,
+        }
     }
 
     /// No revocation at all: binding replacement is the only way
@@ -400,11 +406,18 @@ mod tests {
 
     #[test]
     fn unbind_support_display() {
-        assert_eq!(UnbindSupport::both().to_string(), "(DevId,UserToken) & DevId");
+        assert_eq!(
+            UnbindSupport::both().to_string(),
+            "(DevId,UserToken) & DevId"
+        );
         assert_eq!(UnbindSupport::token_only().to_string(), "(DevId,UserToken)");
         assert_eq!(UnbindSupport::none().to_string(), "N.A.");
         assert_eq!(
-            UnbindSupport { dev_id_user_token: false, dev_id_only: true }.to_string(),
+            UnbindSupport {
+                dev_id_user_token: false,
+                dev_id_only: true
+            }
+            .to_string(),
             "DevId"
         );
         assert!(!UnbindSupport::none().any());
@@ -437,11 +450,17 @@ mod tests {
 
         d.firmware = FirmwareKnowledge::Opaque;
         assert!(!d.status_forgeable());
-        assert!(d.status_forgery_unconfirmable(), "DevId + opaque firmware = O");
+        assert!(
+            d.status_forgery_unconfirmable(),
+            "DevId + opaque firmware = O"
+        );
 
         d.auth = DeviceAuthScheme::DevToken;
         assert!(!d.status_forgeable());
-        assert!(!d.status_forgery_unconfirmable(), "DevToken is a definitive ✗");
+        assert!(
+            !d.status_forgery_unconfirmable(),
+            "DevToken is a definitive ✗"
+        );
 
         d.auth = DeviceAuthScheme::Opaque;
         assert!(d.status_forgery_unconfirmable());
@@ -461,7 +480,10 @@ mod tests {
 
         d.checks.bind_requires_local_proof = false;
         d.bind = BindScheme::AclDevice;
-        assert!(d.bind_forgeable(), "device-sent binds forgeable with firmware");
+        assert!(
+            d.bind_forgeable(),
+            "device-sent binds forgeable with firmware"
+        );
         d.firmware = FirmwareKnowledge::Opaque;
         assert!(!d.bind_forgeable());
 

@@ -31,11 +31,18 @@ pub fn all_designs() -> Vec<VendorDesign> {
         DeviceAuthScheme::PublicKey,
         DeviceAuthScheme::Opaque,
     ];
-    let binds = [BindScheme::AclApp, BindScheme::AclDevice, BindScheme::Capability];
+    let binds = [
+        BindScheme::AclApp,
+        BindScheme::AclDevice,
+        BindScheme::Capability,
+    ];
     let unbinds = [
         UnbindSupport::none(),
         UnbindSupport::token_only(),
-        UnbindSupport { dev_id_user_token: false, dev_id_only: true },
+        UnbindSupport {
+            dev_id_user_token: false,
+            dev_id_only: true,
+        },
         UnbindSupport::both(),
     ];
     let mut out = Vec::new();
@@ -163,12 +170,18 @@ pub fn check_theorems() -> Vec<String> {
         if design.auth == DeviceAuthScheme::DevId && design.firmware == FirmwareKnowledge::Known {
             let one_of = report.feasible(AttackId::A1) || report.feasible(AttackId::A3_4);
             if !one_of {
-                violations.push(format!("{}: DevId+firmware admits neither A1 nor A3-4", design.vendor));
+                violations.push(format!(
+                    "{}: DevId+firmware admits neither A1 nor A3-4",
+                    design.vendor
+                ));
             }
         }
         // T4: a bare Unbind:DevId always admits A3-1.
         if design.unbind.dev_id_only && !report.feasible(AttackId::A3_1) {
-            violations.push(format!("{}: Unbind:DevId accepted but A3-1 blocked", design.vendor));
+            violations.push(format!(
+                "{}: Unbind:DevId accepted but A3-1 blocked",
+                design.vendor
+            ));
         }
         // T5: DevToken auth never yields a feasible hijack — its session is
         // keyed to the user. (Public keys do NOT give this property: they
@@ -241,7 +254,11 @@ mod tests {
     #[test]
     fn all_theorems_hold_over_the_space() {
         let violations = check_theorems();
-        assert!(violations.is_empty(), "first violations: {:?}", &violations[..violations.len().min(5)]);
+        assert!(
+            violations.is_empty(),
+            "first violations: {:?}",
+            &violations[..violations.len().min(5)]
+        );
     }
 
     #[test]
@@ -277,6 +294,9 @@ mod tests {
         let mut weaker = base.clone();
         weaker.checks.verify_unbind_is_bound_user = false;
         let report = analyze(&weaker);
-        assert!(report.feasible(AttackId::A3_2), "unchecked unbind reopens A3-2");
+        assert!(
+            report.feasible(AttackId::A3_2),
+            "unchecked unbind reopens A3-2"
+        );
     }
 }

@@ -243,12 +243,17 @@ mod tests {
         assert!(got.contains(&RecommendationId::KeepUserCredentialsOffDevice));
         assert!(got.contains(&RecommendationId::DoNotResetBindingOnRegister));
         // Dropping DevId-only unbind kills A3-1 and (with it) A4-3's step 1.
-        let drop = recs.iter().find(|r| r.id == RecommendationId::DropDevIdOnlyUnbind).unwrap();
+        let drop = recs
+            .iter()
+            .find(|r| r.id == RecommendationId::DropDevIdOnlyUnbind)
+            .unwrap();
         assert!(drop.eliminates.contains(&AttackId::A3_1));
         assert!(drop.eliminates.contains(&AttackId::A4_3));
         // Switching to DevToken kills A3-4 and A4-3.
-        let token =
-            recs.iter().find(|r| r.id == RecommendationId::UseDynamicDeviceToken).unwrap();
+        let token = recs
+            .iter()
+            .find(|r| r.id == RecommendationId::UseDynamicDeviceToken)
+            .unwrap();
         assert!(token.eliminates.contains(&AttackId::A3_4));
         assert!(token.eliminates.contains(&AttackId::A4_3));
     }
@@ -266,11 +271,15 @@ mod tests {
     #[test]
     fn e_link_hijack_eliminated_by_reject_or_session() {
         let recs = recommendations(&e_link());
-        let reject =
-            recs.iter().find(|r| r.id == RecommendationId::RejectBindWhenBound).unwrap();
+        let reject = recs
+            .iter()
+            .find(|r| r.id == RecommendationId::RejectBindWhenBound)
+            .unwrap();
         assert!(reject.eliminates.contains(&AttackId::A4_1));
-        let session =
-            recs.iter().find(|r| r.id == RecommendationId::AddPostBindingSession).unwrap();
+        let session = recs
+            .iter()
+            .find(|r| r.id == RecommendationId::AddPostBindingSession)
+            .unwrap();
         assert!(session.eliminates.contains(&AttackId::A4_1));
     }
 
@@ -278,8 +287,9 @@ mod tests {
     fn capability_binding_kills_dos_everywhere_it_applies() {
         for design in vendor_designs() {
             let recs = recommendations(&design);
-            if let Some(cap) =
-                recs.iter().find(|r| r.id == RecommendationId::UseCapabilityBinding)
+            if let Some(cap) = recs
+                .iter()
+                .find(|r| r.id == RecommendationId::UseCapabilityBinding)
             {
                 let before = analyze(&design);
                 if before.feasible(AttackId::A2) {
@@ -299,7 +309,11 @@ mod tests {
         // Nothing it gets recommended may eliminate any attack — there are
         // none left.
         for rec in &recs {
-            assert!(rec.eliminates.is_empty(), "{:?} still eliminates attacks", rec.id);
+            assert!(
+                rec.eliminates.is_empty(),
+                "{:?} still eliminates attacks",
+                rec.id
+            );
         }
     }
 

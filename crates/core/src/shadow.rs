@@ -35,8 +35,12 @@ pub enum ShadowState {
 
 impl ShadowState {
     /// All four states, in the paper's presentation order.
-    pub const ALL: [ShadowState; 4] =
-        [ShadowState::Initial, ShadowState::Online, ShadowState::Control, ShadowState::Bound];
+    pub const ALL: [ShadowState; 4] = [
+        ShadowState::Initial,
+        ShadowState::Online,
+        ShadowState::Control,
+        ShadowState::Bound,
+    ];
 
     /// Whether the device is online in this state.
     pub fn is_online(self) -> bool {
@@ -115,12 +119,15 @@ pub enum Primitive {
 
 impl Primitive {
     /// The three wire primitives plus the offline timeout.
-    pub const ALL: [Primitive; 4] =
-        [Primitive::Status, Primitive::Bind, Primitive::Unbind, Primitive::Offline];
+    pub const ALL: [Primitive; 4] = [
+        Primitive::Status,
+        Primitive::Bind,
+        Primitive::Unbind,
+        Primitive::Offline,
+    ];
 
     /// The wire primitives only (what can be *forged*).
-    pub const FORGEABLE: [Primitive; 3] =
-        [Primitive::Status, Primitive::Bind, Primitive::Unbind];
+    pub const FORGEABLE: [Primitive; 3] = [Primitive::Status, Primitive::Bind, Primitive::Unbind];
 }
 
 impl fmt::Display for Primitive {
@@ -147,7 +154,11 @@ pub struct Shadow<U> {
 impl<U: Clone + PartialEq> Shadow<U> {
     /// A shadow in the initial state.
     pub fn new() -> Self {
-        Shadow { state: ShadowState::Initial, bound_user: None, last_status_at: None }
+        Shadow {
+            state: ShadowState::Initial,
+            bound_user: None,
+            last_status_at: None,
+        }
     }
 
     /// Current state.
@@ -327,7 +338,11 @@ mod tests {
         assert!(!sh.expire(130, 50), "not yet expired");
         assert_eq!(sh.state(), ShadowState::Control);
         assert!(sh.expire(151, 50), "expired");
-        assert_eq!(sh.state(), ShadowState::Bound, "binding survives going offline");
+        assert_eq!(
+            sh.state(),
+            ShadowState::Bound,
+            "binding survives going offline"
+        );
         assert!(!sh.expire(500, 50), "already offline");
     }
 

@@ -80,7 +80,12 @@ pub struct AbsState {
 impl AbsState {
     /// The factory state.
     pub fn initial() -> Self {
-        AbsState { src: DeviceSrc::None, bound: None, binding_session: None, device_token: None }
+        AbsState {
+            src: DeviceSrc::None,
+            bound: None,
+            binding_session: None,
+            device_token: None,
+        }
     }
 }
 
@@ -121,7 +126,10 @@ impl Act {
 
     /// Whether the action is adversarial.
     pub fn is_adversarial(self) -> bool {
-        matches!(self, Act::AtkRegister | Act::AtkBind | Act::AtkUnbindToken | Act::AtkUnbindBare)
+        matches!(
+            self,
+            Act::AtkRegister | Act::AtkBind | Act::AtkUnbindToken | Act::AtkUnbindBare
+        )
     }
 }
 
@@ -307,7 +315,9 @@ pub fn check(design: &VendorDesign) -> SpecReport {
             attacker_control = Some(path.clone());
         }
         for act in Act::ALL {
-            let Some(next) = step(design, s, act) else { continue };
+            let Some(next) = step(design, s, act) else {
+                continue;
+            };
             if act.is_adversarial()
                 && s.bound == Some(Party::User)
                 && next.bound != Some(Party::User)
@@ -326,7 +336,12 @@ pub fn check(design: &VendorDesign) -> SpecReport {
         }
     }
 
-    SpecReport { reachable: paths.len(), attacker_bound, attacker_control, user_disconnect }
+    SpecReport {
+        reachable: paths.len(),
+        attacker_bound,
+        attacker_control,
+        user_disconnect,
+    }
 }
 
 /// Checks the checker against the analyzer over a set of designs; returns
@@ -394,9 +409,13 @@ pub fn cross_check(designs: &[VendorDesign]) -> Vec<String> {
 pub fn witness_fingerprint(design: &VendorDesign) -> BTreeSet<Act> {
     let spec = check(design);
     let mut acts = BTreeSet::new();
-    for trace in [&spec.attacker_bound, &spec.attacker_control, &spec.user_disconnect]
-        .into_iter()
-        .flatten()
+    for trace in [
+        &spec.attacker_bound,
+        &spec.attacker_control,
+        &spec.user_disconnect,
+    ]
+    .into_iter()
+    .flatten()
     {
         for act in trace {
             if act.is_adversarial() {
@@ -432,7 +451,10 @@ mod tests {
         // A capability design refuses every attacker bind everywhere.
         let cap = capability_reference();
         for src in [DeviceSrc::None, DeviceSrc::Real] {
-            let s = AbsState { src, ..AbsState::initial() };
+            let s = AbsState {
+                src,
+                ..AbsState::initial()
+            };
             assert_eq!(step(&cap, s, AtkBind), None);
         }
 
@@ -457,13 +479,20 @@ mod tests {
     fn post_binding_session_tokens_flow_as_modeled() {
         use Act::*;
         let d = konke(); // replace semantics + post-binding sessions
-        let s = AbsState { src: DeviceSrc::Real, ..AbsState::initial() };
+        let s = AbsState {
+            src: DeviceSrc::Real,
+            ..AbsState::initial()
+        };
         let s = step(&d, s, UserBind).expect("user binds");
         assert_eq!(s.binding_session, Some(Party::User));
         assert_eq!(s.device_token, Some(Party::User), "app delivered locally");
         let s = step(&d, s, AtkBind).expect("replacement accepted");
         assert_eq!(s.binding_session, Some(Party::Attacker));
-        assert_eq!(s.device_token, Some(Party::User), "the LAN hop never happened");
+        assert_eq!(
+            s.device_token,
+            Some(Party::User),
+            "the LAN hop never happened"
+        );
         assert!(!attacker_controls(&d, s), "session mismatch blocks control");
     }
 
@@ -471,7 +500,12 @@ mod tests {
     fn state_space_is_tiny_and_closed() {
         for design in vendor_designs() {
             let spec = check(&design);
-            assert!(spec.reachable <= 72, "{}: {}", design.vendor, spec.reachable);
+            assert!(
+                spec.reachable <= 72,
+                "{}: {}",
+                design.vendor,
+                spec.reachable
+            );
             assert!(spec.reachable >= 2);
         }
     }
@@ -513,7 +547,10 @@ mod tests {
     fn belkin_attacker_never_reaches_control() {
         let spec = check(&belkin());
         assert!(spec.attacker_bound.is_some(), "occupation is possible");
-        assert!(spec.attacker_control.is_none(), "control never is (DevToken)");
+        assert!(
+            spec.attacker_control.is_none(),
+            "control never is (DevToken)"
+        );
         assert!(spec.user_disconnect.is_some(), "A3-2 disconnects");
     }
 

@@ -33,11 +33,17 @@ pub fn belkin() -> VendorDesign {
     VendorDesign {
         vendor: "Belkin".into(),
         device: DeviceKind::SmartPlug,
-        id_scheme: IdScheme::SequentialSerial { vendor: 0x424b, start: 221_000_000 },
+        id_scheme: IdScheme::SequentialSerial {
+            vendor: 0x424b,
+            start: 221_000_000,
+        },
         auth: DeviceAuthScheme::DevToken,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
-        checks: CloudChecks { verify_unbind_is_bound_user: false, ..checks_common() },
+        checks: CloudChecks {
+            verify_unbind_is_bound_user: false,
+            ..checks_common()
+        },
         setup_order: SetupOrder::OnlineFirst,
         firmware: FirmwareKnowledge::Known,
     }
@@ -50,7 +56,9 @@ pub fn broadlink() -> VendorDesign {
     VendorDesign {
         vendor: "BroadLink".into(),
         device: DeviceKind::SmartPlug,
-        id_scheme: IdScheme::MacWithOui { oui: [0x78, 0x0f, 0x77] },
+        id_scheme: IdScheme::MacWithOui {
+            oui: [0x78, 0x0f, 0x77],
+        },
         auth: DeviceAuthScheme::Opaque,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
@@ -68,7 +76,10 @@ pub fn konke() -> VendorDesign {
     VendorDesign {
         vendor: "KONKE".into(),
         device: DeviceKind::SmartSocket,
-        id_scheme: IdScheme::SequentialSerial { vendor: 0x4b4b, start: 60_000 },
+        id_scheme: IdScheme::SequentialSerial {
+            vendor: 0x4b4b,
+            start: 60_000,
+        },
         auth: DeviceAuthScheme::DevToken,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::none(),
@@ -88,7 +99,10 @@ pub fn lightstory() -> VendorDesign {
     VendorDesign {
         vendor: "Lightstory".into(),
         device: DeviceKind::SmartPlug,
-        id_scheme: IdScheme::SequentialSerial { vendor: 0x4c53, start: 10_000 },
+        id_scheme: IdScheme::SequentialSerial {
+            vendor: 0x4c53,
+            start: 10_000,
+        },
         auth: DeviceAuthScheme::DevToken,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
@@ -105,7 +119,9 @@ pub fn orvibo() -> VendorDesign {
     VendorDesign {
         vendor: "Orvibo".into(),
         device: DeviceKind::SmartPlug,
-        id_scheme: IdScheme::MacWithOui { oui: [0xac, 0xcf, 0x23] },
+        id_scheme: IdScheme::MacWithOui {
+            oui: [0xac, 0xcf, 0x23],
+        },
         auth: DeviceAuthScheme::Opaque,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
@@ -143,11 +159,16 @@ pub fn philips_hue() -> VendorDesign {
     VendorDesign {
         vendor: "Philips Hue".into(),
         device: DeviceKind::SmartBulb,
-        id_scheme: IdScheme::MacWithOui { oui: [0x00, 0x17, 0x88] },
+        id_scheme: IdScheme::MacWithOui {
+            oui: [0x00, 0x17, 0x88],
+        },
         auth: DeviceAuthScheme::Opaque,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
-        checks: CloudChecks { bind_requires_local_proof: true, ..checks_common() },
+        checks: CloudChecks {
+            bind_requires_local_proof: true,
+            ..checks_common()
+        },
         setup_order: SetupOrder::OnlineFirst,
         firmware: FirmwareKnowledge::Opaque,
     }
@@ -162,7 +183,9 @@ pub fn tp_link() -> VendorDesign {
     VendorDesign {
         vendor: "TP-LINK".into(),
         device: DeviceKind::SmartBulb,
-        id_scheme: IdScheme::MacWithOui { oui: [0x50, 0xc7, 0xbf] },
+        id_scheme: IdScheme::MacWithOui {
+            oui: [0x50, 0xc7, 0xbf],
+        },
         auth: DeviceAuthScheme::DevId,
         bind: BindScheme::AclDevice,
         unbind: UnbindSupport::both(),
@@ -187,7 +210,10 @@ pub fn e_link() -> VendorDesign {
         auth: DeviceAuthScheme::DevId,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
-        checks: CloudChecks { reject_bind_when_bound: false, ..checks_common() },
+        checks: CloudChecks {
+            reject_bind_when_bound: false,
+            ..checks_common()
+        },
         setup_order: SetupOrder::OnlineFirst,
         firmware: FirmwareKnowledge::Opaque,
     }
@@ -202,11 +228,16 @@ pub fn d_link() -> VendorDesign {
     VendorDesign {
         vendor: "D-LINK".into(),
         device: DeviceKind::SmartPlug,
-        id_scheme: IdScheme::MacWithOui { oui: [0xb0, 0xc5, 0x54] },
+        id_scheme: IdScheme::MacWithOui {
+            oui: [0xb0, 0xc5, 0x54],
+        },
         auth: DeviceAuthScheme::DevId,
         bind: BindScheme::AclApp,
         unbind: UnbindSupport::token_only(),
-        checks: CloudChecks { concurrent_device_sessions: true, ..checks_common() },
+        checks: CloudChecks {
+            concurrent_device_sessions: true,
+            ..checks_common()
+        },
         setup_order: SetupOrder::BindFirst,
         firmware: FirmwareKnowledge::Known,
     }
@@ -239,7 +270,10 @@ pub fn capability_reference() -> VendorDesign {
         auth: DeviceAuthScheme::DevToken,
         bind: BindScheme::Capability,
         unbind: UnbindSupport::token_only(),
-        checks: CloudChecks { post_binding_session: true, ..checks_common() },
+        checks: CloudChecks {
+            post_binding_session: true,
+            ..checks_common()
+        },
         setup_order: SetupOrder::OnlineFirst,
         firmware: FirmwareKnowledge::Known,
     }
@@ -255,7 +289,10 @@ pub fn public_key_reference() -> VendorDesign {
         auth: DeviceAuthScheme::PublicKey,
         bind: BindScheme::Capability,
         unbind: UnbindSupport::token_only(),
-        checks: CloudChecks { post_binding_session: true, ..checks_common() },
+        checks: CloudChecks {
+            post_binding_session: true,
+            ..checks_common()
+        },
         setup_order: SetupOrder::OnlineFirst,
         firmware: FirmwareKnowledge::Known,
     }
@@ -339,7 +376,12 @@ mod tests {
         assert_eq!(v[2].unbind, UnbindSupport::none());
         assert_eq!(v[7].unbind, UnbindSupport::both());
         for i in [0, 1, 3, 4, 5, 6, 8, 9] {
-            assert_eq!(v[i].unbind, UnbindSupport::token_only(), "vendor #{}", i + 1);
+            assert_eq!(
+                v[i].unbind,
+                UnbindSupport::token_only(),
+                "vendor #{}",
+                i + 1
+            );
         }
     }
 
@@ -357,14 +399,20 @@ mod tests {
     #[test]
     fn ninety_percent_support_token_unbind() {
         // "Most devices (90%) support message type Unbind:(DevId,UserToken)".
-        let n = vendor_designs().iter().filter(|d| d.unbind.dev_id_user_token).count();
+        let n = vendor_designs()
+            .iter()
+            .filter(|d| d.unbind.dev_id_user_token)
+            .count();
         assert_eq!(n, 9);
     }
 
     #[test]
     fn nine_devices_send_binding_by_app() {
         // "9 devices send binding messages by apps" (Section VI-A).
-        let n = vendor_designs().iter().filter(|d| d.bind == BindScheme::AclApp).count();
+        let n = vendor_designs()
+            .iter()
+            .filter(|d| d.bind == BindScheme::AclApp)
+            .count();
         assert_eq!(n, 9);
     }
 

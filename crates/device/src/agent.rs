@@ -2,12 +2,12 @@
 
 use rb_core::design::{BindScheme, DeviceAuthScheme, VendorDesign};
 use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, TimerKey};
-use rb_provision::apmode::{PairingMaterial, ProvisionRequest, ProvisionReply};
+use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
 use rb_provision::discovery::{SearchRequest, SearchResponse};
 use rb_provision::label::DeviceLabel;
 use rb_provision::localctl::LocalCtl;
-use rb_provision::{airkiss, smartconfig};
 use rb_provision::WifiCredentials;
+use rb_provision::{airkiss, smartconfig};
 use rb_wire::crypto::sign_dev_id;
 use rb_wire::envelope::{CorrId, Envelope};
 use rb_wire::ids::DevId;
@@ -210,9 +210,9 @@ impl DeviceAgent {
 
     fn status_auth(&self) -> StatusAuth {
         match self.config.design.auth {
-            DeviceAuthScheme::DevToken => StatusAuth::DevToken(
-                self.dev_token.unwrap_or_else(|| DevToken::from_entropy(0)),
-            ),
+            DeviceAuthScheme::DevToken => {
+                StatusAuth::DevToken(self.dev_token.unwrap_or_else(|| DevToken::from_entropy(0)))
+            }
             DeviceAuthScheme::DevId => StatusAuth::DevId(self.config.dev_id.clone()),
             DeviceAuthScheme::Opaque => {
                 StatusAuth::DevToken(DevToken::from_entropy(self.config.factory_secret))
@@ -229,7 +229,10 @@ impl DeviceAgent {
 
     fn send_request(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         self.corr += 1;
-        let env = Envelope::Request { corr: CorrId(self.corr), msg };
+        let env = Envelope::Request {
+            corr: CorrId(self.corr),
+            msg,
+        };
         ctx.send(Dest::Unicast(self.config.cloud), env.encode().to_vec());
     }
 
@@ -238,10 +241,7 @@ impl DeviceAgent {
             auth: self.status_auth(),
             dev_id: self.config.dev_id.clone(),
             kind,
-            attributes: DeviceAttributes::new(
-                format!("{}", self.config.design.device),
-                "1.0.3",
-            ),
+            attributes: DeviceAttributes::new(format!("{}", self.config.design.device), "1.0.3"),
             session: self.session,
             telemetry: Vec::new(),
             button_pressed: self.button_queued,
@@ -253,7 +253,9 @@ impl DeviceAgent {
                 self.brightness,
                 ctx.rng(),
             );
-            payload.telemetry.extend(self.extra_telemetry.iter().cloned());
+            payload
+                .telemetry
+                .extend(self.extra_telemetry.iter().cloned());
             self.stats.heartbeats += 1;
         } else {
             self.stats.registers += 1;
@@ -268,7 +270,9 @@ impl DeviceAgent {
         if self.config.design.unbind.dev_id_only && self.bound_hint {
             self.send_request(
                 ctx,
-                Message::Unbind(UnbindPayload::DevIdOnly { dev_id: self.config.dev_id.clone() }),
+                Message::Unbind(UnbindPayload::DevIdOnly {
+                    dev_id: self.config.dev_id.clone(),
+                }),
             );
         }
         self.wifi = None;
@@ -313,7 +317,11 @@ impl DeviceAgent {
 
     fn accept_provisioning(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &ProvisionRequest) {
         self.wifi = Some(req.wifi.clone());
-        let PairingMaterial { dev_token, bind_token, user_credentials } = &req.pairing;
+        let PairingMaterial {
+            dev_token,
+            bind_token,
+            user_credentials,
+        } = &req.pairing;
         if let Some(t) = dev_token {
             self.dev_token = Some(DevToken::from_bytes(*t));
         }
@@ -323,7 +331,9 @@ impl DeviceAgent {
         if let Some((uid, pw)) = user_credentials {
             self.user_creds = Some((UserId::new(uid.clone()), UserPw::new(pw.clone())));
         }
-        let reply = ProvisionReply::Accepted { device_info: self.label().print() };
+        let reply = ProvisionReply::Accepted {
+            device_info: self.label().print(),
+        };
         ctx.send(Dest::Unicast(from), reply.encode());
         if self.fully_provisioned() {
             ctx.set_timer(2, TIMER_REGISTER);
@@ -401,7 +411,9 @@ impl DeviceAgent {
                 }
                 self.apply_action(&action);
             }
-            Response::Denied { reason: rb_wire::messages::DenyReason::DeviceAuthFailed } => {
+            Response::Denied {
+                reason: rb_wire::messages::DenyReason::DeviceAuthFailed,
+            } => {
                 // The cloud no longer recognizes our session (expired or
                 // displaced): re-register on the next beat.
                 self.registered = false;
@@ -413,7 +425,10 @@ impl DeviceAgent {
 
 impl Actor for DeviceAgent {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.set_timer(self.config.heartbeat_every, TIMER_HEARTBEAT | (self.hb_gen << 8));
+        ctx.set_timer(
+            self.config.heartbeat_every,
+            TIMER_HEARTBEAT | (self.hb_gen << 8),
+        );
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
@@ -471,9 +486,7 @@ impl Actor for DeviceAgent {
                     // Airkiss frames start with the magic field; drop junk
                     // prefixes so the buffer always begins at a plausible
                     // frame start, then try a full decode.
-                    while !self.ak_lengths.is_empty()
-                        && self.ak_lengths[0] & 0xf000 != 0x1000
-                    {
+                    while !self.ak_lengths.is_empty() && self.ak_lengths[0] & 0xf000 != 0x1000 {
                         self.ak_lengths.remove(0);
                     }
                     if let Ok(creds) = airkiss::decode(&self.ak_lengths) {
@@ -506,16 +519,17 @@ impl Actor for DeviceAgent {
                         self.send_status(ctx, StatusKind::Register);
                     }
                 }
-                ctx.set_timer(self.config.heartbeat_every, TIMER_HEARTBEAT | (self.hb_gen << 8));
+                ctx.set_timer(
+                    self.config.heartbeat_every,
+                    TIMER_HEARTBEAT | (self.hb_gen << 8),
+                );
             }
-            TIMER_REGISTER
-                if self.fully_provisioned() && !self.registered => {
-                    self.send_status(ctx, StatusKind::Register);
-                }
-            TIMER_DEVICE_BIND
-                if !self.bound_hint => {
-                    self.send_device_bind(ctx);
-                }
+            TIMER_REGISTER if self.fully_provisioned() && !self.registered => {
+                self.send_status(ctx, StatusKind::Register);
+            }
+            TIMER_DEVICE_BIND if !self.bound_hint => {
+                self.send_device_bind(ctx);
+            }
             _ => {}
         }
     }
@@ -527,7 +541,10 @@ impl Actor for DeviceAgent {
             // off would otherwise kill it permanently).
             self.registered = false;
             self.hb_gen += 1;
-            ctx.set_timer(self.config.heartbeat_every, TIMER_HEARTBEAT | (self.hb_gen << 8));
+            ctx.set_timer(
+                self.config.heartbeat_every,
+                TIMER_HEARTBEAT | (self.hb_gen << 8),
+            );
         }
     }
 }

@@ -64,10 +64,12 @@ impl ChildFrame {
         }
         let child_id = bytes[1];
         let reading = match bytes[2] {
-            1 if bytes.len() == 7 => ChildReading::TemperatureMilliC(i32::from_be_bytes(
-                bytes[3..7].try_into().ok()?,
-            )),
-            2 if bytes.len() == 4 => ChildReading::Contact { closed: bytes[3] == 1 },
+            1 if bytes.len() == 7 => {
+                ChildReading::TemperatureMilliC(i32::from_be_bytes(bytes[3..7].try_into().ok()?))
+            }
+            2 if bytes.len() == 4 => ChildReading::Contact {
+                closed: bytes[3] == 1,
+            },
             _ => return None,
         };
         Some(ChildFrame { child_id, reading })
@@ -96,7 +98,12 @@ pub struct ZigbeeChild {
 impl ZigbeeChild {
     /// A child reporting to `hub` every `period` ticks.
     pub fn new(hub: NodeId, child_id: u8, period: u64) -> Self {
-        ZigbeeChild { hub, child_id, period, reports: 0 }
+        ZigbeeChild {
+            hub,
+            child_id,
+            period,
+            reports: 0,
+        }
     }
 }
 
@@ -145,7 +152,11 @@ impl HubAgent {
             DeviceKind::Sensor,
             "hubs report aggregate sensor telemetry"
         );
-        HubAgent { device, latest: std::collections::BTreeMap::new(), child_frames: 0 }
+        HubAgent {
+            device,
+            latest: std::collections::BTreeMap::new(),
+            child_frames: 0,
+        }
     }
 
     /// Latest reading per child (experiment accessor).
@@ -171,7 +182,8 @@ impl Actor for HubAgent {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
         // Attach the children's latest readings to the hub's own telemetry
         // before any heartbeat the timer may trigger.
-        self.device.set_extra_telemetry(self.latest.values().cloned().collect());
+        self.device
+            .set_extra_telemetry(self.latest.values().cloned().collect());
         self.device.on_timer(ctx, key);
     }
 
@@ -187,8 +199,14 @@ mod tests {
     #[test]
     fn child_frame_roundtrip() {
         for frame in [
-            ChildFrame { child_id: 3, reading: ChildReading::TemperatureMilliC(-5000) },
-            ChildFrame { child_id: 0, reading: ChildReading::Contact { closed: true } },
+            ChildFrame {
+                child_id: 3,
+                reading: ChildReading::TemperatureMilliC(-5000),
+            },
+            ChildFrame {
+                child_id: 0,
+                reading: ChildReading::Contact { closed: true },
+            },
         ] {
             assert_eq!(ChildFrame::decode(&frame.encode()), Some(frame));
         }
@@ -204,9 +222,15 @@ mod tests {
 
     #[test]
     fn telemetry_conversion() {
-        let f = ChildFrame { child_id: 1, reading: ChildReading::TemperatureMilliC(21_000) };
+        let f = ChildFrame {
+            child_id: 1,
+            reading: ChildReading::TemperatureMilliC(21_000),
+        };
         assert_eq!(f.to_telemetry(), TelemetryFrame::TemperatureMilliC(21_000));
-        let f = ChildFrame { child_id: 1, reading: ChildReading::Contact { closed: false } };
+        let f = ChildFrame {
+            child_id: 1,
+            reading: ChildReading::Contact { closed: false },
+        };
         assert_eq!(f.to_telemetry(), TelemetryFrame::SwitchState { on: false });
     }
 }

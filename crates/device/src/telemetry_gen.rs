@@ -28,7 +28,11 @@ pub fn sample(kind: DeviceKind, on: bool, brightness: u8, rng: &mut SimRng) -> V
         DeviceKind::IpCamera => {
             let motion = rng.chance(1, 10);
             vec![TelemetryFrame::Motion {
-                confidence: if motion { 50 + (rng.range_u64(0, 50) as u8) } else { 0 },
+                confidence: if motion {
+                    50 + (rng.range_u64(0, 50) as u8)
+                } else {
+                    0
+                },
             }]
         }
         DeviceKind::SmartLock => {

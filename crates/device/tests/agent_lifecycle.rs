@@ -3,6 +3,9 @@
 //! (Full-stack tests against the real cloud live in `rb-scenario` and the
 //! workspace-level integration suite.)
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rb_core::vendors;
 use rb_device::{DeviceAgent, DeviceConfig, ProvisioningMode};
 use rb_netsim::{Actor, Ctx, Dest, LanId, LinkQuality, NodeConfig, NodeId, Simulation, Tick};
@@ -30,7 +33,10 @@ struct MockCloud {
 
 impl MockCloud {
     fn new() -> Self {
-        MockCloud { requests: Vec::new(), session_to_echo: None }
+        MockCloud {
+            requests: Vec::new(),
+            session_to_echo: None,
+        }
     }
 }
 
@@ -40,13 +46,20 @@ impl Actor for MockCloud {
             return;
         };
         let rsp = match &msg {
-            Message::Status(_) => Response::StatusAccepted { session: self.session_to_echo },
+            Message::Status(_) => Response::StatusAccepted {
+                session: self.session_to_echo,
+            },
             Message::Bind(_) => Response::Bound { session: None },
             Message::Unbind(_) => Response::Unbound,
-            _ => Response::Denied { reason: rb_wire::messages::DenyReason::UnsupportedOperation },
+            _ => Response::Denied {
+                reason: rb_wire::messages::DenyReason::UnsupportedOperation,
+            },
         };
         self.requests.push(msg);
-        ctx.send(Dest::Unicast(from), Envelope::Response { corr, rsp }.encode().to_vec());
+        ctx.send(
+            Dest::Unicast(from),
+            Envelope::Response { corr, rsp }.encode().to_vec(),
+        );
     }
 }
 
@@ -86,7 +99,11 @@ fn device_config(design: rb_core::design::VendorDesign, cloud: NodeId) -> Device
 }
 
 fn provision_packet(pairing: PairingMaterial) -> Vec<u8> {
-    ProvisionRequest { wifi: WifiCredentials::new("HomeNet", "psk"), pairing }.encode()
+    ProvisionRequest {
+        wifi: WifiCredentials::new("HomeNet", "psk"),
+        pairing,
+    }
+    .encode()
 }
 
 #[test]
@@ -100,7 +117,11 @@ fn ap_mode_provision_register_and_heartbeat() {
     let _app = sim.add_node(
         NodeConfig::dual("app", LAN),
         Box::new(Script {
-            steps: vec![(10, Dest::Unicast(dev), provision_packet(PairingMaterial::default()))],
+            steps: vec![(
+                10,
+                Dest::Unicast(dev),
+                provision_packet(PairingMaterial::default()),
+            )],
         }),
     );
     sim.run_until(Tick(1000));
@@ -108,7 +129,11 @@ fn ap_mode_provision_register_and_heartbeat() {
     let device = sim.actor::<DeviceAgent>(dev).unwrap();
     assert!(device.is_wifi_provisioned());
     assert!(device.is_registered());
-    assert!(device.stats.heartbeats >= 5, "heartbeats: {}", device.stats.heartbeats);
+    assert!(
+        device.stats.heartbeats >= 5,
+        "heartbeats: {}",
+        device.stats.heartbeats
+    );
 
     let cloud = sim.actor::<MockCloud>(cloud).unwrap();
     let registers = cloud
@@ -125,7 +150,10 @@ fn smartconfig_provisioning_via_broadcast_lengths() {
     let cloud = sim.add_node(NodeConfig::wan_only("cloud"), Box::new(MockCloud::new()));
     let mut config = device_config(vendors::d_link(), cloud);
     config.mode = ProvisioningMode::SmartConfig;
-    let dev = sim.add_node(NodeConfig::dual("device", LAN), Box::new(DeviceAgent::new(config)));
+    let dev = sim.add_node(
+        NodeConfig::dual("device", LAN),
+        Box::new(DeviceAgent::new(config)),
+    );
     let _ = dev;
 
     // The app broadcasts junk payloads whose *lengths* encode the creds.
@@ -133,14 +161,26 @@ fn smartconfig_provisioning_via_broadcast_lengths() {
     let steps: Vec<(u64, Dest, Vec<u8>)> = smartconfig::encode(&creds)
         .iter()
         .enumerate()
-        .map(|(i, &len)| (10 + i as u64 * 2, Dest::Broadcast(LAN), vec![0xAA; usize::from(len)]))
+        .map(|(i, &len)| {
+            (
+                10 + i as u64 * 2,
+                Dest::Broadcast(LAN),
+                vec![0xAA; usize::from(len)],
+            )
+        })
         .collect();
     sim.add_node(NodeConfig::dual("app", LAN), Box::new(Script { steps }));
     sim.run_until(Tick(2000));
 
     let device = sim.actor::<DeviceAgent>(dev).unwrap();
-    assert!(device.is_wifi_provisioned(), "device decoded the length channel");
-    assert!(device.is_registered(), "DevId designs need no pairing material");
+    assert!(
+        device.is_wifi_provisioned(),
+        "device decoded the length channel"
+    );
+    assert!(
+        device.is_registered(),
+        "DevId designs need no pairing material"
+    );
 }
 
 #[test]
@@ -149,26 +189,41 @@ fn dev_token_design_waits_for_pairing_material() {
     let cloud = sim.add_node(NodeConfig::wan_only("cloud"), Box::new(MockCloud::new()));
     let mut config = device_config(vendors::belkin(), cloud);
     config.mode = ProvisioningMode::SmartConfig;
-    let dev = sim.add_node(NodeConfig::dual("device", LAN), Box::new(DeviceAgent::new(config)));
+    let dev = sim.add_node(
+        NodeConfig::dual("device", LAN),
+        Box::new(DeviceAgent::new(config)),
+    );
 
     let creds = WifiCredentials::new("HomeNet", "psk");
     let mut steps: Vec<(u64, Dest, Vec<u8>)> = smartconfig::encode(&creds)
         .iter()
         .enumerate()
-        .map(|(i, &len)| (10 + i as u64 * 2, Dest::Broadcast(LAN), vec![0; usize::from(len)]))
+        .map(|(i, &len)| {
+            (
+                10 + i as u64 * 2,
+                Dest::Broadcast(LAN),
+                vec![0; usize::from(len)],
+            )
+        })
         .collect();
     // Pairing material arrives later over unicast.
     steps.push((
         800,
         Dest::Unicast(dev),
-        provision_packet(PairingMaterial { dev_token: Some([9; 16]), ..Default::default() }),
+        provision_packet(PairingMaterial {
+            dev_token: Some([9; 16]),
+            ..Default::default()
+        }),
     ));
     sim.add_node(NodeConfig::dual("app", LAN), Box::new(Script { steps }));
 
     sim.run_until(Tick(700));
     let device = sim.actor::<DeviceAgent>(dev).unwrap();
     assert!(device.is_wifi_provisioned());
-    assert!(!device.is_registered(), "must not register without its DevToken");
+    assert!(
+        !device.is_registered(),
+        "must not register without its DevToken"
+    );
 
     sim.run_until(Tick(2000));
     assert!(sim.actor::<DeviceAgent>(dev).unwrap().is_registered());
@@ -207,11 +262,20 @@ fn discovery_answers_matching_searches_only() {
             }
         }
     }
-    let searcher =
-        sim.add_node(NodeConfig::dual("app", LAN), Box::new(Searcher { dev, responses: vec![] }));
+    let searcher = sim.add_node(
+        NodeConfig::dual("app", LAN),
+        Box::new(Searcher {
+            dev,
+            responses: vec![],
+        }),
+    );
     sim.run_until(Tick(100));
     let s = sim.actor::<Searcher>(searcher).unwrap();
-    assert_eq!(s.responses.len(), 1, "only the matching vendor search is answered");
+    assert_eq!(
+        s.responses.len(),
+        1,
+        "only the matching vendor search is answered"
+    );
     assert_eq!(s.responses[0].dev_id, dev_id());
 }
 
@@ -231,14 +295,23 @@ fn control_pushes_change_appliance_state() {
             let action = if key == 0 {
                 ControlAction::TurnOn
             } else {
-                ControlAction::SetSchedule(ScheduleEntry { at_tick: 1_000_000, turn_on: false })
+                ControlAction::SetSchedule(ScheduleEntry {
+                    at_tick: 1_000_000,
+                    turn_on: false,
+                })
             };
-            let env = Envelope::push(Response::ControlPush { action, session: None });
+            let env = Envelope::push(Response::ControlPush {
+                action,
+                session: None,
+            });
             ctx.send(Dest::Unicast(self.dev), env.encode().to_vec());
         }
     }
     let mut sim = Simulation::with_quality(2, LinkQuality::perfect(), LinkQuality::perfect());
-    let cloud = sim.add_node(NodeConfig::wan_only("cloud"), Box::new(Pusher { dev: NodeId(1) }));
+    let cloud = sim.add_node(
+        NodeConfig::wan_only("cloud"),
+        Box::new(Pusher { dev: NodeId(1) }),
+    );
     let dev = sim.add_node(
         NodeConfig::dual("device", LAN),
         Box::new(DeviceAgent::new(device_config(vendors::d_link(), cloud))),
@@ -246,7 +319,11 @@ fn control_pushes_change_appliance_state() {
     sim.add_node(
         NodeConfig::dual("app", LAN),
         Box::new(Script {
-            steps: vec![(5, Dest::Unicast(dev), provision_packet(PairingMaterial::default()))],
+            steps: vec![(
+                5,
+                Dest::Unicast(dev),
+                provision_packet(PairingMaterial::default()),
+            )],
         }),
     );
     sim.run_until(Tick(200));
@@ -276,7 +353,11 @@ fn session_assignment_and_reset_over_lan() {
                         ..Default::default()
                     }),
                 ),
-                (50, Dest::Unicast(dev), LocalCtl::SessionAssign { token: [7; 16] }.encode()),
+                (
+                    50,
+                    Dest::Unicast(dev),
+                    LocalCtl::SessionAssign { token: [7; 16] }.encode(),
+                ),
                 (900, Dest::Unicast(dev), LocalCtl::FactoryReset.encode()),
             ],
         }),
@@ -321,11 +402,17 @@ fn tp_link_style_device_sends_bind_and_reset_unbind() {
     sim.run_until(Tick(2000));
     let cloud_actor = sim.actor::<MockCloud>(cloud).unwrap();
     assert!(
-        cloud_actor.requests.iter().any(|m| matches!(m, Message::Bind(_))),
+        cloud_actor
+            .requests
+            .iter()
+            .any(|m| matches!(m, Message::Bind(_))),
         "device-initiated bind was sent"
     );
     assert!(
-        cloud_actor.requests.iter().any(|m| matches!(m, Message::Unbind(_))),
+        cloud_actor
+            .requests
+            .iter()
+            .any(|m| matches!(m, Message::Unbind(_))),
         "reset sent Unbind:DevId"
     );
 }
@@ -341,7 +428,11 @@ fn reboot_reregisters() {
     sim.add_node(
         NodeConfig::dual("app", LAN),
         Box::new(Script {
-            steps: vec![(5, Dest::Unicast(dev), provision_packet(PairingMaterial::default()))],
+            steps: vec![(
+                5,
+                Dest::Unicast(dev),
+                provision_packet(PairingMaterial::default()),
+            )],
         }),
     );
     sim.run_until(Tick(500));

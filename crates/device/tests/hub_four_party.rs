@@ -1,5 +1,8 @@
 //! Four-party architecture integration: Zigbee children → hub → cloud.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rb_core::design::DeviceKind;
 use rb_core::vendors;
 use rb_device::hub::{HubAgent, ZigbeeChild};
@@ -21,14 +24,19 @@ struct RecordingCloud {
 
 impl Actor for RecordingCloud {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
-        let Ok(Envelope::Request { corr, msg }) = Envelope::decode(payload) else { return };
+        let Ok(Envelope::Request { corr, msg }) = Envelope::decode(payload) else {
+            return;
+        };
         if let Message::Status(s) = &msg {
             if s.kind == StatusKind::Heartbeat {
                 self.heartbeat_telemetry.push(s.telemetry.clone());
             }
         }
         let rsp = Response::StatusAccepted { session: None };
-        ctx.send(Dest::Unicast(from), Envelope::Response { corr, rsp }.encode().to_vec());
+        ctx.send(
+            Dest::Unicast(from),
+            Envelope::Response { corr, rsp }.encode().to_vec(),
+        );
     }
 }
 
@@ -39,7 +47,9 @@ fn children_report_through_the_hub_to_the_cloud() {
     let mut sim = Simulation::with_quality(11, LinkQuality::perfect(), LinkQuality::perfect());
     let cloud = sim.add_node(
         NodeConfig::wan_only("cloud"),
-        Box::new(RecordingCloud { heartbeat_telemetry: Vec::new() }),
+        Box::new(RecordingCloud {
+            heartbeat_telemetry: Vec::new(),
+        }),
     );
     let hub_fw = DeviceAgent::new(DeviceConfig {
         design,
@@ -52,7 +62,10 @@ fn children_report_through_the_hub_to_the_cloud() {
         heartbeat_every: 1_000,
         bind_delay: 1,
     });
-    let hub = sim.add_node(NodeConfig::dual("hub", LAN), Box::new(HubAgent::new(hub_fw)));
+    let hub = sim.add_node(
+        NodeConfig::dual("hub", LAN),
+        Box::new(HubAgent::new(hub_fw)),
+    );
     for i in 0..3u8 {
         sim.add_node(
             NodeConfig::lan_only(format!("z{i}"), LAN),
@@ -75,13 +88,24 @@ fn children_report_through_the_hub_to_the_cloud() {
             ctx.send(Dest::Unicast(self.hub), req.encode());
         }
     }
-    sim.add_node(NodeConfig::dual("phone", LAN), Box::new(Provisioner { hub }));
+    sim.add_node(
+        NodeConfig::dual("phone", LAN),
+        Box::new(Provisioner { hub }),
+    );
 
     sim.run_until(Tick(30_000));
 
     let hub_actor = sim.actor::<HubAgent>(hub).unwrap();
-    assert!(hub_actor.child_frames >= 30, "children kept reporting: {}", hub_actor.child_frames);
-    assert_eq!(hub_actor.child_readings().count(), 3, "one latest reading per child");
+    assert!(
+        hub_actor.child_frames >= 30,
+        "children kept reporting: {}",
+        hub_actor.child_frames
+    );
+    assert_eq!(
+        hub_actor.child_readings().count(),
+        3,
+        "one latest reading per child"
+    );
 
     let cloud_actor = sim.actor::<RecordingCloud>(cloud).unwrap();
     assert!(!cloud_actor.heartbeat_telemetry.is_empty());
@@ -92,7 +116,10 @@ fn children_report_through_the_hub_to_the_cloud() {
         .iter()
         .filter(|f| matches!(f, TelemetryFrame::TemperatureMilliC(_)))
         .count();
-    assert!(temps >= 4, "hub + 3 children temperatures in one heartbeat: {last:?}");
+    assert!(
+        temps >= 4,
+        "hub + 3 children temperatures in one heartbeat: {last:?}"
+    );
 }
 
 #[test]

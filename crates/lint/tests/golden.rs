@@ -1,0 +1,66 @@
+//! Golden tests: the lint reports for the ten Table III vendors are
+//! pinned byte-for-byte — the human rendering per vendor, plus one SARIF
+//! log covering the whole population. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p rb-lint --test golden`.
+
+// Test helpers outside #[test] fns: panicking on fixture IO is correct here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rb_core::vendors::vendor_designs;
+use rb_lint::emit::{render_human, render_sarif};
+use rb_lint::rules::lint_design;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn slug(vendor: &str) -> String {
+    vendor.to_lowercase().replace([' ', '-'], "_")
+}
+
+fn check(path: &Path, text: &str, update: bool) {
+    if update {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
+        std::fs::write(path, text).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text,
+        want,
+        "{} drifted from its golden; regenerate with UPDATE_GOLDEN=1 if intended",
+        path.display()
+    );
+}
+
+#[test]
+fn vendor_reports_match_goldens() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let designs = vendor_designs();
+    assert_eq!(designs.len(), 10, "Table III has ten vendors");
+    for design in &designs {
+        let text = render_human(&lint_design(design));
+        check(
+            &golden_dir().join(format!("{}.txt", slug(&design.vendor))),
+            &text,
+            update,
+        );
+    }
+}
+
+#[test]
+fn sarif_log_matches_golden() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let reports: Vec<_> = vendor_designs().iter().map(lint_design).collect();
+    check(
+        &golden_dir().join("table3.sarif"),
+        &render_sarif(&reports),
+        update,
+    );
+}

@@ -83,7 +83,10 @@ impl<'a> Ctx<'a> {
 
     /// Schedules [`Actor::on_timer`] after `delay` ticks.
     pub fn set_timer(&mut self, delay: u64, key: TimerKey) {
-        self.effects.push(Effect::Timer { fire_at: self.now.saturating_add(delay), key });
+        self.effects.push(Effect::Timer {
+            fire_at: self.now.saturating_add(delay),
+            key,
+        });
     }
 }
 
@@ -95,7 +98,12 @@ mod tests {
     fn ctx_collects_effects_in_order() {
         let mut rng = SimRng::new(0);
         let mut effects = Vec::new();
-        let mut ctx = Ctx { now: Tick(5), self_id: NodeId(1), rng: &mut rng, effects: &mut effects };
+        let mut ctx = Ctx {
+            now: Tick(5),
+            self_id: NodeId(1),
+            rng: &mut rng,
+            effects: &mut effects,
+        };
         ctx.send(Dest::Unicast(NodeId(2)), vec![1]);
         ctx.set_timer(10, 99);
         assert_eq!(ctx.now(), Tick(5));
@@ -117,7 +125,12 @@ mod tests {
         let mut a = Passive;
         let mut rng = SimRng::new(0);
         let mut effects = Vec::new();
-        let mut ctx = Ctx { now: Tick(0), self_id: NodeId(0), rng: &mut rng, effects: &mut effects };
+        let mut ctx = Ctx {
+            now: Tick(0),
+            self_id: NodeId(0),
+            rng: &mut rng,
+            effects: &mut effects,
+        };
         a.on_start(&mut ctx);
         a.on_packet(&mut ctx, NodeId(1), b"x");
         a.on_timer(&mut ctx, 1);

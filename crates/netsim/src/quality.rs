@@ -22,22 +22,38 @@ pub struct LinkQuality {
 impl LinkQuality {
     /// A perfect link: 1-tick latency, no loss. Useful in unit tests.
     pub fn perfect() -> Self {
-        LinkQuality { latency_min: 1, latency_max: 1, drop_per_mille: 0 }
+        LinkQuality {
+            latency_min: 1,
+            latency_max: 1,
+            drop_per_mille: 0,
+        }
     }
 
     /// A typical home LAN: 1–4 ms, negligible loss.
     pub fn lan() -> Self {
-        LinkQuality { latency_min: 1, latency_max: 4, drop_per_mille: 1 }
+        LinkQuality {
+            latency_min: 1,
+            latency_max: 4,
+            drop_per_mille: 1,
+        }
     }
 
     /// A typical WAN path to a cloud region: 20–80 ms, light loss.
     pub fn wan() -> Self {
-        LinkQuality { latency_min: 20, latency_max: 80, drop_per_mille: 5 }
+        LinkQuality {
+            latency_min: 20,
+            latency_max: 80,
+            drop_per_mille: 5,
+        }
     }
 
     /// A degraded path for failure-injection experiments.
     pub fn lossy(drop_per_mille: u16) -> Self {
-        LinkQuality { latency_min: 20, latency_max: 200, drop_per_mille }
+        LinkQuality {
+            latency_min: 20,
+            latency_max: 200,
+            drop_per_mille,
+        }
     }
 
     /// Draws a delivery latency, or `None` if the packet is lost.
@@ -76,7 +92,11 @@ mod tests {
 
     #[test]
     fn latency_stays_in_bounds() {
-        let q = LinkQuality { latency_min: 10, latency_max: 50, drop_per_mille: 0 };
+        let q = LinkQuality {
+            latency_min: 10,
+            latency_max: 50,
+            drop_per_mille: 0,
+        };
         let mut rng = SimRng::new(7);
         for _ in 0..1000 {
             let l = q.sample(&mut rng).unwrap();
@@ -86,7 +106,11 @@ mod tests {
 
     #[test]
     fn drop_rate_is_roughly_honored() {
-        let q = LinkQuality { latency_min: 1, latency_max: 1, drop_per_mille: 250 };
+        let q = LinkQuality {
+            latency_min: 1,
+            latency_max: 1,
+            drop_per_mille: 250,
+        };
         let mut rng = SimRng::new(99);
         let drops = (0..10_000).filter(|_| q.sample(&mut rng).is_none()).count();
         // 25% ± 3%.
@@ -95,7 +119,11 @@ mod tests {
 
     #[test]
     fn full_loss_drops_everything() {
-        let q = LinkQuality { latency_min: 1, latency_max: 1, drop_per_mille: 1000 };
+        let q = LinkQuality {
+            latency_min: 1,
+            latency_max: 1,
+            drop_per_mille: 1000,
+        };
         let mut rng = SimRng::new(3);
         assert!((0..100).all(|_| q.sample(&mut rng).is_none()));
     }
@@ -104,7 +132,17 @@ mod tests {
     fn validity() {
         assert!(LinkQuality::lan().is_valid());
         assert!(LinkQuality::wan().is_valid());
-        assert!(!LinkQuality { latency_min: 5, latency_max: 1, drop_per_mille: 0 }.is_valid());
-        assert!(!LinkQuality { latency_min: 1, latency_max: 2, drop_per_mille: 1001 }.is_valid());
+        assert!(!LinkQuality {
+            latency_min: 5,
+            latency_max: 1,
+            drop_per_mille: 0
+        }
+        .is_valid());
+        assert!(!LinkQuality {
+            latency_min: 1,
+            latency_max: 2,
+            drop_per_mille: 1001
+        }
+        .is_valid());
     }
 }

@@ -14,7 +14,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform draw from the inclusive range `[lo, hi]`.

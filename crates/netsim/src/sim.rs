@@ -36,19 +36,31 @@ pub struct NodeConfig {
 impl NodeConfig {
     /// A node with WAN access only (cloud, remote attacker).
     pub fn wan_only(name: impl Into<String>) -> Self {
-        NodeConfig { name: name.into(), lan: None, wan: true }
+        NodeConfig {
+            name: name.into(),
+            lan: None,
+            wan: true,
+        }
     }
 
     /// A node confined to a LAN (an unprovisioned device, a Zigbee bulb
     /// behind a hub).
     pub fn lan_only(name: impl Into<String>, lan: LanId) -> Self {
-        NodeConfig { name: name.into(), lan: Some(lan), wan: false }
+        NodeConfig {
+            name: name.into(),
+            lan: Some(lan),
+            wan: false,
+        }
     }
 
     /// A node on a LAN with WAN access through the home router (a
     /// provisioned device, the user's phone).
     pub fn dual(name: impl Into<String>, lan: LanId) -> Self {
-        NodeConfig { name: name.into(), lan: Some(lan), wan: true }
+        NodeConfig {
+            name: name.into(),
+            lan: Some(lan),
+            wan: true,
+        }
     }
 }
 
@@ -61,9 +73,18 @@ struct Node {
 
 #[derive(Debug)]
 enum EventKind {
-    Start { node: NodeId },
-    Deliver { from: NodeId, to: NodeId, payload: Vec<u8> },
-    Timer { node: NodeId, key: TimerKey },
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+    },
 }
 
 struct Event {
@@ -152,7 +173,13 @@ impl Simulation {
     pub fn note(&mut self, node: NodeId, text: impl Into<String>) {
         let at = self.now;
         if let Some(t) = self.trace.as_mut() {
-            t.push(TraceEntry { at, event: TraceEvent::Note { node, text: text.into() } });
+            t.push(TraceEntry {
+                at,
+                event: TraceEvent::Note {
+                    node,
+                    text: text.into(),
+                },
+            });
         }
     }
 
@@ -160,7 +187,12 @@ impl Simulation {
     /// current instant. Returns the new node's id.
     pub fn add_node(&mut self, config: NodeConfig, actor: Box<dyn Actor>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { config, powered: true, wan_partitioned: false, actor });
+        self.nodes.push(Node {
+            config,
+            powered: true,
+            wan_partitioned: false,
+            actor,
+        });
         let at = self.now;
         self.push_event(at, EventKind::Start { node: id });
         id
@@ -203,7 +235,10 @@ impl Simulation {
         node.powered = powered;
         let at = self.now;
         if let Some(t) = self.trace.as_mut() {
-            t.push(TraceEntry { at, event: TraceEvent::Power { node: id, powered } });
+            t.push(TraceEntry {
+                at,
+                event: TraceEvent::Power { node: id, powered },
+            });
         }
         self.with_actor(id, |actor, ctx| actor.on_power(ctx, powered));
     }
@@ -223,11 +258,12 @@ impl Simulation {
     /// Runs the event loop until virtual time reaches `until` (inclusive of
     /// events at `until`). The clock is left at `until`.
     pub fn run_until(&mut self, until: Tick) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
+        while let Some(Reverse(ev)) = self.queue.pop() {
             if ev.at > until {
+                // Beyond the horizon: put it back for a later run.
+                self.queue.push(Reverse(ev));
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
             self.now = ev.at;
             self.dispatch(ev);
         }
@@ -278,7 +314,10 @@ impl Simulation {
                 if !self.nodes[to.0 as usize].powered {
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceEntry { at, event: TraceEvent::Dropped { from, to } });
+                        t.push(TraceEntry {
+                            at,
+                            event: TraceEvent::Dropped { from, to },
+                        });
                     }
                     return;
                 }
@@ -286,7 +325,11 @@ impl Simulation {
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceEntry {
                         at,
-                        event: TraceEvent::Delivered { from, to, bytes: payload.len() },
+                        event: TraceEvent::Delivered {
+                            from,
+                            to,
+                            bytes: payload.len(),
+                        },
                     });
                 }
                 self.with_actor(to, |actor, ctx| actor.on_packet(ctx, from, &payload));
@@ -305,8 +348,12 @@ impl Simulation {
         let mut effects = Vec::new();
         {
             let node = &mut self.nodes[id.0 as usize];
-            let mut ctx =
-                Ctx { now: self.now, self_id: id, rng: &mut self.rng, effects: &mut effects };
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                rng: &mut self.rng,
+                effects: &mut effects,
+            };
             f(node.actor.as_mut(), &mut ctx);
         }
         for effect in effects {
@@ -327,7 +374,10 @@ impl Simulation {
                 if self.nodes[from.0 as usize].config.lan != Some(lan) {
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceEntry { at, event: TraceEvent::Unroutable { from, to: from } });
+                        t.push(TraceEntry {
+                            at,
+                            event: TraceEvent::Unroutable { from, to: from },
+                        });
                     }
                     return;
                 }
@@ -351,7 +401,10 @@ impl Simulation {
         let Some(quality) = self.path_quality(from, to) else {
             let at = self.now;
             if let Some(t) = self.trace.as_mut() {
-                t.push(TraceEntry { at, event: TraceEvent::Unroutable { from, to } });
+                t.push(TraceEntry {
+                    at,
+                    event: TraceEvent::Unroutable { from, to },
+                });
             }
             return;
         };
@@ -370,7 +423,10 @@ impl Simulation {
             if to_behind_nat && !self.nat_flows.contains(&(to, from)) {
                 let at = self.now;
                 if let Some(t) = self.trace.as_mut() {
-                    t.push(TraceEntry { at, event: TraceEvent::Unroutable { from, to } });
+                    t.push(TraceEntry {
+                        at,
+                        event: TraceEvent::Unroutable { from, to },
+                    });
                 }
                 return;
             }
@@ -409,7 +465,14 @@ impl Simulation {
     ) {
         let at = self.now;
         if let Some(t) = self.trace.as_mut() {
-            t.push(TraceEntry { at, event: TraceEvent::Sent { from, to, bytes: payload.len() } });
+            t.push(TraceEntry {
+                at,
+                event: TraceEvent::Sent {
+                    from,
+                    to,
+                    bytes: payload.len(),
+                },
+            });
         }
         match quality.sample(&mut self.rng) {
             Some(latency) => {
@@ -418,7 +481,10 @@ impl Simulation {
             }
             None => {
                 if let Some(t) = self.trace.as_mut() {
-                    t.push(TraceEntry { at, event: TraceEvent::Dropped { from, to } });
+                    t.push(TraceEntry {
+                        at,
+                        event: TraceEvent::Dropped { from, to },
+                    });
                 }
             }
         }
@@ -448,7 +514,11 @@ mod tests {
 
     impl Sink {
         fn new() -> Self {
-            Sink { received: Vec::new(), timer_fired: Vec::new(), power_events: Vec::new() }
+            Sink {
+                received: Vec::new(),
+                timer_fired: Vec::new(),
+                power_events: Vec::new(),
+            }
         }
     }
 
@@ -486,7 +556,10 @@ mod tests {
         let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
         let _src = sim.add_node(
             NodeConfig::wan_only("src"),
-            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1, 2, 3] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(sink),
+                payload: vec![1, 2, 3],
+            }),
         );
         sim.run_until(Tick(10));
         let sink = sim.actor::<Sink>(sink).unwrap();
@@ -502,7 +575,10 @@ mod tests {
         let sink = sim.add_node(NodeConfig::lan_only("device", lan), Box::new(Sink::new()));
         let _attacker = sim.add_node(
             NodeConfig::wan_only("attacker"),
-            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![9] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(sink),
+                payload: vec![9],
+            }),
         );
         sim.run_until(Tick(10));
         assert!(sim.actor::<Sink>(sink).unwrap().received.is_empty());
@@ -520,7 +596,10 @@ mod tests {
         let dev = sim.add_node(NodeConfig::lan_only("device", lan), Box::new(Sink::new()));
         let _attacker = sim.add_node(
             NodeConfig::wan_only("attacker"),
-            Box::new(OneShot { dest: Dest::Broadcast(lan), payload: vec![7] }),
+            Box::new(OneShot {
+                dest: Dest::Broadcast(lan),
+                payload: vec![7],
+            }),
         );
         sim.run_until(Tick(10));
         assert!(sim.actor::<Sink>(dev).unwrap().received.is_empty());
@@ -532,15 +611,24 @@ mod tests {
         let lan = LanId(0);
         let a = sim.add_node(NodeConfig::dual("a", lan), Box::new(Sink::new()));
         let b = sim.add_node(NodeConfig::lan_only("b", lan), Box::new(Sink::new()));
-        let other = sim.add_node(NodeConfig::lan_only("other", LanId(1)), Box::new(Sink::new()));
+        let other = sim.add_node(
+            NodeConfig::lan_only("other", LanId(1)),
+            Box::new(Sink::new()),
+        );
         let src = sim.add_node(
             NodeConfig::dual("src", lan),
-            Box::new(OneShot { dest: Dest::Broadcast(lan), payload: vec![1] }),
+            Box::new(OneShot {
+                dest: Dest::Broadcast(lan),
+                payload: vec![1],
+            }),
         );
         sim.run_until(Tick(10));
         assert_eq!(sim.actor::<Sink>(a).unwrap().received.len(), 1);
         assert_eq!(sim.actor::<Sink>(b).unwrap().received.len(), 1);
-        assert!(sim.actor::<Sink>(other).unwrap().received.is_empty(), "other LAN isolated");
+        assert!(
+            sim.actor::<Sink>(other).unwrap().received.is_empty(),
+            "other LAN isolated"
+        );
         assert_eq!(sim.actor::<Sink>(a).unwrap().received[0].0, src);
     }
 
@@ -551,7 +639,10 @@ mod tests {
         let sink = sim.add_node(NodeConfig::dual("sink", lan), Box::new(Sink::new()));
         let src = sim.add_node(
             NodeConfig::dual("src", lan),
-            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(sink),
+                payload: vec![1],
+            }),
         );
         sim.partition_wan(src, true);
         sim.partition_wan(sink, true);
@@ -562,10 +653,13 @@ mod tests {
     #[test]
     fn wan_partition_blocks_cross_lan_traffic() {
         let mut sim = perfect_sim(5);
-        let sink = sim.add_node(NodeConfig::wan_only("cloud", ), Box::new(Sink::new()));
+        let sink = sim.add_node(NodeConfig::wan_only("cloud"), Box::new(Sink::new()));
         let src = sim.add_node(
             NodeConfig::dual("device", LanId(0)),
-            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(sink),
+                payload: vec![1],
+            }),
         );
         sim.partition_wan(src, true);
         sim.run_until(Tick(10));
@@ -578,7 +672,10 @@ mod tests {
         let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
         let _src = sim.add_node(
             NodeConfig::wan_only("src"),
-            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(sink),
+                payload: vec![1],
+            }),
         );
         sim.set_power(sink, false);
         sim.run_until(Tick(10));
@@ -607,7 +704,10 @@ mod tests {
             }
         }
         let mut sim = perfect_sim(7);
-        let h = sim.add_node(NodeConfig::wan_only("h"), Box::new(Holder { fired: Vec::new() }));
+        let h = sim.add_node(
+            NodeConfig::wan_only("h"),
+            Box::new(Holder { fired: Vec::new() }),
+        );
         sim.run_until(Tick(100));
         let h = sim.actor::<Holder>(h).unwrap();
         assert_eq!(h.fired, vec![(Tick(10), 1), (Tick(20), 2), (Tick(30), 3)]);
@@ -622,7 +722,10 @@ mod tests {
             for i in 0..20 {
                 sim.add_node(
                     NodeConfig::dual("src", LanId(0)),
-                    Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![i] }),
+                    Box::new(OneShot {
+                        dest: Dest::Unicast(sink),
+                        payload: vec![i],
+                    }),
                 );
             }
             sim.run_until(Tick(1000));
@@ -646,7 +749,10 @@ mod tests {
         let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
         let src = sim.add_node(
             NodeConfig::wan_only("src"),
-            Box::new(OneShot { dest: Dest::Unicast(sink), payload: vec![1] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(sink),
+                payload: vec![1],
+            }),
         );
         // Events: Start(sink), Start(src) [sends], Deliver.
         assert!(sim.step());
@@ -679,7 +785,10 @@ mod tests {
         sim.enable_trace();
         sim.add_node(NodeConfig::wan_only("s"), Box::new(SelfSender));
         sim.run_until(Tick(10));
-        assert!(sim.trace().iter().any(|e| matches!(e.event, TraceEvent::Unroutable { .. })));
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::Unroutable { .. })));
     }
 
     #[test]
@@ -689,10 +798,16 @@ mod tests {
         let victim = sim.add_node(NodeConfig::dual("victim", LanId(0)), Box::new(Sink::new()));
         let _attacker = sim.add_node(
             NodeConfig::wan_only("attacker"),
-            Box::new(OneShot { dest: Dest::Unicast(victim), payload: vec![6] }),
+            Box::new(OneShot {
+                dest: Dest::Unicast(victim),
+                payload: vec![6],
+            }),
         );
         sim.run_until(Tick(10));
-        assert!(sim.actor::<Sink>(victim).unwrap().received.is_empty(), "NAT held");
+        assert!(
+            sim.actor::<Sink>(victim).unwrap().received.is_empty(),
+            "NAT held"
+        );
     }
 
     #[test]
@@ -735,8 +850,9 @@ mod tests {
         sim.enable_trace();
         let n = sim.add_node(NodeConfig::wan_only("n"), Box::new(Sink::new()));
         sim.note(n, "hello");
-        assert!(sim.trace().iter().any(
-            |e| matches!(&e.event, TraceEvent::Note { text, .. } if text == "hello")
-        ));
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(&e.event, TraceEvent::Note { text, .. } if text == "hello")));
     }
 }

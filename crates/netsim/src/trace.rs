@@ -83,7 +83,12 @@ impl fmt::Display for TraceEntry {
                 write!(f, "{} {from} -> {to} UNROUTABLE", self.at)
             }
             TraceEvent::Power { node, powered } => {
-                write!(f, "{} {node} power={}", self.at, if *powered { "on" } else { "off" })
+                write!(
+                    f,
+                    "{} {node} power={}",
+                    self.at,
+                    if *powered { "on" } else { "off" }
+                )
             }
             TraceEvent::Note { node, text } => write!(f, "{} {node} note: {text}", self.at),
         }
@@ -98,17 +103,27 @@ mod tests {
     fn display_formats() {
         let e = TraceEntry {
             at: Tick(3),
-            event: TraceEvent::Sent { from: NodeId(1), to: NodeId(2), bytes: 10 },
+            event: TraceEvent::Sent {
+                from: NodeId(1),
+                to: NodeId(2),
+                bytes: 10,
+            },
         };
         assert_eq!(e.to_string(), "t3 n1 -> n2 sent 10B");
         let e = TraceEntry {
             at: Tick(4),
-            event: TraceEvent::Unroutable { from: NodeId(9), to: NodeId(1) },
+            event: TraceEvent::Unroutable {
+                from: NodeId(9),
+                to: NodeId(1),
+            },
         };
         assert!(e.to_string().contains("UNROUTABLE"));
         let e = TraceEntry {
             at: Tick(5),
-            event: TraceEvent::Power { node: NodeId(1), powered: false },
+            event: TraceEvent::Power {
+                node: NodeId(1),
+                powered: false,
+            },
         };
         assert!(e.to_string().ends_with("power=off"));
     }

@@ -1,6 +1,9 @@
 //! Property tests for the network simulator: determinism, isolation, and
 //! conservation.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use rb_netsim::{Actor, Ctx, Dest, LanId, LinkQuality, NodeConfig, NodeId, Simulation, Tick};
 
@@ -24,16 +27,29 @@ impl Actor for Chatter {
     }
 }
 
-fn star_world(seed: u64, senders: u32, per_sender: u32, quality: LinkQuality) -> (Simulation, NodeId) {
+fn star_world(
+    seed: u64,
+    senders: u32,
+    per_sender: u32,
+    quality: LinkQuality,
+) -> (Simulation, NodeId) {
     let mut sim = Simulation::with_quality(seed, LinkQuality::perfect(), quality);
     let hub = sim.add_node(
         NodeConfig::wan_only("hub"),
-        Box::new(Chatter { dest: None, count: 0, received: 0 }),
+        Box::new(Chatter {
+            dest: None,
+            count: 0,
+            received: 0,
+        }),
     );
     for i in 0..senders {
         sim.add_node(
             NodeConfig::wan_only(format!("s{i}")),
-            Box::new(Chatter { dest: Some(hub), count: per_sender, received: 0 }),
+            Box::new(Chatter {
+                dest: Some(hub),
+                count: per_sender,
+                received: 0,
+            }),
         );
     }
     (sim, hub)

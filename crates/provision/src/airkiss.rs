@@ -72,14 +72,18 @@ pub fn decode(lengths: &[u16]) -> Result<WifiCredentials, ProvisionError> {
     let m0 = next("magic0")?;
     let m1 = next("magic1")?;
     if m0 & 0xf010 != MAGIC_BASE || m1 & 0xf010 != MAGIC_BASE | 0x10 {
-        return Err(ProvisionError::BadFraming { what: "magic field" });
+        return Err(ProvisionError::BadFraming {
+            what: "magic field",
+        });
     }
     let total = usize::from(((m0 & 0xf) << 4) | (m1 & 0xf));
 
     let p0 = next("prefix0")?;
     let p1 = next("prefix1")?;
     if p0 & 0xf010 != PREFIX_BASE || p1 & 0xf010 != PREFIX_BASE | 0x10 {
-        return Err(ProvisionError::BadFraming { what: "prefix field" });
+        return Err(ProvisionError::BadFraming {
+            what: "prefix field",
+        });
     }
     let expected_crc = (((p0 & 0xf) << 4) | (p1 & 0xf)) as u8;
 
@@ -89,13 +93,19 @@ pub fn decode(lengths: &[u16]) -> Result<WifiCredentials, ProvisionError> {
         let hdr_crc = next("group crc")?;
         let hdr_idx = next("group index")?;
         if hdr_crc & 0xff00 != SEQ_HDR_BASE {
-            return Err(ProvisionError::BadFraming { what: "group crc field" });
+            return Err(ProvisionError::BadFraming {
+                what: "group crc field",
+            });
         }
         if hdr_idx & 0xff00 != SEQ_HDR_BASE | 0x100 {
-            return Err(ProvisionError::BadFraming { what: "group index field" });
+            return Err(ProvisionError::BadFraming {
+                what: "group index field",
+            });
         }
         if usize::from(hdr_idx & 0xff) != gi {
-            return Err(ProvisionError::BadFraming { what: "group out of order" });
+            return Err(ProvisionError::BadFraming {
+                what: "group out of order",
+            });
         }
         let in_group = GROUP.min(total - payload.len());
         let mut group_bytes = Vec::with_capacity(in_group);
@@ -118,20 +128,27 @@ pub fn decode(lengths: &[u16]) -> Result<WifiCredentials, ProvisionError> {
 
     let actual = crc8(&payload);
     if actual != expected_crc {
-        return Err(ProvisionError::ChecksumMismatch { expected: expected_crc, actual });
+        return Err(ProvisionError::ChecksumMismatch {
+            expected: expected_crc,
+            actual,
+        });
     }
     if payload.len() < 2 {
-        return Err(ProvisionError::BadFraming { what: "payload too short" });
+        return Err(ProvisionError::BadFraming {
+            what: "payload too short",
+        });
     }
     let ssid_len = usize::from(payload[0]);
     let psk_len = usize::from(payload[1]);
     if 2 + ssid_len + psk_len != payload.len() {
-        return Err(ProvisionError::BadFraming { what: "length fields inconsistent" });
+        return Err(ProvisionError::BadFraming {
+            what: "length fields inconsistent",
+        });
     }
-    let ssid = std::str::from_utf8(&payload[2..2 + ssid_len])
-        .map_err(|_| ProvisionError::InvalidUtf8)?;
-    let psk = std::str::from_utf8(&payload[2 + ssid_len..])
-        .map_err(|_| ProvisionError::InvalidUtf8)?;
+    let ssid =
+        std::str::from_utf8(&payload[2..2 + ssid_len]).map_err(|_| ProvisionError::InvalidUtf8)?;
+    let psk =
+        std::str::from_utf8(&payload[2 + ssid_len..]).map_err(|_| ProvisionError::InvalidUtf8)?;
     Ok(WifiCredentials::new(ssid, psk))
 }
 
@@ -154,7 +171,11 @@ mod tests {
         for ssid_len in [1usize, 2, 3, 4, 5, 8, 13] {
             for psk_len in [0usize, 1, 4, 7, 8] {
                 let c = WifiCredentials::new("s".repeat(ssid_len), "p".repeat(psk_len));
-                assert_eq!(decode(&encode(&c)).unwrap(), c, "ssid={ssid_len} psk={psk_len}");
+                assert_eq!(
+                    decode(&encode(&c)).unwrap(),
+                    c,
+                    "ssid={ssid_len} psk={psk_len}"
+                );
             }
         }
     }
@@ -196,7 +217,9 @@ mod tests {
         lengths[pos] = SEQ_HDR_BASE | 0x100 | 7;
         assert_eq!(
             decode(&lengths),
-            Err(ProvisionError::BadFraming { what: "group out of order" })
+            Err(ProvisionError::BadFraming {
+                what: "group out of order"
+            })
         );
     }
 }

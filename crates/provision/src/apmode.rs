@@ -127,7 +127,9 @@ impl ProvisionRequest {
     /// Returns [`ProvisionError`] on truncation, bad tags, or invalid UTF-8.
     pub fn decode(mut buf: &[u8]) -> Result<Self, ProvisionError> {
         if buf.first() != Some(&TAG_REQUEST) {
-            return Err(ProvisionError::BadFraming { what: "request tag" });
+            return Err(ProvisionError::BadFraming {
+                what: "request tag",
+            });
         }
         buf = &buf[1..];
         let ssid = get_str(&mut buf)?.to_owned();
@@ -146,14 +148,24 @@ impl ProvisionRequest {
                 let pw = get_str(&mut buf)?.to_owned();
                 Some((uid, pw))
             }
-            _ => return Err(ProvisionError::BadFraming { what: "credential flag" }),
+            _ => {
+                return Err(ProvisionError::BadFraming {
+                    what: "credential flag",
+                })
+            }
         };
         if !buf.is_empty() {
-            return Err(ProvisionError::BadFraming { what: "trailing bytes" });
+            return Err(ProvisionError::BadFraming {
+                what: "trailing bytes",
+            });
         }
         Ok(ProvisionRequest {
             wifi: WifiCredentials::new(ssid, psk),
-            pairing: PairingMaterial { dev_token, bind_token, user_credentials },
+            pairing: PairingMaterial {
+                dev_token,
+                bind_token,
+                user_credentials,
+            },
         })
     }
 }
@@ -182,7 +194,9 @@ impl ProvisionReply {
                 buf = &buf[1..];
                 let device_info = get_str(&mut buf)?.to_owned();
                 if !buf.is_empty() {
-                    return Err(ProvisionError::BadFraming { what: "trailing bytes" });
+                    return Err(ProvisionError::BadFraming {
+                        what: "trailing bytes",
+                    });
                 }
                 Ok(ProvisionReply::Accepted { device_info })
             }
@@ -225,7 +239,9 @@ mod tests {
 
     #[test]
     fn reply_roundtrips() {
-        let a = ProvisionReply::Accepted { device_info: "mac:aa:bb:cc:dd:ee:ff".into() };
+        let a = ProvisionReply::Accepted {
+            device_info: "mac:aa:bb:cc:dd:ee:ff".into(),
+        };
         assert_eq!(ProvisionReply::decode(&a.encode()).unwrap(), a);
         let r = ProvisionReply::Rejected;
         assert_eq!(ProvisionReply::decode(&r.encode()).unwrap(), r);
@@ -235,7 +251,10 @@ mod tests {
     fn truncation_fails_cleanly() {
         let bytes = request().encode();
         for cut in 0..bytes.len() {
-            assert!(ProvisionRequest::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                ProvisionRequest::decode(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 
@@ -243,7 +262,9 @@ mod tests {
     fn wrong_tag_rejected() {
         assert!(matches!(
             ProvisionRequest::decode(&[0xFF, 0, 0]),
-            Err(ProvisionError::BadFraming { what: "request tag" })
+            Err(ProvisionError::BadFraming {
+                what: "request tag"
+            })
         ));
         assert!(ProvisionReply::decode(&[0x00]).is_err());
         assert!(ProvisionReply::decode(&[]).is_err());
@@ -255,7 +276,9 @@ mod tests {
         bytes.push(0);
         assert!(matches!(
             ProvisionRequest::decode(&bytes),
-            Err(ProvisionError::BadFraming { what: "trailing bytes" })
+            Err(ProvisionError::BadFraming {
+                what: "trailing bytes"
+            })
         ));
     }
 }

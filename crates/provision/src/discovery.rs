@@ -52,12 +52,16 @@ impl SearchRequest {
         let text = std::str::from_utf8(bytes).map_err(|_| ProvisionError::InvalidUtf8)?;
         let mut lines = text.split("\r\n");
         if lines.next() != Some("M-SEARCH * RB/1.0") {
-            return Err(ProvisionError::BadFraming { what: "search start line" });
+            return Err(ProvisionError::BadFraming {
+                what: "search start line",
+            });
         }
         let st_line = lines.next().ok_or(ProvisionError::Incomplete)?;
         let st = st_line
             .strip_prefix("ST: ")
-            .ok_or(ProvisionError::BadFraming { what: "missing ST header" })?;
+            .ok_or(ProvisionError::BadFraming {
+                what: "missing ST header",
+            })?;
         let target = if st == "ssdp:all" {
             SearchTarget::All
         } else if let Some(v) = st.strip_prefix("vendor:") {
@@ -65,7 +69,9 @@ impl SearchRequest {
         } else if let Some(d) = st.strip_prefix("device:") {
             SearchTarget::Device(parse_dev_id(d)?)
         } else {
-            return Err(ProvisionError::BadFraming { what: "unknown search target" });
+            return Err(ProvisionError::BadFraming {
+                what: "unknown search target",
+            });
         };
         Ok(SearchRequest { target })
     }
@@ -116,7 +122,9 @@ impl SearchResponse {
         let text = std::str::from_utf8(bytes).map_err(|_| ProvisionError::InvalidUtf8)?;
         let mut lines = text.split("\r\n");
         if lines.next() != Some("RB/1.0 200 OK") {
-            return Err(ProvisionError::BadFraming { what: "response start line" });
+            return Err(ProvisionError::BadFraming {
+                what: "response start line",
+            });
         }
         let mut vendor = None;
         let mut model = None;
@@ -134,9 +142,15 @@ impl SearchResponse {
             }
         }
         Ok(SearchResponse {
-            vendor: vendor.ok_or(ProvisionError::BadFraming { what: "missing VENDOR" })?,
-            model: model.ok_or(ProvisionError::BadFraming { what: "missing MODEL" })?,
-            dev_id: usn.ok_or(ProvisionError::BadFraming { what: "missing USN" })?,
+            vendor: vendor.ok_or(ProvisionError::BadFraming {
+                what: "missing VENDOR",
+            })?,
+            model: model.ok_or(ProvisionError::BadFraming {
+                what: "missing MODEL",
+            })?,
+            dev_id: usn.ok_or(ProvisionError::BadFraming {
+                what: "missing USN",
+            })?,
         })
     }
 }
@@ -164,15 +178,25 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let rsp = SearchResponse { vendor: "belkin".into(), model: "WeMo".into(), dev_id: dev_id() };
+        let rsp = SearchResponse {
+            vendor: "belkin".into(),
+            model: "WeMo".into(),
+            dev_id: dev_id(),
+        };
         assert_eq!(SearchResponse::decode(&rsp.encode()).unwrap(), rsp);
     }
 
     #[test]
     fn matching_logic() {
-        let all = SearchRequest { target: SearchTarget::All };
-        let vendor = SearchRequest { target: SearchTarget::Vendor("belkin".into()) };
-        let device = SearchRequest { target: SearchTarget::Device(dev_id()) };
+        let all = SearchRequest {
+            target: SearchTarget::All,
+        };
+        let vendor = SearchRequest {
+            target: SearchTarget::Vendor("belkin".into()),
+        };
+        let device = SearchRequest {
+            target: SearchTarget::Device(dev_id()),
+        };
         assert!(all.matches("anyone", &dev_id()));
         assert!(vendor.matches("belkin", &dev_id()));
         assert!(!vendor.matches("tp-link", &dev_id()));
@@ -190,9 +214,16 @@ mod tests {
 
     #[test]
     fn search_and_response_are_distinguishable() {
-        let req = SearchRequest { target: SearchTarget::All }.encode();
-        let rsp =
-            SearchResponse { vendor: "v".into(), model: "m".into(), dev_id: dev_id() }.encode();
+        let req = SearchRequest {
+            target: SearchTarget::All,
+        }
+        .encode();
+        let rsp = SearchResponse {
+            vendor: "v".into(),
+            model: "m".into(),
+            dev_id: dev_id(),
+        }
+        .encode();
         assert!(SearchResponse::decode(&req).is_err());
         assert!(SearchRequest::decode(&rsp).is_err());
     }

@@ -24,7 +24,10 @@ pub struct DeviceLabel {
 impl DeviceLabel {
     /// Creates a label for a device.
     pub fn new(dev_id: DevId, pairing_code: u16) -> Self {
-        DeviceLabel { dev_id, pairing_code: pairing_code % 10_000 }
+        DeviceLabel {
+            dev_id,
+            pairing_code: pairing_code % 10_000,
+        }
     }
 
     /// Renders the label text as printed on the unit, with a trailing check
@@ -44,12 +47,16 @@ impl DeviceLabel {
     /// not match (a typo while entering the ID into the app).
     pub fn scan(text: &str) -> Result<Self, ProvisionError> {
         let Some((body, check)) = text.rsplit_once('|') else {
-            return Err(ProvisionError::BadFraming { what: "label missing check field" });
+            return Err(ProvisionError::BadFraming {
+                what: "label missing check field",
+            });
         };
         let expected = check_char(body);
         let mut chars = check.chars();
         let (Some(actual), None) = (chars.next(), chars.next()) else {
-            return Err(ProvisionError::BadFraming { what: "check field not one char" });
+            return Err(ProvisionError::BadFraming {
+                what: "check field not one char",
+            });
         };
         if actual != expected {
             return Err(ProvisionError::ChecksumMismatch {
@@ -58,13 +65,18 @@ impl DeviceLabel {
             });
         }
         let Some((id_part, code_part)) = body.rsplit_once('|') else {
-            return Err(ProvisionError::BadFraming { what: "label missing pairing code" });
+            return Err(ProvisionError::BadFraming {
+                what: "label missing pairing code",
+            });
         };
-        let pairing_code: u16 = code_part
-            .parse()
-            .map_err(|_| ProvisionError::BadFraming { what: "pairing code not numeric" })?;
+        let pairing_code: u16 = code_part.parse().map_err(|_| ProvisionError::BadFraming {
+            what: "pairing code not numeric",
+        })?;
         let dev_id = parse_dev_id(id_part)?;
-        Ok(DeviceLabel { dev_id, pairing_code })
+        Ok(DeviceLabel {
+            dev_id,
+            pairing_code,
+        })
     }
 }
 
@@ -84,41 +96,52 @@ pub fn parse_dev_id(s: &str) -> Result<DevId, ProvisionError> {
     if let Some(mac) = s.strip_prefix("mac:") {
         let parts: Vec<&str> = mac.split(':').collect();
         if parts.len() != 6 {
-            return Err(ProvisionError::BadFraming { what: "mac must have 6 octets" });
+            return Err(ProvisionError::BadFraming {
+                what: "mac must have 6 octets",
+            });
         }
         let mut bytes = [0u8; 6];
         for (i, p) in parts.iter().enumerate() {
-            bytes[i] = u8::from_str_radix(p, 16)
-                .map_err(|_| ProvisionError::BadFraming { what: "mac octet not hex" })?;
+            bytes[i] = u8::from_str_radix(p, 16).map_err(|_| ProvisionError::BadFraming {
+                what: "mac octet not hex",
+            })?;
         }
         return Ok(DevId::Mac(rb_wire::ids::MacAddr::new(bytes)));
     }
     if let Some(sn) = s.strip_prefix("sn:") {
         let Some((vendor, seq)) = sn.split_once('-') else {
-            return Err(ProvisionError::BadFraming { what: "serial missing separator" });
+            return Err(ProvisionError::BadFraming {
+                what: "serial missing separator",
+            });
         };
-        let vendor = u16::from_str_radix(vendor, 16)
-            .map_err(|_| ProvisionError::BadFraming { what: "serial vendor not hex" })?;
-        let seq: u64 = seq
-            .parse()
-            .map_err(|_| ProvisionError::BadFraming { what: "serial seq not numeric" })?;
+        let vendor = u16::from_str_radix(vendor, 16).map_err(|_| ProvisionError::BadFraming {
+            what: "serial vendor not hex",
+        })?;
+        let seq: u64 = seq.parse().map_err(|_| ProvisionError::BadFraming {
+            what: "serial seq not numeric",
+        })?;
         return Ok(DevId::Serial { vendor, seq });
     }
     if let Some(digits) = s.strip_prefix("id:") {
         let width = digits.len() as u8;
-        let value: u32 = digits
-            .parse()
-            .map_err(|_| ProvisionError::BadFraming { what: "digit id not numeric" })?;
+        let value: u32 = digits.parse().map_err(|_| ProvisionError::BadFraming {
+            what: "digit id not numeric",
+        })?;
         let id = DevId::Digits { value, width };
-        id.validate().map_err(|_| ProvisionError::BadFraming { what: "digit id out of range" })?;
+        id.validate().map_err(|_| ProvisionError::BadFraming {
+            what: "digit id out of range",
+        })?;
         return Ok(id);
     }
     if let Some(uuid) = s.strip_prefix("uuid:") {
-        let value = u128::from_str_radix(uuid, 16)
-            .map_err(|_| ProvisionError::BadFraming { what: "uuid not hex" })?;
+        let value = u128::from_str_radix(uuid, 16).map_err(|_| ProvisionError::BadFraming {
+            what: "uuid not hex",
+        })?;
         return Ok(DevId::Uuid(value));
     }
-    Err(ProvisionError::BadFraming { what: "unknown id prefix" })
+    Err(ProvisionError::BadFraming {
+        what: "unknown id prefix",
+    })
 }
 
 #[cfg(test)]
@@ -129,8 +152,14 @@ mod tests {
     fn ids() -> Vec<DevId> {
         vec![
             DevId::Mac(MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x42])),
-            DevId::Serial { vendor: 0x0102, seq: 99887 },
-            DevId::Digits { value: 123456, width: 7 },
+            DevId::Serial {
+                vendor: 0x0102,
+                seq: 99887,
+            },
+            DevId::Digits {
+                value: 123456,
+                width: 7,
+            },
             DevId::Uuid(0xdead_beef_cafe),
         ]
     }

@@ -66,7 +66,10 @@ impl std::fmt::Display for ProvisionError {
         match self {
             ProvisionError::Incomplete => write!(f, "incomplete provisioning frame"),
             ProvisionError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#04x}, got {actual:#04x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#04x}, got {actual:#04x}"
+                )
             }
             ProvisionError::BadFraming { what } => write!(f, "bad framing: {what}"),
             ProvisionError::TooLong { what } => write!(f, "field too long: {what}"),
@@ -84,9 +87,15 @@ mod tests {
     #[test]
     fn errors_display() {
         assert_eq!(
-            ProvisionError::ChecksumMismatch { expected: 0xab, actual: 0xcd }.to_string(),
+            ProvisionError::ChecksumMismatch {
+                expected: 0xab,
+                actual: 0xcd
+            }
+            .to_string(),
             "checksum mismatch: expected 0xab, got 0xcd"
         );
-        assert!(ProvisionError::BadFraming { what: "x" }.to_string().contains("x"));
+        assert!(ProvisionError::BadFraming { what: "x" }
+            .to_string()
+            .contains("x"));
     }
 }

@@ -60,7 +60,9 @@ impl LocalCtl {
             }
             Some(&TAG_RESET) if bytes.len() == 1 => Ok(LocalCtl::FactoryReset),
             Some(&TAG_ACK) if bytes.len() == 1 => Ok(LocalCtl::Ack),
-            Some(_) => Err(ProvisionError::BadFraming { what: "local-ctl tag" }),
+            Some(_) => Err(ProvisionError::BadFraming {
+                what: "local-ctl tag",
+            }),
             None => Err(ProvisionError::Incomplete),
         }
     }

@@ -37,7 +37,11 @@ pub fn crc8(data: &[u8]) -> u8 {
     for &b in data {
         crc ^= b;
         for _ in 0..8 {
-            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
         }
     }
     crc
@@ -219,11 +223,15 @@ impl Decoder {
             });
         }
         if self.payload.is_empty() {
-            return Err(ProvisionError::BadFraming { what: "empty payload" });
+            return Err(ProvisionError::BadFraming {
+                what: "empty payload",
+            });
         }
         let ssid_len = usize::from(self.payload[0]);
         if 1 + ssid_len > self.payload.len() {
-            return Err(ProvisionError::BadFraming { what: "ssid length exceeds payload" });
+            return Err(ProvisionError::BadFraming {
+                what: "ssid length exceeds payload",
+            });
         }
         let ssid = std::str::from_utf8(&self.payload[1..1 + ssid_len])
             .map_err(|_| ProvisionError::InvalidUtf8)?;
@@ -309,7 +317,10 @@ mod tests {
     #[test]
     fn truncated_stream_is_incomplete() {
         let lengths = encode(&creds());
-        assert_eq!(decode(&lengths[..lengths.len() - 3]), Err(ProvisionError::Incomplete));
+        assert_eq!(
+            decode(&lengths[..lengths.len() - 3]),
+            Err(ProvisionError::Incomplete)
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ fn truncate_on_boundary(s: &mut String, max: usize) {
 
 impl fmt::Debug for WifiCredentials {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "WifiCredentials {{ ssid: {:?}, psk: <redacted> }}", self.ssid)
+        write!(
+            f,
+            "WifiCredentials {{ ssid: {:?}, psk: <redacted> }}",
+            self.ssid
+        )
     }
 }
 

@@ -1,5 +1,8 @@
 //! Property tests for the provisioning codecs.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
@@ -17,7 +20,10 @@ fn arb_dev_id() -> impl Strategy<Value = DevId> {
         any::<[u8; 6]>().prop_map(|b| DevId::Mac(MacAddr::new(b))),
         (any::<u16>(), any::<u64>()).prop_map(|(v, s)| DevId::Serial { vendor: v, seq: s }),
         (1u8..=9).prop_flat_map(|w| {
-            (0..10u64.pow(u32::from(w))).prop_map(move |v| DevId::Digits { value: v as u32, width: w })
+            (0..10u64.pow(u32::from(w))).prop_map(move |v| DevId::Digits {
+                value: v as u32,
+                width: w,
+            })
         }),
         any::<u128>().prop_map(DevId::Uuid),
     ]

@@ -73,7 +73,9 @@ mod tests {
         }
         let echo = sim.add_node(NodeConfig::wan_only("echo"), Box::new(Echo));
         let raw = sim.add_node(NodeConfig::wan_only("raw"), Box::new(RawEndpoint::new()));
-        sim.actor_mut::<RawEndpoint>(raw).unwrap().queue(Dest::Unicast(echo), vec![1, 2, 3]);
+        sim.actor_mut::<RawEndpoint>(raw)
+            .unwrap()
+            .queue(Dest::Unicast(echo), vec![1, 2, 3]);
         sim.run_until(Tick(100));
         let endpoint = sim.actor_mut::<RawEndpoint>(raw).unwrap();
         let inbox = endpoint.take_inbox();

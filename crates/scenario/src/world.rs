@@ -113,15 +113,17 @@ impl WorldBuilder {
 
     /// Assembles the world.
     pub fn build(self) -> World {
-        let mut sim =
-            Simulation::with_quality(self.seed, self.lan_quality, self.wan_quality);
+        let mut sim = Simulation::with_quality(self.seed, self.lan_quality, self.wan_quality);
         if self.trace {
             sim.enable_trace();
         }
         let mut rng = SimRng::new(self.seed ^ 0x5eed_5eed);
 
         let mut cloud_service = CloudService::new(CloudConfig::new(self.design.clone()));
-        cloud_service.provision_account(UserId::new("attacker@evil.example"), UserPw::new("attacker-pw"));
+        cloud_service.provision_account(
+            UserId::new("attacker@evil.example"),
+            UserPw::new("attacker-pw"),
+        );
 
         // Manufacture one device per home plus a registry tail, so the ID
         // space looks like a real product series (the DoS experiment
@@ -196,11 +198,20 @@ impl WorldBuilder {
 
             // NAT: the whole home shares one public IP.
             let public_ip = 1000 + i as u32;
-            let cloud_actor = sim.actor_mut::<CloudService>(cloud).expect("cloud exists");
+            let Some(cloud_actor) = sim.actor_mut::<CloudService>(cloud) else {
+                unreachable!("the cloud node is always a CloudService");
+            };
             cloud_actor.set_public_ip(app, public_ip);
             cloud_actor.set_public_ip(device, public_ip);
 
-            homes.push(Home { lan, app, device, dev_id, user_id, user_pw });
+            homes.push(Home {
+                lan,
+                app,
+                device,
+                dev_id,
+                user_id,
+                user_pw,
+            });
         }
 
         if self.victim_paused {
@@ -210,12 +221,22 @@ impl WorldBuilder {
             }
         }
 
-        let attacker =
-            sim.add_node(NodeConfig::wan_only("attacker"), Box::new(crate::RawEndpoint::new()));
-        let cloud_actor = sim.actor_mut::<CloudService>(cloud).expect("cloud exists");
+        let attacker = sim.add_node(
+            NodeConfig::wan_only("attacker"),
+            Box::new(crate::RawEndpoint::new()),
+        );
+        let Some(cloud_actor) = sim.actor_mut::<CloudService>(cloud) else {
+            unreachable!("the cloud node is always a CloudService");
+        };
         cloud_actor.set_public_ip(attacker, 9_999);
 
-        World { design: self.design, sim, cloud, homes, attacker }
+        World {
+            design: self.design,
+            sim,
+            cloud,
+            homes,
+            attacker,
+        }
     }
 }
 
@@ -236,37 +257,51 @@ pub struct World {
 impl World {
     /// The cloud service (immutable).
     pub fn cloud(&self) -> &CloudService {
-        self.sim.actor::<CloudService>(self.cloud).expect("cloud is a CloudService")
+        self.sim
+            .actor::<CloudService>(self.cloud)
+            .unwrap_or_else(|| unreachable!("the cloud node is always a CloudService"))
     }
 
     /// The cloud service (mutable).
     pub fn cloud_mut(&mut self) -> &mut CloudService {
-        self.sim.actor_mut::<CloudService>(self.cloud).expect("cloud is a CloudService")
+        self.sim
+            .actor_mut::<CloudService>(self.cloud)
+            .unwrap_or_else(|| unreachable!("the cloud node is always a CloudService"))
     }
 
     /// Home `i`'s app.
     pub fn app(&self, i: usize) -> &AppAgent {
-        self.sim.actor::<AppAgent>(self.homes[i].app).expect("app agent")
+        self.sim
+            .actor::<AppAgent>(self.homes[i].app)
+            .unwrap_or_else(|| unreachable!("home app nodes are always AppAgents"))
     }
 
     /// Home `i`'s app (mutable: queue controls, unbinds).
     pub fn app_mut(&mut self, i: usize) -> &mut AppAgent {
-        self.sim.actor_mut::<AppAgent>(self.homes[i].app).expect("app agent")
+        self.sim
+            .actor_mut::<AppAgent>(self.homes[i].app)
+            .unwrap_or_else(|| unreachable!("home app nodes are always AppAgents"))
     }
 
     /// Home `i`'s device.
     pub fn device(&self, i: usize) -> &DeviceAgent {
-        self.sim.actor::<DeviceAgent>(self.homes[i].device).expect("device agent")
+        self.sim
+            .actor::<DeviceAgent>(self.homes[i].device)
+            .unwrap_or_else(|| unreachable!("home device nodes are always DeviceAgents"))
     }
 
     /// Home `i`'s device (mutable: press buttons, queue resets).
     pub fn device_mut(&mut self, i: usize) -> &mut DeviceAgent {
-        self.sim.actor_mut::<DeviceAgent>(self.homes[i].device).expect("device agent")
+        self.sim
+            .actor_mut::<DeviceAgent>(self.homes[i].device)
+            .unwrap_or_else(|| unreachable!("home device nodes are always DeviceAgents"))
     }
 
     /// The attacker endpoint (mutable: queue forged frames, read inbox).
     pub fn attacker_mut(&mut self) -> &mut crate::RawEndpoint {
-        self.sim.actor_mut::<crate::RawEndpoint>(self.attacker).expect("raw endpoint")
+        self.sim
+            .actor_mut::<crate::RawEndpoint>(self.attacker)
+            .unwrap_or_else(|| unreachable!("the attacker node is always a RawEndpoint"))
     }
 
     /// The shadow state of home `i`'s device.
@@ -284,7 +319,11 @@ impl World {
             "setup did not converge for {}: home states {:?}",
             self.design.vendor,
             (0..self.homes.len())
-                .map(|i| (self.app(i).setup_complete(), self.app(i).is_bound(), self.shadow_state(i)))
+                .map(|i| (
+                    self.app(i).setup_complete(),
+                    self.app(i).is_bound(),
+                    self.shadow_state(i)
+                ))
                 .collect::<Vec<_>>()
         );
     }
@@ -306,9 +345,8 @@ impl World {
                 }
             }
             self.sim.run_for(1_000);
-            let all_done = (0..self.homes.len()).all(|i| {
-                self.app(i).is_bound() && self.shadow_state(i) == ShadowState::Control
-            });
+            let all_done = (0..self.homes.len())
+                .all(|i| self.app(i).is_bound() && self.shadow_state(i) == ShadowState::Control);
             if all_done {
                 // One extra beat lets post-binding session tokens reach the
                 // device and appear in a heartbeat.

@@ -18,8 +18,15 @@ fn every_vendor_design_completes_setup() {
         let mut world = WorldBuilder::new(design, 100 + i as u64).build();
         world.run_setup();
         assert!(world.app(0).is_bound(), "{vendor}: app bound");
-        assert_eq!(world.shadow_state(0), ShadowState::Control, "{vendor}: control state");
-        assert!(world.device(0).is_registered(), "{vendor}: device registered");
+        assert_eq!(
+            world.shadow_state(0),
+            ShadowState::Control,
+            "{vendor}: control state"
+        );
+        assert!(
+            world.device(0).is_registered(),
+            "{vendor}: device registered"
+        );
         assert_eq!(
             world.cloud().bound_user(&world.homes[0].dev_id).as_ref(),
             Some(&world.homes[0].user_id),
@@ -30,8 +37,12 @@ fn every_vendor_design_completes_setup() {
 
 #[test]
 fn reference_designs_complete_setup() {
-    for (i, design) in
-        [vendors::capability_reference(), vendors::public_key_reference()].into_iter().enumerate()
+    for (i, design) in [
+        vendors::capability_reference(),
+        vendors::public_key_reference(),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let vendor = design.vendor.clone();
         let mut world = WorldBuilder::new(design, 500 + i as u64).build();
@@ -53,10 +64,16 @@ fn control_round_trip_for_every_design() {
         assert!(!world.device(0).is_on(), "{vendor}: starts off");
         world.app_mut(0).queue_control(ControlAction::TurnOn);
         world.run_for(10_000);
-        assert!(world.device(0).is_on(), "{vendor}: TurnOn reached the device");
+        assert!(
+            world.device(0).is_on(),
+            "{vendor}: TurnOn reached the device"
+        );
         world.app_mut(0).queue_control(ControlAction::TurnOff);
         world.run_for(10_000);
-        assert!(!world.device(0).is_on(), "{vendor}: TurnOff reached the device");
+        assert!(
+            !world.device(0).is_on(),
+            "{vendor}: TurnOff reached the device"
+        );
     }
 }
 
@@ -64,13 +81,26 @@ fn control_round_trip_for_every_design() {
 fn schedule_round_trip() {
     let mut world = WorldBuilder::new(vendors::d_link(), 7).build();
     world.run_setup();
-    let entry = ScheduleEntry { at_tick: 123_456, turn_on: true };
-    world.app_mut(0).queue_control(ControlAction::SetSchedule(entry.clone()));
+    let entry = ScheduleEntry {
+        at_tick: 123_456,
+        turn_on: true,
+    };
+    world
+        .app_mut(0)
+        .queue_control(ControlAction::SetSchedule(entry.clone()));
     world.run_for(10_000);
-    assert_eq!(world.device(0).schedule(), std::slice::from_ref(&entry), "device stored the schedule");
+    assert_eq!(
+        world.device(0).schedule(),
+        std::slice::from_ref(&entry),
+        "device stored the schedule"
+    );
     world.app_mut(0).queue_control(ControlAction::QuerySchedule);
     world.run_for(10_000);
-    assert_eq!(world.app(0).last_schedule, vec![entry], "app read the schedule back");
+    assert_eq!(
+        world.app(0).last_schedule,
+        vec![entry],
+        "app read the schedule back"
+    );
 }
 
 #[test]
@@ -92,7 +122,11 @@ fn owner_unbind_revokes_the_binding() {
     world.app_mut(0).queue_unbind();
     world.run_for(10_000);
     assert!(!world.app(0).is_bound());
-    assert_eq!(world.shadow_state(0), ShadowState::Online, "device online but unbound");
+    assert_eq!(
+        world.shadow_state(0),
+        ShadowState::Online,
+        "device online but unbound"
+    );
 }
 
 #[test]
@@ -128,16 +162,26 @@ fn power_loss_moves_shadow_to_bound_and_back() {
     world.sim.set_power(device_node, false);
     // Wait past the heartbeat timeout plus an expiry sweep.
     world.run_for(80_000);
-    assert_eq!(world.shadow_state(0), ShadowState::Bound, "offline but still bound");
+    assert_eq!(
+        world.shadow_state(0),
+        ShadowState::Bound,
+        "offline but still bound"
+    );
     world.sim.set_power(device_node, true);
     world.run_for(80_000);
-    assert_eq!(world.shadow_state(0), ShadowState::Control, "back online, binding intact");
+    assert_eq!(
+        world.shadow_state(0),
+        ShadowState::Control,
+        "back online, binding intact"
+    );
 }
 
 #[test]
 fn setup_works_over_lossy_links() {
     // Realistic latency and loss must not break the protocol, only slow it.
-    let mut world = WorldBuilder::new(vendors::belkin(), 13).realistic_links().build();
+    let mut world = WorldBuilder::new(vendors::belkin(), 13)
+        .realistic_links()
+        .build();
     world.run_setup();
     assert!(world.app(0).is_bound());
 }
@@ -147,7 +191,11 @@ fn device_initiated_design_binds_without_app_bind_message() {
     let mut world = WorldBuilder::new(vendors::tp_link(), 14).build();
     world.run_setup();
     assert!(world.app(0).is_bound());
-    assert_eq!(world.app(0).stats.bind_attempts, 0, "the app never sent a Bind");
+    assert_eq!(
+        world.app(0).stats.bind_attempts,
+        0,
+        "the app never sent a Bind"
+    );
     assert_eq!(world.design.bind, BindScheme::AclDevice);
 }
 

@@ -12,7 +12,9 @@ use rb_wire::tokens::UserId;
 fn owner_shares_device_with_neighbour() {
     // Two homes on one cloud; home 0's owner shares their plug with home
     // 1's account, who then controls it from their own LAN.
-    let mut world = WorldBuilder::new(vendors::d_link(), 0x5A11).homes(2).build();
+    let mut world = WorldBuilder::new(vendors::d_link(), 0x5A11)
+        .homes(2)
+        .build();
     world.run_setup();
 
     let guest_account = world.homes[1].user_id.clone();
@@ -24,26 +26,40 @@ fn owner_shares_device_with_neighbour() {
     );
 
     let shared_dev = world.homes[0].dev_id.clone();
-    world.app_mut(1).queue_control_device(shared_dev, ControlAction::TurnOn);
+    world
+        .app_mut(1)
+        .queue_control_device(shared_dev, ControlAction::TurnOn);
     world.run_for(10_000);
-    assert!(world.device(0).is_on(), "the neighbour controls home 0's plug");
+    assert!(
+        world.device(0).is_on(),
+        "the neighbour controls home 0's plug"
+    );
 
     // Revocation closes the door again.
     let guest_account = world.homes[1].user_id.clone();
     world.app_mut(0).queue_share(guest_account, false);
     world.run_for(10_000);
     let shared_dev = world.homes[0].dev_id.clone();
-    world.app_mut(1).queue_control_device(shared_dev, ControlAction::TurnOff);
+    world
+        .app_mut(1)
+        .queue_control_device(shared_dev, ControlAction::TurnOff);
     world.run_for(10_000);
-    assert!(world.device(0).is_on(), "revoked guest can no longer switch the plug");
+    assert!(
+        world.device(0).is_on(),
+        "revoked guest can no longer switch the plug"
+    );
 }
 
 #[test]
 fn stranger_cannot_control_without_a_grant() {
-    let mut world = WorldBuilder::new(vendors::d_link(), 0x5A12).homes(2).build();
+    let mut world = WorldBuilder::new(vendors::d_link(), 0x5A12)
+        .homes(2)
+        .build();
     world.run_setup();
     let foreign_dev = world.homes[0].dev_id.clone();
-    world.app_mut(1).queue_control_device(foreign_dev, ControlAction::TurnOn);
+    world
+        .app_mut(1)
+        .queue_control_device(foreign_dev, ControlAction::TurnOn);
     world.run_for(10_000);
     assert!(!world.device(0).is_on());
     assert!(world.app(1).stats.denials >= 1, "the control was denied");
@@ -57,7 +73,11 @@ fn wan_partition_during_control_state_then_recovery() {
     // Cut the home's uplink: heartbeats stop reaching the cloud.
     world.sim.partition_wan(device_node, true);
     world.run_for(80_000);
-    assert_eq!(world.shadow_state(0), ShadowState::Bound, "offline but bound");
+    assert_eq!(
+        world.shadow_state(0),
+        ShadowState::Bound,
+        "offline but bound"
+    );
     // Heal: the device's denied heartbeats push it to re-register.
     world.sim.partition_wan(device_node, false);
     world.run_for(80_000);
@@ -75,7 +95,10 @@ fn setup_survives_heavy_loss() {
     let mut world = WorldBuilder::new(vendors::d_link(), 0x70551)
         .link_quality(LinkQuality::lan(), LinkQuality::lossy(150))
         .build();
-    assert!(world.try_run_setup(900_000), "setup converges under 15% loss");
+    assert!(
+        world.try_run_setup(900_000),
+        "setup converges under 15% loss"
+    );
     assert_eq!(world.shadow_state(0), ShadowState::Control);
 }
 
@@ -88,7 +111,10 @@ fn control_is_idempotent_under_duplicate_queueing() {
     }
     world.run_for(30_000);
     assert!(world.device(0).is_on());
-    assert!(world.device(0).stats.commands >= 5, "all five pushes applied");
+    assert!(
+        world.device(0).stats.commands >= 5,
+        "all five pushes applied"
+    );
 }
 
 #[test]
@@ -109,7 +135,9 @@ fn phone_reboot_resumes_the_flow() {
 fn sharing_with_a_ghost_account_fails_cleanly() {
     let mut world = WorldBuilder::new(vendors::d_link(), 0x640).build();
     world.run_setup();
-    world.app_mut(0).queue_share(UserId::new("nobody@void.example"), true);
+    world
+        .app_mut(0)
+        .queue_share(UserId::new("nobody@void.example"), true);
     world.run_for(10_000);
     assert!(world.cloud().guests(&world.homes[0].dev_id).is_empty());
     assert!(world.app(0).stats.denials >= 1);
@@ -132,7 +160,10 @@ fn device_executes_schedule_locally_while_cloud_is_down() {
     world.run_setup();
     let fire_at = world.now().as_u64() + 30_000;
     world.app_mut(0).queue_control(ControlAction::SetSchedule(
-        rb_wire::telemetry::ScheduleEntry { at_tick: fire_at, turn_on: true },
+        rb_wire::telemetry::ScheduleEntry {
+            at_tick: fire_at,
+            turn_on: true,
+        },
     ));
     world.run_for(10_000);
     assert!(!world.device(0).is_on(), "not yet due");
@@ -141,7 +172,10 @@ fn device_executes_schedule_locally_while_cloud_is_down() {
     let device_node = world.homes[0].device;
     world.sim.partition_wan(device_node, true);
     world.run_for(40_000);
-    assert!(world.device(0).is_on(), "schedule fired locally despite the outage");
+    assert!(
+        world.device(0).is_on(),
+        "schedule fired locally despite the outage"
+    );
     assert!(world.device(0).schedule().is_empty(), "entry consumed");
 }
 

@@ -105,7 +105,11 @@ impl<'a> Reader<'a> {
     fn string(&mut self, context: &'static str) -> Result<String, WireError> {
         let len = self.u16(context)? as usize;
         if len > MAX_STR {
-            return Err(WireError::LengthOutOfRange { context, len, max: MAX_STR });
+            return Err(WireError::LengthOutOfRange {
+                context,
+                len,
+                max: MAX_STR,
+            });
         }
         if self.buf.remaining() < len {
             return Err(WireError::Truncated { context });
@@ -117,7 +121,11 @@ impl<'a> Reader<'a> {
     fn seq_len(&mut self, context: &'static str) -> Result<usize, WireError> {
         let len = self.u16(context)? as usize;
         if len > MAX_SEQ {
-            return Err(WireError::LengthOutOfRange { context, len, max: MAX_SEQ });
+            return Err(WireError::LengthOutOfRange {
+                context,
+                len,
+                max: MAX_SEQ,
+            });
         }
         Ok(len)
     }
@@ -166,7 +174,9 @@ fn get_dev_id(r: &mut Reader<'_>) -> Result<DevId, WireError> {
     match r.u8("DevId tag")? {
         DEVID_MAC => {
             if r.remaining() < 6 {
-                return Err(WireError::Truncated { context: "DevId::Mac" });
+                return Err(WireError::Truncated {
+                    context: "DevId::Mac",
+                });
             }
             let mut o = [0u8; 6];
             for b in &mut o {
@@ -187,7 +197,10 @@ fn get_dev_id(r: &mut Reader<'_>) -> Result<DevId, WireError> {
             Ok(id)
         }
         DEVID_UUID => Ok(DevId::Uuid(r.u128("DevId::Uuid")?)),
-        tag => Err(WireError::UnknownTag { context: "DevId", tag }),
+        tag => Err(WireError::UnknownTag {
+            context: "DevId",
+            tag,
+        }),
     }
 }
 
@@ -219,13 +232,18 @@ fn put_status_auth(buf: &mut BytesMut, auth: &StatusAuth) {
 
 fn get_status_auth(r: &mut Reader<'_>) -> Result<StatusAuth, WireError> {
     match r.u8("StatusAuth tag")? {
-        AUTH_DEVTOKEN => Ok(StatusAuth::DevToken(DevToken::from_bytes(r.bytes16("DevToken")?))),
+        AUTH_DEVTOKEN => Ok(StatusAuth::DevToken(DevToken::from_bytes(
+            r.bytes16("DevToken")?,
+        ))),
         AUTH_DEVID => Ok(StatusAuth::DevId(get_dev_id(r)?)),
         AUTH_PUBKEY => Ok(StatusAuth::PublicKey {
             key_id: r.u64("PublicKey key_id")?,
             signature: r.u128("PublicKey signature")?,
         }),
-        tag => Err(WireError::UnknownTag { context: "StatusAuth", tag }),
+        tag => Err(WireError::UnknownTag {
+            context: "StatusAuth",
+            tag,
+        }),
     }
 }
 
@@ -275,15 +293,24 @@ fn get_telemetry(r: &mut Reader<'_>) -> Result<TelemetryFrame, WireError> {
     match r.u8("TelemetryFrame tag")? {
         TEL_POWER => Ok(TelemetryFrame::PowerMilliwatts(r.u64("Power")?)),
         TEL_TEMP => Ok(TelemetryFrame::TemperatureMilliC(r.i32("Temperature")?)),
-        TEL_SWITCH => Ok(TelemetryFrame::SwitchState { on: r.bool("SwitchState")? }),
+        TEL_SWITCH => Ok(TelemetryFrame::SwitchState {
+            on: r.bool("SwitchState")?,
+        }),
         TEL_BRIGHT => Ok(TelemetryFrame::Brightness(r.u8("Brightness")?)),
         TEL_LOCK => Ok(TelemetryFrame::LockEvent {
             locked: r.bool("LockEvent locked")?,
             at_tick: r.u64("LockEvent at_tick")?,
         }),
-        TEL_MOTION => Ok(TelemetryFrame::Motion { confidence: r.u8("Motion")? }),
-        TEL_ALARM => Ok(TelemetryFrame::Alarm { triggered: r.bool("Alarm")? }),
-        tag => Err(WireError::UnknownTag { context: "TelemetryFrame", tag }),
+        TEL_MOTION => Ok(TelemetryFrame::Motion {
+            confidence: r.u8("Motion")?,
+        }),
+        TEL_ALARM => Ok(TelemetryFrame::Alarm {
+            triggered: r.bool("Alarm")?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "TelemetryFrame",
+            tag,
+        }),
     }
 }
 
@@ -328,7 +355,12 @@ fn get_status(r: &mut Reader<'_>) -> Result<StatusPayload, WireError> {
     let kind = match r.u8("StatusKind")? {
         0 => StatusKind::Register,
         1 => StatusKind::Heartbeat,
-        tag => return Err(WireError::UnknownTag { context: "StatusKind", tag }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "StatusKind",
+                tag,
+            })
+        }
     };
     let model = r.string("attributes.model")?;
     let firmware = r.string("attributes.firmware")?;
@@ -365,7 +397,11 @@ fn put_bind(buf: &mut BytesMut, b: &BindPayload) {
             put_dev_id(buf, dev_id);
             buf.put_slice(user_token.as_bytes());
         }
-        BindPayload::AclDevice { dev_id, user_id, user_pw } => {
+        BindPayload::AclDevice {
+            dev_id,
+            user_id,
+            user_pw,
+        } => {
             buf.put_u8(BIND_ACL_DEVICE);
             put_dev_id(buf, dev_id);
             put_string(buf, user_id.as_str());
@@ -392,7 +428,10 @@ fn get_bind(r: &mut Reader<'_>) -> Result<BindPayload, WireError> {
         BIND_CAPABILITY => Ok(BindPayload::Capability {
             bind_token: BindToken::from_bytes(r.bytes16("BindToken")?),
         }),
-        tag => Err(WireError::UnknownTag { context: "BindPayload", tag }),
+        tag => Err(WireError::UnknownTag {
+            context: "BindPayload",
+            tag,
+        }),
     }
 }
 
@@ -419,8 +458,13 @@ fn get_unbind(r: &mut Reader<'_>) -> Result<UnbindPayload, WireError> {
             dev_id: get_dev_id(r)?,
             user_token: UserToken::from_bytes(r.bytes16("UserToken")?),
         }),
-        UNBIND_ID_ONLY => Ok(UnbindPayload::DevIdOnly { dev_id: get_dev_id(r)? }),
-        tag => Err(WireError::UnknownTag { context: "UnbindPayload", tag }),
+        UNBIND_ID_ONLY => Ok(UnbindPayload::DevIdOnly {
+            dev_id: get_dev_id(r)?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "UnbindPayload",
+            tag,
+        }),
     }
 }
 
@@ -460,7 +504,10 @@ fn get_action(r: &mut Reader<'_>) -> Result<ControlAction, WireError> {
         })),
         ACT_QUERY_SCHED => Ok(ControlAction::QuerySchedule),
         ACT_QUERY_TEL => Ok(ControlAction::QueryTelemetry),
-        tag => Err(WireError::UnknownTag { context: "ControlAction", tag }),
+        tag => Err(WireError::UnknownTag {
+            context: "ControlAction",
+            tag,
+        }),
     }
 }
 
@@ -515,7 +562,10 @@ fn get_trigger(r: &mut Reader<'_>) -> Result<RuleTrigger, WireError> {
         TRG_ALARM => Ok(RuleTrigger::AlarmTriggered),
         TRG_MOTION => Ok(RuleTrigger::MotionAtLeast(r.u8("MotionAtLeast")?)),
         TRG_POWER => Ok(RuleTrigger::PowerAbove(r.u64("PowerAbove")?)),
-        tag => Err(WireError::UnknownTag { context: "RuleTrigger", tag }),
+        tag => Err(WireError::UnknownTag {
+            context: "RuleTrigger",
+            tag,
+        }),
     }
 }
 
@@ -548,7 +598,12 @@ pub fn encode_message(msg: &Message) -> Bytes {
             buf.put_u8(MSG_UNBIND);
             put_unbind(&mut buf, u);
         }
-        Message::Control { dev_id, user_token, session, action } => {
+        Message::Control {
+            dev_id,
+            user_token,
+            session,
+            action,
+        } => {
             buf.put_u8(MSG_CONTROL);
             put_dev_id(&mut buf, dev_id);
             buf.put_slice(user_token.as_bytes());
@@ -559,13 +614,21 @@ pub fn encode_message(msg: &Message) -> Bytes {
             buf.put_u8(MSG_QUERY_SHADOW);
             put_dev_id(&mut buf, dev_id);
         }
-        Message::Share { dev_id, user_token, grantee } => {
+        Message::Share {
+            dev_id,
+            user_token,
+            grantee,
+        } => {
             buf.put_u8(MSG_SHARE);
             put_dev_id(&mut buf, dev_id);
             buf.put_slice(user_token.as_bytes());
             put_string(&mut buf, grantee.as_str());
         }
-        Message::Unshare { dev_id, user_token, grantee } => {
+        Message::Unshare {
+            dev_id,
+            user_token,
+            grantee,
+        } => {
             buf.put_u8(MSG_UNSHARE);
             put_dev_id(&mut buf, dev_id);
             buf.put_slice(user_token.as_bytes());
@@ -611,7 +674,9 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
             session: get_option_session(&mut r)?,
             action: get_action(&mut r)?,
         },
-        MSG_QUERY_SHADOW => Message::QueryShadow { dev_id: get_dev_id(&mut r)? },
+        MSG_QUERY_SHADOW => Message::QueryShadow {
+            dev_id: get_dev_id(&mut r)?,
+        },
         MSG_SHARE => Message::Share {
             dev_id: get_dev_id(&mut r)?,
             user_token: UserToken::from_bytes(r.bytes16("UserToken")?),
@@ -631,10 +696,17 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
                 action: get_action(&mut r)?,
             },
         },
-        tag => return Err(WireError::UnknownTag { context: "Message", tag }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "Message",
+                tag,
+            })
+        }
     };
     if r.remaining() != 0 {
-        return Err(WireError::TrailingBytes { remaining: r.remaining() });
+        return Err(WireError::TrailingBytes {
+            remaining: r.remaining(),
+        });
     }
     Ok(msg)
 }
@@ -693,7 +765,12 @@ fn deny_from_u8(v: u8) -> Result<DenyReason, WireError> {
         11 => DenyReason::UnsupportedOperation,
         12 => DenyReason::RateLimited,
         13 => DenyReason::UnknownUser,
-        tag => return Err(WireError::UnknownTag { context: "DenyReason", tag }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "DenyReason",
+                tag,
+            })
+        }
     })
 }
 
@@ -758,7 +835,10 @@ pub fn encode_response(rsp: &Response) -> Bytes {
             put_option_session(&mut buf, session);
         }
         Response::Unbound => buf.put_u8(RSP_UNBOUND),
-        Response::ControlOk { schedule, telemetry } => {
+        Response::ControlOk {
+            schedule,
+            telemetry,
+        } => {
             buf.put_u8(RSP_CONTROL_OK);
             put_schedule(&mut buf, schedule);
             put_telemetry_vec(&mut buf, telemetry);
@@ -813,8 +893,12 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
         RSP_BINDTOKEN => Response::BindTokenIssued {
             bind_token: BindToken::from_bytes(r.bytes16("BindToken")?),
         },
-        RSP_STATUS_ACCEPTED => Response::StatusAccepted { session: get_option_session(&mut r)? },
-        RSP_BOUND => Response::Bound { session: get_option_session(&mut r)? },
+        RSP_STATUS_ACCEPTED => Response::StatusAccepted {
+            session: get_option_session(&mut r)?,
+        },
+        RSP_BOUND => Response::Bound {
+            session: get_option_session(&mut r)?,
+        },
         RSP_UNBOUND => Response::Unbound,
         RSP_CONTROL_OK => Response::ControlOk {
             schedule: get_schedule(&mut r)?,
@@ -837,12 +921,23 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
             session: get_option_session(&mut r)?,
             guests: r.u16("ShareOk guests")?,
         },
-        RSP_RULE_SET => Response::RuleSet { count: r.u16("RuleSet count")? },
-        RSP_DENIED => Response::Denied { reason: deny_from_u8(r.u8("DenyReason")?)? },
-        tag => return Err(WireError::UnknownTag { context: "Response", tag }),
+        RSP_RULE_SET => Response::RuleSet {
+            count: r.u16("RuleSet count")?,
+        },
+        RSP_DENIED => Response::Denied {
+            reason: deny_from_u8(r.u8("DenyReason")?)?,
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "Response",
+                tag,
+            })
+        }
     };
     if r.remaining() != 0 {
-        return Err(WireError::TrailingBytes { remaining: r.remaining() });
+        return Err(WireError::TrailingBytes {
+            remaining: r.remaining(),
+        });
     }
     Ok(rsp)
 }
@@ -860,9 +955,16 @@ mod tests {
     #[test]
     fn message_roundtrips() {
         let msgs = vec![
-            Message::Login { user_id: UserId::new("alice@example.com"), user_pw: UserPw::new("s3cret") },
-            Message::RequestDevToken { user_token: UserToken::from_entropy(42) },
-            Message::RequestBindToken { user_token: UserToken::from_entropy(43) },
+            Message::Login {
+                user_id: UserId::new("alice@example.com"),
+                user_pw: UserPw::new("s3cret"),
+            },
+            Message::RequestDevToken {
+                user_token: UserToken::from_entropy(42),
+            },
+            Message::RequestBindToken {
+                user_token: UserToken::from_entropy(43),
+            },
             Message::Status(StatusPayload {
                 auth: StatusAuth::DevToken(DevToken::from_entropy(9)),
                 dev_id: sample_dev_id(),
@@ -872,28 +974,46 @@ mod tests {
                 telemetry: vec![
                     TelemetryFrame::PowerMilliwatts(1234),
                     TelemetryFrame::TemperatureMilliC(-2500),
-                    TelemetryFrame::LockEvent { locked: true, at_tick: 99 },
+                    TelemetryFrame::LockEvent {
+                        locked: true,
+                        at_tick: 99,
+                    },
                 ],
                 button_pressed: true,
             }),
             Message::Bind(BindPayload::AclDevice {
-                dev_id: DevId::Digits { value: 123456, width: 6 },
+                dev_id: DevId::Digits {
+                    value: 123456,
+                    width: 6,
+                },
                 user_id: UserId::new("bob"),
                 user_pw: UserPw::new("pw"),
             }),
-            Message::Bind(BindPayload::Capability { bind_token: BindToken::from_entropy(5) }),
-            Message::Unbind(UnbindPayload::DevIdOnly { dev_id: DevId::Uuid(77) }),
+            Message::Bind(BindPayload::Capability {
+                bind_token: BindToken::from_entropy(5),
+            }),
+            Message::Unbind(UnbindPayload::DevIdOnly {
+                dev_id: DevId::Uuid(77),
+            }),
             Message::Unbind(UnbindPayload::DevIdUserToken {
-                dev_id: DevId::Serial { vendor: 3, seq: 1000 },
+                dev_id: DevId::Serial {
+                    vendor: 3,
+                    seq: 1000,
+                },
                 user_token: UserToken::from_entropy(2),
             }),
             Message::Control {
                 dev_id: sample_dev_id(),
                 user_token: UserToken::from_entropy(1),
                 session: None,
-                action: ControlAction::SetSchedule(ScheduleEntry { at_tick: 5, turn_on: false }),
+                action: ControlAction::SetSchedule(ScheduleEntry {
+                    at_tick: 5,
+                    turn_on: false,
+                }),
             },
-            Message::QueryShadow { dev_id: sample_dev_id() },
+            Message::QueryShadow {
+                dev_id: sample_dev_id(),
+            },
             Message::Share {
                 dev_id: sample_dev_id(),
                 user_token: UserToken::from_entropy(8),
@@ -909,7 +1029,10 @@ mod tests {
                 rule: AutomationRule {
                     trigger_dev: sample_dev_id(),
                     trigger: RuleTrigger::TemperatureAbove(30_000),
-                    action_dev: DevId::Digits { value: 42, width: 6 },
+                    action_dev: DevId::Digits {
+                        value: 42,
+                        width: 6,
+                    },
                     action: ControlAction::TurnOn,
                 },
             },
@@ -933,26 +1056,48 @@ mod tests {
     #[test]
     fn response_roundtrips() {
         let rsps = vec![
-            Response::LoginOk { user_token: UserToken::from_entropy(1) },
-            Response::DevTokenIssued { dev_token: DevToken::from_entropy(2) },
-            Response::BindTokenIssued { bind_token: BindToken::from_entropy(3) },
-            Response::StatusAccepted { session: Some(SessionToken::from_entropy(4)) },
+            Response::LoginOk {
+                user_token: UserToken::from_entropy(1),
+            },
+            Response::DevTokenIssued {
+                dev_token: DevToken::from_entropy(2),
+            },
+            Response::BindTokenIssued {
+                bind_token: BindToken::from_entropy(3),
+            },
+            Response::StatusAccepted {
+                session: Some(SessionToken::from_entropy(4)),
+            },
             Response::Bound { session: None },
             Response::Unbound,
             Response::ControlOk {
-                schedule: vec![ScheduleEntry { at_tick: 1, turn_on: true }],
+                schedule: vec![ScheduleEntry {
+                    at_tick: 1,
+                    turn_on: true,
+                }],
                 telemetry: vec![TelemetryFrame::Alarm { triggered: true }],
             },
-            Response::ShadowState { online: true, bound: false },
+            Response::ShadowState {
+                online: true,
+                bound: false,
+            },
             Response::TelemetryPush {
                 dev_id: sample_dev_id(),
                 telemetry: vec![TelemetryFrame::Motion { confidence: 80 }],
             },
-            Response::ControlPush { action: ControlAction::TurnOn, session: None },
+            Response::ControlPush {
+                action: ControlAction::TurnOn,
+                session: None,
+            },
             Response::BindingRevoked,
-            Response::ShareOk { session: Some(SessionToken::from_entropy(6)), guests: 2 },
+            Response::ShareOk {
+                session: Some(SessionToken::from_entropy(6)),
+                guests: 2,
+            },
             Response::RuleSet { count: 3 },
-            Response::Denied { reason: DenyReason::NotBoundUser },
+            Response::Denied {
+                reason: DenyReason::NotBoundUser,
+            },
         ];
         for rsp in rsps {
             let bytes = encode_response(&rsp);
@@ -971,16 +1116,25 @@ mod tests {
 
     #[test]
     fn decode_rejects_trailing_bytes() {
-        let mut bytes = encode_message(&Message::QueryShadow { dev_id: sample_dev_id() }).to_vec();
+        let mut bytes = encode_message(&Message::QueryShadow {
+            dev_id: sample_dev_id(),
+        })
+        .to_vec();
         bytes.push(0xde);
-        assert_eq!(decode_message(&bytes), Err(WireError::TrailingBytes { remaining: 1 }));
+        assert_eq!(
+            decode_message(&bytes),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
     fn decode_rejects_unknown_message_tag() {
         assert_eq!(
             decode_message(&[0xee]),
-            Err(WireError::UnknownTag { context: "Message", tag: 0xee })
+            Err(WireError::UnknownTag {
+                context: "Message",
+                tag: 0xee
+            })
         );
     }
 
@@ -993,7 +1147,10 @@ mod tests {
         )));
         // Every proper prefix must fail cleanly, never panic.
         for cut in 0..full.len() {
-            assert!(decode_message(&full[..cut]).is_err(), "prefix of {cut} bytes must fail");
+            assert!(
+                decode_message(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must fail"
+            );
         }
     }
 
@@ -1005,7 +1162,9 @@ mod tests {
         buf.push(12);
         assert_eq!(
             decode_message(&buf),
-            Err(WireError::ValueOutOfRange { context: "DevId::Digits width" })
+            Err(WireError::ValueOutOfRange {
+                context: "DevId::Digits width"
+            })
         );
     }
 
@@ -1015,7 +1174,10 @@ mod tests {
         let buf = [RSP_SHADOW, 7, 0];
         assert!(matches!(
             decode_response(&buf),
-            Err(WireError::UnknownTag { context: "ShadowState online", tag: 7 })
+            Err(WireError::UnknownTag {
+                context: "ShadowState online",
+                tag: 7
+            })
         ));
     }
 
@@ -1023,7 +1185,10 @@ mod tests {
     fn oversized_string_is_rejected() {
         let mut buf = vec![MSG_LOGIN];
         buf.extend_from_slice(&(MAX_STR as u16 + 1).to_be_bytes());
-        assert!(matches!(decode_message(&buf), Err(WireError::LengthOutOfRange { .. })));
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::LengthOutOfRange { .. })
+        ));
     }
 
     #[test]

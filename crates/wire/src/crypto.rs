@@ -16,7 +16,9 @@ pub fn sign_dev_id(secret: u128, dev_id: &DevId) -> u128 {
     let digest = dev_id
         .short()
         .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3));
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3)
+        });
     secret ^ ((u128::from(digest) << 64) | u128::from(digest.rotate_left(17)))
 }
 

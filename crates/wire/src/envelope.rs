@@ -50,12 +50,21 @@ impl Envelope {
     /// Wraps a push (unsolicited response) with the conventional zero
     /// correlation id.
     pub fn push(rsp: Response) -> Self {
-        Envelope::Response { corr: CorrId(0), rsp }
+        Envelope::Response {
+            corr: CorrId(0),
+            rsp,
+        }
     }
 
     /// Whether the envelope is an unsolicited push.
     pub fn is_push(&self) -> bool {
-        matches!(self, Envelope::Response { corr: CorrId(0), .. })
+        matches!(
+            self,
+            Envelope::Response {
+                corr: CorrId(0),
+                ..
+            }
+        )
     }
 
     /// Serializes the envelope.
@@ -83,15 +92,31 @@ impl Envelope {
     /// Returns a [`WireError`] if the frame is malformed.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         if bytes.len() < 9 {
-            return Err(WireError::Truncated { context: "Envelope header" });
+            return Err(WireError::Truncated {
+                context: "Envelope header",
+            });
         }
         let dir = bytes[0];
-        let corr = CorrId(u64::from_be_bytes(bytes[1..9].try_into().expect("9-byte header")));
+        let Ok(corr_bytes) = <[u8; 8]>::try_from(&bytes[1..9]) else {
+            return Err(WireError::Truncated {
+                context: "Envelope header",
+            });
+        };
+        let corr = CorrId(u64::from_be_bytes(corr_bytes));
         let body = &bytes[9..];
         match dir {
-            DIR_REQUEST => Ok(Envelope::Request { corr, msg: decode_message(body)? }),
-            DIR_RESPONSE => Ok(Envelope::Response { corr, rsp: decode_response(body)? }),
-            tag => Err(WireError::UnknownTag { context: "Envelope direction", tag }),
+            DIR_REQUEST => Ok(Envelope::Request {
+                corr,
+                msg: decode_message(body)?,
+            }),
+            DIR_RESPONSE => Ok(Envelope::Response {
+                corr,
+                rsp: decode_response(body)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                context: "Envelope direction",
+                tag,
+            }),
         }
     }
 }
@@ -108,7 +133,10 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let env = Envelope::Request { corr: CorrId(77), msg: Message::QueryShadow { dev_id: dev_id() } };
+        let env = Envelope::Request {
+            corr: CorrId(77),
+            msg: Message::QueryShadow { dev_id: dev_id() },
+        };
         assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
         assert_eq!(env.corr(), CorrId(77));
         assert!(!env.is_push());
@@ -120,7 +148,10 @@ mod tests {
         assert!(env.is_push());
         assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
 
-        let answered = Envelope::Response { corr: CorrId(3), rsp: Response::Unbound };
+        let answered = Envelope::Response {
+            corr: CorrId(3),
+            rsp: Response::Unbound,
+        };
         assert!(!answered.is_push());
         assert_eq!(Envelope::decode(&answered.encode()).unwrap(), answered);
     }
@@ -139,7 +170,10 @@ mod tests {
         buf.extend_from_slice(&0u64.to_be_bytes());
         assert!(matches!(
             Envelope::decode(&buf),
-            Err(WireError::UnknownTag { context: "Envelope direction", tag: 0x55 })
+            Err(WireError::UnknownTag {
+                context: "Envelope direction",
+                tag: 0x55
+            })
         ));
     }
 }

@@ -83,9 +83,16 @@ mod tests {
     fn display_is_lowercase_and_specific() {
         let e = WireError::Truncated { context: "DevId" };
         assert_eq!(e.to_string(), "truncated buffer while decoding DevId");
-        let e = WireError::UnknownTag { context: "Message", tag: 0xff };
+        let e = WireError::UnknownTag {
+            context: "Message",
+            tag: 0xff,
+        };
         assert_eq!(e.to_string(), "unknown tag 0xff for Message");
-        let e = WireError::LengthOutOfRange { context: "UserId", len: 999, max: 256 };
+        let e = WireError::LengthOutOfRange {
+            context: "UserId",
+            len: 999,
+            max: 256,
+        };
         assert!(e.to_string().contains("999"));
         assert!(e.to_string().contains("256"));
     }

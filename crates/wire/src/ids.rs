@@ -114,10 +114,14 @@ impl DevId {
     pub fn validate(&self) -> Result<(), WireError> {
         if let DevId::Digits { value, width } = self {
             if *width == 0 || *width > 9 {
-                return Err(WireError::ValueOutOfRange { context: "DevId::Digits width" });
+                return Err(WireError::ValueOutOfRange {
+                    context: "DevId::Digits width",
+                });
             }
             if u64::from(*value) >= 10u64.pow(u32::from(*width)) {
-                return Err(WireError::ValueOutOfRange { context: "DevId::Digits value" });
+                return Err(WireError::ValueOutOfRange {
+                    context: "DevId::Digits value",
+                });
             }
         }
         Ok(())
@@ -256,17 +260,38 @@ mod tests {
 
     #[test]
     fn digits_validation_enforces_width() {
-        assert!(DevId::Digits { value: 123_456, width: 6 }.validate().is_ok());
-        assert!(DevId::Digits { value: 1_234_567, width: 6 }.validate().is_err());
+        assert!(DevId::Digits {
+            value: 123_456,
+            width: 6
+        }
+        .validate()
+        .is_ok());
+        assert!(DevId::Digits {
+            value: 1_234_567,
+            width: 6
+        }
+        .validate()
+        .is_err());
         assert!(DevId::Digits { value: 1, width: 0 }.validate().is_err());
-        assert!(DevId::Digits { value: 1, width: 10 }.validate().is_err());
+        assert!(DevId::Digits {
+            value: 1,
+            width: 10
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn short_formats_are_distinct_and_padded() {
-        let a = DevId::Digits { value: 42, width: 6 };
+        let a = DevId::Digits {
+            value: 42,
+            width: 6,
+        };
         assert_eq!(a.short(), "id:000042");
-        let b = DevId::Serial { vendor: 0x00ab, seq: 9 };
+        let b = DevId::Serial {
+            vendor: 0x00ab,
+            seq: 9,
+        };
         assert_eq!(b.short(), "sn:00ab-9");
         assert_ne!(a.short(), b.short());
     }
@@ -292,9 +317,24 @@ mod tests {
 
     #[test]
     fn sequential_allocation_is_dense() {
-        let scheme = IdScheme::SequentialSerial { vendor: 7, start: 100 };
-        assert_eq!(scheme.id_at(0), DevId::Serial { vendor: 7, seq: 100 });
-        assert_eq!(scheme.id_at(5), DevId::Serial { vendor: 7, seq: 105 });
+        let scheme = IdScheme::SequentialSerial {
+            vendor: 7,
+            start: 100,
+        };
+        assert_eq!(
+            scheme.id_at(0),
+            DevId::Serial {
+                vendor: 7,
+                seq: 100
+            }
+        );
+        assert_eq!(
+            scheme.id_at(5),
+            DevId::Serial {
+                vendor: 7,
+                seq: 105
+            }
+        );
     }
 
     #[test]

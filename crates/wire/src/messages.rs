@@ -71,7 +71,10 @@ pub struct DeviceAttributes {
 impl DeviceAttributes {
     /// Convenience constructor.
     pub fn new(model: impl Into<String>, firmware: impl Into<String>) -> Self {
-        DeviceAttributes { model: model.into(), firmware: firmware.into() }
+        DeviceAttributes {
+            model: model.into(),
+            firmware: firmware.into(),
+        }
     }
 }
 
@@ -335,7 +338,10 @@ impl Message {
     /// Whether this is one of the three *primitive* message types of the
     /// state-machine model.
     pub fn is_primitive(&self) -> bool {
-        matches!(self, Message::Status(_) | Message::Bind(_) | Message::Unbind(_))
+        matches!(
+            self,
+            Message::Status(_) | Message::Bind(_) | Message::Unbind(_)
+        )
     }
 }
 
@@ -553,9 +559,14 @@ mod tests {
 
     #[test]
     fn bind_payload_dev_id_presence() {
-        let acl = BindPayload::AclApp { dev_id: dev_id(), user_token: UserToken::from_entropy(1) };
+        let acl = BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: UserToken::from_entropy(1),
+        };
         assert_eq!(acl.dev_id(), Some(&dev_id()));
-        let cap = BindPayload::Capability { bind_token: BindToken::from_entropy(2) };
+        let cap = BindPayload::Capability {
+            bind_token: BindToken::from_entropy(2),
+        };
         assert_eq!(cap.dev_id(), None);
     }
 
@@ -573,14 +584,29 @@ mod tests {
     #[test]
     fn status_auth_dev_id_extraction() {
         assert_eq!(StatusAuth::DevId(dev_id()).dev_id(), Some(&dev_id()));
-        assert_eq!(StatusAuth::DevToken(DevToken::from_entropy(1)).dev_id(), None);
-        assert_eq!(StatusAuth::PublicKey { key_id: 1, signature: 2 }.dev_id(), None);
+        assert_eq!(
+            StatusAuth::DevToken(DevToken::from_entropy(1)).dev_id(),
+            None
+        );
+        assert_eq!(
+            StatusAuth::PublicKey {
+                key_id: 1,
+                signature: 2
+            }
+            .dev_id(),
+            None
+        );
     }
 
     #[test]
     fn deny_reason_display_is_informative() {
-        assert_eq!(DenyReason::NotBoundUser.to_string(), "requester is not the bound user");
-        let r = Response::Denied { reason: DenyReason::AlreadyBound };
+        assert_eq!(
+            DenyReason::NotBoundUser.to_string(),
+            "requester is not the bound user"
+        );
+        let r = Response::Denied {
+            reason: DenyReason::AlreadyBound,
+        };
         assert_eq!(r.to_string(), "Denied(device already bound)");
         assert!(!r.is_ok());
         assert!(Response::Unbound.is_ok());
@@ -589,12 +615,27 @@ mod tests {
     #[test]
     fn message_kind_strings_cover_all_variants() {
         let msgs = [
-            Message::Login { user_id: UserId::new("u"), user_pw: UserPw::new("p") },
-            Message::RequestDevToken { user_token: UserToken::from_entropy(0) },
-            Message::RequestBindToken { user_token: UserToken::from_entropy(0) },
+            Message::Login {
+                user_id: UserId::new("u"),
+                user_pw: UserPw::new("p"),
+            },
+            Message::RequestDevToken {
+                user_token: UserToken::from_entropy(0),
+            },
+            Message::RequestBindToken {
+                user_token: UserToken::from_entropy(0),
+            },
             Message::QueryShadow { dev_id: dev_id() },
         ];
         let kinds: Vec<_> = msgs.iter().map(|m| m.kind_str()).collect();
-        assert_eq!(kinds, ["Login", "RequestDevToken", "RequestBindToken", "QueryShadow"]);
+        assert_eq!(
+            kinds,
+            [
+                "Login",
+                "RequestDevToken",
+                "RequestBindToken",
+                "QueryShadow"
+            ]
+        );
     }
 }

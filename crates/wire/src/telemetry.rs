@@ -61,10 +61,15 @@ impl TelemetryFrame {
             TelemetryFrame::TemperatureMilliC(t) => {
                 format!("temp={}.{:03}C", t / 1000, (t % 1000).abs())
             }
-            TelemetryFrame::SwitchState { on } => format!("switch={}", if *on { "on" } else { "off" }),
+            TelemetryFrame::SwitchState { on } => {
+                format!("switch={}", if *on { "on" } else { "off" })
+            }
             TelemetryFrame::Brightness(b) => format!("brightness={b}%"),
             TelemetryFrame::LockEvent { locked, at_tick } => {
-                format!("lock={} @t{at_tick}", if *locked { "locked" } else { "open" })
+                format!(
+                    "lock={} @t{at_tick}",
+                    if *locked { "locked" } else { "open" }
+                )
             }
             TelemetryFrame::Motion { confidence } => format!("motion={confidence}%"),
             TelemetryFrame::Alarm { triggered } => format!("alarm={triggered}"),
@@ -114,8 +119,12 @@ impl RuleTrigger {
 impl fmt::Display for RuleTrigger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuleTrigger::TemperatureAbove(t) => write!(f, "temp > {}.{:03}C", t / 1000, (t % 1000).abs()),
-            RuleTrigger::TemperatureBelow(t) => write!(f, "temp < {}.{:03}C", t / 1000, (t % 1000).abs()),
+            RuleTrigger::TemperatureAbove(t) => {
+                write!(f, "temp > {}.{:03}C", t / 1000, (t % 1000).abs())
+            }
+            RuleTrigger::TemperatureBelow(t) => {
+                write!(f, "temp < {}.{:03}C", t / 1000, (t % 1000).abs())
+            }
             RuleTrigger::AlarmTriggered => f.write_str("alarm triggered"),
             RuleTrigger::MotionAtLeast(c) => write!(f, "motion >= {c}%"),
             RuleTrigger::PowerAbove(p) => write!(f, "power > {p}mW"),
@@ -136,7 +145,12 @@ pub struct ScheduleEntry {
 
 impl fmt::Display for ScheduleEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t{}:{}", self.at_tick, if self.turn_on { "on" } else { "off" })
+        write!(
+            f,
+            "t{}:{}",
+            self.at_tick,
+            if self.turn_on { "on" } else { "off" }
+        )
     }
 }
 
@@ -158,18 +172,30 @@ mod tests {
 
     #[test]
     fn describe_is_compact_and_lossless_enough() {
-        assert_eq!(TelemetryFrame::PowerMilliwatts(2534).describe(), "power=2.534W");
         assert_eq!(
-            TelemetryFrame::LockEvent { locked: false, at_tick: 7 }.describe(),
+            TelemetryFrame::PowerMilliwatts(2534).describe(),
+            "power=2.534W"
+        );
+        assert_eq!(
+            TelemetryFrame::LockEvent {
+                locked: false,
+                at_tick: 7
+            }
+            .describe(),
             "lock=open @t7"
         );
-        assert_eq!(TelemetryFrame::TemperatureMilliC(-1500).describe(), "temp=-1.500C");
+        assert_eq!(
+            TelemetryFrame::TemperatureMilliC(-1500).describe(),
+            "temp=-1.500C"
+        );
     }
 
     #[test]
     fn rule_triggers_match_the_right_frames() {
-        assert!(RuleTrigger::TemperatureAbove(30_000).matches(&TelemetryFrame::TemperatureMilliC(31_000)));
-        assert!(!RuleTrigger::TemperatureAbove(30_000).matches(&TelemetryFrame::TemperatureMilliC(30_000)));
+        assert!(RuleTrigger::TemperatureAbove(30_000)
+            .matches(&TelemetryFrame::TemperatureMilliC(31_000)));
+        assert!(!RuleTrigger::TemperatureAbove(30_000)
+            .matches(&TelemetryFrame::TemperatureMilliC(30_000)));
         assert!(RuleTrigger::TemperatureBelow(0).matches(&TelemetryFrame::TemperatureMilliC(-1)));
         assert!(RuleTrigger::AlarmTriggered.matches(&TelemetryFrame::Alarm { triggered: true }));
         assert!(!RuleTrigger::AlarmTriggered.matches(&TelemetryFrame::Alarm { triggered: false }));
@@ -181,13 +207,19 @@ mod tests {
 
     #[test]
     fn rule_trigger_display() {
-        assert_eq!(RuleTrigger::TemperatureAbove(30_500).to_string(), "temp > 30.500C");
+        assert_eq!(
+            RuleTrigger::TemperatureAbove(30_500).to_string(),
+            "temp > 30.500C"
+        );
         assert_eq!(RuleTrigger::MotionAtLeast(7).to_string(), "motion >= 7%");
     }
 
     #[test]
     fn schedule_entry_display() {
-        let e = ScheduleEntry { at_tick: 42, turn_on: true };
+        let e = ScheduleEntry {
+            at_tick: 42,
+            turn_on: true,
+        };
         assert_eq!(e.to_string(), "t42:on");
     }
 }

@@ -1,5 +1,8 @@
 //! Property-based roundtrip and robustness tests for the wire codec.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use rb_wire::codec::{decode_message, decode_response, encode_message, encode_response};
@@ -18,7 +21,10 @@ fn arb_dev_id() -> impl Strategy<Value = DevId> {
         (any::<u16>(), any::<u64>()).prop_map(|(vendor, seq)| DevId::Serial { vendor, seq }),
         (1u8..=9).prop_flat_map(|width| {
             let max = 10u64.pow(u32::from(width)) - 1;
-            (0..=max).prop_map(move |v| DevId::Digits { value: v as u32, width })
+            (0..=max).prop_map(move |v| DevId::Digits {
+                value: v as u32,
+                width,
+            })
         }),
         any::<u128>().prop_map(DevId::Uuid),
     ]
@@ -70,17 +76,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_telemetry(), 0..8),
         any::<bool>(),
     )
-        .prop_map(|(auth, dev_id, hb, model, firmware, session, telemetry, button_pressed)| {
-            Message::Status(StatusPayload {
-                auth,
-                dev_id,
-                kind: if hb { StatusKind::Heartbeat } else { StatusKind::Register },
-                attributes: DeviceAttributes::new(model, firmware),
-                session: session.map(SessionToken::from_entropy),
-                telemetry,
-                button_pressed,
-            })
-        });
+        .prop_map(
+            |(auth, dev_id, hb, model, firmware, session, telemetry, button_pressed)| {
+                Message::Status(StatusPayload {
+                    auth,
+                    dev_id,
+                    kind: if hb {
+                        StatusKind::Heartbeat
+                    } else {
+                        StatusKind::Register
+                    },
+                    attributes: DeviceAttributes::new(model, firmware),
+                    session: session.map(SessionToken::from_entropy),
+                    telemetry,
+                    button_pressed,
+                })
+            },
+        );
     let bind = prop_oneof![
         (arb_dev_id(), any::<u128>()).prop_map(|(dev_id, t)| Message::Bind(BindPayload::AclApp {
             dev_id,
@@ -111,20 +123,27 @@ fn arb_message() -> impl Strategy<Value = Message> {
             user_id: UserId::new(u),
             user_pw: UserPw::new(p),
         }),
-        any::<u128>().prop_map(|t| Message::RequestDevToken { user_token: UserToken::from_entropy(t) }),
-        any::<u128>()
-            .prop_map(|t| Message::RequestBindToken { user_token: UserToken::from_entropy(t) }),
+        any::<u128>().prop_map(|t| Message::RequestDevToken {
+            user_token: UserToken::from_entropy(t)
+        }),
+        any::<u128>().prop_map(|t| Message::RequestBindToken {
+            user_token: UserToken::from_entropy(t)
+        }),
         status,
         bind,
         unbind,
-        (arb_dev_id(), any::<u128>(), proptest::option::of(any::<u128>()), arb_action()).prop_map(
-            |(dev_id, t, session, action)| Message::Control {
+        (
+            arb_dev_id(),
+            any::<u128>(),
+            proptest::option::of(any::<u128>()),
+            arb_action()
+        )
+            .prop_map(|(dev_id, t, session, action)| Message::Control {
                 dev_id,
                 user_token: UserToken::from_entropy(t),
                 session: session.map(SessionToken::from_entropy),
                 action,
-            }
-        ),
+            }),
         arb_dev_id().prop_map(|dev_id| Message::QueryShadow { dev_id }),
     ]
 }
@@ -149,16 +168,21 @@ fn arb_deny() -> impl Strategy<Value = DenyReason> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
-        any::<u128>().prop_map(|t| Response::LoginOk { user_token: UserToken::from_entropy(t) }),
-        any::<u128>()
-            .prop_map(|t| Response::DevTokenIssued { dev_token: DevToken::from_entropy(t) }),
-        any::<u128>()
-            .prop_map(|t| Response::BindTokenIssued { bind_token: BindToken::from_entropy(t) }),
+        any::<u128>().prop_map(|t| Response::LoginOk {
+            user_token: UserToken::from_entropy(t)
+        }),
+        any::<u128>().prop_map(|t| Response::DevTokenIssued {
+            dev_token: DevToken::from_entropy(t)
+        }),
+        any::<u128>().prop_map(|t| Response::BindTokenIssued {
+            bind_token: BindToken::from_entropy(t)
+        }),
         proptest::option::of(any::<u128>()).prop_map(|s| Response::StatusAccepted {
             session: s.map(SessionToken::from_entropy),
         }),
-        proptest::option::of(any::<u128>())
-            .prop_map(|s| Response::Bound { session: s.map(SessionToken::from_entropy) }),
+        proptest::option::of(any::<u128>()).prop_map(|s| Response::Bound {
+            session: s.map(SessionToken::from_entropy)
+        }),
         Just(Response::Unbound),
         (
             proptest::collection::vec(
@@ -168,13 +192,22 @@ fn arb_response() -> impl Strategy<Value = Response> {
             ),
             proptest::collection::vec(arb_telemetry(), 0..5)
         )
-            .prop_map(|(schedule, telemetry)| Response::ControlOk { schedule, telemetry }),
+            .prop_map(|(schedule, telemetry)| Response::ControlOk {
+                schedule,
+                telemetry
+            }),
         (any::<bool>(), any::<bool>())
             .prop_map(|(online, bound)| Response::ShadowState { online, bound }),
-        (arb_dev_id(), proptest::collection::vec(arb_telemetry(), 0..5))
+        (
+            arb_dev_id(),
+            proptest::collection::vec(arb_telemetry(), 0..5)
+        )
             .prop_map(|(dev_id, telemetry)| Response::TelemetryPush { dev_id, telemetry }),
         (arb_action(), proptest::option::of(any::<u128>())).prop_map(|(action, s)| {
-            Response::ControlPush { action, session: s.map(SessionToken::from_entropy) }
+            Response::ControlPush {
+                action,
+                session: s.map(SessionToken::from_entropy),
+            }
         }),
         Just(Response::BindingRevoked),
         arb_deny().prop_map(|reason| Response::Denied { reason }),

@@ -15,7 +15,10 @@ use iot_remote_binding::core_model::vendors::{capability_reference, vendor_desig
 fn main() {
     for design in vendor_designs() {
         let report = analyze(&design);
-        println!("── {} ({}) ─────────────────────────", design.vendor, design.device);
+        println!(
+            "── {} ({}) ─────────────────────────",
+            design.vendor, design.device
+        );
         print!("   surface:");
         for family in AttackFamily::ALL {
             print!(" {}={}", family, report.family_cell(family));

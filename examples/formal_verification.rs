@@ -19,7 +19,10 @@ fn fmt_trace(trace: &Option<Vec<Act>>) -> String {
         None => "unreachable".to_owned(),
         Some(t) => format!(
             "via {}",
-            t.iter().map(|a| format!("{a:?}")).collect::<Vec<_>>().join(" → ")
+            t.iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+                .join(" → ")
         ),
     }
 }
@@ -32,12 +35,22 @@ fn main() {
             "{:14} [{:2} states] {}",
             design.vendor,
             spec.reachable,
-            if spec.is_secure() { "SECURE" } else { "VULNERABLE" }
+            if spec.is_secure() {
+                "SECURE"
+            } else {
+                "VULNERABLE"
+            }
         );
         if !spec.is_secure() {
             println!("    attacker-bound   : {}", fmt_trace(&spec.attacker_bound));
-            println!("    attacker-control : {}", fmt_trace(&spec.attacker_control));
-            println!("    user-disconnect  : {}", fmt_trace(&spec.user_disconnect));
+            println!(
+                "    attacker-control : {}",
+                fmt_trace(&spec.attacker_control)
+            );
+            println!(
+                "    user-disconnect  : {}",
+                fmt_trace(&spec.user_disconnect)
+            );
         }
     }
 

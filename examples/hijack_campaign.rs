@@ -10,7 +10,9 @@ use iot_remote_binding::core_model::attacks::AttackId;
 use iot_remote_binding::core_model::vendors::vendor_designs;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "TP-LINK".to_owned());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "TP-LINK".to_owned());
     let design = vendor_designs()
         .into_iter()
         .find(|d| d.vendor.to_lowercase().contains(&wanted.to_lowercase()))
@@ -23,14 +25,22 @@ fn main() {
         });
 
     println!("attacking: {} ({})", design.vendor, design.device);
-    println!("  status auth {} | bind {} | unbind {}", design.auth, design.bind, design.unbind);
+    println!(
+        "  status auth {} | bind {} | unbind {}",
+        design.auth, design.bind, design.unbind
+    );
 
     let campaign = run_campaign(&design, 0xA77AC);
 
     println!("\nper-attack outcomes:");
     for id in AttackId::ALL {
         let run = &campaign.runs[&id];
-        println!("  {:5} [{}] {}", id.to_string(), run.outcome.symbol(), run.outcome);
+        println!(
+            "  {:5} [{}] {}",
+            id.to_string(),
+            run.outcome.symbol(),
+            run.outcome
+        );
         for line in &run.evidence {
             println!("          {line}");
         }

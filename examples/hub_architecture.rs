@@ -7,6 +7,9 @@
 //! cargo run --example hub_architecture
 //! ```
 
+// Example code: panicking on a malformed demo world is the right behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use iot_remote_binding::app::{AppAgent, AppConfig};
 use iot_remote_binding::cloud::{CloudConfig, CloudService};
 use iot_remote_binding::core_model::design::{DeviceKind, UnbindSupport};
@@ -48,7 +51,10 @@ fn main() {
         heartbeat_every: 2_000,
         bind_delay: 2,
     });
-    let hub = sim.add_node(NodeConfig::dual("hub", lan), Box::new(HubAgent::new(hub_firmware)));
+    let hub = sim.add_node(
+        NodeConfig::dual("hub", lan),
+        Box::new(HubAgent::new(hub_firmware)),
+    );
 
     // Four battery sensors that can only reach the hub.
     let mut children = Vec::new();
@@ -61,8 +67,17 @@ fn main() {
     }
 
     // The resident's phone.
-    let app_config = AppConfig::new(design.clone(), cloud, lan, UserId::new("resident"), UserPw::new("pw"));
-    let app = sim.add_node(NodeConfig::dual("phone", lan), Box::new(AppAgent::new(app_config)));
+    let app_config = AppConfig::new(
+        design.clone(),
+        cloud,
+        lan,
+        UserId::new("resident"),
+        UserPw::new("pw"),
+    );
+    let app = sim.add_node(
+        NodeConfig::dual("phone", lan),
+        Box::new(AppAgent::new(app_config)),
+    );
 
     let cloud_actor = sim.actor_mut::<CloudService>(cloud).unwrap();
     cloud_actor.set_public_ip(app, 1000);
@@ -80,7 +95,10 @@ fn main() {
         for (id, frame) in hub_actor.child_readings() {
             println!("    child {id}: {frame}");
         }
-        println!("  telemetry pushes to phone: {}", app_actor.stats.telemetry_pushes);
+        println!(
+            "  telemetry pushes to phone: {}",
+            app_actor.stats.telemetry_pushes
+        );
         assert!(app_actor.is_bound());
     }
 
@@ -92,7 +110,9 @@ fn main() {
     );
     let forged = Envelope::Request {
         corr: CorrId(1),
-        msg: Message::Unbind(UnbindPayload::DevIdOnly { dev_id: hub_dev_id.clone() }),
+        msg: Message::Unbind(UnbindPayload::DevIdOnly {
+            dev_id: hub_dev_id.clone(),
+        }),
     };
     sim.actor_mut::<iot_remote_binding::scenario::RawEndpoint>(attacker)
         .unwrap()
@@ -105,7 +125,10 @@ fn main() {
     let cloud_actor = sim.actor::<CloudService>(cloud).unwrap();
     println!("\nafter one forged Unbind:DevId against the hub:");
     println!("  resident bound        : {}", app_actor.is_bound());
-    println!("  hub binding at cloud  : {:?}", cloud_actor.bound_user(&hub_dev_id));
+    println!(
+        "  hub binding at cloud  : {:?}",
+        cloud_actor.bound_user(&hub_dev_id)
+    );
     let pushes_after = app_actor.stats.telemetry_pushes;
     println!(
         "  telemetry pushes since: {} (all {} children silenced by one message)",

@@ -26,7 +26,10 @@ fn main() {
     world.run_setup();
     println!("\nafter setup:");
     println!("  shadow state  : {}", world.shadow_state(0));
-    println!("  bound user    : {:?}", world.cloud().bound_user(&world.homes[0].dev_id));
+    println!(
+        "  bound user    : {:?}",
+        world.cloud().bound_user(&world.homes[0].dev_id)
+    );
 
     world.app_mut(0).queue_control(ControlAction::TurnOn);
     world.run_for(10_000);

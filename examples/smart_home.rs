@@ -13,9 +13,15 @@ use iot_remote_binding::wire::messages::ControlAction;
 use iot_remote_binding::wire::telemetry::ScheduleEntry;
 
 fn main() {
-    let mut world = WorldBuilder::new(vendors::d_link(), 2024).homes(3).realistic_links().build();
+    let mut world = WorldBuilder::new(vendors::d_link(), 2024)
+        .homes(3)
+        .realistic_links()
+        .build();
 
-    println!("setting up 3 households on the {} cloud...", world.design.vendor);
+    println!(
+        "setting up 3 households on the {} cloud...",
+        world.design.vendor
+    );
     world.run_setup();
     for i in 0..3 {
         println!(
@@ -30,10 +36,12 @@ fn main() {
     println!("\nmorning: plugs on, evening timers set");
     for i in 0..3 {
         world.app_mut(i).queue_control(ControlAction::TurnOn);
-        world.app_mut(i).queue_control(ControlAction::SetSchedule(ScheduleEntry {
-            at_tick: 600_000,
-            turn_on: false,
-        }));
+        world
+            .app_mut(i)
+            .queue_control(ControlAction::SetSchedule(ScheduleEntry {
+                at_tick: 600_000,
+                turn_on: false,
+            }));
     }
     world.run_for(20_000);
     for i in 0..3 {
@@ -57,10 +65,17 @@ fn main() {
     world.sim.set_power(node, false);
     world.run_for(80_000);
     println!("  home 1 shadow while dark: {}", world.shadow_state(1));
-    assert_eq!(world.shadow_state(1), ShadowState::Bound, "binding survives outages");
+    assert_eq!(
+        world.shadow_state(1),
+        ShadowState::Bound,
+        "binding survives outages"
+    );
     world.sim.set_power(node, true);
     world.run_for(80_000);
-    println!("  home 1 shadow after power returns: {}", world.shadow_state(1));
+    println!(
+        "  home 1 shadow after power returns: {}",
+        world.shadow_state(1)
+    );
 
     // Evening: home 2 resells their plug — factory reset first.
     println!("\nhome 2 factory-resets their plug before reselling");
@@ -73,5 +88,9 @@ fn main() {
         world.cloud().bound_user(&world.homes[2].dev_id)
     );
 
-    println!("\ncloud audit log: {} entries, {} denials", world.cloud().audit().len(), world.cloud().audit().denials());
+    println!(
+        "\ncloud audit log: {} entries, {} denials",
+        world.cloud().audit().len(),
+        world.cloud().audit().denials()
+    );
 }

@@ -35,11 +35,11 @@
 //! ```
 
 pub use rb_app as app;
+pub use rb_attack as attack;
 pub use rb_cloud as cloud;
 pub use rb_core as core_model;
 pub use rb_device as device;
 pub use rb_netsim as netsim;
 pub use rb_provision as provision;
 pub use rb_scenario as scenario;
-pub use rb_attack as attack;
 pub use rb_wire as wire;

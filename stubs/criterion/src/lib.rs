@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the benchmark surface `rb-bench` uses — groups, throughput
+//! annotations, `bench_function` / `bench_with_input`, `iter` — with a
+//! simple adaptive wall-clock measurement instead of criterion's
+//! statistical machinery. Benchmarks still *run* and print ns/iter (plus
+//! derived throughput), so regressions remain visible offline; precision is
+//! whatever one timed batch gives.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        println!("group: {}", name.into());
+        BenchmarkGroup { throughput: None }
+    }
+}
+
+/// Throughput annotation for the most recent measurements.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stub sizes batches by time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&name.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        bencher.report(&id.full, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; measures the routine under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a small calibration batch picks an iteration count
+    /// targeting ~50 ms of wall clock, then one timed batch runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let calibration = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration.elapsed() < Duration::from_millis(5) {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration.elapsed().as_nanos().max(1) / u128::from(calibration_iters);
+        let iters = (50_000_000 / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("  {name}: no measurement");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!(" ({:.1} MiB/s)", b as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => {
+                format!(" ({:.0} elem/s)", e as f64 / ns * 1e9)
+            }
+            None => String::new(),
+        };
+        println!("  {name}: {ns:.1} ns/iter{rate}");
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's poison-free API: `lock()`
+//! returns the guard directly. A poisoned std mutex (a holder panicked)
+//! surfaces as a panic here, which matches parking_lot's effective behavior
+//! for this workspace's uses (experiment sweeps that join all threads).
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock` cannot fail.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => panic!("mutex poisoned: {poisoned}"),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => panic!("mutex poisoned: {poisoned}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the exact surface `rb-netsim::SimRng` consumes: a seedable
+//! [`rngs::SmallRng`] (xoshiro256** seeded through SplitMix64, the same
+//! construction the real `small_rng` feature uses on 64-bit targets) plus
+//! the [`RngCore`], [`SeedableRng`], and [`Rng`] traits with range
+//! sampling. Streams are deterministic for a given seed, which is all the
+//! simulation requires — no claim of compatibility with the real crate's
+//! stream values.
+
+/// Low-level random source.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let raw = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&raw[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width u64/u128-degenerate case: every draw is in
+                    // range already.
+                    return lo.wrapping_add(rng.next_u64() as $ty);
+                }
+                lo + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// High-level sampling helpers.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53-bit uniform in [0,1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the algorithm behind the real crate's `SmallRng` on
+    /// 64-bit platforms. Seeded via SplitMix64 so that low-entropy seeds
+    /// (0, 1, 2, …) still produce well-mixed streams.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let w = rng.gen_range(0u32..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        // 30% of draws from 0..1000 should fall below 300, within ±3pp.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let hits = (0..100_000)
+            .filter(|_| rng.gen_range(0u32..1000) < 300)
+            .count();
+        assert!((27_000..=33_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container that builds this workspace has no access to crates.io, so
+//! the real `serde` cannot be vendored. The workspace only uses serde as
+//! *decoration* — `#[derive(Serialize, Deserialize)]` on model types, with
+//! no code path that actually serializes through serde (the wire codec in
+//! `rb-wire` is hand-written). This stub supplies the two trait names and
+//! no-op derive macros so the annotations compile unchanged; swapping the
+//! path dependency back to the registry crate restores full serde behavior
+//! without touching any annotated type.
+
+/// Marker trait mirroring `serde::Serialize`. No methods: nothing in this
+/// workspace serializes through serde.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. The real trait carries a
+/// `'de` lifetime; no bound in this workspace names it, so the stub omits
+/// it.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

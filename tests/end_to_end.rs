@@ -7,9 +7,7 @@ use iot_remote_binding::core_model::attacks::AttackId;
 use iot_remote_binding::core_model::shadow::ShadowState;
 use iot_remote_binding::core_model::vendors;
 use iot_remote_binding::scenario::WorldBuilder;
-use iot_remote_binding::wire::messages::{
-    ControlAction, Message, Response, UnbindPayload,
-};
+use iot_remote_binding::wire::messages::{ControlAction, Message, Response, UnbindPayload};
 use iot_remote_binding::wire::telemetry::TelemetryFrame;
 
 /// The paper's Belkin story, told end to end: a working smart plug, then a
@@ -41,7 +39,10 @@ fn belkin_story_a3_2() {
     assert_eq!(world.shadow_state(0), ShadowState::Online);
     world.app_mut(0).queue_control(ControlAction::TurnOff);
     world.run_for(10_000);
-    assert!(world.device(0).is_on(), "the relay never received the command");
+    assert!(
+        world.device(0).is_on(),
+        "the relay never received the command"
+    );
 }
 
 /// D-LINK's A1 story: the fake power reading and the stolen schedule —
@@ -51,8 +52,14 @@ fn d_link_story_a1() {
     use iot_remote_binding::attack::exec::run_attack;
     let run = run_attack(&vendors::d_link(), AttackId::A1, 0xD11);
     assert!(run.outcome.is_feasible(), "{:?}", run);
-    assert!(run.evidence.iter().any(|e| e.contains("fake telemetry reached the victim app: true")));
-    assert!(run.evidence.iter().any(|e| e.contains("exfiltrated to the attacker: true")));
+    assert!(run
+        .evidence
+        .iter()
+        .any(|e| e.contains("fake telemetry reached the victim app: true")));
+    assert!(run
+        .evidence
+        .iter()
+        .any(|e| e.contains("exfiltrated to the attacker: true")));
 }
 
 /// The KONKE peculiarity: no unbind support means replacement *is* the
@@ -62,7 +69,10 @@ fn konke_story_a3_3_without_hijack() {
     let campaign = run_campaign(&vendors::konke(), 0x40);
     assert!(campaign.outcome(AttackId::A3_3).is_feasible());
     assert!(!campaign.outcome(AttackId::A4_1).is_feasible());
-    assert!(!campaign.outcome(AttackId::A2).is_feasible(), "replacement defeats occupation");
+    assert!(
+        !campaign.outcome(AttackId::A2).is_feasible(),
+        "replacement defeats occupation"
+    );
 }
 
 /// The facade's quickstart promise.
@@ -88,7 +98,10 @@ fn injected_frame_arrives_verbatim() {
         dev_id.clone(),
         Default::default(),
     ));
-    assert!(matches!(adv.request(&mut world, register), Some(Response::StatusAccepted { .. })));
+    assert!(matches!(
+        adv.request(&mut world, register),
+        Some(Response::StatusAccepted { .. })
+    ));
     let mut hb = StatusPayload::heartbeat(StatusAuth::DevId(dev_id.clone()), dev_id);
     hb.telemetry = vec![TelemetryFrame::Alarm { triggered: true }];
     adv.request(&mut world, Message::Status(hb));
@@ -99,7 +112,10 @@ fn injected_frame_arrives_verbatim() {
         }
         _ => false,
     });
-    assert!(saw_alarm, "the victim's app shows a fire that does not exist");
+    assert!(
+        saw_alarm,
+        "the victim's app shows a fire that does not exist"
+    );
 }
 
 /// The passive monitor sees the Belkin A3-2 story end to end: the foreign

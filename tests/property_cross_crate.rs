@@ -2,6 +2,9 @@
 //! space, the cloud never panics on arbitrary wire input, and the shadow
 //! machine's invariants hold under arbitrary primitive sequences.
 
+// Test code: panicking on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use iot_remote_binding::cloud::{CloudConfig, CloudService};
@@ -31,7 +34,10 @@ fn arb_design() -> impl Strategy<Value = VendorDesign> {
     let id_scheme = prop_oneof![
         Just(IdScheme::MacWithOui { oui: [1, 2, 3] }),
         (1u8..=9).prop_map(|width| IdScheme::ShortDigits { width }),
-        Just(IdScheme::SequentialSerial { vendor: 1, start: 0 }),
+        Just(IdScheme::SequentialSerial {
+            vendor: 1,
+            start: 0
+        }),
         Just(IdScheme::RandomUuid),
     ];
     (
@@ -50,7 +56,10 @@ fn arb_design() -> impl Strategy<Value = VendorDesign> {
                 id_scheme,
                 auth,
                 bind,
-                unbind: UnbindSupport { dev_id_user_token: unbind[0], dev_id_only: unbind[1] },
+                unbind: UnbindSupport {
+                    dev_id_user_token: unbind[0],
+                    dev_id_only: unbind[1],
+                },
                 checks: CloudChecks {
                     verify_unbind_is_bound_user: checks[0],
                     reject_bind_when_bound: checks[1],
@@ -60,8 +69,16 @@ fn arb_design() -> impl Strategy<Value = VendorDesign> {
                     register_resets_binding: checks[5],
                     concurrent_device_sessions: checks[6],
                 },
-                setup_order: if bind_first { SetupOrder::BindFirst } else { SetupOrder::OnlineFirst },
-                firmware: if fw { FirmwareKnowledge::Known } else { FirmwareKnowledge::Opaque },
+                setup_order: if bind_first {
+                    SetupOrder::BindFirst
+                } else {
+                    SetupOrder::OnlineFirst
+                },
+                firmware: if fw {
+                    FirmwareKnowledge::Known
+                } else {
+                    FirmwareKnowledge::Opaque
+                },
             };
             // Repair the two coherence rules `validate()` enforces.
             if !design.unbind.any() {

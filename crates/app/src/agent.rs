@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use rb_core::design::{BindScheme, DeviceAuthScheme, SetupOrder, VendorDesign};
-use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Tick, TimerKey};
+use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Retry, RetryPolicy, Tick, TimerKey};
 use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
 use rb_provision::discovery::{SearchRequest, SearchResponse, SearchTarget};
 use rb_provision::localctl::LocalCtl;
@@ -48,8 +48,16 @@ pub struct AppConfig {
     pub user_bind_delay: u64,
     /// Progress-loop period.
     pub poll_every: u64,
-    /// Resend period for unanswered steps.
+    /// Resend period for unanswered steps (the backoff base).
     pub retry_every: u64,
+    /// Upper bound on the backed-off resend period.
+    pub retry_cap: u64,
+    /// Jitter on resend delays, in per-mille of the delay.
+    pub retry_jitter_per_mille: u16,
+    /// Consecutive unanswered resends of one step before the app gives up
+    /// ([`AppEvent::GaveUp`]) instead of wedging. Answered steps — even
+    /// denials — reset the count.
+    pub retry_budget: u32,
     /// Which length-encoding the provisioning broadcast uses.
     pub wifi_broadcast: WifiBroadcast,
 }
@@ -75,8 +83,17 @@ impl AppConfig {
             user_bind_delay: 5_000,
             poll_every: 20,
             retry_every: 400,
+            retry_cap: 3_200,
+            retry_jitter_per_mille: 250,
+            retry_budget: 24,
             wifi_broadcast: WifiBroadcast::SmartConfig,
         }
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(self.retry_every, self.retry_cap)
+            .jitter(self.retry_jitter_per_mille)
+            .budget(self.retry_budget)
     }
 }
 
@@ -99,6 +116,9 @@ pub enum AppEvent {
     Telemetry(Vec<TelemetryFrame>),
     /// A control round-trip completed.
     ControlOk,
+    /// The retry budget ran out with the cloud unreachable: the setup flow
+    /// aborted cleanly (an error dialog, not a spinner).
+    GaveUp,
 }
 
 /// Counters for experiments.
@@ -154,6 +174,13 @@ pub struct AppAgent {
     dev_id: Option<DevId>,
     // Outcome state.
     bound: bool,
+    /// Backoff state for the current step's resends.
+    retry: Retry,
+    /// Current resend timeout (grows with the backoff schedule).
+    cur_delay: u64,
+    /// Set when the retry budget ran out: the flow has cleanly aborted and
+    /// the poll loop is stopped.
+    aborted: bool,
     corr: u64,
     control_queue: VecDeque<(Option<DevId>, ControlAction)>,
     share_queue: VecDeque<(UserId, bool)>,
@@ -199,6 +226,8 @@ impl AppAgent {
             }
         }
         steps.push(Step::Done);
+        let retry = Retry::new(config.retry_policy());
+        let cur_delay = config.retry_every;
         AppAgent {
             config,
             steps,
@@ -213,6 +242,9 @@ impl AppAgent {
             device_node: None,
             dev_id: None,
             bound: false,
+            retry,
+            cur_delay,
+            aborted: false,
             corr: 0,
             control_queue: VecDeque::new(),
             share_queue: VecDeque::new(),
@@ -232,6 +264,12 @@ impl AppAgent {
     /// Whether the setup flow has reached its final step.
     pub fn setup_complete(&self) -> bool {
         self.steps[self.step_idx] == Step::Done
+    }
+
+    /// Whether the app ran out of retry budget and cleanly aborted the
+    /// flow (it will stay silent until [`AppAgent::restart_setup`]).
+    pub fn gave_up(&self) -> bool {
+        self.aborted
     }
 
     /// The user token, once logged in.
@@ -276,6 +314,15 @@ impl AppAgent {
         self.entered_step_at = Tick::ZERO;
         self.last_send_at = Tick::ZERO;
         self.bound = false;
+        self.reset_retry();
+        self.aborted = false;
+    }
+
+    /// Fresh backoff state: called whenever the peer answered (the budget
+    /// counts only *consecutive* unanswered sends) or a new step starts.
+    fn reset_retry(&mut self) {
+        self.retry.reset();
+        self.cur_delay = self.config.retry_every;
     }
 
     fn current_step(&self) -> Step {
@@ -287,6 +334,7 @@ impl AppAgent {
         self.awaiting = Await::None;
         self.entered_step_at = now;
         self.last_send_at = Tick::ZERO;
+        self.reset_retry();
     }
 
     fn send_request(&mut self, ctx: &mut Ctx<'_>, msg: Message) -> CorrId {
@@ -546,9 +594,15 @@ impl Actor for AppAgent {
 
     fn on_power(&mut self, ctx: &mut Ctx<'_>, powered: bool) {
         if powered {
+            if self.aborted {
+                // The flow already gave up; a reboot does not resurrect it
+                // (only `restart_setup` does).
+                return;
+            }
             // Phone back on: resume (or start) the flow. A timer dropped
             // while powered off would otherwise end the poll loop.
             self.entered_step_at = ctx.now();
+            self.reset_retry();
             self.enter_step(ctx);
             ctx.set_timer(self.config.poll_every, TIMER_TICK);
         }
@@ -565,6 +619,9 @@ impl Actor for AppAgent {
                 }
                 Ok(Envelope::Response { corr, rsp }) => {
                     if self.awaiting == Await::Response(corr) {
+                        // An answer — even a denial — means the path works;
+                        // only consecutive silence burns the retry budget.
+                        self.reset_retry();
                         self.on_step_response(ctx, &rsp);
                     } else {
                         match rsp {
@@ -617,6 +674,11 @@ impl Actor for AppAgent {
         if key != TIMER_TICK {
             return;
         }
+        if self.aborted {
+            // Clean abort: the poll loop stops (no reschedule), the actor
+            // goes silent, and the sim can quiesce.
+            return;
+        }
         let now = ctx.now();
         match self.current_step() {
             Step::Done => self.pump_user_actions(ctx),
@@ -627,10 +689,28 @@ impl Actor for AppAgent {
                 }
             }
             _ => {
-                let stale = self.last_send_at == Tick::ZERO
-                    || now - self.last_send_at >= self.config.retry_every;
-                if self.awaiting == Await::None || stale {
+                if self.awaiting == Await::None {
+                    // Not waiting on an answer (fresh step, or the last
+                    // answer told us to try again): send at poll cadence.
                     self.enter_step(ctx);
+                } else {
+                    let stale = self.last_send_at == Tick::ZERO
+                        || now - self.last_send_at >= self.cur_delay;
+                    if stale {
+                        // Unanswered past the current timeout: resend with
+                        // backoff, or give up when the budget is spent.
+                        match self.retry.next(ctx.rng()) {
+                            Some(delay) => {
+                                self.cur_delay = delay;
+                                self.enter_step(ctx);
+                            }
+                            None => {
+                                self.aborted = true;
+                                self.events.push(AppEvent::GaveUp);
+                                return;
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -10,6 +10,7 @@
 use rb_core::attacks::{AttackId, Feasibility};
 use rb_core::design::{BindScheme, DeviceAuthScheme, FirmwareKnowledge, VendorDesign};
 use rb_core::shadow::ShadowState;
+use rb_netsim::FaultPlan;
 use rb_scenario::{World, WorldBuilder};
 use rb_wire::messages::{
     BindPayload, ControlAction, DeviceAttributes, Message, Response, StatusAuth, StatusPayload,
@@ -57,20 +58,48 @@ impl AttackRun {
     }
 }
 
+/// Environment options for an attack run. The default is the pristine
+/// world every Table III campaign uses; the chaos suite passes a benign
+/// fault plan to check attack outcomes are fault-invariant.
+#[derive(Debug, Clone, Default)]
+pub struct AttackOpts {
+    /// Faults injected into the victim world from the start of the run.
+    pub fault_plan: FaultPlan,
+}
+
 /// Runs one attack against one design. Dispatches to the specific
 /// executor; `seed` controls the whole world's randomness.
 pub fn run_attack(design: &VendorDesign, id: AttackId, seed: u64) -> AttackRun {
+    run_attack_opts(design, id, seed, &AttackOpts::default())
+}
+
+/// Like [`run_attack`], with explicit environment options.
+pub fn run_attack_opts(
+    design: &VendorDesign,
+    id: AttackId,
+    seed: u64,
+    opts: &AttackOpts,
+) -> AttackRun {
     match id {
-        AttackId::A1 => run_a1(design, seed),
-        AttackId::A2 => run_a2(design, seed),
-        AttackId::A3_1 => run_a3_1(design, seed),
-        AttackId::A3_2 => run_a3_2(design, seed),
-        AttackId::A3_3 => run_a3_3(design, seed),
-        AttackId::A3_4 => run_a3_4(design, seed),
-        AttackId::A4_1 => run_a4_1(design, seed),
-        AttackId::A4_2 => run_a4_2(design, seed),
-        AttackId::A4_3 => run_a4_3(design, seed),
+        AttackId::A1 => run_a1(design, seed, opts),
+        AttackId::A2 => run_a2(design, seed, opts),
+        AttackId::A3_1 => run_a3_1(design, seed, opts),
+        AttackId::A3_2 => run_a3_2(design, seed, opts),
+        AttackId::A3_3 => run_a3_3(design, seed, opts),
+        AttackId::A3_4 => run_a3_4(design, seed, opts),
+        AttackId::A4_1 => run_a4_1(design, seed, opts),
+        AttackId::A4_2 => run_a4_2(design, seed, opts),
+        AttackId::A4_3 => run_a4_3(design, seed, opts),
     }
+}
+
+/// Builds the victim world with the run's environment options applied.
+fn build_world(design: &VendorDesign, seed: u64, opts: &AttackOpts, paused: bool) -> World {
+    let mut builder = WorldBuilder::new(design.clone(), seed).fault_plan(opts.fault_plan.clone());
+    if paused {
+        builder = builder.victim_paused();
+    }
+    builder.build()
 }
 
 // ---------------------------------------------------------------------------
@@ -219,12 +248,12 @@ fn control_check(world: &mut World, adv: &mut Adversary, evidence: &mut Vec<Stri
 // A1: data injection and stealing.
 // ---------------------------------------------------------------------------
 
-fn run_a1(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A1;
     if let Some(run) = status_forgery_gate(design, ID) {
         return run;
     }
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     adv.login(&mut world);
@@ -303,13 +332,11 @@ fn run_a1(design: &VendorDesign, seed: u64) -> AttackRun {
 // A2: binding denial-of-service.
 // ---------------------------------------------------------------------------
 
-fn run_a2(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A2;
     // Target the *initial* state: the device is manufactured and its ID
     // leaked, but the victim has not set it up yet.
-    let mut world = WorldBuilder::new(design.clone(), seed)
-        .victim_paused()
-        .build();
+    let mut world = build_world(design, seed, opts, true);
     let mut adv = Adversary::new();
     adv.login(&mut world);
     let mut evidence = Vec::new();
@@ -358,9 +385,9 @@ fn run_a2(design: &VendorDesign, seed: u64) -> AttackRun {
 // A3-1 / A3-2: device unbinding by forged unbind messages.
 // ---------------------------------------------------------------------------
 
-fn run_a3_1(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a3_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A3_1;
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
@@ -390,9 +417,9 @@ fn run_a3_1(design: &VendorDesign, seed: u64) -> AttackRun {
     }
 }
 
-fn run_a3_2(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a3_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A3_2;
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     let user_token = adv.login(&mut world);
@@ -428,9 +455,9 @@ fn run_a3_2(design: &VendorDesign, seed: u64) -> AttackRun {
 // A3-3: device unbinding via replacing bind (no control).
 // ---------------------------------------------------------------------------
 
-fn run_a3_3(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a3_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A3_3;
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     adv.login(&mut world);
@@ -482,12 +509,12 @@ fn run_a3_3(design: &VendorDesign, seed: u64) -> AttackRun {
 // A3-4: device unbinding via forged status.
 // ---------------------------------------------------------------------------
 
-fn run_a3_4(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a3_4(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A3_4;
     if let Some(run) = status_forgery_gate(design, ID) {
         return run;
     }
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
@@ -524,9 +551,9 @@ fn run_a3_4(design: &VendorDesign, seed: u64) -> AttackRun {
 // A4-1: hijack via replacing bind in the control state.
 // ---------------------------------------------------------------------------
 
-fn run_a4_1(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a4_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A4_1;
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     adv.login(&mut world);
@@ -565,11 +592,9 @@ fn run_a4_1(design: &VendorDesign, seed: u64) -> AttackRun {
 // A4-2: hijack by racing the setup window.
 // ---------------------------------------------------------------------------
 
-fn run_a4_2(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a4_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A4_2;
-    let mut world = WorldBuilder::new(design.clone(), seed)
-        .victim_paused()
-        .build();
+    let mut world = build_world(design, seed, opts, true);
     let mut adv = Adversary::new();
     adv.login(&mut world);
     let mut evidence = Vec::new();
@@ -641,9 +666,9 @@ fn latest_bind_response(adv: &mut Adversary, world: &mut World) -> Option<Respon
 // A4-3: hijack by unbind-then-bind.
 // ---------------------------------------------------------------------------
 
-fn run_a4_3(design: &VendorDesign, seed: u64) -> AttackRun {
+fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     const ID: AttackId = AttackId::A4_3;
-    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     let user_token = adv.login(&mut world);

@@ -29,4 +29,4 @@ pub mod idspace;
 
 pub use adversary::Adversary;
 pub use campaign::{run_campaign, run_reference_campaign, VendorCampaign};
-pub use exec::AttackRun;
+pub use exec::{run_attack, run_attack_opts, AttackOpts, AttackRun};

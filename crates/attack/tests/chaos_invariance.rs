@@ -1,0 +1,61 @@
+//! Table III invariance under benign faults.
+//!
+//! The paper's attack outcomes are properties of the vendor *design*, not
+//! of packet timing. A benign fault plan — mild duplication, reordering,
+//! and extra jitter that the retry machinery absorbs — must therefore not
+//! change a single cell of Table III: every attack that is feasible stays
+//! feasible, every blocked attack stays blocked, for all ten vendors.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rb_attack::{run_attack, run_attack_opts, AttackOpts};
+use rb_core::attacks::AttackId;
+use rb_core::vendors;
+use rb_netsim::FaultPlan;
+
+/// The benign disturbance: at-least-once delivery with mild reordering
+/// over the whole run (mirrors `ChaosProfile::benign`, restated here
+/// because `rb-scenario` cannot be a dev-dependency of its own dependent).
+fn benign_opts() -> AttackOpts {
+    AttackOpts {
+        fault_plan: FaultPlan::new().chaos_window(100, 100_000, 150, 100, 2),
+    }
+}
+
+#[test]
+fn table_iii_outcomes_survive_benign_faults() {
+    let opts = benign_opts();
+    let mut checked = 0u32;
+    for design in vendors::vendor_designs() {
+        for id in AttackId::ALL {
+            let baseline = run_attack(&design, id, 42);
+            let faulted = run_attack_opts(&design, id, 42, &opts);
+            assert_eq!(
+                baseline.outcome.symbol(),
+                faulted.outcome.symbol(),
+                "{} {}: outcome flipped under benign faults ({} -> {})",
+                design.vendor,
+                id,
+                baseline.outcome,
+                faulted.outcome,
+            );
+            checked += 1;
+        }
+    }
+    // 10 vendors x 9 attacks: the whole of Table III.
+    assert_eq!(checked, 90);
+}
+
+/// The benign plan itself is deterministic: the same seed gives the same
+/// evidence log, so a failure above is reproducible from the seed alone.
+#[test]
+fn benign_faulted_attack_runs_are_deterministic() {
+    let opts = benign_opts();
+    let design = vendors::tp_link();
+    for id in [AttackId::A1, AttackId::A2, AttackId::A4_2] {
+        let a = run_attack_opts(&design, id, 7, &opts);
+        let b = run_attack_opts(&design, id, 7, &opts);
+        assert_eq!(a.outcome, b.outcome, "{id}: outcome differs across runs");
+        assert_eq!(a.evidence, b.evidence, "{id}: evidence differs across runs");
+    }
+}

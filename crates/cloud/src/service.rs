@@ -239,11 +239,18 @@ impl CloudService {
         entry.1 > limit.max
     }
 
-    /// Expires stale device sessions (heartbeat timeout). Normally driven
-    /// by the actor timer; exposed for direct-drive tests.
+    /// Expires stale device sessions (heartbeat timeout) and half-open
+    /// shadows left `Online`/`Control` without a live session. Normally
+    /// driven by the actor timer; exposed for direct-drive tests.
     pub fn expire(&mut self, now: Tick) -> Vec<DevId> {
-        self.state
-            .expire_sessions(now, self.config.heartbeat_timeout)
+        let mut expired = self
+            .state
+            .expire_sessions(now, self.config.heartbeat_timeout);
+        expired.extend(
+            self.state
+                .expire_half_open(now, self.config.heartbeat_timeout),
+        );
+        expired
     }
 
     fn dispatch(&mut self, from: NodeId, now: Tick, msg: &Message, rng: &mut SimRng) -> Outcome {

@@ -152,6 +152,27 @@ impl DeviceState {
         expired
     }
 
+    /// Expires half-open shadows: records still marked `Online`/`Control`
+    /// although the device has no live session (displaced or lost without
+    /// an observed close), or whose last accepted status is older than
+    /// `timeout`. Without this sweep a partition can strand a shadow in
+    /// `Control` forever. Returns the affected device IDs.
+    pub fn expire_half_open(&mut self, now: Tick, timeout: u64) -> Vec<DevId> {
+        let mut expired = Vec::new();
+        for (dev_id, rec) in self.records.iter_mut() {
+            if !rec.shadow.state().is_online() {
+                continue;
+            }
+            if !self.sessions.contains_key(dev_id) {
+                rec.shadow.force_offline();
+                expired.push(dev_id.clone());
+            } else if rec.shadow.expire(now.as_u64(), timeout) {
+                expired.push(dev_id.clone());
+            }
+        }
+        expired
+    }
+
     /// Drops a specific node from a device's session (e.g. observed
     /// disconnect). Removes the session entirely when no node remains,
     /// forcing the shadow offline.
@@ -230,6 +251,35 @@ mod tests {
         assert_eq!(expired, vec![id()]);
         assert_eq!(st.shadow_state(&id()), ShadowState::Initial);
         assert!(st.session(&id()).is_none());
+    }
+
+    #[test]
+    fn half_open_shadow_without_session_is_forced_offline() {
+        let mut st = DeviceState::new();
+        // A shadow driven Online+Bound (Control) with no session — the
+        // half-open state a partition can leave behind.
+        st.record_mut(&id()).shadow.on_status(10);
+        st.record_mut(&id()).shadow.on_bind(UserId::new("u"));
+        assert_eq!(st.shadow_state(&id()), ShadowState::Control);
+        let expired = st.expire_half_open(Tick(11), 1_000);
+        assert_eq!(expired, vec![id()]);
+        assert_eq!(
+            st.shadow_state(&id()),
+            ShadowState::Bound,
+            "offline but still bound"
+        );
+    }
+
+    #[test]
+    fn half_open_sweep_spares_live_sessions() {
+        let mut st = DeviceState::new();
+        st.record_mut(&id()).shadow.on_status(10);
+        st.touch_session(&id(), NodeId(1), None, None, Tick(10), false);
+        assert!(st.expire_half_open(Tick(20), 1_000).is_empty());
+        assert_eq!(st.shadow_state(&id()), ShadowState::Online);
+        // …but a stale last-status is expired even with a session entry.
+        assert_eq!(st.expire_half_open(Tick(5_000), 1_000), vec![id()]);
+        assert_eq!(st.shadow_state(&id()), ShadowState::Initial);
     }
 
     #[test]

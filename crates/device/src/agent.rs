@@ -1,7 +1,7 @@
 //! The device firmware agent.
 
 use rb_core::design::{BindScheme, DeviceAuthScheme, VendorDesign};
-use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, TimerKey};
+use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Retry, RetryPolicy, TimerKey};
 use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
 use rb_provision::discovery::{SearchRequest, SearchResponse};
 use rb_provision::label::DeviceLabel;
@@ -70,6 +70,8 @@ pub struct DeviceStats {
     pub commands: u64,
     /// Factory resets performed.
     pub resets: u64,
+    /// Bind messages sent (first attempt plus retransmissions).
+    pub bind_attempts: u64,
 }
 
 /// The simulated firmware. See the [crate docs](crate) for the life cycle.
@@ -98,6 +100,9 @@ pub struct DeviceAgent {
     /// Heartbeat-timer generation: bumped on reboot so stale timers from a
     /// previous power cycle are ignored instead of double-scheduling.
     hb_gen: u64,
+    /// Backoff state for the device-sent Bind: one lost packet must not
+    /// wedge an `AclDevice`/`Capability` setup forever.
+    bind_retry: Retry,
     /// Public counters.
     pub stats: DeviceStats,
 }
@@ -124,6 +129,7 @@ impl DeviceAgent {
             corr: 0,
             extra_telemetry: Vec::new(),
             hb_gen: 0,
+            bind_retry: Retry::new(RetryPolicy::new(25, 800)),
             stats: DeviceStats::default(),
         }
     }
@@ -287,6 +293,7 @@ impl DeviceAgent {
         self.sc_decoder = smartconfig::Decoder::new();
         self.ak_lengths.clear();
         self.reset_queued = false;
+        self.bind_retry.reset();
         self.stats.resets += 1;
     }
 
@@ -387,11 +394,13 @@ impl DeviceAgent {
                     self.session = Some(s);
                 }
                 if newly_registered {
+                    self.bind_retry.reset();
                     self.maybe_start_device_bind(ctx);
                 }
             }
             Response::Bound { session } => {
                 self.bound_hint = true;
+                self.bind_retry.reset();
                 if let Some(s) = session {
                     self.session = Some(s);
                 }
@@ -529,6 +538,13 @@ impl Actor for DeviceAgent {
             }
             TIMER_DEVICE_BIND if !self.bound_hint => {
                 self.send_device_bind(ctx);
+                self.stats.bind_attempts += 1;
+                // Retransmit with backoff until the cloud confirms the
+                // binding or the budget runs out — a single dropped Bind
+                // must not leave the shadow stuck below `Bound`.
+                if let Some(delay) = self.bind_retry.next(ctx.rng()) {
+                    ctx.set_timer(delay, TIMER_DEVICE_BIND);
+                }
             }
             _ => {}
         }

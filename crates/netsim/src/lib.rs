@@ -55,7 +55,9 @@
 //! ```
 
 mod actor;
+mod fault;
 mod quality;
+mod retry;
 mod rng;
 mod sim;
 mod time;
@@ -63,7 +65,9 @@ mod topology;
 mod trace;
 
 pub use actor::{Actor, Ctx, TimerKey};
+pub use fault::{Fault, FaultPlan};
 pub use quality::LinkQuality;
+pub use retry::{Retry, RetryPolicy};
 pub use rng::SimRng;
 pub use sim::{Dest, NodeConfig, Simulation};
 pub use time::Tick;

@@ -47,6 +47,16 @@ impl LinkQuality {
         }
     }
 
+    /// A badly degraded but still usable path: high, jittery latency and
+    /// 20% loss. The canonical "bad weather" preset for chaos scenarios.
+    pub fn degraded() -> Self {
+        LinkQuality {
+            latency_min: 50,
+            latency_max: 400,
+            drop_per_mille: 200,
+        }
+    }
+
     /// A degraded path for failure-injection experiments.
     pub fn lossy(drop_per_mille: u16) -> Self {
         LinkQuality {

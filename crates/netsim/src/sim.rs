@@ -2,9 +2,10 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use crate::actor::{Actor, Ctx, Effect, TimerKey};
+use crate::fault::{Fault, FaultPlan};
 use crate::quality::LinkQuality;
 use crate::rng::SimRng;
 use crate::time::Tick;
@@ -85,6 +86,9 @@ enum EventKind {
         node: NodeId,
         key: TimerKey,
     },
+    Inject {
+        fault: Fault,
+    },
 }
 
 struct Event {
@@ -126,6 +130,14 @@ pub struct Simulation {
     /// LAN-homed `inside` node has initiated WAN traffic to `outside`,
     /// opening the return path through its home router.
     nat_flows: HashSet<(NodeId, NodeId)>,
+    // Fault-injection state (all default to "no fault in effect").
+    partitioned_lans: HashSet<LanId>,
+    lan_quality_override: HashMap<LanId, LinkQuality>,
+    wan_quality_override: Option<LinkQuality>,
+    pair_quality_override: HashMap<(NodeId, NodeId), LinkQuality>,
+    dup_per_mille: u16,
+    reorder_per_mille: u16,
+    reorder_extra_max: u64,
 }
 
 impl Simulation {
@@ -154,6 +166,13 @@ impl Simulation {
             wan_quality: wan,
             trace: None,
             nat_flows: HashSet::new(),
+            partitioned_lans: HashSet::new(),
+            lan_quality_override: HashMap::new(),
+            wan_quality_override: None,
+            pair_quality_override: HashMap::new(),
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            reorder_extra_max: 0,
         }
     }
 
@@ -255,6 +274,102 @@ impl Simulation {
         self.nodes[id.0 as usize].wan_partitioned = partitioned;
     }
 
+    /// Partitions (or heals) a whole LAN: local unicast and broadcast on it
+    /// fail while partitioned. WAN uplinks of its members are unaffected.
+    pub fn partition_lan(&mut self, lan: LanId, partitioned: bool) {
+        if partitioned {
+            self.partitioned_lans.insert(lan);
+        } else {
+            self.partitioned_lans.remove(&lan);
+        }
+    }
+
+    /// Overrides (or, with `None`, restores) the quality of one LAN —
+    /// per-link quality for scenarios with heterogeneous homes.
+    pub fn set_lan_quality(&mut self, lan: LanId, quality: Option<LinkQuality>) {
+        match quality {
+            Some(q) => {
+                assert!(q.is_valid(), "invalid lan quality override");
+                self.lan_quality_override.insert(lan, q);
+            }
+            None => {
+                self.lan_quality_override.remove(&lan);
+            }
+        }
+    }
+
+    /// Overrides (or restores) the WAN quality.
+    pub fn set_wan_quality(&mut self, quality: Option<LinkQuality>) {
+        if let Some(q) = quality {
+            assert!(q.is_valid(), "invalid wan quality override");
+        }
+        self.wan_quality_override = quality;
+    }
+
+    /// Overrides (or restores) the quality of the directed path
+    /// `from -> to`. Takes precedence over LAN/WAN overrides.
+    pub fn set_pair_quality(&mut self, from: NodeId, to: NodeId, quality: Option<LinkQuality>) {
+        match quality {
+            Some(q) => {
+                assert!(q.is_valid(), "invalid pair quality override");
+                self.pair_quality_override.insert((from, to), q);
+            }
+            None => {
+                self.pair_quality_override.remove(&(from, to));
+            }
+        }
+    }
+
+    /// Sets the delivery-chaos knobs (duplication/reordering); all zeros
+    /// turns chaos off. With the knobs at zero no extra RNG draws are made,
+    /// so enabling chaos never perturbs unrelated runs.
+    pub fn set_chaos(
+        &mut self,
+        dup_per_mille: u16,
+        reorder_per_mille: u16,
+        reorder_extra_max: u64,
+    ) {
+        self.dup_per_mille = dup_per_mille.min(1000);
+        self.reorder_per_mille = reorder_per_mille.min(1000);
+        self.reorder_extra_max = reorder_extra_max;
+    }
+
+    /// Schedules every event of a [`FaultPlan`] for execution by the event
+    /// loop. Times in the past fire at the current instant; injection is
+    /// recorded in the trace.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for (at, fault) in plan.events() {
+            let at = at.max(self.now);
+            self.push_event(at, EventKind::Inject { fault });
+        }
+    }
+
+    fn inject(&mut self, fault: Fault) {
+        let at = self.now;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEntry {
+                at,
+                event: TraceEvent::Fault {
+                    text: fault.to_string(),
+                },
+            });
+        }
+        match fault {
+            Fault::WanPartition { node, partitioned } => self.partition_wan(node, partitioned),
+            Fault::LanPartition { lan, partitioned } => self.partition_lan(lan, partitioned),
+            Fault::Crash { node } => self.set_power(node, false),
+            Fault::Restart { node } => self.set_power(node, true),
+            Fault::LanQuality { lan, quality } => self.set_lan_quality(lan, quality),
+            Fault::WanQuality { quality } => self.set_wan_quality(quality),
+            Fault::PairQuality { from, to, quality } => self.set_pair_quality(from, to, quality),
+            Fault::Chaos {
+                dup_per_mille,
+                reorder_per_mille,
+                reorder_extra_max,
+            } => self.set_chaos(dup_per_mille, reorder_per_mille, reorder_extra_max),
+        }
+    }
+
     /// Runs the event loop until virtual time reaches `until` (inclusive of
     /// events at `until`). The clock is left at `until`.
     pub fn run_until(&mut self, until: Tick) {
@@ -339,6 +454,7 @@ impl Simulation {
                     self.with_actor(node, |actor, ctx| actor.on_timer(ctx, key));
                 }
             }
+            EventKind::Inject { fault } => self.inject(fault),
         }
     }
 
@@ -370,8 +486,11 @@ impl Simulation {
         match dest {
             Dest::Unicast(to) => self.route_unicast(from, to, payload),
             Dest::Broadcast(lan) => {
-                // Only a member of the LAN may broadcast on it.
-                if self.nodes[from.0 as usize].config.lan != Some(lan) {
+                // Only a member of the LAN may broadcast on it, and only
+                // while the LAN is up.
+                if self.nodes[from.0 as usize].config.lan != Some(lan)
+                    || self.partitioned_lans.contains(&lan)
+                {
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEntry {
@@ -390,8 +509,9 @@ impl Simulation {
                     })
                     .map(|(i, _)| NodeId(i as u32))
                     .collect();
+                let quality = self.effective_lan_quality(lan);
                 for to in recipients {
-                    self.schedule_delivery(from, to, payload.clone(), self.lan_quality);
+                    self.schedule_delivery(from, to, payload.clone(), quality);
                 }
             }
         }
@@ -437,21 +557,39 @@ impl Simulation {
         self.schedule_delivery(from, to, payload, quality);
     }
 
+    /// The quality of a LAN after overrides.
+    fn effective_lan_quality(&self, lan: LanId) -> LinkQuality {
+        self.lan_quality_override
+            .get(&lan)
+            .copied()
+            .unwrap_or(self.lan_quality)
+    }
+
     /// The link quality of the path `from -> to`, or `None` if no path
-    /// exists under the current topology.
+    /// exists under the current topology (including injected partitions).
     fn path_quality(&self, from: NodeId, to: NodeId) -> Option<LinkQuality> {
         if from == to || to.0 as usize >= self.nodes.len() {
             return None;
         }
         let a = &self.nodes[from.0 as usize];
         let b = &self.nodes[to.0 as usize];
-        // Same LAN: local path, unaffected by WAN partitions.
+        let pair_override = self.pair_quality_override.get(&(from, to)).copied();
+        // Same LAN: local path, unaffected by WAN partitions, unusable
+        // while the LAN itself is partitioned.
         if a.config.lan.is_some() && a.config.lan == b.config.lan {
-            return Some(self.lan_quality);
+            let lan = a.config.lan.unwrap_or(LanId(0));
+            if self.partitioned_lans.contains(&lan) {
+                return None;
+            }
+            return Some(pair_override.unwrap_or_else(|| self.effective_lan_quality(lan)));
         }
         // Otherwise both ends need working WAN uplinks.
         if a.config.wan && b.config.wan && !a.wan_partitioned && !b.wan_partitioned {
-            return Some(self.wan_quality);
+            return Some(
+                pair_override
+                    .or(self.wan_quality_override)
+                    .unwrap_or(self.wan_quality),
+            );
         }
         None
     }
@@ -476,8 +614,33 @@ impl Simulation {
         }
         match quality.sample(&mut self.rng) {
             Some(latency) => {
-                let deliver_at = self.now.saturating_add(latency.max(1));
-                self.push_event(deliver_at, EventKind::Deliver { from, to, payload });
+                let mut latency = latency.max(1);
+                // Chaos knobs: guarded so that no RNG draw happens unless a
+                // fault plan turned them on — runs without chaos keep their
+                // exact event streams.
+                if self.reorder_per_mille > 0
+                    && self.rng.chance(u32::from(self.reorder_per_mille), 1000)
+                {
+                    latency = latency
+                        .saturating_add(self.rng.range_u64(0, self.reorder_extra_max.max(1)));
+                }
+                let deliver_at = self.now.saturating_add(latency);
+                self.push_event(
+                    deliver_at,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        payload: payload.clone(),
+                    },
+                );
+                if self.dup_per_mille > 0 && self.rng.chance(u32::from(self.dup_per_mille), 1000) {
+                    // The duplicate takes an independent latency draw, so it
+                    // may arrive before or after the original.
+                    if let Some(dup_latency) = quality.sample(&mut self.rng) {
+                        let dup_at = self.now.saturating_add(dup_latency.max(1));
+                        self.push_event(dup_at, EventKind::Deliver { from, to, payload });
+                    }
+                }
             }
             None => {
                 if let Some(t) = self.trace.as_mut() {
@@ -854,5 +1017,179 @@ mod tests {
             .trace()
             .iter()
             .any(|e| matches!(&e.event, TraceEvent::Note { text, .. } if text == "hello")));
+    }
+
+    /// Sends one payload to `dest` every `every` ticks, forever.
+    struct Beacon {
+        dest: Dest,
+        every: u64,
+    }
+
+    impl Actor for Beacon {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.every, 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _key: TimerKey) {
+            ctx.send(self.dest, vec![0xBE]);
+            ctx.set_timer(self.every, 1);
+        }
+    }
+
+    #[test]
+    fn lan_partition_blocks_and_heals() {
+        let mut sim = perfect_sim(30);
+        let lan = LanId(0);
+        let sink = sim.add_node(NodeConfig::lan_only("sink", lan), Box::new(Sink::new()));
+        let _src = sim.add_node(
+            NodeConfig::lan_only("src", lan),
+            Box::new(Beacon {
+                dest: Dest::Unicast(sink),
+                every: 10,
+            }),
+        );
+        let plan = FaultPlan::new().lan_blackout(lan, 25, 50);
+        sim.apply_fault_plan(&plan);
+        sim.run_until(Tick(25));
+        let before = sim.actor::<Sink>(sink).unwrap().received.len();
+        assert_eq!(before, 2, "t10, t20 delivered before the blackout");
+        sim.run_until(Tick(75));
+        assert_eq!(
+            sim.actor::<Sink>(sink).unwrap().received.len(),
+            before,
+            "nothing delivered while the LAN is partitioned"
+        );
+        sim.run_until(Tick(120));
+        assert!(
+            sim.actor::<Sink>(sink).unwrap().received.len() > before,
+            "traffic resumes after the heal"
+        );
+    }
+
+    #[test]
+    fn lan_partition_blocks_broadcast() {
+        let mut sim = perfect_sim(31);
+        let lan = LanId(0);
+        let sink = sim.add_node(NodeConfig::lan_only("sink", lan), Box::new(Sink::new()));
+        let _src = sim.add_node(
+            NodeConfig::lan_only("src", lan),
+            Box::new(Beacon {
+                dest: Dest::Broadcast(lan),
+                every: 10,
+            }),
+        );
+        sim.apply_fault_plan(&FaultPlan::new().at(
+            0,
+            Fault::LanPartition {
+                lan,
+                partitioned: true,
+            },
+        ));
+        sim.run_until(Tick(100));
+        assert!(sim.actor::<Sink>(sink).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn crash_restart_cycles_power_via_plan() {
+        let mut sim = perfect_sim(32);
+        let n = sim.add_node(NodeConfig::wan_only("n"), Box::new(Sink::new()));
+        sim.enable_trace();
+        sim.apply_fault_plan(&FaultPlan::new().crash_restart(n, 10, 40));
+        sim.run_until(Tick(100));
+        assert_eq!(
+            sim.actor::<Sink>(n).unwrap().power_events,
+            vec![false, true]
+        );
+        let faults: Vec<String> = sim
+            .trace()
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Fault { text } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            faults,
+            vec!["crash n0".to_string(), "restart n0".to_string()]
+        );
+    }
+
+    #[test]
+    fn wan_quality_override_degrades_and_restores() {
+        let mut sim = perfect_sim(33);
+        let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+        let _src = sim.add_node(
+            NodeConfig::wan_only("src"),
+            Box::new(Beacon {
+                dest: Dest::Unicast(sink),
+                every: 10,
+            }),
+        );
+        // Total loss for [20, 60): beacons at t20..t50 vanish.
+        sim.apply_fault_plan(&FaultPlan::new().degrade_wan(20, 40, LinkQuality::lossy(1000)));
+        sim.run_until(Tick(100));
+        let got = sim.actor::<Sink>(sink).unwrap().received.len();
+        // t10 + t60..t90 survive (delivery latency 1 tick).
+        assert_eq!(got, 5, "got {got}");
+    }
+
+    #[test]
+    fn chaos_duplication_duplicates_packets() {
+        let mut sim = perfect_sim(34);
+        let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+        let _src = sim.add_node(
+            NodeConfig::wan_only("src"),
+            Box::new(Beacon {
+                dest: Dest::Unicast(sink),
+                every: 10,
+            }),
+        );
+        sim.set_chaos(1000, 0, 0); // duplicate everything
+        sim.run_until(Tick(105));
+        let got = sim.actor::<Sink>(sink).unwrap().received.len();
+        assert_eq!(got, 20, "10 sends, each duplicated");
+    }
+
+    #[test]
+    fn fault_free_chaos_knobs_do_not_disturb_determinism() {
+        // A run with an *empty* fault plan must be bit-identical to a run
+        // with no plan at all: chaos knobs at zero draw no RNG.
+        fn run(with_empty_plan: bool) -> Vec<String> {
+            let mut sim = Simulation::new(77);
+            sim.enable_trace();
+            let sink = sim.add_node(NodeConfig::wan_only("sink"), Box::new(Sink::new()));
+            let _src = sim.add_node(
+                NodeConfig::dual("src", LanId(0)),
+                Box::new(Beacon {
+                    dest: Dest::Unicast(sink),
+                    every: 7,
+                }),
+            );
+            if with_empty_plan {
+                sim.apply_fault_plan(&FaultPlan::new());
+            }
+            sim.run_until(Tick(500));
+            sim.trace().iter().map(|e| e.to_string()).collect()
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn pair_quality_override_is_directional() {
+        let mut sim = perfect_sim(35);
+        let a = sim.add_node(NodeConfig::wan_only("a"), Box::new(Sink::new()));
+        let b = sim.add_node(
+            NodeConfig::wan_only("b"),
+            Box::new(Beacon {
+                dest: Dest::Unicast(a),
+                every: 10,
+            }),
+        );
+        // Kill only b -> a.
+        sim.set_pair_quality(b, a, Some(LinkQuality::lossy(1000)));
+        sim.run_until(Tick(100));
+        assert!(sim.actor::<Sink>(a).unwrap().received.is_empty());
+        sim.set_pair_quality(b, a, None);
+        sim.run_until(Tick(200));
+        assert!(!sim.actor::<Sink>(a).unwrap().received.is_empty());
     }
 }

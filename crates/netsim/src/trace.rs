@@ -56,6 +56,11 @@ pub enum TraceEvent {
         /// Text of the note.
         text: String,
     },
+    /// An injected fault took effect (see `rb_netsim::Fault`).
+    Fault {
+        /// Human-readable description of the fault.
+        text: String,
+    },
 }
 
 /// A timestamped trace record.
@@ -91,6 +96,7 @@ impl fmt::Display for TraceEntry {
                 )
             }
             TraceEvent::Note { node, text } => write!(f, "{} {node} note: {text}", self.at),
+            TraceEvent::Fault { text } => write!(f, "{} FAULT {text}", self.at),
         }
     }
 }

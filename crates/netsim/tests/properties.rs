@@ -5,7 +5,10 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use proptest::prelude::*;
-use rb_netsim::{Actor, Ctx, Dest, LanId, LinkQuality, NodeConfig, NodeId, Simulation, Tick};
+use rb_netsim::{
+    Actor, Ctx, Dest, LanId, LinkQuality, NodeConfig, NodeId, Retry, RetryPolicy, SimRng,
+    Simulation, Tick,
+};
 
 /// Sends `count` packets to `dest` at start; counts everything received.
 struct Chatter {
@@ -122,6 +125,65 @@ proptest! {
         sim.run_until(Tick(50_000));
         prop_assert_eq!(sim.actor::<Chatter>(outsider).unwrap().received, 0);
         prop_assert!(sim.actor::<Chatter>(insider).unwrap().received > 0);
+    }
+
+    /// The *base* (pre-jitter) backoff schedule is monotone non-decreasing:
+    /// with jitter disabled, each retry waits at least as long as the last.
+    #[test]
+    fn backoff_base_schedule_is_monotone(
+        base in 1u64..1_000,
+        cap_mult in 1u64..64,
+        budget in 1u32..32,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::new(base, base * cap_mult)
+            .budget(budget)
+            .jitter(0);
+        let mut rng = SimRng::new(seed);
+        let mut retry = Retry::new(policy);
+        let mut prev = 0u64;
+        while let Some(delay) = retry.next(&mut rng) {
+            prop_assert!(delay >= prev, "delay {delay} < previous {prev}");
+            prev = delay;
+        }
+        prop_assert_eq!(retry.attempts(), budget);
+    }
+
+    /// Every delay — jitter included — is bounded by the policy cap and
+    /// is never zero, for any jitter amplitude (even out-of-range ones).
+    #[test]
+    fn backoff_delays_are_bounded_by_the_cap(
+        base in 1u64..1_000,
+        cap_mult in 1u64..64,
+        jitter in any::<u16>(),
+        seed in any::<u64>(),
+    ) {
+        let cap = base * cap_mult;
+        let policy = RetryPolicy::new(base, cap).budget(24).jitter(jitter);
+        let mut rng = SimRng::new(seed);
+        let mut retry = Retry::new(policy);
+        while let Some(delay) = retry.next(&mut rng) {
+            prop_assert!(delay >= 1);
+            prop_assert!(delay <= policy.cap, "delay {delay} > cap {}", policy.cap);
+        }
+    }
+
+    /// The jittered schedule is a pure function of (policy, seed): two
+    /// `Retry` instances driven by equal-seeded RNGs agree exactly.
+    #[test]
+    fn backoff_schedule_is_seed_deterministic(
+        base in 1u64..500,
+        jitter in 0u16..1_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::new(base, base * 16).budget(16).jitter(jitter);
+        let (mut ra, mut rb) = (SimRng::new(seed), SimRng::new(seed));
+        let (mut a, mut b) = (Retry::new(policy), Retry::new(policy));
+        loop {
+            let (da, db) = (a.next(&mut ra), b.next(&mut rb));
+            prop_assert_eq!(da, db);
+            if da.is_none() { break; }
+        }
     }
 
     /// Loss rates are honored within statistical tolerance across seeds.

@@ -15,8 +15,10 @@
 //! assert!(world.app(0).is_bound());
 //! ```
 
+mod chaos;
 mod raw;
 mod world;
 
+pub use chaos::ChaosProfile;
 pub use raw::RawEndpoint;
 pub use world::{Home, World, WorldBuilder};

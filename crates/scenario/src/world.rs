@@ -5,7 +5,7 @@ use rb_cloud::{CloudConfig, CloudService};
 use rb_core::design::{DeviceAuthScheme, SetupOrder, VendorDesign};
 use rb_core::shadow::ShadowState;
 use rb_device::{DeviceAgent, DeviceConfig, ProvisioningMode};
-use rb_netsim::{LanId, LinkQuality, NodeConfig, NodeId, SimRng, Simulation, Tick};
+use rb_netsim::{FaultPlan, LanId, LinkQuality, NodeConfig, NodeId, SimRng, Simulation, Tick};
 use rb_wire::ids::DevId;
 use rb_wire::tokens::{UserId, UserPw};
 
@@ -39,6 +39,8 @@ pub struct WorldBuilder {
     provisioning: ProvisioningMode,
     trace: bool,
     victim_paused: bool,
+    home_lan_quality: Vec<(usize, LinkQuality)>,
+    fault_plan: FaultPlan,
 }
 
 impl WorldBuilder {
@@ -56,6 +58,8 @@ impl WorldBuilder {
             provisioning: ProvisioningMode::ApMode,
             trace: false,
             victim_paused: false,
+            home_lan_quality: Vec::new(),
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -76,6 +80,20 @@ impl WorldBuilder {
     pub fn link_quality(mut self, lan: LinkQuality, wan: LinkQuality) -> Self {
         self.lan_quality = lan;
         self.wan_quality = wan;
+        self
+    }
+
+    /// Overrides the LAN quality of one home (e.g. a
+    /// [`LinkQuality::degraded`] Wi-Fi) while the rest of the world keeps
+    /// the global quality.
+    pub fn home_lan_quality(mut self, home: usize, quality: LinkQuality) -> Self {
+        self.home_lan_quality.push((home, quality));
+        self
+    }
+
+    /// Schedules a fault plan to be injected from the start of the run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = self.fault_plan.merge(plan);
         self
     }
 
@@ -230,6 +248,15 @@ impl WorldBuilder {
         };
         cloud_actor.set_public_ip(attacker, 9_999);
 
+        for (home, quality) in &self.home_lan_quality {
+            if *home < self.homes {
+                sim.set_lan_quality(LanId(*home as u32), Some(*quality));
+            }
+        }
+        if !self.fault_plan.is_empty() {
+            sim.apply_fault_plan(&self.fault_plan);
+        }
+
         World {
             design: self.design,
             sim,
@@ -373,6 +400,12 @@ impl World {
     /// Runs the simulation for `ticks`.
     pub fn run_for(&mut self, ticks: u64) {
         self.sim.run_for(ticks);
+    }
+
+    /// Injects further faults relative to the current time (events in the
+    /// past of the sim clock fire immediately).
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.sim.apply_fault_plan(plan);
     }
 
     /// Current simulated time.

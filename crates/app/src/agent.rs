@@ -3,7 +3,8 @@
 use std::collections::VecDeque;
 
 use rb_core::design::{BindScheme, DeviceAuthScheme, SetupOrder, VendorDesign};
-use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Retry, RetryPolicy, Tick, TimerKey};
+use rb_netsim::telemetry::SpanId;
+use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Retry, RetryPolicy, Telemetry, Tick, TimerKey};
 use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
 use rb_provision::discovery::{SearchRequest, SearchResponse, SearchTarget};
 use rb_provision::localctl::LocalCtl;
@@ -181,6 +182,13 @@ pub struct AppAgent {
     /// Set when the retry budget ran out: the flow has cleanly aborted and
     /// the poll loop is stopped.
     aborted: bool,
+    /// Shared metrics registry (a private default until the harness wires
+    /// in the world-wide one via [`AppAgent::set_telemetry`]).
+    telemetry: Telemetry,
+    /// Open `app_setup` span: flow start until the binding lands. Give-ups
+    /// leave it open, so `span_ticks{name="app_setup"}` holds only
+    /// converged setups.
+    setup_span: Option<SpanId>,
     corr: u64,
     control_queue: VecDeque<(Option<DevId>, ControlAction)>,
     share_queue: VecDeque<(UserId, bool)>,
@@ -245,6 +253,8 @@ impl AppAgent {
             retry,
             cur_delay,
             aborted: false,
+            telemetry: Telemetry::new(),
+            setup_span: None,
             corr: 0,
             control_queue: VecDeque::new(),
             share_queue: VecDeque::new(),
@@ -254,6 +264,12 @@ impl AppAgent {
             last_schedule: Vec::new(),
             last_queried_telemetry: Vec::new(),
         }
+    }
+
+    /// Points the agent at a shared metrics registry. Call before the sim
+    /// starts so every counter lands in the world-wide snapshot.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Whether the setup flow completed and the binding is (still) held.
@@ -316,6 +332,32 @@ impl AppAgent {
         self.bound = false;
         self.reset_retry();
         self.aborted = false;
+        // Abandon (don't close) the previous attempt's span: an unclosed
+        // span marks a setup that never converged, and the poll loop opens
+        // a fresh one for the new attempt.
+        self.setup_span = None;
+    }
+
+    /// Opens the `app_setup` span unless one is already running or the
+    /// binding is already held (BindFirst designs bind mid-flow).
+    fn begin_setup_span(&mut self, now: Tick) {
+        if self.setup_span.is_some() || self.bound || self.setup_complete() {
+            return;
+        }
+        self.setup_span = Some(rb_telemetry::span!(
+            self.telemetry,
+            now.as_u64(),
+            "app_setup",
+            user = self.config.user_id,
+        ));
+    }
+
+    /// Marks the binding as held: counts it and closes the setup span.
+    fn note_bound(&mut self, now: Tick) {
+        self.telemetry.incr("app_binds_total");
+        if let Some(id) = self.setup_span.take() {
+            self.telemetry.end_span(id, now.as_u64());
+        }
     }
 
     /// Fresh backoff state: called whenever the peer answered (the budget
@@ -433,6 +475,7 @@ impl AppAgent {
                     Message::Bind(BindPayload::AclApp { dev_id, user_token }),
                 );
                 self.stats.bind_attempts += 1;
+                self.telemetry.incr("app_bind_attempts_total");
                 self.awaiting = Await::Response(corr);
             }
             Step::AwaitDeviceBind => {
@@ -464,6 +507,7 @@ impl AppAgent {
             }
             (Step::Bind, Response::Bound { session }) => {
                 self.bound = true;
+                self.note_bound(now);
                 self.session = *session;
                 self.events.push(AppEvent::Bound);
                 // Deliver the session token to the device over the LAN.
@@ -480,6 +524,7 @@ impl AppAgent {
             }
             (Step::AwaitDeviceBind, Response::ShadowState { bound: true, .. }) => {
                 self.bound = true;
+                self.note_bound(now);
                 self.events.push(AppEvent::Bound);
                 self.advance(now);
             }
@@ -490,6 +535,7 @@ impl AppAgent {
             (_, Response::Denied { reason }) => {
                 self.events.push(AppEvent::Denied(*reason));
                 self.stats.denials += 1;
+                self.telemetry.incr("app_denials_total");
                 // Retry the step on its next poll.
                 self.awaiting = Await::None;
             }
@@ -501,17 +547,20 @@ impl AppAgent {
         match rsp {
             Response::TelemetryPush { telemetry, .. } => {
                 self.stats.telemetry_pushes += 1;
+                self.telemetry.incr("app_telemetry_pushes_total");
                 self.events.push(AppEvent::Telemetry(telemetry));
             }
             Response::BindingRevoked => {
                 self.bound = false;
                 self.stats.revocations += 1;
+                self.telemetry.incr("app_revocations_total");
                 self.events.push(AppEvent::BindingRevoked);
             }
             Response::Bound { session } => {
                 // Capability designs: the cloud tells the user the device
                 // confirmed the binding.
                 self.bound = true;
+                self.note_bound(ctx.now());
                 self.session = session;
                 self.events.push(AppEvent::Bound);
                 if let (Some(s), Some(node)) = (session, self.device_node) {
@@ -588,6 +637,7 @@ impl AppAgent {
 impl Actor for AppAgent {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.entered_step_at = ctx.now();
+        self.begin_setup_span(ctx.now());
         self.enter_step(ctx);
         ctx.set_timer(self.config.poll_every, TIMER_TICK);
     }
@@ -603,6 +653,7 @@ impl Actor for AppAgent {
             // while powered off would otherwise end the poll loop.
             self.entered_step_at = ctx.now();
             self.reset_retry();
+            self.begin_setup_span(ctx.now());
             self.enter_step(ctx);
             ctx.set_timer(self.config.poll_every, TIMER_TICK);
         }
@@ -635,6 +686,7 @@ impl Actor for AppAgent {
                             }
                             Response::Denied { reason } => {
                                 self.stats.denials += 1;
+                                self.telemetry.incr("app_denials_total");
                                 self.events.push(AppEvent::Denied(reason));
                             }
                             Response::Unbound => self.bound = false,
@@ -680,6 +732,8 @@ impl Actor for AppAgent {
             return;
         }
         let now = ctx.now();
+        // A restart after a give-up re-enters here with no span running.
+        self.begin_setup_span(now);
         match self.current_step() {
             Step::Done => self.pump_user_actions(ctx),
             Step::WaitWindow => {
@@ -702,10 +756,12 @@ impl Actor for AppAgent {
                         match self.retry.next(ctx.rng()) {
                             Some(delay) => {
                                 self.cur_delay = delay;
+                                self.telemetry.incr("app_retries_total");
                                 self.enter_step(ctx);
                             }
                             None => {
                                 self.aborted = true;
+                                self.telemetry.incr("app_giveups_total");
                                 self.events.push(AppEvent::GaveUp);
                                 return;
                             }

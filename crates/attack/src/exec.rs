@@ -10,7 +10,7 @@
 use rb_core::attacks::{AttackId, Feasibility};
 use rb_core::design::{BindScheme, DeviceAuthScheme, FirmwareKnowledge, VendorDesign};
 use rb_core::shadow::ShadowState;
-use rb_netsim::FaultPlan;
+use rb_netsim::{FaultPlan, Telemetry};
 use rb_scenario::{World, WorldBuilder};
 use rb_wire::messages::{
     BindPayload, ControlAction, DeviceAttributes, Message, Response, StatusAuth, StatusPayload,
@@ -65,6 +65,10 @@ impl AttackRun {
 pub struct AttackOpts {
     /// Faults injected into the victim world from the start of the run.
     pub fault_plan: FaultPlan,
+    /// Metrics registry shared with the victim world. Campaign drivers
+    /// pass one handle across all runs to get per-family attempt/success
+    /// counters; the default is a private registry.
+    pub telemetry: Telemetry,
 }
 
 /// Runs one attack against one design. Dispatches to the specific
@@ -80,7 +84,10 @@ pub fn run_attack_opts(
     seed: u64,
     opts: &AttackOpts,
 ) -> AttackRun {
-    match id {
+    let family = id.family();
+    opts.telemetry
+        .incr(&format!("attack_attempts_total{{family=\"{family}\"}}"));
+    let run = match id {
         AttackId::A1 => run_a1(design, seed, opts),
         AttackId::A2 => run_a2(design, seed, opts),
         AttackId::A3_1 => run_a3_1(design, seed, opts),
@@ -90,12 +97,27 @@ pub fn run_attack_opts(
         AttackId::A4_1 => run_a4_1(design, seed, opts),
         AttackId::A4_2 => run_a4_2(design, seed, opts),
         AttackId::A4_3 => run_a4_3(design, seed, opts),
+    };
+    let outcome = match &run.outcome {
+        Feasibility::Feasible => "feasible",
+        Feasibility::Infeasible { .. } => "blocked",
+        Feasibility::Unconfirmable { .. } => "unconfirmable",
+    };
+    if run.outcome == Feasibility::Feasible {
+        opts.telemetry
+            .incr(&format!("attack_success_total{{family=\"{family}\"}}"));
     }
+    opts.telemetry.incr(&format!(
+        "attack_outcomes_total{{id=\"{id}\",outcome=\"{outcome}\"}}"
+    ));
+    run
 }
 
 /// Builds the victim world with the run's environment options applied.
 fn build_world(design: &VendorDesign, seed: u64, opts: &AttackOpts, paused: bool) -> World {
-    let mut builder = WorldBuilder::new(design.clone(), seed).fault_plan(opts.fault_plan.clone());
+    let mut builder = WorldBuilder::new(design.clone(), seed)
+        .fault_plan(opts.fault_plan.clone())
+        .with_telemetry(opts.telemetry.clone());
     if paused {
         builder = builder.victim_paused();
     }
@@ -208,6 +230,7 @@ fn forged_heartbeat(world: &World, telemetry: Vec<TelemetryFrame>) -> Message {
 /// The attacker attempts to actually drive the device after acquiring a
 /// binding: sends `TurnOn` and checks the physical relay.
 fn control_check(world: &mut World, adv: &mut Adversary, evidence: &mut Vec<String>) -> bool {
+    world.telemetry().incr("attack_control_attempts_total");
     let dev_id = world.homes[0].dev_id.clone();
     let Some(user_token) = adv.user_token else {
         unreachable!("the adversary logs in before attempting control")
@@ -228,6 +251,9 @@ fn control_check(world: &mut World, adv: &mut Adversary, evidence: &mut Vec<Stri
     match rsp {
         Some(Response::ControlOk { .. }) => {
             let on = world.device(0).is_on();
+            if on {
+                world.telemetry().incr("attack_control_relayed_total");
+            }
             evidence.push(format!("control accepted by cloud; device relay on = {on}"));
             evidence.push(alert_summary(world));
             on
@@ -261,6 +287,7 @@ fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 
     // Open a forged device session.
     let register = forged_register(&world);
+    world.telemetry().incr("attack_forged_registers_total");
     match adv.request(&mut world, register) {
         Some(Response::StatusAccepted { .. }) => {
             evidence.push("forged registration accepted".into());
@@ -290,6 +317,7 @@ fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     // victim's app.
     let marker = TelemetryFrame::PowerMilliwatts(999_000_000);
     let heartbeat = forged_heartbeat(&world, vec![marker.clone()]);
+    world.telemetry().incr("attack_forged_heartbeats_total");
     adv.request(&mut world, heartbeat);
     world.run_for(5_000);
     let injected = world.app(0).events.iter().any(|e| match e {
@@ -351,6 +379,7 @@ fn run_a2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             }
         }
     };
+    world.telemetry().incr("attack_forged_binds_total");
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
@@ -392,6 +421,7 @@ fn run_a3_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
     let dev_id = world.homes[0].dev_id.clone();
+    world.telemetry().incr("attack_forged_unbinds_total");
     match adv.request(
         &mut world,
         Message::Unbind(UnbindPayload::DevIdOnly {
@@ -425,6 +455,7 @@ fn run_a3_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     let user_token = adv.login(&mut world);
     let mut evidence = Vec::new();
     let dev_id = world.homes[0].dev_id.clone();
+    world.telemetry().incr("attack_forged_unbinds_total");
     match adv.request(
         &mut world,
         Message::Unbind(UnbindPayload::DevIdUserToken {
@@ -473,6 +504,7 @@ fn run_a3_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             }
         }
     };
+    world.telemetry().incr("attack_forged_binds_total");
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
@@ -519,6 +551,7 @@ fn run_a3_4(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
     let register = forged_register(&world);
+    world.telemetry().incr("attack_forged_registers_total");
     match adv.request(&mut world, register) {
         Some(Response::StatusAccepted { .. }) => {
             evidence.push("forged registration accepted".into());
@@ -569,6 +602,7 @@ fn run_a4_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             }
         }
     };
+    world.telemetry().incr("attack_forged_binds_total");
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
@@ -617,6 +651,7 @@ fn run_a4_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
         let Ok(bind) = forged_bind(design, &world, &adv) else {
             unreachable!("forgeability was checked before the probe loop")
         };
+        world.telemetry().incr("attack_window_probes_total");
         adv.fire(&mut world, bind);
         world.run_for(250);
         if let Some(Response::Bound { session }) = latest_bind_response(&mut adv, &mut world) {
@@ -686,6 +721,7 @@ fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             user_token,
         })
     };
+    world.telemetry().incr("attack_forged_unbinds_total");
     match adv.request(&mut world, unbind) {
         Some(Response::Unbound) => evidence.push("step 1: victim unbound".into()),
         Some(Response::Denied { reason }) => {
@@ -705,6 +741,7 @@ fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             }
         }
     };
+    world.telemetry().incr("attack_forged_binds_total");
     match adv.request(&mut world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;

@@ -19,6 +19,7 @@ use rb_netsim::FaultPlan;
 fn benign_opts() -> AttackOpts {
     AttackOpts {
         fault_plan: FaultPlan::new().chaos_window(100, 100_000, 150, 100, 2),
+        ..AttackOpts::default()
     }
 }
 

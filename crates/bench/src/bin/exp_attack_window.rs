@@ -15,6 +15,7 @@ use rb_attack::Adversary;
 use rb_bench::render_table;
 use rb_core::design::VendorDesign;
 use rb_core::vendors;
+use rb_netsim::Telemetry;
 use rb_scenario::WorldBuilder;
 use rb_wire::messages::{BindPayload, ControlAction, Message, Response};
 use rb_wire::tokens::UserId;
@@ -23,10 +24,17 @@ use rb_wire::tokens::UserId;
 /// victim sets up with `window` ticks of human delay. Returns whether the
 /// attacker ends up *controlling the device* (A4-2 is a hijack, not just
 /// an occupation).
-fn race(design: &VendorDesign, window: u64, probe_every: u64, seed: u64) -> bool {
+fn race(
+    design: &VendorDesign,
+    window: u64,
+    probe_every: u64,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> bool {
     let mut world = WorldBuilder::new(design.clone(), seed)
         .user_bind_delay(window)
         .victim_paused()
+        .with_telemetry(telemetry.clone())
         .build();
     let mut adv = Adversary::new();
     let user_token = adv.login(&mut world);
@@ -105,10 +113,17 @@ fn main() {
             for (di, (_, design)) in designs.iter().enumerate() {
                 let results = &results;
                 scope.spawn(move |_| {
+                    // One registry per grid cell: the monitor's alert
+                    // counters accumulate across the cell's seeds, so the
+                    // detectability table below is a snapshot lookup, not
+                    // a trace re-scan.
+                    let telemetry = Telemetry::new();
                     let wins = (0..seeds)
-                        .filter(|&s| race(design, window, 250, 0xA42 + s * 31 + window))
+                        .filter(|&s| race(design, window, 250, 0xA42 + s * 31 + window, &telemetry))
                         .count();
-                    results.lock().insert((wi, di), wins);
+                    let alerts =
+                        telemetry.counter("cloud_alerts_total{kind=\"contested-binding\"}");
+                    results.lock().insert((wi, di), (wins, alerts));
                 });
             }
         }
@@ -121,7 +136,7 @@ fn main() {
     for (wi, &window) in windows.iter().enumerate() {
         let mut row = vec![format!("{} ms", window)];
         for di in 0..designs.len() {
-            let wins = results[&(wi, di)];
+            let (wins, _) = results[&(wi, di)];
             row.push(format!("{wins}/{seeds}"));
         }
         rows.push(row);
@@ -130,6 +145,20 @@ fn main() {
         .chain(designs.iter().map(|(n, _)| *n))
         .collect();
     println!("{}", render_table(&headers, &rows));
+
+    // Detectability: what a watchful vendor saw while the race ran, read
+    // straight off each cell's telemetry snapshot.
+    let mut alert_rows = Vec::new();
+    for (wi, &window) in windows.iter().enumerate() {
+        let mut row = vec![format!("{} ms", window)];
+        for di in 0..designs.len() {
+            let (_, alerts) = results[&(wi, di)];
+            row.push(alerts.to_string());
+        }
+        alert_rows.push(row);
+    }
+    println!("contested-binding alerts raised at the cloud during the race:");
+    println!("{}", render_table(&headers, &alert_rows));
 
     println!("shape check (paper §V-E): the race wins reliably on the DevId+app-bind design once");
     println!("the window exceeds the probe interval; DevToken designs never yield control; the");

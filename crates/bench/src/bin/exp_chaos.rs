@@ -6,6 +6,12 @@
 //! retry budget turns an unreachable cloud into a clean abort instead of a
 //! silent wedge, so every run terminates: it either converges or gives up.
 //!
+//! Timings come from the telemetry registry each world records into —
+//! every converged setup closes one `app_setup` span, so the per-sweep
+//! `span_ticks{name="app_setup"}` histogram *is* the convergence-time
+//! distribution (no trace re-scanning, and tick-exact rather than rounded
+//! to the polling granularity of the old harness).
+//!
 //! ```text
 //! cargo run -p rb-bench --bin exp_chaos
 //! ```
@@ -13,7 +19,8 @@
 use rb_bench::render_table;
 use rb_core::design::VendorDesign;
 use rb_core::vendors;
-use rb_netsim::{FaultPlan, LinkQuality};
+use rb_netsim::telemetry::Histogram;
+use rb_netsim::{FaultPlan, LinkQuality, Telemetry};
 use rb_scenario::WorldBuilder;
 
 /// Seeds for each sweep point (chosen once; the sim is deterministic).
@@ -22,11 +29,12 @@ const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 /// Generous horizon: beyond this a run counts as not converged.
 const HORIZON: u64 = 200_000;
 
-/// One run: degrade the WAN to `drop_per_mille` for the whole horizon and
-/// report `(converged, gave_up, tick at termination)`.
-fn run_once(design: &VendorDesign, seed: u64, drop_per_mille: u16) -> (bool, bool, u64) {
+/// One run: degrade the WAN to `drop_per_mille` for the whole horizon,
+/// recording into the sweep point's shared registry.
+fn run_once(design: &VendorDesign, seed: u64, drop_per_mille: u16, telemetry: &Telemetry) {
     let mut world = WorldBuilder::new(design.clone(), seed)
         .realistic_links()
+        .with_telemetry(telemetry.clone())
         .fault_plan(FaultPlan::new().degrade_wan(
             0,
             HORIZON,
@@ -37,32 +45,35 @@ fn run_once(design: &VendorDesign, seed: u64, drop_per_mille: u16) -> (bool, boo
             },
         ))
         .build();
-    let converged = world.try_run_setup(HORIZON);
-    (converged, world.app(0).gave_up(), world.now().as_u64())
+    world.try_run_setup(HORIZON);
 }
 
 fn sweep(design: &VendorDesign, drop_per_mille: u16) -> Vec<String> {
-    let mut ticks = Vec::new();
-    let mut converged = 0usize;
-    let mut aborted = 0usize;
+    let telemetry = Telemetry::new();
     for seed in SEEDS {
-        let (ok, gave_up, at) = run_once(design, seed, drop_per_mille);
-        if ok {
-            converged += 1;
-            ticks.push(at);
-        } else if gave_up {
-            aborted += 1;
-        }
+        run_once(design, seed, drop_per_mille, &telemetry);
     }
-    ticks.sort_unstable();
-    let median = ticks
-        .get(ticks.len() / 2)
+    let snap = telemetry.snapshot();
+    // Converged runs are exactly the closed `app_setup` spans; aborts are
+    // the give-up counter. Everything the old harness re-derived by hand
+    // is one histogram lookup now.
+    let setups = snap.histogram("span_ticks{name=\"app_setup\"}").cloned();
+    let converged = setups.as_ref().map_or(0, Histogram::count);
+    let aborted = snap.counter("app_giveups_total");
+    let retries = snap.counter("app_retries_total");
+    let median = setups
+        .as_ref()
+        .and_then(|h| h.p50())
         .map_or_else(|| "-".into(), |t| t.to_string());
-    let max = ticks.last().map_or_else(|| "-".into(), |t| t.to_string());
+    let max = setups
+        .as_ref()
+        .and_then(|h| h.max())
+        .map_or_else(|| "-".into(), |t| t.to_string());
     vec![
         format!("{:.0}%", f64::from(drop_per_mille) / 10.0),
         format!("{converged}/{}", SEEDS.len()),
         format!("{aborted}/{}", SEEDS.len()),
+        retries.to_string(),
         median,
         max,
     ]
@@ -87,6 +98,7 @@ fn main() {
                 "drop rate",
                 "converged",
                 "clean aborts",
+                "app retries",
                 "median ticks",
                 "max ticks"
             ],
@@ -94,6 +106,6 @@ fn main() {
         )
     );
 
-    println!("shape check: convergence time grows with loss but every seed terminates —");
-    println!("either bound, or a clean abort once the retry budget is exhausted.");
+    println!("shape check: convergence time and retry volume grow with loss but every seed");
+    println!("terminates — either bound, or a clean abort once the retry budget is exhausted.");
 }

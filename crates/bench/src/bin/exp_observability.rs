@@ -1,0 +1,183 @@
+//! EXP-OBS — binding-lifecycle latency percentiles and sim-loop throughput.
+//!
+//! Runs the canonical observability scenario (`rb_scenario::metrics_run`:
+//! setup → control round-trip → unbind → reset → re-bind → quiesce) for
+//! every Table III vendor over a fixed seed set, merges the per-seed
+//! registries, and reports the binding-lifecycle latency distributions:
+//!
+//! * `initial→online` — first registration to the shadow coming online,
+//! * `online→bound` — shadow online to the binding landing,
+//! * `unbind→rebind` — the re-pairing window after a "remove device".
+//!
+//! All latencies are deterministic sim ticks — a pure function of
+//! `(design, seed)`. The one wall-clock measurement in the whole workspace
+//! lives here: events/sec of the sim loop itself (total `sim_events_total`
+//! divided by elapsed `Instant` time), which is machine-dependent and
+//! reported as throughput, never as a simulation result.
+//!
+//! Prints a human table, then a single `BENCH ` line with a JSON document
+//! for machine consumption (CI uploads it as the metrics artifact):
+//!
+//! ```text
+//! cargo run --release -p rb-bench --bin exp_observability
+//! cargo run --release -p rb-bench --bin exp_observability -- out.json
+//! ```
+//!
+//! With a path argument the same JSON is also written to that file.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rb_bench::render_table;
+use rb_core::vendors;
+use rb_netsim::telemetry::{Histogram, Registry};
+use rb_scenario::metrics_run;
+
+/// Seeds each vendor's scenario is run with (fixed; the sim is
+/// deterministic, so these fully define the tick-domain results).
+const SEEDS: [u64; 3] = [7, 11, 13];
+
+/// The three lifecycle histograms, in report order.
+const LIFECYCLE: [(&str, &str); 3] = [
+    ("initial→online", "binding_initial_to_online_ticks"),
+    ("online→bound", "binding_online_to_bound_ticks"),
+    ("unbind→rebind", "binding_unbind_to_rebind_ticks"),
+];
+
+/// One vendor's merged results across the seed set.
+struct VendorStats {
+    vendor: String,
+    merged: Registry,
+    /// Seeds whose initial setup converged (of `SEEDS.len()`).
+    converged: usize,
+    events: u64,
+    elapsed_secs: f64,
+}
+
+/// `p50/p95/max` of a histogram as a compact cell, `-` when empty.
+fn cell(h: Option<&Histogram>) -> String {
+    let fmt = |v: Option<u64>| v.map_or_else(|| "-".into(), |t| t.to_string());
+    match h {
+        Some(h) if h.count() > 0 => {
+            format!("{}/{}/{}", fmt(h.p50()), fmt(h.p95()), fmt(h.max()))
+        }
+        _ => "-".into(),
+    }
+}
+
+/// JSON fragment for one histogram: counts and tick percentiles.
+fn json_hist(h: Option<&Histogram>) -> String {
+    let num = |v: Option<u64>| v.map_or_else(|| "null".into(), |t| t.to_string());
+    match h {
+        Some(h) if h.count() > 0 => format!(
+            "{{\"count\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+            h.count(),
+            num(h.p50()),
+            num(h.p95()),
+            num(h.max())
+        ),
+        _ => "{\"count\":0,\"p50\":null,\"p95\":null,\"max\":null}".into(),
+    }
+}
+
+fn run_vendor(design: &rb_core::design::VendorDesign) -> VendorStats {
+    let mut merged = Registry::new();
+    let mut converged = 0usize;
+    let mut events = 0u64;
+    let started = Instant::now();
+    for seed in SEEDS {
+        let snap = metrics_run(design, seed).snapshot();
+        converged += usize::from(snap.gauge("scenario_setup_converged") == Some(1));
+        events += snap.counter("sim_events_total");
+        merged.merge_from(&snap);
+    }
+    VendorStats {
+        vendor: design.vendor.clone(),
+        merged,
+        converged,
+        events,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    println!("EXP-OBS: binding-lifecycle latencies (ticks, p50/p95/max) + sim throughput\n");
+    println!(
+        "scenario: setup -> control -> unbind -> reset -> re-bind -> quiesce, seeds {SEEDS:?}\n"
+    );
+
+    let stats: Vec<VendorStats> = vendors::vendor_designs().iter().map(run_vendor).collect();
+
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.vendor.clone()];
+            for (_, metric) in LIFECYCLE {
+                row.push(cell(s.merged.histogram(metric)));
+            }
+            row.push(format!("{}/{}", s.converged, SEEDS.len()));
+            row.push(format!("{:.0}k", s.events as f64 / s.elapsed_secs / 1e3));
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "vendor",
+                "initial→online",
+                "online→bound",
+                "unbind→rebind",
+                "conv",
+                "events/s"
+            ],
+            &rows
+        )
+    );
+    println!("latency cells are deterministic ticks; events/s is wall-clock throughput of");
+    println!("the sim loop on this machine and is not a claim of the reproduction.\n");
+
+    let total_events: u64 = stats.iter().map(|s| s.events).sum();
+    let total_secs: f64 = stats.iter().map(|s| s.elapsed_secs).sum();
+
+    // The machine-readable artifact: one JSON document on a single
+    // `BENCH ` line (hand-rolled — the workspace's serde is a no-op stub).
+    let mut json = String::from("{\"bench\":\"exp_observability\",\"seeds\":[7,11,13],");
+    let _ = write!(
+        json,
+        "\"events_total\":{total_events},\"events_per_sec\":{:.0},\"vendors\":[",
+        total_events as f64 / total_secs
+    );
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "{{\"vendor\":\"{}\",", s.vendor);
+        for (j, (_, metric)) in LIFECYCLE.iter().enumerate() {
+            if j > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "\"{metric}\":{}",
+                json_hist(s.merged.histogram(metric))
+            );
+        }
+        let _ = write!(
+            json,
+            ",\"setups_converged\":{},\"events_per_sec\":{:.0}}}",
+            s.converged,
+            s.events as f64 / s.elapsed_secs
+        );
+    }
+    json.push_str("]}");
+    println!("BENCH {json}");
+
+    if let Some(path) = std::env::args().nth(1) {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("exp_observability: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -6,6 +6,7 @@
 //! rbsim lint <vendor|--all>       # design lints (add --json or --sarif)
 //! rbsim campaign <vendor> [seed]  # execute all nine attacks live
 //! rbsim attack <vendor> <A4-3>    # execute one attack with evidence
+//! rbsim metrics <vendor> [seed]   # binding-lifecycle telemetry (--json|--prom)
 //! rbsim taxonomy                  # Table II
 //! rbsim table3                    # full live Table III
 //! rbsim space                     # exhaustive design-space survey
@@ -181,6 +182,29 @@ fn cmd_attack(design: &VendorDesign, id: AttackId, seed: u64) {
     }
 }
 
+/// Output format for `rbsim metrics`.
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Human,
+    Json,
+    Prometheus,
+}
+
+fn cmd_metrics(design: &VendorDesign, seed: u64, format: MetricsFormat) {
+    let telemetry = rb_scenario::metrics_run(design, seed);
+    match format {
+        MetricsFormat::Human => {
+            println!(
+                "metrics: {} (seed {seed}) — canonical binding-lifecycle scenario\n",
+                design.vendor
+            );
+            print!("{}", telemetry.render_human());
+        }
+        MetricsFormat::Json => print!("{}", telemetry.to_json()),
+        MetricsFormat::Prometheus => print!("{}", telemetry.to_prometheus()),
+    }
+}
+
 fn cmd_verify(design: &VendorDesign) {
     println!("model-checking {}...\n", design.vendor);
     let spec = check(design);
@@ -264,12 +288,15 @@ fn cmd_space() {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: rbsim <list|audit|lint|verify|campaign|attack|taxonomy|table3|space> [args]");
+    eprintln!(
+        "usage: rbsim <list|audit|lint|verify|campaign|attack|metrics|taxonomy|table3|space> [args]"
+    );
     eprintln!("  rbsim audit tp-link");
     eprintln!("  rbsim lint tp-link");
     eprintln!("  rbsim lint --all --sarif");
     eprintln!("  rbsim campaign e-link 42");
     eprintln!("  rbsim attack tp-link A4-3");
+    eprintln!("  rbsim metrics tp-link 7 --prom");
     std::process::exit(2);
 }
 
@@ -324,6 +351,29 @@ fn main() {
             };
             let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
             cmd_campaign(&design, seed);
+        }
+        Some("metrics") => {
+            let mut format = MetricsFormat::Human;
+            let mut seed = 7u64;
+            let mut vendor = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => format = MetricsFormat::Json,
+                    "--prom" => format = MetricsFormat::Prometheus,
+                    other => {
+                        if let Ok(s) = other.parse() {
+                            seed = s;
+                        } else {
+                            vendor = Some(other.to_owned());
+                        }
+                    }
+                }
+            }
+            let Some(design) = vendor.as_deref().and_then(find_design) else {
+                eprintln!("unknown vendor; try `rbsim list`");
+                std::process::exit(2);
+            };
+            cmd_metrics(&design, seed, format);
         }
         Some("attack") => {
             let Some(design) = args.get(1).and_then(|n| find_design(n)) else {

@@ -20,6 +20,9 @@
 //! | `exp_ablation` | §VII — mitigation ablation matrix |
 //! | `exp_design_space` | extension — exhaustive design-space survey |
 //! | `exp_detection` | extension — runtime detectability of the attacks |
+//! | `exp_lint` | extension — design-linter soundness/precision sweep |
+//! | `exp_chaos` | extension — setup convergence under injected faults |
+//! | `exp_observability` | extension — binding-latency percentiles + sim throughput |
 //! | `rbsim` | the whole toolkit as one CLI |
 
 use std::fmt::Write as _;

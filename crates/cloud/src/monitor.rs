@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rb_netsim::{NodeId, Tick};
+use rb_netsim::{NodeId, Telemetry, Tick};
 use rb_wire::ids::DevId;
 use rb_wire::tokens::UserId;
 
@@ -125,6 +125,9 @@ pub struct Monitor {
     pub enumeration_threshold: usize,
     /// AlreadyBound denials per (device, challenger) before flagging.
     pub contested_threshold: u32,
+    /// Metrics sink: every raised alert also bumps
+    /// `cloud_alerts_total{kind="…"}`.
+    telemetry: Telemetry,
 }
 
 impl Monitor {
@@ -139,7 +142,14 @@ impl Monitor {
             contested_flagged: HashSet::new(),
             enumeration_threshold: 8,
             contested_threshold: 3,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Points the monitor at a shared telemetry registry (normally the
+    /// cloud service forwards its own handle here).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// All alerts raised so far.
@@ -158,6 +168,8 @@ impl Monitor {
     }
 
     pub(crate) fn raise(&mut self, alert: SecurityAlert) {
+        self.telemetry
+            .incr(&format!("cloud_alerts_total{{kind=\"{}\"}}", alert.kind()));
         self.alerts.push(alert);
     }
 
@@ -167,9 +179,10 @@ impl Monitor {
         let set = self.touched.entry(source).or_default();
         set.insert(dev_id.clone());
         if set.len() >= self.enumeration_threshold && self.flagged.insert(source) {
-            self.alerts.push(SecurityAlert::EnumerationSuspected {
+            let distinct_ids = self.touched.get(&source).map_or(0, |s| s.len());
+            self.raise(SecurityAlert::EnumerationSuspected {
                 source,
-                distinct_ids: set.len(),
+                distinct_ids,
             });
         }
     }
@@ -179,7 +192,7 @@ impl Monitor {
     pub(crate) fn observe_device_ip(&mut self, dev_id: &DevId, ip: u32) {
         match self.device_ips.insert(dev_id.clone(), ip) {
             Some(old_ip) if old_ip != ip => {
-                self.alerts.push(SecurityAlert::SessionMoved {
+                self.raise(SecurityAlert::SessionMoved {
                     dev_id: dev_id.clone(),
                     old_ip,
                     new_ip: ip,
@@ -205,12 +218,13 @@ impl Monitor {
         let key = (dev_id.clone(), challenger.clone());
         let n = self.contested.entry(key.clone()).or_default();
         *n += 1;
-        if *n >= self.contested_threshold && self.contested_flagged.insert(key) {
-            self.alerts.push(SecurityAlert::ContestedBinding {
+        let denials = *n;
+        if denials >= self.contested_threshold && self.contested_flagged.insert(key) {
+            self.raise(SecurityAlert::ContestedBinding {
                 dev_id: dev_id.clone(),
                 holder: holder.clone(),
                 challenger: challenger.clone(),
-                denials: *n,
+                denials,
             });
         }
     }
@@ -264,5 +278,141 @@ mod tests {
         });
         assert_eq!(m.take_alerts().len(), 1);
         assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn alert_kinds_are_pinned() {
+        // Experiment tables and the telemetry counter labels key on these
+        // exact strings; changing one silently breaks both.
+        let u = |s: &str| UserId::new(s);
+        let cases: Vec<(SecurityAlert, &str)> = vec![
+            (
+                SecurityAlert::ForeignUnbind {
+                    dev_id: id(1),
+                    victim: u("v"),
+                    requester: u("a"),
+                },
+                "foreign-unbind",
+            ),
+            (
+                SecurityAlert::BareUnbind {
+                    dev_id: id(1),
+                    from_ip: 9,
+                },
+                "bare-unbind",
+            ),
+            (
+                SecurityAlert::BindingReplaced {
+                    dev_id: id(1),
+                    victim: u("v"),
+                    new_holder: u("a"),
+                },
+                "binding-replaced",
+            ),
+            (
+                SecurityAlert::SessionMoved {
+                    dev_id: id(1),
+                    old_ip: 1,
+                    new_ip: 2,
+                },
+                "session-moved",
+            ),
+            (
+                SecurityAlert::EnumerationSuspected {
+                    source: NodeId(3),
+                    distinct_ids: 8,
+                },
+                "enumeration",
+            ),
+            (
+                SecurityAlert::ContestedBinding {
+                    dev_id: id(1),
+                    holder: u("h"),
+                    challenger: u("c"),
+                    denials: 3,
+                },
+                "contested-binding",
+            ),
+            (
+                SecurityAlert::RemoteOnlyBind {
+                    dev_id: id(1),
+                    holder: u("a"),
+                    from_ip: 7,
+                },
+                "remote-only-bind",
+            ),
+        ];
+        for (alert, kind) in cases {
+            assert_eq!(alert.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn contested_binding_flags_once_at_threshold_per_challenger() {
+        let mut m = Monitor::new();
+        m.contested_threshold = 3;
+        let holder = UserId::new("owner");
+        let mallory = UserId::new("mallory");
+        for _ in 0..2 {
+            m.observe_bind_denial(&id(1), &holder, &mallory);
+        }
+        assert_eq!(m.count("contested-binding"), 0, "below threshold");
+        for _ in 0..3 {
+            m.observe_bind_denial(&id(1), &holder, &mallory);
+        }
+        assert_eq!(m.count("contested-binding"), 1, "flagged exactly once");
+        // A different challenger on the same device gets its own counter.
+        let eve = UserId::new("eve");
+        for _ in 0..3 {
+            m.observe_bind_denial(&id(1), &holder, &eve);
+        }
+        assert_eq!(m.count("contested-binding"), 2);
+    }
+
+    #[test]
+    fn raise_emits_telemetry_counters_per_kind() {
+        let tele = Telemetry::new();
+        let mut m = Monitor::new();
+        m.set_telemetry(tele.clone());
+        m.raise(SecurityAlert::BareUnbind {
+            dev_id: id(1),
+            from_ip: 5,
+        });
+        m.raise(SecurityAlert::BareUnbind {
+            dev_id: id(2),
+            from_ip: 5,
+        });
+        m.raise(SecurityAlert::ForeignUnbind {
+            dev_id: id(1),
+            victim: UserId::new("v"),
+            requester: UserId::new("a"),
+        });
+        assert_eq!(tele.counter("cloud_alerts_total{kind=\"bare-unbind\"}"), 2);
+        assert_eq!(
+            tele.counter("cloud_alerts_total{kind=\"foreign-unbind\"}"),
+            1
+        );
+        // Draining alerts does not reset the counters: the registry is the
+        // cumulative record, the alert list is the actionable queue.
+        let drained = m.take_alerts();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(tele.counter("cloud_alerts_total{kind=\"bare-unbind\"}"), 2);
+    }
+
+    #[test]
+    fn threshold_alerts_reach_telemetry_too() {
+        let tele = Telemetry::new();
+        let mut m = Monitor::new();
+        m.set_telemetry(tele.clone());
+        m.enumeration_threshold = 2;
+        m.observe_target(NodeId(9), &id(1), Tick(1));
+        m.observe_target(NodeId(9), &id(2), Tick(1));
+        assert_eq!(tele.counter("cloud_alerts_total{kind=\"enumeration\"}"), 1);
+        m.observe_device_ip(&id(1), 100);
+        m.observe_device_ip(&id(1), 200);
+        assert_eq!(
+            tele.counter("cloud_alerts_total{kind=\"session-moved\"}"),
+            1
+        );
     }
 }

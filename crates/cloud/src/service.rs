@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use rb_core::design::{BindScheme, DeviceAuthScheme, VendorDesign};
 use rb_core::shadow::ShadowState;
-use rb_netsim::{Actor, Ctx, Dest, NodeId, SimRng, Tick};
+use rb_netsim::{Actor, Ctx, Dest, NodeId, SimRng, Telemetry, Tick};
 use rb_wire::envelope::Envelope;
 use rb_wire::ids::DevId;
 use rb_wire::messages::{
@@ -112,6 +112,42 @@ pub struct CloudService {
     rules: HashMap<rb_wire::tokens::UserId, Vec<AutomationRule>>,
     rate: HashMap<NodeId, (Tick, u32)>,
     monitor: Monitor,
+    telemetry: Telemetry,
+}
+
+/// Records a shadow transition into the unified registry: the
+/// `cloud_shadow_transitions_total{from,to}` counter plus the
+/// binding-lifecycle histograms (`Initial→Online`, `Online→Bound`,
+/// unbind-to-rebind). Free function so callers can hold a `&mut` borrow of
+/// the device state while recording.
+fn track_transition(
+    telemetry: &Telemetry,
+    dev_id: &DevId,
+    before: ShadowState,
+    after: ShadowState,
+    now: Tick,
+) {
+    if before == after {
+        return;
+    }
+    telemetry.with(|r| {
+        r.counter_add(
+            &format!("cloud_shadow_transitions_total{{from=\"{before}\",to=\"{after}\"}}"),
+            1,
+        );
+        let dev = dev_id.to_string();
+        let now = now.as_u64();
+        match (before.is_online(), after.is_online()) {
+            (false, true) => r.lifecycle_online(&dev, now),
+            (true, false) => r.lifecycle_offline(&dev),
+            _ => {}
+        }
+        match (before.is_bound(), after.is_bound()) {
+            (false, true) => r.lifecycle_bound(&dev, now),
+            (true, false) => r.lifecycle_unbound(&dev, now),
+            _ => {}
+        }
+    });
 }
 
 impl CloudService {
@@ -130,7 +166,21 @@ impl CloudService {
             rules: HashMap::new(),
             rate: HashMap::new(),
             monitor: Monitor::new(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Points the cloud (and its monitor) at a shared telemetry registry.
+    /// The world builder calls this with the simulation's handle so every
+    /// layer records into one place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.monitor.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this cloud records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The design this cloud implements.
@@ -216,11 +266,22 @@ impl CloudService {
         } else {
             self.dispatch(from, now, msg, rng)
         };
+        let rendered = outcome.reply.to_string();
+        // The audit log and the metrics registry observe the same
+        // request/outcome stream: the log keeps bounded per-request
+        // records, the registry keeps unbounded per-kind counters.
+        self.telemetry.with(|r| {
+            let kind = msg.kind_str();
+            r.counter_add(&format!("cloud_requests_total{{kind=\"{kind}\"}}"), 1);
+            if rendered.starts_with("Denied") {
+                r.counter_add(&format!("cloud_denials_total{{kind=\"{kind}\"}}"), 1);
+            }
+        });
         self.audit.push(AuditEntry {
             at: now,
             from,
             request: msg.kind_str(),
-            outcome: outcome.reply.to_string(),
+            outcome: rendered,
         });
         outcome
     }
@@ -250,6 +311,17 @@ impl CloudService {
             self.state
                 .expire_half_open(now, self.config.heartbeat_timeout),
         );
+        for dev_id in &expired {
+            // Expiry always moves an online shadow offline; the post-state
+            // tells us whether it was Online→Initial or Control→Bound.
+            let after = self.state.shadow_state(dev_id);
+            let before = ShadowState::from_flags(true, after.is_bound());
+            track_transition(&self.telemetry, dev_id, before, after, now);
+        }
+        if !expired.is_empty() {
+            self.telemetry
+                .counter_add("cloud_sessions_expired_total", expired.len() as u64);
+        }
         expired
     }
 
@@ -377,9 +449,12 @@ impl CloudService {
             && self.state.shadow_state(&payload.dev_id).is_bound()
         {
             let record = self.state.record_mut(&payload.dev_id);
+            let before = record.shadow.state();
             let revoked = record.shadow.on_unbind();
+            let after = record.shadow.state();
             record.binding_session = None;
             record.guests.clear();
+            track_transition(&self.telemetry, &payload.dev_id, before, after, now);
             if let Some(user) = revoked {
                 if let Some(node) = self.accounts.node_of(&user) {
                     pushes.push((node, Response::BindingRevoked));
@@ -419,7 +494,11 @@ impl CloudService {
             }
         }
         let record = self.state.record_mut(&payload.dev_id);
+        let before = record.shadow.state();
         record.shadow.on_status(now.as_u64());
+        let after = record.shadow.state();
+        track_transition(&self.telemetry, &payload.dev_id, before, after, now);
+        let record = self.state.record_mut(&payload.dev_id);
         if payload.button_pressed {
             record.button_at = Some(now);
             record.button_ip = Some(from_ip);
@@ -555,7 +634,14 @@ impl CloudService {
         };
         let bind_ip = self.public_ip(from);
         let record = self.state.record_mut(&dev_id);
+        let before = record.shadow.state();
         let displaced = record.shadow.on_bind(user.clone());
+        let after = record.shadow.state();
+        track_transition(&self.telemetry, &dev_id, before, after, now);
+        if displaced.is_some() {
+            self.telemetry.incr("cloud_bindings_replaced_total");
+        }
+        let record = self.state.record_mut(&dev_id);
         record.binding_session = session;
         record.binding_ip = Some(bind_ip);
         record.remote_bind_flagged = false;
@@ -660,9 +746,12 @@ impl CloudService {
         }
         let from_ip = self.public_ip(from);
         let record = self.state.record_mut(&dev_id);
+        let before = record.shadow.state();
         let revoked = record.shadow.on_unbind();
+        let after = record.shadow.state();
         record.binding_session = None;
         record.guests.clear();
+        track_transition(&self.telemetry, &dev_id, before, after, now);
         match (payload, &revoked, &requester) {
             // Legitimate resets come from the device's own NAT; a bare
             // unbind from anywhere else is the A3-1 signature.

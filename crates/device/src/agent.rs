@@ -1,7 +1,7 @@
 //! The device firmware agent.
 
 use rb_core::design::{BindScheme, DeviceAuthScheme, VendorDesign};
-use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Retry, RetryPolicy, TimerKey};
+use rb_netsim::{Actor, Ctx, Dest, LanId, NodeId, Retry, RetryPolicy, Telemetry, TimerKey};
 use rb_provision::apmode::{PairingMaterial, ProvisionReply, ProvisionRequest};
 use rb_provision::discovery::{SearchRequest, SearchResponse};
 use rb_provision::label::DeviceLabel;
@@ -103,6 +103,12 @@ pub struct DeviceAgent {
     /// Backoff state for the device-sent Bind: one lost packet must not
     /// wedge an `AclDevice`/`Capability` setup forever.
     bind_retry: Retry,
+    /// Bind sends in the current cycle; sends beyond the first count as
+    /// `device_bind_retries_total`. Reset whenever `bind_retry` is.
+    bind_tries_this_cycle: u32,
+    /// Shared metrics registry (a private default until the harness wires
+    /// in the world-wide one via [`DeviceAgent::set_telemetry`]).
+    telemetry: Telemetry,
     /// Public counters.
     pub stats: DeviceStats,
 }
@@ -130,8 +136,16 @@ impl DeviceAgent {
             extra_telemetry: Vec::new(),
             hb_gen: 0,
             bind_retry: Retry::new(RetryPolicy::new(25, 800)),
+            bind_tries_this_cycle: 0,
+            telemetry: Telemetry::new(),
             stats: DeviceStats::default(),
         }
+    }
+
+    /// Points the agent at a shared metrics registry. Call before the sim
+    /// starts so every counter lands in the world-wide snapshot.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The unit's printed label (the ID-leak channel of the adversary
@@ -263,8 +277,10 @@ impl DeviceAgent {
                 .telemetry
                 .extend(self.extra_telemetry.iter().cloned());
             self.stats.heartbeats += 1;
+            self.telemetry.incr("device_heartbeats_total");
         } else {
             self.stats.registers += 1;
+            self.telemetry.incr("device_registers_total");
         }
         self.button_queued = false;
         self.send_request(ctx, Message::Status(payload));
@@ -294,7 +310,9 @@ impl DeviceAgent {
         self.ak_lengths.clear();
         self.reset_queued = false;
         self.bind_retry.reset();
+        self.bind_tries_this_cycle = 0;
         self.stats.resets += 1;
+        self.telemetry.incr("device_resets_total");
     }
 
     /// Runs locally stored schedule entries whose time has come — the
@@ -320,6 +338,7 @@ impl DeviceAgent {
             ControlAction::QuerySchedule | ControlAction::QueryTelemetry => {}
         }
         self.stats.commands += 1;
+        self.telemetry.incr("device_commands_total");
     }
 
     fn accept_provisioning(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &ProvisionRequest) {
@@ -395,12 +414,14 @@ impl DeviceAgent {
                 }
                 if newly_registered {
                     self.bind_retry.reset();
+                    self.bind_tries_this_cycle = 0;
                     self.maybe_start_device_bind(ctx);
                 }
             }
             Response::Bound { session } => {
                 self.bound_hint = true;
                 self.bind_retry.reset();
+                self.bind_tries_this_cycle = 0;
                 if let Some(s) = session {
                     self.session = Some(s);
                 }
@@ -539,6 +560,11 @@ impl Actor for DeviceAgent {
             TIMER_DEVICE_BIND if !self.bound_hint => {
                 self.send_device_bind(ctx);
                 self.stats.bind_attempts += 1;
+                self.telemetry.incr("device_bind_attempts_total");
+                if self.bind_tries_this_cycle > 0 {
+                    self.telemetry.incr("device_bind_retries_total");
+                }
+                self.bind_tries_this_cycle += 1;
                 // Retransmit with backoff until the cloud confirms the
                 // binding or the budget runs out — a single dropped Bind
                 // must not leave the shadow stuck below `Bound`.

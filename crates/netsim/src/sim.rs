@@ -4,6 +4,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use rb_telemetry::Telemetry;
+
 use crate::actor::{Actor, Ctx, Effect, TimerKey};
 use crate::fault::{Fault, FaultPlan};
 use crate::quality::LinkQuality;
@@ -138,6 +140,9 @@ pub struct Simulation {
     dup_per_mille: u16,
     reorder_per_mille: u16,
     reorder_extra_max: u64,
+    /// Metrics sink. Counter updates never draw randomness or schedule
+    /// events, so instrumentation cannot perturb the event stream.
+    telemetry: Telemetry,
 }
 
 impl Simulation {
@@ -173,7 +178,21 @@ impl Simulation {
             dup_per_mille: 0,
             reorder_per_mille: 0,
             reorder_extra_max: 0,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// The simulation's telemetry handle (clone it to share the registry
+    /// with actors and experiment harnesses).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replaces the telemetry handle so several components can record into
+    /// one externally owned registry. Call before the first event runs;
+    /// metrics recorded into the previous handle are not migrated.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Enables event tracing (off by default; traces grow unbounded).
@@ -345,6 +364,7 @@ impl Simulation {
     }
 
     fn inject(&mut self, fault: Fault) {
+        self.telemetry.incr("sim_faults_injected_total");
         let at = self.now;
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEntry {
@@ -419,6 +439,11 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, ev: Event) {
+        let now = self.now.as_u64();
+        self.telemetry.with(|r| {
+            r.counter_add("sim_events_total", 1);
+            r.gauge_set("sim_now_ticks", i64::try_from(now).unwrap_or(i64::MAX));
+        });
         match ev.kind {
             EventKind::Start { node } => {
                 if self.nodes[node.0 as usize].powered {
@@ -427,6 +452,8 @@ impl Simulation {
             }
             EventKind::Deliver { from, to, payload } => {
                 if !self.nodes[to.0 as usize].powered {
+                    self.telemetry
+                        .incr("sim_packets_dropped_total{reason=\"powered-off\"}");
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEntry {
@@ -436,6 +463,7 @@ impl Simulation {
                     }
                     return;
                 }
+                self.telemetry.incr("sim_packets_delivered_total");
                 let at = self.now;
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceEntry {
@@ -491,6 +519,7 @@ impl Simulation {
                 if self.nodes[from.0 as usize].config.lan != Some(lan)
                     || self.partitioned_lans.contains(&lan)
                 {
+                    self.telemetry.incr("sim_packets_unroutable_total");
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEntry {
@@ -519,6 +548,7 @@ impl Simulation {
 
     fn route_unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
         let Some(quality) = self.path_quality(from, to) else {
+            self.telemetry.incr("sim_packets_unroutable_total");
             let at = self.now;
             if let Some(t) = self.trace.as_mut() {
                 t.push(TraceEntry {
@@ -541,6 +571,7 @@ impl Simulation {
         if !same_lan {
             let to_behind_nat = self.nodes[to.0 as usize].config.lan.is_some();
             if to_behind_nat && !self.nat_flows.contains(&(to, from)) {
+                self.telemetry.incr("sim_packets_unroutable_total");
                 let at = self.now;
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceEntry {
@@ -601,6 +632,7 @@ impl Simulation {
         payload: Vec<u8>,
         quality: LinkQuality,
     ) {
+        self.telemetry.incr("sim_packets_sent_total");
         let at = self.now;
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEntry {
@@ -638,11 +670,14 @@ impl Simulation {
                     // may arrive before or after the original.
                     if let Some(dup_latency) = quality.sample(&mut self.rng) {
                         let dup_at = self.now.saturating_add(dup_latency.max(1));
+                        self.telemetry.incr("sim_packets_duplicated_total");
                         self.push_event(dup_at, EventKind::Deliver { from, to, payload });
                     }
                 }
             }
             None => {
+                self.telemetry
+                    .incr("sim_packets_dropped_total{reason=\"loss\"}");
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceEntry {
                         at,

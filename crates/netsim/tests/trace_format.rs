@@ -1,0 +1,223 @@
+//! Golden `Display` strings and JSON round-trips for every `TraceEvent`
+//! variant, so exporter formats cannot drift silently. The chaos golden
+//! trace, the telemetry goldens, and every experiment that greps rendered
+//! traces all depend on these exact shapes.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rb_netsim::{NodeId, Tick, TraceEntry, TraceEvent};
+
+/// One exemplar of every variant (including the PR-2 `Fault`), with its
+/// pinned `Display` rendering and canonical JSON encoding.
+fn exemplars() -> Vec<(TraceEntry, &'static str, &'static str)> {
+    vec![
+        (
+            TraceEntry {
+                at: Tick(3),
+                event: TraceEvent::Sent {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    bytes: 10,
+                },
+            },
+            "t3 n1 -> n2 sent 10B",
+            r#"{"at":3,"kind":"sent","from":1,"to":2,"bytes":10}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(4),
+                event: TraceEvent::Delivered {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    bytes: 128,
+                },
+            },
+            "t4 n1 -> n2 delivered 128B",
+            r#"{"at":4,"kind":"delivered","from":1,"to":2,"bytes":128}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(9),
+                event: TraceEvent::Dropped {
+                    from: NodeId(0),
+                    to: NodeId(7),
+                },
+            },
+            "t9 n0 -> n7 DROPPED",
+            r#"{"at":9,"kind":"dropped","from":0,"to":7}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(12),
+                event: TraceEvent::Unroutable {
+                    from: NodeId(9),
+                    to: NodeId(1),
+                },
+            },
+            "t12 n9 -> n1 UNROUTABLE",
+            r#"{"at":12,"kind":"unroutable","from":9,"to":1}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(50),
+                event: TraceEvent::Power {
+                    node: NodeId(3),
+                    powered: false,
+                },
+            },
+            "t50 n3 power=off",
+            r#"{"at":50,"kind":"power","node":3,"powered":false}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(51),
+                event: TraceEvent::Power {
+                    node: NodeId(3),
+                    powered: true,
+                },
+            },
+            "t51 n3 power=on",
+            r#"{"at":51,"kind":"power","node":3,"powered":true}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(60),
+                event: TraceEvent::Note {
+                    node: NodeId(2),
+                    text: "button pressed".to_string(),
+                },
+            },
+            "t60 n2 note: button pressed",
+            r#"{"at":60,"kind":"note","node":2,"text":"button pressed"}"#,
+        ),
+        (
+            TraceEntry {
+                at: Tick(75),
+                event: TraceEvent::Fault {
+                    text: "wan-partition n4 on".to_string(),
+                },
+            },
+            "t75 FAULT wan-partition n4 on",
+            r#"{"at":75,"kind":"fault","text":"wan-partition n4 on"}"#,
+        ),
+    ]
+}
+
+#[test]
+fn display_goldens_cover_every_variant() {
+    for (entry, display, _) in exemplars() {
+        assert_eq!(entry.to_string(), display);
+    }
+}
+
+#[test]
+fn json_encodings_are_pinned() {
+    for (entry, _, json) in exemplars() {
+        assert_eq!(entry.to_json(), json);
+    }
+}
+
+#[test]
+fn json_round_trips_every_variant() {
+    for (entry, _, _) in exemplars() {
+        let decoded = TraceEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(decoded, entry);
+    }
+}
+
+#[test]
+fn json_round_trips_hostile_text() {
+    // Note/Fault payloads are free-form: quotes, backslashes, newlines,
+    // control bytes, and non-ASCII must all survive the codec.
+    for text in ["say \"hi\"", "a\\b", "line1\nline2\ttab", "π → ∞", "\u{1}"] {
+        let entry = TraceEntry {
+            at: Tick(1),
+            event: TraceEvent::Fault {
+                text: text.to_string(),
+            },
+        };
+        assert_eq!(TraceEntry::from_json(&entry.to_json()).unwrap(), entry);
+        let entry = TraceEntry {
+            at: Tick(2),
+            event: TraceEvent::Note {
+                node: NodeId(5),
+                text: text.to_string(),
+            },
+        };
+        assert_eq!(TraceEntry::from_json(&entry.to_json()).unwrap(), entry);
+    }
+}
+
+#[test]
+fn parser_accepts_reordered_fields_and_whitespace() {
+    let entry = TraceEntry::from_json(
+        " { \"kind\" : \"sent\" , \"to\" : 2 , \"from\" : 1 , \"bytes\" : 7 , \"at\" : 3 } ",
+    )
+    .unwrap();
+    assert_eq!(
+        entry,
+        TraceEntry {
+            at: Tick(3),
+            event: TraceEvent::Sent {
+                from: NodeId(1),
+                to: NodeId(2),
+                bytes: 7,
+            },
+        }
+    );
+}
+
+#[test]
+fn parser_rejects_malformed_input() {
+    for bad in [
+        "",
+        "{}",
+        r#"{"at":1}"#,
+        r#"{"at":1,"kind":"sent","from":1,"to":2}"#,
+        r#"{"at":1,"kind":"warp","from":1,"to":2}"#,
+        r#"{"at":1,"kind":"fault","text":"x"} trailing"#,
+        r#"{"at":1,"kind":"fault","text":"x","mystery":2}"#,
+        r#"{"at":9999999999999,"kind":"power","node":4294967296,"powered":true}"#,
+        r#"{"at":1,"kind":"note","node":1,"text":"bad \q escape"}"#,
+    ] {
+        assert!(
+            TraceEntry::from_json(bad).is_err(),
+            "accepted malformed input: {bad}"
+        );
+    }
+}
+
+#[test]
+fn live_sim_trace_round_trips_through_json() {
+    // An end-to-end check over a real traced run: every entry the engine
+    // emits survives encode/decode unchanged.
+    use rb_netsim::{Actor, Ctx, Dest, NodeConfig, Simulation};
+
+    struct Chatter {
+        peer: Option<NodeId>,
+    }
+    impl Actor for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(peer) = self.peer {
+                ctx.send(Dest::Unicast(peer), vec![0xAB; 16]);
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(11);
+    sim.enable_trace();
+    let a = sim.add_node(NodeConfig::wan_only("a"), Box::new(Chatter { peer: None }));
+    let _b = sim.add_node(
+        NodeConfig::wan_only("b"),
+        Box::new(Chatter { peer: Some(a) }),
+    );
+    sim.note(a, "hello \"world\"");
+    sim.run_for(1_000);
+    sim.set_power(a, false);
+    sim.run_for(10);
+    assert!(!sim.trace().is_empty());
+    for entry in sim.trace() {
+        let decoded = TraceEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(&decoded, entry);
+    }
+}

@@ -16,9 +16,11 @@
 //! ```
 
 mod chaos;
+mod observe;
 mod raw;
 mod world;
 
 pub use chaos::ChaosProfile;
+pub use observe::{metrics_run, metrics_run_with};
 pub use raw::RawEndpoint;
 pub use world::{Home, World, WorldBuilder};

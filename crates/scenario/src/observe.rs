@@ -1,0 +1,77 @@
+//! The canonical observability scenario.
+//!
+//! [`metrics_run`] drives one home through the full binding life cycle —
+//! setup, a control round-trip, an unbind, a re-bind, and a quiesce period
+//! — with every layer (sim engine, cloud, app, device) recording into one
+//! shared [`Telemetry`] registry. `rbsim metrics`, the pinned Prometheus
+//! golden, and the `exp_observability` bench all consume this exact
+//! scenario, so a metric that drifts shows up identically in all three.
+//!
+//! Determinism: the run is a pure function of `(design, seed, profile)`.
+//! Two invocations with the same arguments produce byte-identical JSON and
+//! Prometheus exports (asserted in `tests/telemetry.rs`).
+
+use rb_core::design::VendorDesign;
+use rb_netsim::Telemetry;
+use rb_wire::messages::ControlAction;
+
+use crate::{ChaosProfile, WorldBuilder};
+
+/// How long each post-setup phase of the canonical scenario runs.
+const PHASE_TICKS: u64 = 10_000;
+
+/// Runs the canonical binding-life-cycle scenario on a pristine world and
+/// returns the shared metrics registry.
+pub fn metrics_run(design: &VendorDesign, seed: u64) -> Telemetry {
+    metrics_run_with(design, seed, None)
+}
+
+/// Like [`metrics_run`], optionally disturbed by a [`ChaosProfile`] fault
+/// plan (the chaos experiments compare profiles through their telemetry).
+pub fn metrics_run_with(
+    design: &VendorDesign,
+    seed: u64,
+    profile: Option<ChaosProfile>,
+) -> Telemetry {
+    let mut world = WorldBuilder::new(design.clone(), seed).build();
+    if let Some(profile) = profile {
+        let plan = profile.plan(&world, seed);
+        world.apply_fault_plan(&plan);
+    }
+    // Phase 1: setup. Under chaos this may legitimately not converge;
+    // the registry then records the give-ups and retries instead.
+    let converged = world.try_run_setup(300_000);
+    world
+        .telemetry()
+        .gauge_set("scenario_setup_converged", i64::from(converged));
+
+    if converged {
+        // Phase 2: one control round-trip (Bound → Control transition and
+        // a device command).
+        world.app_mut(0).queue_control(ControlAction::TurnOn);
+        world.run_for(PHASE_TICKS);
+
+        // Phase 3: unbind ("remove device" in the app) ...
+        world.app_mut(0).queue_unbind();
+        world.run_for(PHASE_TICKS);
+
+        // Phase 4: ... and re-bind, populating the unbind-to-rebind
+        // window histogram. The device is factory-reset first — a
+        // cloud-side unbind does not make a device-bind design re-send
+        // its Bind, so "remove device, reset it, add it again" is the
+        // realistic re-pairing flow for every design.
+        world.device_mut(0).queue_reset();
+        // The reset executes on the device's next heartbeat tick; let it
+        // land before the user re-opens the app, or the fresh pairing
+        // material would be wiped mid-provisioning.
+        world.run_for(PHASE_TICKS);
+        world.app_mut(0).restart_setup();
+        world.try_run_setup(300_000);
+    }
+
+    // Phase 5: quiesce — heartbeats keep flowing so steady-state counters
+    // separate from the setup burst.
+    world.run_for(PHASE_TICKS);
+
+    world.telemetry().clone()
+}

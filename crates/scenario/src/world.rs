@@ -5,7 +5,9 @@ use rb_cloud::{CloudConfig, CloudService};
 use rb_core::design::{DeviceAuthScheme, SetupOrder, VendorDesign};
 use rb_core::shadow::ShadowState;
 use rb_device::{DeviceAgent, DeviceConfig, ProvisioningMode};
-use rb_netsim::{FaultPlan, LanId, LinkQuality, NodeConfig, NodeId, SimRng, Simulation, Tick};
+use rb_netsim::{
+    FaultPlan, LanId, LinkQuality, NodeConfig, NodeId, SimRng, Simulation, Telemetry, Tick,
+};
 use rb_wire::ids::DevId;
 use rb_wire::tokens::{UserId, UserPw};
 
@@ -41,6 +43,7 @@ pub struct WorldBuilder {
     victim_paused: bool,
     home_lan_quality: Vec<(usize, LinkQuality)>,
     fault_plan: FaultPlan,
+    telemetry: Telemetry,
 }
 
 impl WorldBuilder {
@@ -60,7 +63,17 @@ impl WorldBuilder {
             victim_paused: false,
             home_lan_quality: Vec::new(),
             fault_plan: FaultPlan::new(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Shares an external metrics registry with every layer of the world
+    /// (sim engine, cloud, apps, devices). Campaigns that build several
+    /// worlds can pass the same handle to aggregate across them; by
+    /// default each world gets a private registry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of victim homes (each with one app and one device).
@@ -132,12 +145,14 @@ impl WorldBuilder {
     /// Assembles the world.
     pub fn build(self) -> World {
         let mut sim = Simulation::with_quality(self.seed, self.lan_quality, self.wan_quality);
+        sim.set_telemetry(self.telemetry.clone());
         if self.trace {
             sim.enable_trace();
         }
         let mut rng = SimRng::new(self.seed ^ 0x5eed_5eed);
 
         let mut cloud_service = CloudService::new(CloudConfig::new(self.design.clone()));
+        cloud_service.set_telemetry(self.telemetry.clone());
         cloud_service.provision_account(
             UserId::new("attacker@evil.example"),
             UserPw::new("attacker-pw"),
@@ -179,19 +194,21 @@ impl WorldBuilder {
             let (user_id, user_pw) = accounts[i].clone();
             let dev_id = dev_ids[i].clone();
 
+            let mut device_agent = DeviceAgent::new(DeviceConfig {
+                design: self.design.clone(),
+                dev_id: dev_id.clone(),
+                factory_secret: secrets[i],
+                key: keys[i],
+                cloud,
+                lan,
+                mode: self.provisioning,
+                heartbeat_every: self.heartbeat_every,
+                bind_delay: 2,
+            });
+            device_agent.set_telemetry(self.telemetry.clone());
             let device = sim.add_node(
                 NodeConfig::dual(format!("device{i}"), lan),
-                Box::new(DeviceAgent::new(DeviceConfig {
-                    design: self.design.clone(),
-                    dev_id: dev_id.clone(),
-                    factory_secret: secrets[i],
-                    key: keys[i],
-                    cloud,
-                    lan,
-                    mode: self.provisioning,
-                    heartbeat_every: self.heartbeat_every,
-                    bind_delay: 2,
-                })),
+                Box::new(device_agent),
             );
 
             let mut app_config = AppConfig::new(
@@ -209,9 +226,11 @@ impl WorldBuilder {
             if self.design.setup_order == SetupOrder::BindFirst {
                 app_config.known_label = Some(dev_id.clone());
             }
+            let mut app_agent = AppAgent::new(app_config);
+            app_agent.set_telemetry(self.telemetry.clone());
             let app = sim.add_node(
                 NodeConfig::dual(format!("app{i}"), lan),
-                Box::new(AppAgent::new(app_config)),
+                Box::new(app_agent),
             );
 
             // NAT: the whole home shares one public IP.
@@ -263,6 +282,7 @@ impl WorldBuilder {
             cloud,
             homes,
             attacker,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -279,9 +299,17 @@ pub struct World {
     pub homes: Vec<Home>,
     /// The attacker's WAN endpoint.
     pub attacker: NodeId,
+    /// The metrics registry shared by every layer of this world.
+    telemetry: Telemetry,
 }
 
 impl World {
+    /// The metrics registry shared by the sim engine, the cloud, and every
+    /// agent in this world.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// The cloud service (immutable).
     pub fn cloud(&self) -> &CloudService {
         self.sim

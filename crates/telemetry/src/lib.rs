@@ -1,0 +1,283 @@
+//! # rb-telemetry — deterministic observability for the binding stack
+//!
+//! A zero-`std::time` metrics and tracing layer: every timestamp is a raw
+//! simulation tick (`u64`) supplied by the caller, every export walks
+//! `BTreeMap`s in key order, and nothing here draws randomness — so two
+//! runs of the same `(vendor, seed, chaos profile)` produce *byte-identical*
+//! JSON and Prometheus exports. That property is what lets CI diff a
+//! pinned golden export and what makes the benches trustworthy.
+//!
+//! The crate is dependency-free on purpose: `rb-netsim` (the lowest layer
+//! of the runtime stack) links against it, so it cannot use `rb-netsim`'s
+//! `Tick` newtype without a cycle. Callers pass `Tick::as_u64()`.
+//!
+//! ## Pieces
+//!
+//! * [`Registry`] — counters, gauges, fixed-bucket [`Histogram`]s, spans,
+//!   and the binding-lifecycle tracker.
+//! * [`Telemetry`] — a cheap `Clone + Send + Sync` handle
+//!   (`Arc<Mutex<Registry>>`) threaded through the sim, the cloud, both
+//!   agents, and the attack executors.
+//! * [`span!`] — ergonomic span opening:
+//!   `span!(tele, now, "bind", device = id, user = uid)`.
+//! * Exporters — [`Registry::to_json`], [`Registry::to_prometheus`],
+//!   [`Registry::render_human`].
+//!
+//! ## Metric naming
+//!
+//! Prometheus-style: `snake_case` family names, `_total` suffix on
+//! counters, `_ticks` on histograms of simulated time, and label sets
+//! baked into the key string (`cloud_alerts_total{kind="bare-unbind"}`).
+//! Keys sort lexicographically, which fixes the export order.
+
+mod histogram;
+mod registry;
+
+pub use histogram::{Histogram, TICK_BUCKETS};
+pub use registry::{Registry, SpanId, SpanRecord};
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Escaping helpers for the hand-rolled JSON writers (the workspace `serde`
+/// is a no-op stub, so every exporter writes strings by hand).
+pub mod json {
+    /// Escapes `s` for inclusion inside a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Reverses [`escape`]. Returns `None` on a malformed escape.
+    pub fn unescape(s: &str) -> Option<String> {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Shared handle onto a [`Registry`].
+///
+/// Cloning is cheap (one `Arc`); the handle is `Send + Sync` so bench
+/// binaries can move worlds across scoped threads. Locking recovers from
+/// poison (a panicking test thread must not wedge every other holder).
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl Telemetry {
+    /// A fresh handle over an empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Runs `f` with the registry locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with(|r| r.counter_add(name, delta));
+    }
+
+    /// Reads counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|r| r.counter(name))
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.with(|r| r.gauge_set(name, value));
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.with(|r| r.observe(name, value));
+    }
+
+    /// Opens a span; see [`Registry::start_span`].
+    pub fn start_span(&self, name: &str, attrs: &[(&str, String)], now: u64) -> SpanId {
+        self.with(|r| r.start_span(name, attrs, now))
+    }
+
+    /// Closes a span; see [`Registry::end_span`].
+    pub fn end_span(&self, id: SpanId, now: u64) {
+        self.with(|r| r.end_span(id, now));
+    }
+
+    /// A deep copy of the registry at this instant — the unit benches and
+    /// experiments diff and aggregate.
+    pub fn snapshot(&self) -> Registry {
+        self.with(|r| r.clone())
+    }
+
+    /// Canonical JSON export of the current state.
+    pub fn to_json(&self) -> String {
+        self.with(|r| r.to_json())
+    }
+
+    /// Prometheus text export of the current state.
+    pub fn to_prometheus(&self) -> String {
+        self.with(|r| r.to_prometheus())
+    }
+
+    /// Human-readable table of the current state.
+    pub fn render_human(&self) -> String {
+        self.with(|r| r.render_human())
+    }
+}
+
+/// Opens a span on a [`Telemetry`] handle with key/value attributes:
+///
+/// ```
+/// use rb_telemetry::{span, Telemetry};
+/// let tele = Telemetry::new();
+/// let id = span!(tele, 10, "bind", device = "mac:02aa", user = "alice");
+/// tele.end_span(id, 25);
+/// assert_eq!(tele.snapshot().spans().len(), 1);
+/// ```
+///
+/// Attribute values go through `ToString`, names through `stringify!`.
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $now:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $tele.start_span(
+            $name,
+            &[$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
+            $now,
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export_sorted() {
+        let t = Telemetry::new();
+        t.incr("b_total");
+        t.counter_add("a_total", 4);
+        t.incr("b_total");
+        assert_eq!(t.counter("a_total"), 4);
+        assert_eq!(t.counter("b_total"), 2);
+        assert_eq!(t.counter("missing"), 0);
+        let json = t.to_json();
+        let a = json.find("a_total").unwrap();
+        let b = json.find("b_total").unwrap();
+        assert!(a < b, "counters must export in key order");
+    }
+
+    #[test]
+    fn span_macro_records_attrs_and_duration() {
+        let t = Telemetry::new();
+        let id = span!(t, 100, "bind", device = "d1", user = "u1");
+        t.end_span(id, 140);
+        let snap = t.snapshot();
+        let span = &snap.spans()[0];
+        assert_eq!(span.name, "bind");
+        assert_eq!(span.start, 100);
+        assert_eq!(span.end, Some(140));
+        assert_eq!(
+            span.attrs,
+            vec![
+                ("device".to_string(), "d1".to_string()),
+                ("user".to_string(), "u1".to_string())
+            ]
+        );
+        // Closing a span feeds its duration histogram.
+        let hist = snap.histogram("span_ticks{name=\"bind\"}").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 40);
+    }
+
+    #[test]
+    fn nested_spans_record_parents() {
+        let t = Telemetry::new();
+        let outer = span!(t, 0, "setup");
+        let inner = span!(t, 5, "bind");
+        t.end_span(inner, 9);
+        t.end_span(outer, 20);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans()[0].parent, None);
+        assert_eq!(snap.spans()[1].parent, Some(snap.spans()[0].id));
+    }
+
+    #[test]
+    fn identical_sequences_export_identically() {
+        let run = || {
+            let t = Telemetry::new();
+            t.incr("x_total");
+            t.gauge_set("g", -3);
+            t.observe("h_ticks", 7);
+            t.observe("h_ticks", 9_999);
+            let s = span!(t, 1, "a", k = 2);
+            t.end_span(s, 4);
+            (t.to_json(), t.to_prometheus(), t.render_human())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn json_escape_roundtrip() {
+        let ugly = "a\"b\\c\nd\te\u{1}f";
+        assert_eq!(json::unescape(&json::escape(ugly)).unwrap(), ugly);
+        assert!(json::unescape("bad\\q").is_none());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        let _ = std::thread::spawn(move || {
+            t2.with(|_| panic!("poison the registry lock"));
+        })
+        .join();
+        t.incr("after_poison_total");
+        assert_eq!(t.counter("after_poison_total"), 1);
+    }
+}

@@ -1,0 +1,497 @@
+//! The metrics registry: counters, gauges, histograms, spans, and the
+//! binding-lifecycle tracker, plus the three deterministic exporters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+use crate::json;
+
+/// Opaque identifier of a span within one registry (creation-ordered).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// One recorded span: a named, attributed interval of simulated time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Creation-ordered id (`SpanId.0`).
+    pub id: u64,
+    /// Enclosing span still open when this one started, if any.
+    pub parent: Option<u64>,
+    /// Span name (`"bind"`, `"setup"`, `"attack"`, …).
+    pub name: String,
+    /// Key/value attributes in the order given at open time.
+    pub attrs: Vec<(String, String)>,
+    /// Opening tick.
+    pub start: u64,
+    /// Closing tick (`None` while the span is open).
+    pub end: Option<u64>,
+}
+
+/// Per-device lifecycle bookkeeping behind the binding-latency histograms.
+#[derive(Clone, Debug, Default)]
+struct DeviceLifecycle {
+    /// Tick of the current online episode's start (`None` while offline).
+    online_at: Option<u64>,
+    /// Whether the first `Initial -> Online` transition was recorded.
+    ever_online: bool,
+    /// Tick of the most recent unbind with no rebind yet.
+    unbound_at: Option<u64>,
+    /// Whether the device is currently bound.
+    bound: bool,
+}
+
+/// The deterministic metrics store. Usually reached through
+/// [`crate::Telemetry`]; owned directly only in tests and snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanRecord>,
+    /// Ids of currently open spans, innermost last (parent inference).
+    open_spans: Vec<u64>,
+    lifecycle: BTreeMap<String, DeviceLifecycle>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Reads counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sets gauge `name`.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`, creating it on first use.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Reads histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Opens a span at `now`. The innermost still-open span becomes its
+    /// parent, which is how spans nest over the flat `TraceEvent` stream.
+    pub fn start_span(&mut self, name: &str, attrs: &[(&str, String)], now: u64) -> SpanId {
+        let id = self.spans.len() as u64;
+        self.spans.push(SpanRecord {
+            id,
+            parent: self.open_spans.last().copied(),
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+            start: now,
+            end: None,
+        });
+        self.open_spans.push(id);
+        SpanId(id)
+    }
+
+    /// Closes span `id` at `now`, feeding its duration into the
+    /// `span_ticks{name="…"}` histogram. Closing an unknown or already
+    /// closed span is a no-op.
+    pub fn end_span(&mut self, id: SpanId, now: u64) {
+        let Some(span) = self.spans.get_mut(id.0 as usize) else {
+            return;
+        };
+        if span.end.is_some() {
+            return;
+        }
+        span.end = Some(now);
+        let duration = now.saturating_sub(span.start);
+        let key = format!("span_ticks{{name=\"{}\"}}", span.name);
+        self.open_spans.retain(|open| *open != id.0);
+        self.observe(&key, duration);
+    }
+
+    /// All spans in creation order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    // ----- binding lifecycle ------------------------------------------------
+
+    /// The device shadow went `Initial/Bound -> Online/Control`. The first
+    /// such transition feeds `binding_initial_to_online_ticks` (latency
+    /// from world start through provisioning + registration).
+    pub fn lifecycle_online(&mut self, device: &str, now: u64) {
+        let life = self.lifecycle.entry(device.to_string()).or_default();
+        if life.online_at.is_none() {
+            life.online_at = Some(now);
+        }
+        let first = !life.ever_online;
+        life.ever_online = true;
+        if first {
+            self.observe("binding_initial_to_online_ticks", now);
+        }
+    }
+
+    /// The device shadow went offline; the online episode ends.
+    pub fn lifecycle_offline(&mut self, device: &str) {
+        if let Some(life) = self.lifecycle.get_mut(device) {
+            life.online_at = None;
+        }
+    }
+
+    /// A binding was created. Feeds `binding_online_to_bound_ticks`
+    /// (measured from the current online episode's start) and, after an
+    /// unbind, `binding_unbind_to_rebind_ticks`.
+    pub fn lifecycle_bound(&mut self, device: &str, now: u64) {
+        let life = self.lifecycle.entry(device.to_string()).or_default();
+        if life.bound {
+            return;
+        }
+        life.bound = true;
+        let online_at = life.online_at;
+        let unbound_at = life.unbound_at.take();
+        if let Some(at) = online_at {
+            self.observe("binding_online_to_bound_ticks", now.saturating_sub(at));
+        }
+        if let Some(at) = unbound_at {
+            self.observe("binding_unbind_to_rebind_ticks", now.saturating_sub(at));
+        }
+    }
+
+    /// The binding was revoked; a later bind measures the rebind window.
+    pub fn lifecycle_unbound(&mut self, device: &str, now: u64) {
+        let life = self.lifecycle.entry(device.to_string()).or_default();
+        if life.bound {
+            life.bound = false;
+            life.unbound_at = Some(now);
+        }
+    }
+
+    /// Folds `other`'s counters and histograms into this registry (used by
+    /// benches to aggregate across seeds). Gauges take `other`'s value;
+    /// spans and lifecycle state are not merged.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (name, value) in &other.counters {
+            self.counter_add(name, *value);
+        }
+        for (name, value) in &other.gauges {
+            self.gauge_set(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(h) => h.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
+    // ----- exporters --------------------------------------------------------
+
+    /// Canonical JSON snapshot: objects keyed in sorted order, spans in
+    /// creation order, every string escaped by hand (the workspace `serde`
+    /// is a no-op stub). Byte-stable across identical runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            let sep = if first { "\n" } else { ",\n" };
+            first = false;
+            let _ = write!(out, "{sep}    \"{}\": {value}", json::escape(name));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (name, value) in &self.gauges {
+            let sep = if first { "\n" } else { ",\n" };
+            first = false;
+            let _ = write!(out, "{sep}    \"{}\": {value}", json::escape(name));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, hist) in &self.histograms {
+            let sep = if first { "\n" } else { ",\n" };
+            first = false;
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"buckets\": [",
+                json::escape(name),
+                hist.count(),
+                hist.sum(),
+                hist.min().unwrap_or(0),
+                hist.max().unwrap_or(0),
+                hist.p50().unwrap_or(0),
+                hist.p95().unwrap_or(0),
+            );
+            for (idx, (le, cum)) in hist.cumulative_buckets().iter().enumerate() {
+                let sep = if idx == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[\"{le}\", {cum}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"spans\": [");
+        for (idx, span) in self.spans.iter().enumerate() {
+            let sep = if idx == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"id\": {}, \"parent\": {}, \"name\": \"{}\", \"start\": {}, \"end\": {}, \"attrs\": {{",
+                span.id,
+                span.parent.map_or("null".to_string(), |p| p.to_string()),
+                json::escape(&span.name),
+                span.start,
+                span.end.map_or("null".to_string(), |e| e.to_string()),
+            );
+            for (aidx, (key, value)) in span.attrs.iter().enumerate() {
+                let sep = if aidx == 0 { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{sep}\"{}\": \"{}\"",
+                    json::escape(key),
+                    json::escape(value)
+                );
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if self.spans.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Prometheus text-format export. Families (the key prefix before any
+    /// `{label}` set) are announced once with a `# TYPE` line; keys within
+    /// a family stay in sorted order. Histograms expand to cumulative
+    /// `_bucket{le=…}` series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, value) in &self.counters {
+            let family = family_of(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} counter");
+                last_family = family.to_string();
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let family = family_of(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} gauge");
+                last_family = family.to_string();
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let family = family_of(name);
+            let labels = labels_of(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} histogram");
+                last_family = family.to_string();
+            }
+            for (le, cum) in hist.cumulative_buckets() {
+                let _ = match labels {
+                    Some(inner) => {
+                        writeln!(out, "{family}_bucket{{{inner},le=\"{le}\"}} {cum}")
+                    }
+                    None => writeln!(out, "{family}_bucket{{le=\"{le}\"}} {cum}"),
+                };
+            }
+            let suffix = labels.map_or(String::new(), |inner| format!("{{{inner}}}"));
+            let _ = writeln!(out, "{family}_sum{suffix} {}", hist.sum());
+            let _ = writeln!(out, "{family}_count{suffix} {}", hist.count());
+        }
+        out
+    }
+
+    /// Two-column human table: every counter and gauge, then one summary
+    /// line per histogram (`count/p50/p95/max`).
+    pub fn render_human(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (name, value) in &self.counters {
+            rows.push((name.clone(), value.to_string()));
+        }
+        for (name, value) in &self.gauges {
+            rows.push((name.clone(), value.to_string()));
+        }
+        for (name, hist) in &self.histograms {
+            rows.push((name.clone(), hist.to_string()));
+        }
+        let width = rows
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(6)
+            .max("metric".len());
+        let mut out = format!("{:<width$}  value\n", "metric");
+        let _ = writeln!(out, "{}  -----", "-".repeat(width));
+        for (name, value) in rows {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        if !self.spans.is_empty() {
+            let open = self.spans.iter().filter(|s| s.end.is_none()).count();
+            let _ = writeln!(
+                out,
+                "\nspans: {} recorded, {open} still open",
+                self.spans.len()
+            );
+        }
+        out
+    }
+}
+
+/// The metric family: the key up to its `{label}` set, if any.
+fn family_of(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// The label set inside the braces, without the braces (`None` when bare).
+fn labels_of(name: &str) -> Option<&str> {
+    let start = name.find('{')?;
+    let end = name.rfind('}')?;
+    (end > start).then(|| &name[start + 1..end])
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn lifecycle_feeds_binding_histograms() {
+        let mut r = Registry::new();
+        r.lifecycle_online("dev", 120);
+        r.lifecycle_bound("dev", 180);
+        r.lifecycle_unbound("dev", 1_000);
+        r.lifecycle_bound("dev", 1_400);
+        let initial = r.histogram("binding_initial_to_online_ticks").unwrap();
+        assert_eq!((initial.count(), initial.sum()), (1, 120));
+        let bound = r.histogram("binding_online_to_bound_ticks").unwrap();
+        // 180-120 = 60, then rebind 1400-120 = 1280 (same online episode).
+        assert_eq!((bound.count(), bound.sum()), (2, 60 + 1_280));
+        let rebind = r.histogram("binding_unbind_to_rebind_ticks").unwrap();
+        assert_eq!((rebind.count(), rebind.sum()), (1, 400));
+    }
+
+    #[test]
+    fn lifecycle_offline_resets_online_episode_not_first_seen() {
+        let mut r = Registry::new();
+        r.lifecycle_online("dev", 50);
+        r.lifecycle_offline("dev");
+        r.lifecycle_online("dev", 90_000);
+        // Initial->Online is recorded once, at the *first* transition.
+        let initial = r.histogram("binding_initial_to_online_ticks").unwrap();
+        assert_eq!((initial.count(), initial.sum()), (1, 50));
+        // …but Online->Bound measures from the *current* episode.
+        r.lifecycle_bound("dev", 90_010);
+        let bound = r.histogram("binding_online_to_bound_ticks").unwrap();
+        assert_eq!((bound.count(), bound.sum()), (1, 10));
+    }
+
+    #[test]
+    fn rebinding_while_bound_records_nothing() {
+        let mut r = Registry::new();
+        r.lifecycle_online("dev", 10);
+        r.lifecycle_bound("dev", 20);
+        r.lifecycle_bound("dev", 30);
+        let bound = r.histogram("binding_online_to_bound_ticks").unwrap();
+        assert_eq!(bound.count(), 1);
+    }
+
+    #[test]
+    fn prometheus_groups_families_and_expands_histograms() {
+        let mut r = Registry::new();
+        r.counter_add("requests_total{kind=\"Bind\"}", 2);
+        r.counter_add("requests_total{kind=\"Status\"}", 7);
+        r.gauge_set("now_ticks", 31);
+        r.observe("lat_ticks{name=\"bind\"}", 3);
+        let text = r.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE requests_total counter").count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains("requests_total{kind=\"Bind\"} 2"));
+        assert!(text.contains("# TYPE now_ticks gauge"));
+        assert!(text.contains("lat_ticks_bucket{name=\"bind\",le=\"5\"} 1"));
+        assert!(text.contains("lat_ticks_bucket{name=\"bind\",le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_ticks_sum{name=\"bind\"} 3"));
+        assert!(text.contains("lat_ticks_count{name=\"bind\"} 1"));
+    }
+
+    #[test]
+    fn merge_from_aggregates_counters_and_histograms() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add("x_total", 1);
+        b.counter_add("x_total", 2);
+        b.counter_add("y_total", 5);
+        a.observe("h", 10);
+        b.observe("h", 30);
+        a.merge_from(&b);
+        assert_eq!(a.counter("x_total"), 3);
+        assert_eq!(a.counter("y_total"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_for_empty_and_populated() {
+        let mut r = Registry::new();
+        assert!(r.to_json().contains("\"counters\": {}"));
+        r.counter_add("a", 1);
+        r.start_span("s", &[("k", "v\"q".to_string())], 0);
+        let json = r.to_json();
+        assert!(json.contains("\"a\": 1"));
+        assert!(json.contains("\\\"q"), "attr values are escaped: {json}");
+    }
+}

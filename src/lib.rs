@@ -12,6 +12,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`telemetry`] | `rb-telemetry` | deterministic metrics, spans, exporters |
 //! | [`wire`] | `rb-wire` | identifiers, tokens, messages, binary codec |
 //! | [`netsim`] | `rb-netsim` | deterministic discrete-event network |
 //! | [`provision`] | `rb-provision` | SmartConfig/Airkiss/AP-mode/labels/SSDP |
@@ -42,4 +43,5 @@ pub use rb_device as device;
 pub use rb_netsim as netsim;
 pub use rb_provision as provision;
 pub use rb_scenario as scenario;
+pub use rb_telemetry as telemetry;
 pub use rb_wire as wire;

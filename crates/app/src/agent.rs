@@ -510,6 +510,7 @@ impl AppAgent {
                 self.note_bound(now);
                 self.session = *session;
                 self.events.push(AppEvent::Bound);
+                ctx.mark("app bound");
                 // Deliver the session token to the device over the LAN.
                 if let (Some(s), Some(node)) = (session, self.device_node) {
                     ctx.send(
@@ -555,6 +556,9 @@ impl AppAgent {
                 self.stats.revocations += 1;
                 self.telemetry.incr("app_revocations_total");
                 self.events.push(AppEvent::BindingRevoked);
+                // Causally tied to whatever message displaced the binding —
+                // the victim-side evidence in a forensic reconstruction.
+                ctx.mark("app binding-revoked");
             }
             Response::Bound { session } => {
                 // Capability designs: the cloud tells the user the device
@@ -563,6 +567,7 @@ impl AppAgent {
                 self.note_bound(ctx.now());
                 self.session = session;
                 self.events.push(AppEvent::Bound);
+                ctx.mark("app bound");
                 if let (Some(s), Some(node)) = (session, self.device_node) {
                     ctx.send(
                         Dest::Unicast(node),

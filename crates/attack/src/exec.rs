@@ -10,6 +10,7 @@
 use rb_core::attacks::{AttackId, Feasibility};
 use rb_core::design::{BindScheme, DeviceAuthScheme, FirmwareKnowledge, VendorDesign};
 use rb_core::shadow::ShadowState;
+use rb_forensics::Capture;
 use rb_netsim::{FaultPlan, Telemetry};
 use rb_scenario::{World, WorldBuilder};
 use rb_wire::messages::{
@@ -22,7 +23,7 @@ use rb_wire::tokens::{UserId, UserPw};
 use crate::adversary::{Adversary, ATTACKER_ID, ATTACKER_PW};
 
 /// The record of one executed (or refused) attack.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackRun {
     /// Which attack.
     pub id: AttackId,
@@ -30,6 +31,10 @@ pub struct AttackRun {
     pub outcome: Feasibility,
     /// Evidence lines for the experiment log.
     pub evidence: Vec<String>,
+    /// The forensic capture of the run (trace + role map), when
+    /// [`AttackOpts::capture`] was set. Feed it to `rb_forensics::classify`
+    /// to reconstruct the attack from the trace alone.
+    pub capture: Option<Box<Capture>>,
 }
 
 impl AttackRun {
@@ -38,6 +43,7 @@ impl AttackRun {
             id,
             outcome: Feasibility::Feasible,
             evidence,
+            capture: None,
         }
     }
 
@@ -46,6 +52,7 @@ impl AttackRun {
             id,
             outcome: Feasibility::blocked(by),
             evidence,
+            capture: None,
         }
     }
 
@@ -54,6 +61,7 @@ impl AttackRun {
             id,
             outcome: Feasibility::unconfirmable(reason),
             evidence: Vec::new(),
+            capture: None,
         }
     }
 }
@@ -69,6 +77,10 @@ pub struct AttackOpts {
     /// pass one handle across all runs to get per-family attempt/success
     /// counters; the default is a private registry.
     pub telemetry: Telemetry,
+    /// Record a forensic capture: the victim world runs with causal
+    /// tracing and cloud forensic marks enabled, and the run returns the
+    /// full trace + role map in [`AttackRun::capture`].
+    pub capture: bool,
 }
 
 /// Runs one attack against one design. Dispatches to the specific
@@ -87,16 +99,22 @@ pub fn run_attack_opts(
     let family = id.family();
     opts.telemetry
         .incr(&format!("attack_attempts_total{{family=\"{family}\"}}"));
-    let run = match id {
-        AttackId::A1 => run_a1(design, seed, opts),
-        AttackId::A2 => run_a2(design, seed, opts),
-        AttackId::A3_1 => run_a3_1(design, seed, opts),
-        AttackId::A3_2 => run_a3_2(design, seed, opts),
-        AttackId::A3_3 => run_a3_3(design, seed, opts),
-        AttackId::A3_4 => run_a3_4(design, seed, opts),
-        AttackId::A4_1 => run_a4_1(design, seed, opts),
-        AttackId::A4_2 => run_a4_2(design, seed, opts),
-        AttackId::A4_3 => run_a4_3(design, seed, opts),
+    // The targeted state decides the starting world: A2 and A4-2 attack
+    // a device that is still in its box (victim paused), everything else
+    // a fully set-up home. Construction lives here — not in the
+    // executors — so the forensic capture wraps the *whole* run.
+    let paused = matches!(id, AttackId::A2 | AttackId::A4_2);
+    let mut world = build_world(design, seed, opts, paused);
+    let mut run = match id {
+        AttackId::A1 => run_a1(design, &mut world),
+        AttackId::A2 => run_a2(design, &mut world),
+        AttackId::A3_1 => run_a3_1(design, &mut world),
+        AttackId::A3_2 => run_a3_2(design, &mut world),
+        AttackId::A3_3 => run_a3_3(design, &mut world),
+        AttackId::A3_4 => run_a3_4(design, &mut world),
+        AttackId::A4_1 => run_a4_1(design, &mut world),
+        AttackId::A4_2 => run_a4_2(design, &mut world),
+        AttackId::A4_3 => run_a4_3(design, &mut world),
     };
     let outcome = match &run.outcome {
         Feasibility::Feasible => "feasible",
@@ -110,6 +128,9 @@ pub fn run_attack_opts(
     opts.telemetry.incr(&format!(
         "attack_outcomes_total{{id=\"{id}\",outcome=\"{outcome}\"}}"
     ));
+    if opts.capture {
+        run.capture = Some(Box::new(rb_scenario::capture(&world)));
+    }
     run
 }
 
@@ -120,6 +141,9 @@ fn build_world(design: &VendorDesign, seed: u64, opts: &AttackOpts, paused: bool
         .with_telemetry(opts.telemetry.clone());
     if paused {
         builder = builder.victim_paused();
+    }
+    if opts.capture {
+        builder = builder.trace();
     }
     builder.build()
 }
@@ -274,21 +298,20 @@ fn control_check(world: &mut World, adv: &mut Adversary, evidence: &mut Vec<Stri
 // A1: data injection and stealing.
 // ---------------------------------------------------------------------------
 
-fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a1(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A1;
     if let Some(run) = status_forgery_gate(design, ID) {
         return run;
     }
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
-    adv.login(&mut world);
+    adv.login(world);
     let mut evidence = Vec::new();
 
     // Open a forged device session.
-    let register = forged_register(&world);
+    let register = forged_register(world);
     world.telemetry().incr("attack_forged_registers_total");
-    match adv.request(&mut world, register) {
+    match adv.request(world, register) {
         Some(Response::StatusAccepted { .. }) => {
             evidence.push("forged registration accepted".into());
         }
@@ -316,9 +339,9 @@ fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     // Injection: report an absurd power reading and check it reaches the
     // victim's app.
     let marker = TelemetryFrame::PowerMilliwatts(999_000_000);
-    let heartbeat = forged_heartbeat(&world, vec![marker.clone()]);
+    let heartbeat = forged_heartbeat(world, vec![marker.clone()]);
     world.telemetry().incr("attack_forged_heartbeats_total");
-    adv.request(&mut world, heartbeat);
+    adv.request(world, heartbeat);
     world.run_for(5_000);
     let injected = world.app(0).events.iter().any(|e| match e {
         rb_app::AppEvent::Telemetry(frames) => frames.contains(&marker),
@@ -336,7 +359,7 @@ fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
         .app_mut(0)
         .queue_control(ControlAction::SetSchedule(secret_entry.clone()));
     world.run_for(10_000);
-    adv.drain(&mut world, None);
+    adv.drain(world, None);
     let stolen = adv.saw_push(|rsp| {
         matches!(rsp, Response::ControlPush { action: ControlAction::SetSchedule(e), .. } if *e == secret_entry)
     });
@@ -344,7 +367,7 @@ fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
         "victim's schedule exfiltrated to the attacker: {stolen}"
     ));
 
-    evidence.push(alert_summary(&world));
+    evidence.push(alert_summary(world));
     if injected && stolen {
         AttackRun::feasible(ID, evidence)
     } else {
@@ -360,27 +383,27 @@ fn run_a1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 // A2: binding denial-of-service.
 // ---------------------------------------------------------------------------
 
-fn run_a2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a2(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A2;
-    // Target the *initial* state: the device is manufactured and its ID
-    // leaked, but the victim has not set it up yet.
-    let mut world = build_world(design, seed, opts, true);
+    // The world arrives paused: the device is manufactured and its ID
+    // leaked, but the victim has not set it up yet (the *initial* state).
     let mut adv = Adversary::new();
-    adv.login(&mut world);
+    adv.login(world);
     let mut evidence = Vec::new();
 
-    let bind = match forged_bind(design, &world, &adv) {
+    let bind = match forged_bind(design, world, &adv) {
         Ok(m) => m,
         Err(f) => {
             return AttackRun {
                 id: ID,
                 outcome: f,
                 evidence,
+                capture: None,
             }
         }
     };
     world.telemetry().incr("attack_forged_binds_total");
-    match adv.request(&mut world, bind) {
+    match adv.request(world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
             evidence.push("attacker's pre-emptive binding accepted".into());
@@ -398,7 +421,7 @@ fn run_a2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     evidence.push(format!(
         "victim setup converged: {converged}; binding holder: {holder:?}"
     ));
-    evidence.push(alert_summary(&world));
+    evidence.push(alert_summary(world));
     if !converged && holder == Some(UserId::new(ATTACKER_ID)) {
         AttackRun::feasible(ID, evidence)
     } else {
@@ -414,16 +437,15 @@ fn run_a2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 // A3-1 / A3-2: device unbinding by forged unbind messages.
 // ---------------------------------------------------------------------------
 
-fn run_a3_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a3_1(_design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A3_1;
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
     let dev_id = world.homes[0].dev_id.clone();
     world.telemetry().incr("attack_forged_unbinds_total");
     match adv.request(
-        &mut world,
+        world,
         Message::Unbind(UnbindPayload::DevIdOnly {
             dev_id: dev_id.clone(),
         }),
@@ -433,7 +455,7 @@ fn run_a3_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             evidence.push(format!(
                 "cloud accepted Unbind:DevId; binding revoked: {unbound}"
             ));
-            evidence.push(alert_summary(&world));
+            evidence.push(alert_summary(world));
             if unbound {
                 AttackRun::feasible(ID, evidence)
             } else {
@@ -447,17 +469,16 @@ fn run_a3_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     }
 }
 
-fn run_a3_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a3_2(_design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A3_2;
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
-    let user_token = adv.login(&mut world);
+    let user_token = adv.login(world);
     let mut evidence = Vec::new();
     let dev_id = world.homes[0].dev_id.clone();
     world.telemetry().incr("attack_forged_unbinds_total");
     match adv.request(
-        &mut world,
+        world,
         Message::Unbind(UnbindPayload::DevIdUserToken {
             dev_id: dev_id.clone(),
             user_token,
@@ -468,7 +489,7 @@ fn run_a3_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
             evidence.push(format!(
                 "cloud accepted the attacker's token on unbind; binding revoked: {unbound}"
             ));
-            evidence.push(alert_summary(&world));
+            evidence.push(alert_summary(world));
             if unbound {
                 AttackRun::feasible(ID, evidence)
             } else {
@@ -486,26 +507,26 @@ fn run_a3_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 // A3-3: device unbinding via replacing bind (no control).
 // ---------------------------------------------------------------------------
 
-fn run_a3_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a3_3(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A3_3;
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
-    adv.login(&mut world);
+    adv.login(world);
     let mut evidence = Vec::new();
 
-    let bind = match forged_bind(design, &world, &adv) {
+    let bind = match forged_bind(design, world, &adv) {
         Ok(m) => m,
         Err(f) => {
             return AttackRun {
                 id: ID,
                 outcome: f,
                 evidence,
+                capture: None,
             }
         }
     };
     world.telemetry().incr("attack_forged_binds_total");
-    match adv.request(&mut world, bind) {
+    match adv.request(world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
             evidence.push("attacker's replacing bind accepted".into());
@@ -525,7 +546,7 @@ fn run_a3_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     }
     // If the replacement also yields *confirmed* control, the stronger
     // A4-1 classification applies and this run does not count as A3-3.
-    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let works = control_check(world, &mut adv, &mut evidence);
     if works && design.auth != DeviceAuthScheme::Opaque {
         AttackRun::blocked(
             ID,
@@ -541,18 +562,17 @@ fn run_a3_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 // A3-4: device unbinding via forged status.
 // ---------------------------------------------------------------------------
 
-fn run_a3_4(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a3_4(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A3_4;
     if let Some(run) = status_forgery_gate(design, ID) {
         return run;
     }
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
     let mut evidence = Vec::new();
-    let register = forged_register(&world);
+    let register = forged_register(world);
     world.telemetry().incr("attack_forged_registers_total");
-    match adv.request(&mut world, register) {
+    match adv.request(world, register) {
         Some(Response::StatusAccepted { .. }) => {
             evidence.push("forged registration accepted".into());
         }
@@ -568,7 +588,7 @@ fn run_a3_4(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     world.run_for(2_000);
     let unbound = world.cloud().bound_user(&world.homes[0].dev_id).is_none();
     evidence.push(format!("binding revoked by the registration: {unbound}"));
-    evidence.push(alert_summary(&world));
+    evidence.push(alert_summary(world));
     if unbound {
         AttackRun::feasible(ID, evidence)
     } else {
@@ -584,26 +604,26 @@ fn run_a3_4(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 // A4-1: hijack via replacing bind in the control state.
 // ---------------------------------------------------------------------------
 
-fn run_a4_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a4_1(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A4_1;
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
-    adv.login(&mut world);
+    adv.login(world);
     let mut evidence = Vec::new();
 
-    let bind = match forged_bind(design, &world, &adv) {
+    let bind = match forged_bind(design, world, &adv) {
         Ok(m) => m,
         Err(f) => {
             return AttackRun {
                 id: ID,
                 outcome: f,
                 evidence,
+                capture: None,
             }
         }
     };
     world.telemetry().incr("attack_forged_binds_total");
-    match adv.request(&mut world, bind) {
+    match adv.request(world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
             evidence.push("attacker's replacing bind accepted".into());
@@ -613,12 +633,13 @@ fn run_a4_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
         }
         other => return AttackRun::blocked(ID, format!("no bind response: {other:?}"), evidence),
     }
-    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let works = control_check(world, &mut adv, &mut evidence);
     let outcome = control_feasibility(design, works, "binding replaced but control is not relayed");
     AttackRun {
         id: ID,
         outcome,
         evidence,
+        capture: None,
     }
 }
 
@@ -626,19 +647,20 @@ fn run_a4_1(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
 // A4-2: hijack by racing the setup window.
 // ---------------------------------------------------------------------------
 
-fn run_a4_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a4_2(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A4_2;
-    let mut world = build_world(design, seed, opts, true);
+    // The world arrives paused (the setup has not happened yet).
     let mut adv = Adversary::new();
-    adv.login(&mut world);
+    adv.login(world);
     let mut evidence = Vec::new();
 
     // Can the attacker even construct a bind?
-    if let Err(f) = forged_bind(design, &world, &adv) {
+    if let Err(f) = forged_bind(design, world, &adv) {
         return AttackRun {
             id: ID,
             outcome: f,
             evidence,
+            capture: None,
         };
     }
 
@@ -648,13 +670,13 @@ fn run_a4_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     world.resume_victims();
     let mut occupied = false;
     for _round in 0..600 {
-        let Ok(bind) = forged_bind(design, &world, &adv) else {
+        let Ok(bind) = forged_bind(design, world, &adv) else {
             unreachable!("forgeability was checked before the probe loop")
         };
         world.telemetry().incr("attack_window_probes_total");
-        adv.fire(&mut world, bind);
+        adv.fire(world, bind);
         world.run_for(250);
-        if let Some(Response::Bound { session }) = latest_bind_response(&mut adv, &mut world) {
+        if let Some(Response::Bound { session }) = latest_bind_response(&mut adv, world) {
             adv.hijack_session = session;
             occupied = true;
             break;
@@ -679,12 +701,13 @@ fn run_a4_2(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     if holder != Some(UserId::new(ATTACKER_ID)) {
         return AttackRun::blocked(ID, "the victim displaced the attacker's binding", evidence);
     }
-    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let works = control_check(world, &mut adv, &mut evidence);
     let outcome = control_feasibility(design, works, "window won but control is not relayed");
     AttackRun {
         id: ID,
         outcome,
         evidence,
+        capture: None,
     }
 }
 
@@ -701,12 +724,11 @@ fn latest_bind_response(adv: &mut Adversary, world: &mut World) -> Option<Respon
 // A4-3: hijack by unbind-then-bind.
 // ---------------------------------------------------------------------------
 
-fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
+fn run_a4_3(design: &VendorDesign, world: &mut World) -> AttackRun {
     const ID: AttackId = AttackId::A4_3;
-    let mut world = build_world(design, seed, opts, false);
     world.run_setup();
     let mut adv = Adversary::new();
-    let user_token = adv.login(&mut world);
+    let user_token = adv.login(world);
     let mut evidence = Vec::new();
     let dev_id = world.homes[0].dev_id.clone();
 
@@ -722,7 +744,7 @@ fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
         })
     };
     world.telemetry().incr("attack_forged_unbinds_total");
-    match adv.request(&mut world, unbind) {
+    match adv.request(world, unbind) {
         Some(Response::Unbound) => evidence.push("step 1: victim unbound".into()),
         Some(Response::Denied { reason }) => {
             return AttackRun::blocked(ID, format!("step 1 (unbind) denied: {reason}"), evidence);
@@ -731,18 +753,19 @@ fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     }
 
     // Step 2: bind the now-unbound device to the attacker.
-    let bind = match forged_bind(design, &world, &adv) {
+    let bind = match forged_bind(design, world, &adv) {
         Ok(m) => m,
         Err(f) => {
             return AttackRun {
                 id: ID,
                 outcome: f,
                 evidence,
+                capture: None,
             }
         }
     };
     world.telemetry().incr("attack_forged_binds_total");
-    match adv.request(&mut world, bind) {
+    match adv.request(world, bind) {
         Some(Response::Bound { session }) => {
             adv.hijack_session = session;
             evidence.push("step 2: attacker bound".into());
@@ -754,7 +777,7 @@ fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
     }
 
     // Step 3: absolute control.
-    let works = control_check(&mut world, &mut adv, &mut evidence);
+    let works = control_check(world, &mut adv, &mut evidence);
     let outcome = control_feasibility(
         design,
         works,
@@ -764,5 +787,6 @@ fn run_a4_3(design: &VendorDesign, seed: u64, opts: &AttackOpts) -> AttackRun {
         id: ID,
         outcome,
         evidence,
+        capture: None,
     }
 }

@@ -1,0 +1,132 @@
+//! The forensic tentpole validation: every Feasible cell of Table III must
+//! be reconstructed *from the causal trace alone* — correct attack family,
+//! sub-case, forged primitive origin, and causal root — while benign runs
+//! (including chaos-disturbed ones) must yield zero attributions.
+
+use rb_attack::{run_attack_opts, AttackOpts};
+use rb_core::attacks::{AttackId, Feasibility};
+use rb_core::vendors;
+use rb_forensics::{classify, Forest};
+use rb_scenario::{trace_run, ChaosProfile};
+
+const SEED: u64 = 0xF02E_2019;
+
+/// Every Feasible executor run across all ten vendors must classify to its
+/// own attack id, with the causal root pinned on the attacker endpoint.
+#[test]
+fn feasible_attacks_reconstruct_their_table_iii_cell() {
+    let opts = AttackOpts {
+        capture: true,
+        ..AttackOpts::default()
+    };
+    let mut validated = 0usize;
+    for design in vendors::vendor_designs() {
+        for id in AttackId::ALL {
+            let run = run_attack_opts(&design, id, SEED, &opts);
+            if run.outcome != Feasibility::Feasible {
+                continue;
+            }
+            let capture = run.capture.as_deref().expect("capture was requested");
+            let findings = classify(capture);
+            let dev = &capture.roles.homes[0].dev_id;
+            let finding = findings
+                .iter()
+                .find(|f| &f.dev_id == dev)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{} {id}: feasible attack left no attribution (findings: {findings:?})",
+                        design.vendor
+                    )
+                });
+            assert_eq!(
+                finding.sub_case,
+                id.to_string(),
+                "{} {id}: classified as {} instead\nfinding: {finding:?}",
+                design.vendor,
+                finding.sub_case
+            );
+            assert_eq!(
+                finding.family,
+                id.family().to_string(),
+                "{} {id}: family mismatch",
+                design.vendor
+            );
+            // Attribution must land on the attacker endpoint, and the
+            // initiating span must trace back to a root the attacker sent
+            // (forged frames are causal roots by construction).
+            assert_eq!(
+                Some(finding.attacker),
+                capture.roles.attacker,
+                "{} {id}: attributed to the wrong node",
+                design.vendor
+            );
+            let forest = Forest::build(capture);
+            assert_eq!(
+                forest.origin_of(finding.root_span),
+                capture.roles.attacker,
+                "{} {id}: causal root span {} did not originate at the attacker",
+                design.vendor,
+                finding.root_span
+            );
+            validated += 1;
+        }
+    }
+    // The ten Table III rows contain exactly 15 Feasible executor cells
+    // (A2 ✓ appears for six vendors; "A3-1 & A3-4" counts as two).
+    assert_eq!(validated, 15, "feasible-cell coverage drifted");
+}
+
+/// A benign life cycle — for every vendor — produces no attributions:
+/// zero false positives on clean traffic.
+#[test]
+fn benign_lifecycles_yield_no_attributions() {
+    for design in vendors::vendor_designs() {
+        let capture = trace_run(&design, SEED, None);
+        let findings = classify(&capture);
+        assert!(
+            findings.is_empty(),
+            "{}: benign run attributed {findings:?}",
+            design.vendor
+        );
+    }
+}
+
+/// Chaos (drops, WAN flaps, crashes, duplication, partitions) disturbs the
+/// benign life cycle but must not create phantom attackers.
+#[test]
+fn chaotic_benign_runs_yield_no_attributions() {
+    for profile in ChaosProfile::ALL {
+        let capture = trace_run(&vendors::tp_link(), SEED, Some(profile));
+        let findings = classify(&capture);
+        assert!(
+            findings.is_empty(),
+            "{profile:?}: chaotic benign run attributed {findings:?}"
+        );
+    }
+}
+
+/// Captures are pure functions of (vendor, seed): the forensic verdict and
+/// the rendered artifacts must be byte-identical across repeat runs.
+#[test]
+fn forensic_artifacts_are_deterministic() {
+    let opts = AttackOpts {
+        capture: true,
+        ..AttackOpts::default()
+    };
+    let a = run_attack_opts(&vendors::tp_link(), AttackId::A4_3, SEED, &opts);
+    let b = run_attack_opts(&vendors::tp_link(), AttackId::A4_3, SEED, &opts);
+    let (ca, cb) = (
+        a.capture.as_deref().expect("capture"),
+        b.capture.as_deref().expect("capture"),
+    );
+    assert_eq!(ca, cb);
+    assert_eq!(
+        rb_forensics::chrome::to_chrome_json(ca),
+        rb_forensics::chrome::to_chrome_json(cb)
+    );
+    assert_eq!(
+        rb_forensics::timeline::to_timeline(ca),
+        rb_forensics::timeline::to_timeline(cb)
+    );
+    assert_eq!(classify(ca), classify(cb));
+}

@@ -7,6 +7,7 @@
 //! rbsim campaign <vendor> [seed]  # execute all nine attacks live
 //! rbsim attack <vendor> <A4-3>    # execute one attack with evidence
 //! rbsim metrics <vendor> [seed]   # binding-lifecycle telemetry (--json|--prom)
+//! rbsim trace <vendor> [seed]     # causal trace (--timeline|--chrome|--forensics)
 //! rbsim taxonomy                  # Table II
 //! rbsim table3                    # full live Table III
 //! rbsim space                     # exhaustive design-space survey
@@ -15,10 +16,17 @@
 //! `lint` exits nonzero when any error-severity finding fires, so it can
 //! gate a vendor's design in CI the way `clippy` gates code.
 //!
+//! `trace` replays the canonical binding lifecycle with causal tracing on
+//! and renders the capture as a human timeline (default) or a Chrome
+//! `trace_event` JSON document (`--chrome`, loadable in Perfetto /
+//! `chrome://tracing`). With `--forensics` it instead executes all nine
+//! attacks and reconstructs each verdict from the trace alone.
+//!
 //! Run through cargo: `cargo run -p rb-bench --bin rbsim -- audit tp-link`.
 
 use rb_attack::campaign::{run_all_parallel, run_campaign};
 use rb_attack::exec::run_attack;
+use rb_attack::{run_attack_opts, AttackOpts};
 use rb_bench::render_table;
 use rb_core::analyzer::{analyze, taxonomy, taxonomy_witnesses};
 use rb_core::attacks::{AttackFamily, AttackId};
@@ -45,6 +53,19 @@ fn find_design(name: &str) -> Option<VendorDesign> {
             .replace(['-', '_', ' '], "")
             .contains(&needle)
     })
+}
+
+/// Resolve a vendor argument or exit 2 — the one unknown-vendor error
+/// path shared by every vendor-taking subcommand (`lint`, `metrics`,
+/// `trace`, ...), so the message and exit status cannot drift apart.
+fn require_design(vendor: Option<&str>, hint: &str) -> VendorDesign {
+    match vendor.and_then(find_design) {
+        Some(design) => design,
+        None => {
+            eprintln!("unknown vendor; try {hint}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_attack(name: &str) -> Option<AttackId> {
@@ -205,6 +226,75 @@ fn cmd_metrics(design: &VendorDesign, seed: u64, format: MetricsFormat) {
     }
 }
 
+/// Output format for `rbsim trace`.
+#[derive(Clone, Copy, PartialEq)]
+enum TraceFormat {
+    Timeline,
+    Chrome,
+    Forensics,
+}
+
+fn cmd_trace(design: &VendorDesign, seed: u64, format: TraceFormat) {
+    match format {
+        TraceFormat::Timeline => {
+            let capture = rb_scenario::trace_run(design, seed, None);
+            print!("{}", rb_forensics::timeline::to_timeline(&capture));
+        }
+        TraceFormat::Chrome => {
+            let capture = rb_scenario::trace_run(design, seed, None);
+            print!("{}", rb_forensics::chrome::to_chrome_json(&capture));
+        }
+        TraceFormat::Forensics => {
+            let opts = AttackOpts {
+                capture: true,
+                ..AttackOpts::default()
+            };
+            println!(
+                "forensic reconstruction: {} (seed {seed}) — verdicts from the causal trace alone\n",
+                design.vendor
+            );
+            let mut reconstructed = 0usize;
+            let mut feasible = 0usize;
+            for id in AttackId::ALL {
+                let run = run_attack_opts(design, id, seed, &opts);
+                let Some(capture) = run.capture.as_deref() else {
+                    continue;
+                };
+                let findings = rb_forensics::classify(capture);
+                let dev = &capture.roles.homes[0].dev_id;
+                let is_feasible = run.outcome == rb_core::attacks::Feasibility::Feasible;
+                if is_feasible {
+                    feasible += 1;
+                }
+                let verdict = match findings.iter().find(|f| &f.dev_id == dev) {
+                    Some(f) => {
+                        // Only feasible runs count toward the ratio: a blocked
+                        // attempt can still leave a true partial attribution.
+                        if is_feasible && f.sub_case == id.to_string() {
+                            reconstructed += 1;
+                        }
+                        format!(
+                            "attributed {} via forged `{}` (root span {}, {})",
+                            f.sub_case, f.primitive, f.root_span, f.at
+                        )
+                    }
+                    None => "no attribution".to_owned(),
+                };
+                println!(
+                    "  {:5} [{}] executed: {:14} | forensics: {verdict}",
+                    id.to_string(),
+                    run.outcome.symbol(),
+                    run.outcome.to_string()
+                );
+            }
+            println!("\nreconstructed {reconstructed}/{feasible} feasible attack(s) from traces.");
+            if reconstructed != feasible {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_verify(design: &VendorDesign) {
     println!("model-checking {}...\n", design.vendor);
     let spec = check(design);
@@ -289,7 +379,7 @@ fn cmd_space() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rbsim <list|audit|lint|verify|campaign|attack|metrics|taxonomy|table3|space> [args]"
+        "usage: rbsim <list|audit|lint|verify|campaign|attack|metrics|trace|taxonomy|table3|space> [args]"
     );
     eprintln!("  rbsim audit tp-link");
     eprintln!("  rbsim lint tp-link");
@@ -297,6 +387,8 @@ fn usage() -> ! {
     eprintln!("  rbsim campaign e-link 42");
     eprintln!("  rbsim attack tp-link A4-3");
     eprintln!("  rbsim metrics tp-link 7 --prom");
+    eprintln!("  rbsim trace tp-link 7 --chrome   # pipe to a file, load in Perfetto");
+    eprintln!("  rbsim trace e-link --forensics   # reconstruct attacks from traces");
     std::process::exit(2);
 }
 
@@ -308,10 +400,7 @@ fn main() {
         Some("table3") => cmd_table3(),
         Some("space") => cmd_space(),
         Some("verify") => {
-            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
-                eprintln!("unknown vendor; try `rbsim list`");
-                std::process::exit(2);
-            };
+            let design = require_design(args.get(1).map(String::as_str), "`rbsim list`");
             cmd_verify(&design);
         }
         Some("lint") => {
@@ -329,26 +418,19 @@ fn main() {
             let designs = if all {
                 vendor_designs()
             } else {
-                let Some(design) = vendor.as_deref().and_then(find_design) else {
-                    eprintln!("unknown vendor; try `rbsim list` or `rbsim lint --all`");
-                    std::process::exit(2);
-                };
-                vec![design]
+                vec![require_design(
+                    vendor.as_deref(),
+                    "`rbsim list` or `rbsim lint --all`",
+                )]
             };
             cmd_lint(&designs, format);
         }
         Some("audit") => {
-            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
-                eprintln!("unknown vendor; try `rbsim list`");
-                std::process::exit(2);
-            };
+            let design = require_design(args.get(1).map(String::as_str), "`rbsim list`");
             cmd_audit(&design);
         }
         Some("campaign") => {
-            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
-                eprintln!("unknown vendor; try `rbsim list`");
-                std::process::exit(2);
-            };
+            let design = require_design(args.get(1).map(String::as_str), "`rbsim list`");
             let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
             cmd_campaign(&design, seed);
         }
@@ -369,17 +451,32 @@ fn main() {
                     }
                 }
             }
-            let Some(design) = vendor.as_deref().and_then(find_design) else {
-                eprintln!("unknown vendor; try `rbsim list`");
-                std::process::exit(2);
-            };
+            let design = require_design(vendor.as_deref(), "`rbsim list`");
             cmd_metrics(&design, seed, format);
         }
+        Some("trace") => {
+            let mut format = TraceFormat::Timeline;
+            let mut seed = 7u64;
+            let mut vendor = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--timeline" => format = TraceFormat::Timeline,
+                    "--chrome" => format = TraceFormat::Chrome,
+                    "--forensics" => format = TraceFormat::Forensics,
+                    other => {
+                        if let Ok(s) = other.parse() {
+                            seed = s;
+                        } else {
+                            vendor = Some(other.to_owned());
+                        }
+                    }
+                }
+            }
+            let design = require_design(vendor.as_deref(), "`rbsim list`");
+            cmd_trace(&design, seed, format);
+        }
         Some("attack") => {
-            let Some(design) = args.get(1).and_then(|n| find_design(n)) else {
-                eprintln!("unknown vendor; try `rbsim list`");
-                std::process::exit(2);
-            };
+            let design = require_design(args.get(1).map(String::as_str), "`rbsim list`");
             let Some(id) = args.get(2).and_then(|a| parse_attack(a)) else {
                 eprintln!("unknown attack; one of A1, A2, A3-1..A3-4, A4-1..A4-3");
                 std::process::exit(2);

@@ -113,41 +113,8 @@ pub struct CloudService {
     rate: HashMap<NodeId, (Tick, u32)>,
     monitor: Monitor,
     telemetry: Telemetry,
-}
-
-/// Records a shadow transition into the unified registry: the
-/// `cloud_shadow_transitions_total{from,to}` counter plus the
-/// binding-lifecycle histograms (`Initial→Online`, `Online→Bound`,
-/// unbind-to-rebind). Free function so callers can hold a `&mut` borrow of
-/// the device state while recording.
-fn track_transition(
-    telemetry: &Telemetry,
-    dev_id: &DevId,
-    before: ShadowState,
-    after: ShadowState,
-    now: Tick,
-) {
-    if before == after {
-        return;
-    }
-    telemetry.with(|r| {
-        r.counter_add(
-            &format!("cloud_shadow_transitions_total{{from=\"{before}\",to=\"{after}\"}}"),
-            1,
-        );
-        let dev = dev_id.to_string();
-        let now = now.as_u64();
-        match (before.is_online(), after.is_online()) {
-            (false, true) => r.lifecycle_online(&dev, now),
-            (true, false) => r.lifecycle_offline(&dev),
-            _ => {}
-        }
-        match (before.is_bound(), after.is_bound()) {
-            (false, true) => r.lifecycle_bound(&dev, now),
-            (true, false) => r.lifecycle_unbound(&dev, now),
-            _ => {}
-        }
-    });
+    forensics: bool,
+    forensic_marks: Vec<String>,
 }
 
 impl CloudService {
@@ -167,6 +134,54 @@ impl CloudService {
             rate: HashMap::new(),
             monitor: Monitor::new(),
             telemetry: Telemetry::new(),
+            forensics: false,
+            forensic_marks: Vec::new(),
+        }
+    }
+
+    /// Enables forensic marks: causally-attributed statements ("rpc …",
+    /// "shadow …", "bind …") emitted into the simulation trace alongside
+    /// the packet that caused them, consumed by `rb-forensics` to
+    /// reconstruct attacks. Off by default so untraced runs pay nothing.
+    pub fn set_forensics(&mut self, enabled: bool) {
+        self.forensics = enabled;
+    }
+
+    /// Records a shadow transition into the unified registry — the
+    /// `cloud_shadow_transitions_total{from,to}` counter plus the
+    /// binding-lifecycle histograms — and, when forensics is on, a
+    /// `shadow dev=… from=… to=…` mark tied to the causing message.
+    fn track_transition(
+        &mut self,
+        dev_id: &DevId,
+        before: ShadowState,
+        after: ShadowState,
+        now: Tick,
+    ) {
+        if before == after {
+            return;
+        }
+        self.telemetry.with(|r| {
+            r.counter_add(
+                &format!("cloud_shadow_transitions_total{{from=\"{before}\",to=\"{after}\"}}"),
+                1,
+            );
+            let dev = dev_id.to_string();
+            let now = now.as_u64();
+            match (before.is_online(), after.is_online()) {
+                (false, true) => r.lifecycle_online(&dev, now),
+                (true, false) => r.lifecycle_offline(&dev),
+                _ => {}
+            }
+            match (before.is_bound(), after.is_bound()) {
+                (false, true) => r.lifecycle_bound(&dev, now),
+                (true, false) => r.lifecycle_unbound(&dev, now),
+                _ => {}
+            }
+        });
+        if self.forensics {
+            self.forensic_marks
+                .push(format!("shadow dev={dev_id} from={before} to={after}"));
         }
     }
 
@@ -277,6 +292,15 @@ impl CloudService {
                 r.counter_add(&format!("cloud_denials_total{{kind=\"{kind}\"}}"), 1);
             }
         });
+        if self.forensics {
+            let dev = msg
+                .dev_id()
+                .map_or_else(|| "-".to_string(), ToString::to_string);
+            self.forensic_marks.push(format!(
+                "rpc {} dev={dev} outcome={rendered}",
+                msg.primitive_str()
+            ));
+        }
         self.audit.push(AuditEntry {
             at: now,
             from,
@@ -284,6 +308,12 @@ impl CloudService {
             outcome: rendered,
         });
         outcome
+    }
+
+    /// Drains the forensic marks accumulated since the last drain (empty
+    /// unless [`CloudService::set_forensics`] enabled them).
+    pub fn take_forensic_marks(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.forensic_marks)
     }
 
     /// Whether this request from `from` exceeds the configured rate limit
@@ -316,7 +346,7 @@ impl CloudService {
             // tells us whether it was Online→Initial or Control→Bound.
             let after = self.state.shadow_state(dev_id);
             let before = ShadowState::from_flags(true, after.is_bound());
-            track_transition(&self.telemetry, dev_id, before, after, now);
+            self.track_transition(dev_id, before, after, now);
         }
         if !expired.is_empty() {
             self.telemetry
@@ -454,7 +484,7 @@ impl CloudService {
             let after = record.shadow.state();
             record.binding_session = None;
             record.guests.clear();
-            track_transition(&self.telemetry, &payload.dev_id, before, after, now);
+            self.track_transition(&payload.dev_id, before, after, now);
             if let Some(user) = revoked {
                 if let Some(node) = self.accounts.node_of(&user) {
                     pushes.push((node, Response::BindingRevoked));
@@ -497,7 +527,7 @@ impl CloudService {
         let before = record.shadow.state();
         record.shadow.on_status(now.as_u64());
         let after = record.shadow.state();
-        track_transition(&self.telemetry, &payload.dev_id, before, after, now);
+        self.track_transition(&payload.dev_id, before, after, now);
         let record = self.state.record_mut(&payload.dev_id);
         if payload.button_pressed {
             record.button_at = Some(now);
@@ -637,9 +667,16 @@ impl CloudService {
         let before = record.shadow.state();
         let displaced = record.shadow.on_bind(user.clone());
         let after = record.shadow.state();
-        track_transition(&self.telemetry, &dev_id, before, after, now);
+        self.track_transition(&dev_id, before, after, now);
         if displaced.is_some() {
             self.telemetry.incr("cloud_bindings_replaced_total");
+        }
+        if self.forensics {
+            let prev = displaced
+                .as_ref()
+                .map_or_else(|| "none".to_string(), ToString::to_string);
+            self.forensic_marks
+                .push(format!("bind dev={dev_id} user={user} displaced={prev}"));
         }
         let record = self.state.record_mut(&dev_id);
         record.binding_session = session;
@@ -751,7 +788,14 @@ impl CloudService {
         let after = record.shadow.state();
         record.binding_session = None;
         record.guests.clear();
-        track_transition(&self.telemetry, &dev_id, before, after, now);
+        self.track_transition(&dev_id, before, after, now);
+        if self.forensics {
+            let who = revoked
+                .as_ref()
+                .map_or_else(|| "none".to_string(), ToString::to_string);
+            self.forensic_marks
+                .push(format!("unbind dev={dev_id} revoked={who}"));
+        }
         match (payload, &revoked, &requester) {
             // Legitimate resets come from the device's own NAT; a bare
             // unbind from anywhere else is the A3-1 signature.
@@ -1053,6 +1097,18 @@ impl Actor for CloudService {
             let mut local = rng.fork();
             self.handle_message(from, now, &msg, &mut local)
         };
+        if self.forensics {
+            for (node, rsp) in &outcome.pushes {
+                self.forensic_marks
+                    .push(format!("push {} to={node}", rsp.kind_str()));
+            }
+            // Marks are drained before the sends so a forensic reader sees
+            // the cloud's statements about a request ahead of the replies
+            // they explain; all carry the request packet's trace context.
+            for text in self.take_forensic_marks() {
+                ctx.mark(text);
+            }
+        }
         ctx.send(
             Dest::Unicast(from),
             Envelope::Response {
@@ -1071,6 +1127,11 @@ impl Actor for CloudService {
         if key == TIMER_EXPIRE {
             let now = ctx.now();
             self.expire(now);
+            // Expiry marks root fresh traces: nothing on the wire caused
+            // them, the passage of time did.
+            for text in self.take_forensic_marks() {
+                ctx.mark(text);
+            }
             ctx.set_timer(self.config.heartbeat_timeout / 2, TIMER_EXPIRE);
         }
     }

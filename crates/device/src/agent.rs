@@ -437,8 +437,12 @@ impl DeviceAgent {
                     && self.session.is_some()
                     && session != self.session
                 {
+                    ctx.mark("device rejected control (bad session)");
                     return;
                 }
+                // The load actually switching is the physical consequence a
+                // forensic timeline must show under the causing message.
+                ctx.mark(format!("device applied {}", action.kind_str()));
                 self.apply_action(&action);
             }
             Response::Denied {

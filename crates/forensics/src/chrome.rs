@@ -1,0 +1,209 @@
+//! Chrome `trace_event` export.
+//!
+//! [`to_chrome_json`] renders a [`Capture`] as the JSON Object Format of
+//! the Trace Event spec, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`:
+//!
+//! - one `"M"` (metadata) event per node naming its process after the
+//!   protocol role (`cloud`, `device0`, `attacker`, …);
+//! - one `"X"` (complete) event per packet span — `pid` is the sending
+//!   node, `tid` is the causal tree, `ts` is the send tick and `dur` runs
+//!   to the packet's terminal fate (delivery, drop, or unroutable);
+//! - one `"i"` (instant) event per mark, pinned to the emitting node and
+//!   the causing trace.
+//!
+//! Simulation ticks map 1:1 to microseconds. Output is byte-deterministic:
+//! events are emitted in capture order, with metadata first.
+
+use std::collections::BTreeMap;
+
+use rb_netsim::TraceEvent;
+
+use crate::model::Capture;
+
+/// A packet span's terminal fate, for the exported `args`.
+fn fate(event: &TraceEvent) -> Option<&'static str> {
+    match event {
+        TraceEvent::Delivered { .. } => Some("delivered"),
+        TraceEvent::Dropped { .. } => Some("dropped"),
+        TraceEvent::Unroutable { .. } => Some("unroutable"),
+        _ => None,
+    }
+}
+
+/// Renders the capture as Chrome `trace_event` JSON (object format, one
+/// `traceEvents` array). Same capture in, same bytes out.
+pub fn to_chrome_json(capture: &Capture) -> String {
+    // Pass 1: each span's terminal tick and fate, so "X" events can span
+    // send → outcome. A span without a terminal (still in flight at the
+    // end of the run) gets a 1-tick sliver.
+    let mut terminals: BTreeMap<u64, (u64, &'static str)> = BTreeMap::new();
+    for entry in &capture.trace {
+        if let Some(fate) = fate(&entry.event) {
+            let ctx = match &entry.event {
+                TraceEvent::Delivered { ctx, .. }
+                | TraceEvent::Dropped { ctx, .. }
+                | TraceEvent::Unroutable { ctx, .. } => ctx,
+                _ => continue,
+            };
+            if ctx.span_id != 0 {
+                terminals.insert(ctx.span_id, (entry.at.as_u64(), fate));
+            }
+        }
+    }
+
+    let mut events = Vec::new();
+    for (node, name) in &capture.roles.node_names {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            node.0,
+            rb_telemetry::json::escape(name)
+        ));
+    }
+    for entry in &capture.trace {
+        match &entry.event {
+            TraceEvent::Sent {
+                from,
+                to,
+                bytes,
+                ctx,
+            } if ctx.span_id != 0 => {
+                let ts = entry.at.as_u64();
+                let (end, fate) = terminals
+                    .get(&ctx.span_id)
+                    .copied()
+                    .unwrap_or((ts, "in-flight"));
+                let dur = end.saturating_sub(ts).max(1);
+                events.push(format!(
+                    "{{\"name\":\"{} -> {}\",\"cat\":\"packet\",\"ph\":\"X\",\
+                     \"pid\":{},\"tid\":{},\"ts\":{ts},\"dur\":{dur},\
+                     \"args\":{{\"span\":{},\"parent\":{},\"bytes\":{bytes},\
+                     \"to\":{},\"fate\":\"{fate}\"}}}}",
+                    rb_telemetry::json::escape(&capture.roles.name_of(*from)),
+                    rb_telemetry::json::escape(&capture.roles.name_of(*to)),
+                    from.0,
+                    ctx.trace_id,
+                    ctx.span_id,
+                    ctx.parent_span_id,
+                    to.0,
+                ));
+            }
+            TraceEvent::Mark { node, text, ctx } if ctx.span_id != 0 => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"mark\",\"ph\":\"i\",\
+                     \"pid\":{},\"tid\":{},\"ts\":{},\"s\":\"t\",\
+                     \"args\":{{\"span\":{},\"parent\":{}}}}}",
+                    rb_telemetry::json::escape(text),
+                    node.0,
+                    ctx.trace_id,
+                    entry.at.as_u64(),
+                    ctx.span_id,
+                    ctx.parent_span_id,
+                ));
+            }
+            _ => {}
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::model::RoleMap;
+    use rb_netsim::{NodeId, Tick, TraceCtx, TraceEntry};
+
+    fn ctx(trace: u64, span: u64, parent: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: trace,
+            span_id: span,
+            parent_span_id: parent,
+        }
+    }
+
+    fn capture() -> Capture {
+        Capture {
+            vendor: "t".into(),
+            seed: 7,
+            trace: vec![
+                TraceEntry {
+                    at: Tick(3),
+                    event: TraceEvent::Sent {
+                        from: NodeId(1),
+                        to: NodeId(0),
+                        bytes: 10,
+                        ctx: ctx(1, 1, 0),
+                    },
+                },
+                TraceEntry {
+                    at: Tick(5),
+                    event: TraceEvent::Delivered {
+                        from: NodeId(1),
+                        to: NodeId(0),
+                        bytes: 10,
+                        ctx: ctx(1, 1, 0),
+                    },
+                },
+                TraceEntry {
+                    at: Tick(5),
+                    event: TraceEvent::Mark {
+                        node: NodeId(0),
+                        text: "rpc login dev=- outcome=LoginOk".into(),
+                        ctx: ctx(1, 1, 0),
+                    },
+                },
+                TraceEntry {
+                    at: Tick(6),
+                    event: TraceEvent::Sent {
+                        from: NodeId(0),
+                        to: NodeId(1),
+                        bytes: 4,
+                        ctx: ctx(1, 2, 1),
+                    },
+                },
+            ],
+            roles: RoleMap {
+                cloud: NodeId(0),
+                attacker: None,
+                homes: Vec::new(),
+                node_names: vec![(NodeId(0), "cloud".into()), (NodeId(1), "app0".into())],
+            },
+        }
+    }
+
+    #[test]
+    fn exports_metadata_spans_and_instants() {
+        let json = to_chrome_json(&capture());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"cloud\"}}"
+        ));
+        // The request span runs send → delivery (t3..t5, dur 2).
+        assert!(json.contains(
+            "{\"name\":\"app0 -> cloud\",\"cat\":\"packet\",\"ph\":\"X\",\
+             \"pid\":1,\"tid\":1,\"ts\":3,\"dur\":2,\
+             \"args\":{\"span\":1,\"parent\":0,\"bytes\":10,\"to\":0,\
+             \"fate\":\"delivered\"}}"
+        ));
+        // The reply never terminates in the capture: 1-tick sliver.
+        assert!(json.contains("\"ts\":6,\"dur\":1"));
+        assert!(json.contains("\"fate\":\"in-flight\""));
+        // The mark lands as an instant on the cloud, in the same trace.
+        assert!(json.contains(
+            "{\"name\":\"rpc login dev=- outcome=LoginOk\",\"cat\":\"mark\",\
+             \"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":5,\"s\":\"t\",\
+             \"args\":{\"span\":1,\"parent\":0}}"
+        ));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let cap = capture();
+        assert_eq!(to_chrome_json(&cap), to_chrome_json(&cap));
+    }
+}

@@ -1,0 +1,37 @@
+//! # rb-forensics
+//!
+//! Forensic reconstruction of remote-binding attacks from causal
+//! simulation traces.
+//!
+//! `rb-netsim` stamps every packet with a [`rb_netsim::TraceCtx`]; the
+//! cloud, apps, and devices attach causally-attributed *marks* ("rpc …",
+//! "shadow …", "bind …") to the packets that caused them. This crate
+//! ingests one run's trace — a [`Capture`] — and answers three questions
+//! after the fact, from the trace alone:
+//!
+//! 1. **What happened?** [`Forest`] groups the trace into causal trees:
+//!    one tree per root stimulus (a user action, a device timer, a forged
+//!    attacker frame), with every downstream packet and state change as a
+//!    child span.
+//! 2. **Show me.** [`chrome::to_chrome_json`] exports Chrome
+//!    `trace_event` JSON loadable in Perfetto / `chrome://tracing`;
+//!    [`timeline::to_timeline`] renders a deterministic human-readable
+//!    timeline indented by causal depth.
+//! 3. **Who did it?** [`classify::classify`] attributes each anomalous
+//!    shadow transition to a paper attack family and sub-case (A1–A4,
+//!    A3-1..A3-4, A4-1..A4-3), identifying the forged primitive and the
+//!    causal root span — validated against the Table III ground truth in
+//!    `rb-attack`'s forensics tests.
+//!
+//! Everything here is a pure function of the capture: same capture, same
+//! bytes out.
+
+pub mod chrome;
+pub mod classify;
+pub mod model;
+pub mod timeline;
+pub mod tree;
+
+pub use classify::{classify, Attribution};
+pub use model::{Capture, HomeRoles, RoleMap};
+pub use tree::Forest;

@@ -46,6 +46,7 @@ pub trait Actor: Any {
 pub(crate) enum Effect {
     Send { dest: Dest, payload: Vec<u8> },
     Timer { fire_at: Tick, key: TimerKey },
+    Mark { text: String },
 }
 
 /// Execution context handed to actor callbacks.
@@ -87,6 +88,15 @@ impl<'a> Ctx<'a> {
             fire_at: self.now.saturating_add(delay),
             key,
         });
+    }
+
+    /// Emits a causally-attributed trace mark (a no-op unless tracing is
+    /// enabled). Marks emitted while handling a delivered packet carry
+    /// that packet's [`crate::TraceCtx`], so forensic tooling can tie an
+    /// application-level statement ("shadow went unbound") to the exact
+    /// message that caused it; marks from timers become causal roots.
+    pub fn mark(&mut self, text: impl Into<String>) {
+        self.effects.push(Effect::Mark { text: text.into() });
     }
 }
 

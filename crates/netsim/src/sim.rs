@@ -12,7 +12,7 @@ use crate::quality::LinkQuality;
 use crate::rng::SimRng;
 use crate::time::Tick;
 use crate::topology::{LanId, NodeId};
-use crate::trace::{TraceEntry, TraceEvent};
+use crate::trace::{TraceCtx, TraceEntry, TraceEvent};
 
 /// Where a packet is going.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +83,7 @@ enum EventKind {
         from: NodeId,
         to: NodeId,
         payload: Vec<u8>,
+        ctx: TraceCtx,
     },
     Timer {
         node: NodeId,
@@ -140,6 +141,11 @@ pub struct Simulation {
     dup_per_mille: u16,
     reorder_per_mille: u16,
     reorder_extra_max: u64,
+    /// Next causal-tree id (1-based; plain counters, no RNG, so causal
+    /// tracing cannot perturb the event stream).
+    next_trace_id: u64,
+    /// Next span id (1-based, unique per packet attempt / root mark).
+    next_span_id: u64,
     /// Metrics sink. Counter updates never draw randomness or schedule
     /// events, so instrumentation cannot perturb the event stream.
     telemetry: Telemetry,
@@ -178,6 +184,8 @@ impl Simulation {
             dup_per_mille: 0,
             reorder_per_mille: 0,
             reorder_extra_max: 0,
+            next_trace_id: 1,
+            next_span_id: 1,
             telemetry: Telemetry::new(),
         }
     }
@@ -278,7 +286,7 @@ impl Simulation {
                 event: TraceEvent::Power { node: id, powered },
             });
         }
-        self.with_actor(id, |actor, ctx| actor.on_power(ctx, powered));
+        self.with_actor(id, None, |actor, ctx| actor.on_power(ctx, powered));
     }
 
     /// Whether a node is currently powered.
@@ -447,18 +455,32 @@ impl Simulation {
         match ev.kind {
             EventKind::Start { node } => {
                 if self.nodes[node.0 as usize].powered {
-                    self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+                    self.with_actor(node, None, |actor, ctx| actor.on_start(ctx));
                 }
             }
-            EventKind::Deliver { from, to, payload } => {
+            EventKind::Deliver {
+                from,
+                to,
+                payload,
+                ctx,
+            } => {
                 if !self.nodes[to.0 as usize].powered {
                     self.telemetry
                         .incr("sim_packets_dropped_total{reason=\"powered-off\"}");
+                    self.telemetry.counter_add(
+                        "sim_packet_bytes_dropped_total{reason=\"powered-off\"}",
+                        payload.len() as u64,
+                    );
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEntry {
                             at,
-                            event: TraceEvent::Dropped { from, to },
+                            event: TraceEvent::Dropped {
+                                from,
+                                to,
+                                bytes: payload.len(),
+                                ctx,
+                            },
                         });
                     }
                     return;
@@ -472,14 +494,17 @@ impl Simulation {
                             from,
                             to,
                             bytes: payload.len(),
+                            ctx,
                         },
                     });
                 }
-                self.with_actor(to, |actor, ctx| actor.on_packet(ctx, from, &payload));
+                self.with_actor(to, Some(ctx), |actor, actor_ctx| {
+                    actor.on_packet(actor_ctx, from, &payload);
+                });
             }
             EventKind::Timer { node, key } => {
                 if self.nodes[node.0 as usize].powered {
-                    self.with_actor(node, |actor, ctx| actor.on_timer(ctx, key));
+                    self.with_actor(node, None, |actor, ctx| actor.on_timer(ctx, key));
                 }
             }
             EventKind::Inject { fault } => self.inject(fault),
@@ -488,7 +513,20 @@ impl Simulation {
 
     /// Runs `f` against a node's actor with a fresh context, then applies
     /// the effects the actor produced.
-    fn with_actor(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+    ///
+    /// Causal propagation happens here: when the callback handles a
+    /// delivered packet (`cause` is `Some`), every send it requests becomes
+    /// a child span of that packet and every mark carries the packet's
+    /// context verbatim. Callbacks with no cause (start, timers, power)
+    /// lazily open a fresh trace on their first effect, so a heartbeat tick,
+    /// a queued user action, or an attacker's injected frame each roots its
+    /// own causal tree.
+    fn with_actor(
+        &mut self,
+        id: NodeId,
+        cause: Option<TraceCtx>,
+        f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>),
+    ) {
         let mut effects = Vec::new();
         {
             let node = &mut self.nodes[id.0 as usize];
@@ -500,31 +538,98 @@ impl Simulation {
             };
             f(node.actor.as_mut(), &mut ctx);
         }
+        let mut callback_trace = cause.map(|c| c.trace_id);
+        let parent = cause.map_or(0, |c| c.span_id);
         for effect in effects {
             match effect {
-                Effect::Send { dest, payload } => self.route(id, dest, payload),
+                Effect::Send { dest, payload } => {
+                    let trace_id = match callback_trace {
+                        Some(t) => t,
+                        None => {
+                            let t = self.alloc_trace();
+                            callback_trace = Some(t);
+                            t
+                        }
+                    };
+                    self.route(id, dest, payload, trace_id, parent);
+                }
                 Effect::Timer { fire_at, key } => {
                     self.push_event(fire_at, EventKind::Timer { node: id, key });
+                }
+                Effect::Mark { text } => {
+                    let ctx = match cause {
+                        // A mark made while handling a packet belongs to
+                        // that packet's span: "this message caused this".
+                        Some(c) => c,
+                        None => {
+                            let trace_id = match callback_trace {
+                                Some(t) => t,
+                                None => {
+                                    let t = self.alloc_trace();
+                                    callback_trace = Some(t);
+                                    t
+                                }
+                            };
+                            self.alloc_ctx(trace_id, 0)
+                        }
+                    };
+                    let at = self.now;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEntry {
+                            at,
+                            event: TraceEvent::Mark {
+                                node: id,
+                                text,
+                                ctx,
+                            },
+                        });
+                    }
                 }
             }
         }
     }
 
-    fn route(&mut self, from: NodeId, dest: Dest, payload: Vec<u8>) {
+    /// Allocates a fresh causal-tree id.
+    fn alloc_trace(&mut self) -> u64 {
+        let t = self.next_trace_id;
+        self.next_trace_id += 1;
+        t
+    }
+
+    /// Allocates a fresh span within `trace_id` under `parent_span_id`.
+    fn alloc_ctx(&mut self, trace_id: u64, parent_span_id: u64) -> TraceCtx {
+        let span_id = self.next_span_id;
+        self.next_span_id += 1;
+        TraceCtx {
+            trace_id,
+            span_id,
+            parent_span_id,
+        }
+    }
+
+    fn route(&mut self, from: NodeId, dest: Dest, payload: Vec<u8>, trace_id: u64, parent: u64) {
         match dest {
-            Dest::Unicast(to) => self.route_unicast(from, to, payload),
+            Dest::Unicast(to) => self.route_unicast(from, to, payload, trace_id, parent),
             Dest::Broadcast(lan) => {
                 // Only a member of the LAN may broadcast on it, and only
                 // while the LAN is up.
                 if self.nodes[from.0 as usize].config.lan != Some(lan)
                     || self.partitioned_lans.contains(&lan)
                 {
+                    let ctx = self.alloc_ctx(trace_id, parent);
                     self.telemetry.incr("sim_packets_unroutable_total");
+                    self.telemetry
+                        .counter_add("sim_packet_bytes_unroutable_total", payload.len() as u64);
                     let at = self.now;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEntry {
                             at,
-                            event: TraceEvent::Unroutable { from, to: from },
+                            event: TraceEvent::Unroutable {
+                                from,
+                                to: from,
+                                bytes: payload.len(),
+                                ctx,
+                            },
                         });
                     }
                     return;
@@ -540,20 +645,36 @@ impl Simulation {
                     .collect();
                 let quality = self.effective_lan_quality(lan);
                 for to in recipients {
-                    self.schedule_delivery(from, to, payload.clone(), quality);
+                    let ctx = self.alloc_ctx(trace_id, parent);
+                    self.schedule_delivery(from, to, payload.clone(), quality, ctx);
                 }
             }
         }
     }
 
-    fn route_unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+    fn route_unicast(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+        trace_id: u64,
+        parent: u64,
+    ) {
+        let ctx = self.alloc_ctx(trace_id, parent);
         let Some(quality) = self.path_quality(from, to) else {
             self.telemetry.incr("sim_packets_unroutable_total");
+            self.telemetry
+                .counter_add("sim_packet_bytes_unroutable_total", payload.len() as u64);
             let at = self.now;
             if let Some(t) = self.trace.as_mut() {
                 t.push(TraceEntry {
                     at,
-                    event: TraceEvent::Unroutable { from, to },
+                    event: TraceEvent::Unroutable {
+                        from,
+                        to,
+                        bytes: payload.len(),
+                        ctx,
+                    },
                 });
             }
             return;
@@ -572,11 +693,18 @@ impl Simulation {
             let to_behind_nat = self.nodes[to.0 as usize].config.lan.is_some();
             if to_behind_nat && !self.nat_flows.contains(&(to, from)) {
                 self.telemetry.incr("sim_packets_unroutable_total");
+                self.telemetry
+                    .counter_add("sim_packet_bytes_unroutable_total", payload.len() as u64);
                 let at = self.now;
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceEntry {
                         at,
-                        event: TraceEvent::Unroutable { from, to },
+                        event: TraceEvent::Unroutable {
+                            from,
+                            to,
+                            bytes: payload.len(),
+                            ctx,
+                        },
                     });
                 }
                 return;
@@ -585,7 +713,7 @@ impl Simulation {
                 self.nat_flows.insert((from, to));
             }
         }
-        self.schedule_delivery(from, to, payload, quality);
+        self.schedule_delivery(from, to, payload, quality, ctx);
     }
 
     /// The quality of a LAN after overrides.
@@ -631,6 +759,7 @@ impl Simulation {
         to: NodeId,
         payload: Vec<u8>,
         quality: LinkQuality,
+        ctx: TraceCtx,
     ) {
         self.telemetry.incr("sim_packets_sent_total");
         let at = self.now;
@@ -641,6 +770,7 @@ impl Simulation {
                     from,
                     to,
                     bytes: payload.len(),
+                    ctx,
                 },
             });
         }
@@ -663,25 +793,44 @@ impl Simulation {
                         from,
                         to,
                         payload: payload.clone(),
+                        ctx,
                     },
                 );
                 if self.dup_per_mille > 0 && self.rng.chance(u32::from(self.dup_per_mille), 1000) {
                     // The duplicate takes an independent latency draw, so it
-                    // may arrive before or after the original.
+                    // may arrive before or after the original. It shares the
+                    // original's span: one packet, two deliveries.
                     if let Some(dup_latency) = quality.sample(&mut self.rng) {
                         let dup_at = self.now.saturating_add(dup_latency.max(1));
                         self.telemetry.incr("sim_packets_duplicated_total");
-                        self.push_event(dup_at, EventKind::Deliver { from, to, payload });
+                        self.push_event(
+                            dup_at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                payload,
+                                ctx,
+                            },
+                        );
                     }
                 }
             }
             None => {
                 self.telemetry
                     .incr("sim_packets_dropped_total{reason=\"loss\"}");
+                self.telemetry.counter_add(
+                    "sim_packet_bytes_dropped_total{reason=\"loss\"}",
+                    payload.len() as u64,
+                );
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceEntry {
                         at,
-                        event: TraceEvent::Dropped { from, to },
+                        event: TraceEvent::Dropped {
+                            from,
+                            to,
+                            bytes: payload.len(),
+                            ctx,
+                        },
                     });
                 }
             }

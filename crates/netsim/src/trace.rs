@@ -6,6 +6,52 @@ use std::fmt;
 use crate::time::Tick;
 use crate::topology::NodeId;
 
+/// The causal context a packet (or mark) carries through the simulation.
+///
+/// Every packet injected into the engine gets one: `trace_id` names the
+/// causal tree the packet belongs to, `span_id` uniquely names this packet
+/// within the run, and `parent_span_id` points at the span whose handling
+/// caused the send (`0` for a root — a send from `on_start`/`on_timer`,
+/// i.e. a fresh user action, heartbeat, or forged frame). Sends made while
+/// handling a delivered packet inherit that packet's trace and become its
+/// children, so one user action — or one forged message — reconstructs as
+/// one causal tree spanning app → cloud → device and back.
+///
+/// Ids are allocated by deterministic counters in the simulator and never
+/// draw randomness, so identical seeds produce identical trees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// The causal tree this event belongs to (1-based; 0 = untraced).
+    pub trace_id: u64,
+    /// This event's own span (1-based, unique per run; 0 = untraced).
+    pub span_id: u64,
+    /// The span whose handling caused this event (0 = root).
+    pub parent_span_id: u64,
+}
+
+impl TraceCtx {
+    /// Whether this span is a causal root (nothing in the simulation
+    /// caused it: a timer tick, a start-of-world send, or an injected
+    /// frame).
+    pub fn is_root(&self) -> bool {
+        self.parent_span_id == 0
+    }
+}
+
+impl fmt::Display for TraceCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parent_span_id == 0 {
+            write!(f, "{}:{}", self.trace_id, self.span_id)
+        } else {
+            write!(
+                f,
+                "{}:{}<{}",
+                self.trace_id, self.span_id, self.parent_span_id
+            )
+        }
+    }
+}
+
 /// What happened at one traced instant.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -18,6 +64,8 @@ pub enum TraceEvent {
         to: NodeId,
         /// Payload size in bytes.
         bytes: usize,
+        /// Causal context of the packet.
+        ctx: TraceCtx,
     },
     /// A packet arrived at a node.
     Delivered {
@@ -27,6 +75,8 @@ pub enum TraceEvent {
         to: NodeId,
         /// Payload size in bytes.
         bytes: usize,
+        /// Causal context of the packet (same span as its `Sent`).
+        ctx: TraceCtx,
     },
     /// A packet was lost in transit.
     Dropped {
@@ -34,6 +84,10 @@ pub enum TraceEvent {
         from: NodeId,
         /// Intended receiver.
         to: NodeId,
+        /// Payload size in bytes (lost on the wire).
+        bytes: usize,
+        /// Causal context of the packet.
+        ctx: TraceCtx,
     },
     /// A packet could not be routed (no connectivity between the nodes).
     Unroutable {
@@ -41,6 +95,10 @@ pub enum TraceEvent {
         from: NodeId,
         /// Intended receiver.
         to: NodeId,
+        /// Payload size in bytes (never left the sender).
+        bytes: usize,
+        /// Causal context of the packet.
+        ctx: TraceCtx,
     },
     /// A node's power state changed.
     Power {
@@ -55,6 +113,18 @@ pub enum TraceEvent {
         node: NodeId,
         /// Text of the note.
         text: String,
+    },
+    /// A structured, causally-attributed annotation emitted by an actor
+    /// via `Ctx::mark` — the forensic breadcrumbs (rpc outcomes, shadow
+    /// transitions, pushes) that `rb-forensics` reconstructs attacks from.
+    Mark {
+        /// Node that emitted the mark.
+        node: NodeId,
+        /// Text of the mark (`rpc …`, `shadow …`, `push …`).
+        text: String,
+        /// Causal context: the delivered packet whose handling emitted the
+        /// mark, or a fresh root for timer-driven marks (e.g. expiry).
+        ctx: TraceCtx,
     },
     /// An injected fault took effect (see `rb_netsim::Fault`).
     Fault {
@@ -75,17 +145,37 @@ pub struct TraceEntry {
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.event {
-            TraceEvent::Sent { from, to, bytes } => {
-                write!(f, "{} {from} -> {to} sent {bytes}B", self.at)
+            TraceEvent::Sent {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => {
+                write!(f, "{} {from} -> {to} sent {bytes}B [{ctx}]", self.at)
             }
-            TraceEvent::Delivered { from, to, bytes } => {
-                write!(f, "{} {from} -> {to} delivered {bytes}B", self.at)
+            TraceEvent::Delivered {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => {
+                write!(f, "{} {from} -> {to} delivered {bytes}B [{ctx}]", self.at)
             }
-            TraceEvent::Dropped { from, to } => {
-                write!(f, "{} {from} -> {to} DROPPED", self.at)
+            TraceEvent::Dropped {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => {
+                write!(f, "{} {from} -> {to} DROPPED {bytes}B [{ctx}]", self.at)
             }
-            TraceEvent::Unroutable { from, to } => {
-                write!(f, "{} {from} -> {to} UNROUTABLE", self.at)
+            TraceEvent::Unroutable {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => {
+                write!(f, "{} {from} -> {to} UNROUTABLE {bytes}B [{ctx}]", self.at)
             }
             TraceEvent::Power { node, powered } => {
                 write!(
@@ -96,6 +186,9 @@ impl fmt::Display for TraceEntry {
                 )
             }
             TraceEvent::Note { node, text } => write!(f, "{} {node} note: {text}", self.at),
+            TraceEvent::Mark { node, text, ctx } => {
+                write!(f, "{} {node} mark: {text} [{ctx}]", self.at)
+            }
             TraceEvent::Fault { text } => write!(f, "{} FAULT {text}", self.at),
         }
     }
@@ -218,22 +311,56 @@ impl TraceEntry {
     /// is written by hand.)
     pub fn to_json(&self) -> String {
         let at = self.at.as_u64();
+        let ctx_fields = |ctx: &TraceCtx| {
+            format!(
+                "\"trace\":{},\"span\":{},\"parent\":{}",
+                ctx.trace_id, ctx.span_id, ctx.parent_span_id
+            )
+        };
         match &self.event {
-            TraceEvent::Sent { from, to, bytes } => format!(
-                "{{\"at\":{at},\"kind\":\"sent\",\"from\":{},\"to\":{},\"bytes\":{bytes}}}",
-                from.0, to.0
+            TraceEvent::Sent {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"sent\",\"from\":{},\"to\":{},\"bytes\":{bytes},{}}}",
+                from.0,
+                to.0,
+                ctx_fields(ctx)
             ),
-            TraceEvent::Delivered { from, to, bytes } => format!(
-                "{{\"at\":{at},\"kind\":\"delivered\",\"from\":{},\"to\":{},\"bytes\":{bytes}}}",
-                from.0, to.0
+            TraceEvent::Delivered {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"delivered\",\"from\":{},\"to\":{},\"bytes\":{bytes},{}}}",
+                from.0,
+                to.0,
+                ctx_fields(ctx)
             ),
-            TraceEvent::Dropped { from, to } => format!(
-                "{{\"at\":{at},\"kind\":\"dropped\",\"from\":{},\"to\":{}}}",
-                from.0, to.0
+            TraceEvent::Dropped {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"dropped\",\"from\":{},\"to\":{},\"bytes\":{bytes},{}}}",
+                from.0,
+                to.0,
+                ctx_fields(ctx)
             ),
-            TraceEvent::Unroutable { from, to } => format!(
-                "{{\"at\":{at},\"kind\":\"unroutable\",\"from\":{},\"to\":{}}}",
-                from.0, to.0
+            TraceEvent::Unroutable {
+                from,
+                to,
+                bytes,
+                ctx,
+            } => format!(
+                "{{\"at\":{at},\"kind\":\"unroutable\",\"from\":{},\"to\":{},\"bytes\":{bytes},{}}}",
+                from.0,
+                to.0,
+                ctx_fields(ctx)
             ),
             TraceEvent::Power { node, powered } => format!(
                 "{{\"at\":{at},\"kind\":\"power\",\"node\":{},\"powered\":{powered}}}",
@@ -243,6 +370,12 @@ impl TraceEntry {
                 "{{\"at\":{at},\"kind\":\"note\",\"node\":{},\"text\":\"{}\"}}",
                 node.0,
                 rb_telemetry::json::escape(text)
+            ),
+            TraceEvent::Mark { node, text, ctx } => format!(
+                "{{\"at\":{at},\"kind\":\"mark\",\"node\":{},\"text\":\"{}\",{}}}",
+                node.0,
+                rb_telemetry::json::escape(text),
+                ctx_fields(ctx)
             ),
             TraceEvent::Fault { text } => format!(
                 "{{\"at\":{at},\"kind\":\"fault\",\"text\":\"{}\"}}",
@@ -259,6 +392,7 @@ impl TraceEntry {
         cur.eat('{')?;
         let (mut at, mut kind, mut from, mut to) = (None, None, None, None);
         let (mut bytes, mut node, mut powered, mut text) = (None, None, None, None);
+        let (mut trace, mut span, mut parent) = (None, None, None);
         loop {
             let key = cur.parse_string()?;
             cur.eat(':')?;
@@ -272,6 +406,9 @@ impl TraceEntry {
                 ("node", Scalar::Num(n)) => node = Some(n),
                 ("powered", Scalar::Bool(b)) => powered = Some(b),
                 ("text", Scalar::Str(s)) => text = Some(s),
+                ("trace", Scalar::Num(n)) => trace = Some(n),
+                ("span", Scalar::Num(n)) => span = Some(n),
+                ("parent", Scalar::Num(n)) => parent = Some(n),
                 (other, _) => {
                     return Err(parse_err(format!("unexpected field \"{other}\"")));
                 }
@@ -299,24 +436,41 @@ impl TraceEntry {
             let n = n.ok_or_else(|| parse_err("missing \"bytes\""))?;
             usize::try_from(n).map_err(|_| parse_err("\"bytes\" out of range"))
         };
+        // Pre-causal-tracing encodings carried no context (and no bytes on
+        // drops); absent fields decode to zero so archived traces still load.
+        let ctx = TraceCtx {
+            trace_id: trace.unwrap_or(0),
+            span_id: span.unwrap_or(0),
+            parent_span_id: parent.unwrap_or(0),
+        };
+        let lost_bytes = match bytes {
+            Some(n) => usize::try_from(n).map_err(|_| parse_err("\"bytes\" out of range"))?,
+            None => 0,
+        };
         let event = match kind.as_deref() {
             Some("sent") => TraceEvent::Sent {
                 from: node_id(from, "from")?,
                 to: node_id(to, "to")?,
                 bytes: byte_count(bytes)?,
+                ctx,
             },
             Some("delivered") => TraceEvent::Delivered {
                 from: node_id(from, "from")?,
                 to: node_id(to, "to")?,
                 bytes: byte_count(bytes)?,
+                ctx,
             },
             Some("dropped") => TraceEvent::Dropped {
                 from: node_id(from, "from")?,
                 to: node_id(to, "to")?,
+                bytes: lost_bytes,
+                ctx,
             },
             Some("unroutable") => TraceEvent::Unroutable {
                 from: node_id(from, "from")?,
                 to: node_id(to, "to")?,
+                bytes: lost_bytes,
+                ctx,
             },
             Some("power") => TraceEvent::Power {
                 node: node_id(node, "node")?,
@@ -325,6 +479,11 @@ impl TraceEntry {
             Some("note") => TraceEvent::Note {
                 node: node_id(node, "node")?,
                 text: text.ok_or_else(|| parse_err("missing \"text\""))?,
+            },
+            Some("mark") => TraceEvent::Mark {
+                node: node_id(node, "node")?,
+                text: text.ok_or_else(|| parse_err("missing \"text\""))?,
+                ctx,
             },
             Some("fault") => TraceEvent::Fault {
                 text: text.ok_or_else(|| parse_err("missing \"text\""))?,
@@ -348,17 +507,24 @@ mod tests {
                 from: NodeId(1),
                 to: NodeId(2),
                 bytes: 10,
+                ctx: TraceCtx {
+                    trace_id: 1,
+                    span_id: 4,
+                    parent_span_id: 2,
+                },
             },
         };
-        assert_eq!(e.to_string(), "t3 n1 -> n2 sent 10B");
+        assert_eq!(e.to_string(), "t3 n1 -> n2 sent 10B [1:4<2]");
         let e = TraceEntry {
             at: Tick(4),
             event: TraceEvent::Unroutable {
                 from: NodeId(9),
                 to: NodeId(1),
+                bytes: 7,
+                ctx: TraceCtx::default(),
             },
         };
-        assert!(e.to_string().contains("UNROUTABLE"));
+        assert!(e.to_string().contains("UNROUTABLE 7B"));
         let e = TraceEntry {
             at: Tick(5),
             event: TraceEvent::Power {
@@ -367,5 +533,23 @@ mod tests {
             },
         };
         assert!(e.to_string().ends_with("power=off"));
+    }
+
+    #[test]
+    fn ctx_display_marks_roots() {
+        let root = TraceCtx {
+            trace_id: 3,
+            span_id: 9,
+            parent_span_id: 0,
+        };
+        assert_eq!(root.to_string(), "3:9");
+        assert!(root.is_root());
+        let child = TraceCtx {
+            trace_id: 3,
+            span_id: 10,
+            parent_span_id: 9,
+        };
+        assert_eq!(child.to_string(), "3:10<9");
+        assert!(!child.is_root());
     }
 }

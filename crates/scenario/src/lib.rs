@@ -16,11 +16,13 @@
 //! ```
 
 mod chaos;
+mod forensic;
 mod observe;
 mod raw;
 mod world;
 
 pub use chaos::ChaosProfile;
+pub use forensic::{capture, trace_run};
 pub use observe::{metrics_run, metrics_run_with};
 pub use raw::RawEndpoint;
 pub use world::{Home, World, WorldBuilder};

@@ -153,6 +153,9 @@ impl WorldBuilder {
 
         let mut cloud_service = CloudService::new(CloudConfig::new(self.design.clone()));
         cloud_service.set_telemetry(self.telemetry.clone());
+        // Forensic marks only make sense when there is a trace to attach
+        // them to; untraced worlds skip the string formatting entirely.
+        cloud_service.set_forensics(self.trace);
         cloud_service.provision_account(
             UserId::new("attacker@evil.example"),
             UserPw::new("attacker-pw"),
@@ -282,6 +285,7 @@ impl WorldBuilder {
             cloud,
             homes,
             attacker,
+            seed: self.seed,
             telemetry: self.telemetry,
         }
     }
@@ -299,11 +303,19 @@ pub struct World {
     pub homes: Vec<Home>,
     /// The attacker's WAN endpoint.
     pub attacker: NodeId,
+    /// The seed the world was built from.
+    seed: u64,
     /// The metrics registry shared by every layer of this world.
     telemetry: Telemetry,
 }
 
 impl World {
+    /// The seed this world was built from (runs are pure functions of
+    /// `(design, seed)`, so captures carry it for reproduction).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The metrics registry shared by the sim engine, the cloud, and every
     /// agent in this world.
     pub fn telemetry(&self) -> &Telemetry {

@@ -1,0 +1,48 @@
+//! Golden pins for the forensic artifacts: the human timeline of the
+//! canonical benign lifecycle is byte-pinned so trace-propagation or
+//! renderer refactors cannot silently reshape the causal record, and the
+//! Chrome export is re-checked for determinism at the scenario layer.
+
+#![allow(clippy::unwrap_used)]
+
+use rb_core::vendors;
+use rb_scenario::trace_run;
+
+/// Golden timeline: the full forensic timeline of one canonical benign
+/// run is pinned byte-for-byte (CI diffs it as the trace artifact).
+/// Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -p rb-scenario --test forensics golden`.
+#[test]
+fn golden_forensic_timeline_is_pinned() {
+    let capture = trace_run(&vendors::tp_link(), 7, None);
+    let text = rb_forensics::timeline::to_timeline(&capture);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/forensic_timeline.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, want,
+        "the forensic timeline drifted; regenerate with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+/// The Chrome `trace_event` export is a pure function of (vendor, seed):
+/// two independent world builds must render byte-identical JSON, and the
+/// document must open with the envelope Perfetto expects.
+#[test]
+fn chrome_export_is_deterministic_and_well_formed() {
+    let a = rb_forensics::chrome::to_chrome_json(&trace_run(&vendors::tp_link(), 7, None));
+    let b = rb_forensics::chrome::to_chrome_json(&trace_run(&vendors::tp_link(), 7, None));
+    assert_eq!(a, b);
+    assert!(a.starts_with("{\"traceEvents\":["));
+    assert!(a.trim_end().ends_with("]}"));
+}

@@ -311,32 +311,35 @@ impl Registry {
     /// Prometheus text-format export. Families (the key prefix before any
     /// `{label}` set) are announced once with a `# TYPE` line; keys within
     /// a family stay in sorted order. Histograms expand to cumulative
-    /// `_bucket{le=…}` series plus `_sum`/`_count`.
+    /// `_bucket{le=…}` series plus `_sum`/`_count`. Family names are
+    /// sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar and empty
+    /// label sets (`{}`) are dropped, so the export always parses no
+    /// matter what keys callers registered.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
         for (name, value) in &self.counters {
-            let family = family_of(name);
+            let family = sanitize_family(family_of(name));
             if family != last_family {
                 let _ = writeln!(out, "# TYPE {family} counter");
-                last_family = family.to_string();
+                last_family.clone_from(&family);
             }
-            let _ = writeln!(out, "{name} {value}");
+            let _ = writeln!(out, "{family}{} {value}", label_suffix(name));
         }
         for (name, value) in &self.gauges {
-            let family = family_of(name);
+            let family = sanitize_family(family_of(name));
             if family != last_family {
                 let _ = writeln!(out, "# TYPE {family} gauge");
-                last_family = family.to_string();
+                last_family.clone_from(&family);
             }
-            let _ = writeln!(out, "{name} {value}");
+            let _ = writeln!(out, "{family}{} {value}", label_suffix(name));
         }
         for (name, hist) in &self.histograms {
-            let family = family_of(name);
+            let family = sanitize_family(family_of(name));
             let labels = labels_of(name);
             if family != last_family {
                 let _ = writeln!(out, "# TYPE {family} histogram");
-                last_family = family.to_string();
+                last_family.clone_from(&family);
             }
             for (le, cum) in hist.cumulative_buckets() {
                 let _ = match labels {
@@ -346,7 +349,7 @@ impl Registry {
                     None => writeln!(out, "{family}_bucket{{le=\"{le}\"}} {cum}"),
                 };
             }
-            let suffix = labels.map_or(String::new(), |inner| format!("{{{inner}}}"));
+            let suffix = label_suffix(name);
             let _ = writeln!(out, "{family}_sum{suffix} {}", hist.sum());
             let _ = writeln!(out, "{family}_count{suffix} {}", hist.count());
         }
@@ -394,11 +397,41 @@ fn family_of(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
 }
 
-/// The label set inside the braces, without the braces (`None` when bare).
+/// The label set inside the braces, without the braces. `None` when bare
+/// *or* when the braces are empty — `foo{}` is treated as the bare family
+/// so no exporter ever emits a dangling `{,le=…}` separator.
 fn labels_of(name: &str) -> Option<&str> {
     let start = name.find('{')?;
     let end = name.rfind('}')?;
-    (end > start).then(|| &name[start + 1..end])
+    (end > start + 1).then(|| &name[start + 1..end])
+}
+
+/// The rendered `{labels}` suffix of a key, empty when there are none.
+fn label_suffix(name: &str) -> String {
+    labels_of(name).map_or_else(String::new, |inner| format!("{{{inner}}}"))
+}
+
+/// Maps an arbitrary registry key prefix onto the Prometheus metric-name
+/// grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`,
+/// a leading digit is prefixed with `_`, and an empty family becomes `_`.
+fn sanitize_family(family: &str) -> String {
+    let mut out = String::with_capacity(family.len());
+    for (i, ch) in family.chars().enumerate() {
+        if ch == '_' || ch == ':' || ch.is_ascii_alphabetic() {
+            out.push(ch);
+        } else if ch.is_ascii_digit() {
+            if i == 0 {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -467,6 +500,92 @@ mod tests {
         assert!(text.contains("lat_ticks_bucket{name=\"bind\",le=\"+Inf\"} 1"));
         assert!(text.contains("lat_ticks_sum{name=\"bind\"} 3"));
         assert!(text.contains("lat_ticks_count{name=\"bind\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_tolerates_empty_label_sets() {
+        let mut r = Registry::new();
+        r.counter_add("c_total{}", 1);
+        r.gauge_set("g{}", -4);
+        r.observe("h{}", 3);
+        let text = r.to_prometheus();
+        assert!(text.contains("c_total 1"), "{text}");
+        assert!(text.contains("g -4"), "{text}");
+        assert!(text.contains("h_bucket{le=\"5\"} 1"), "{text}");
+        assert!(text.contains("h_sum 3"), "{text}");
+        assert!(
+            !text.contains("{}") && !text.contains("{,"),
+            "empty label sets must vanish, not dangle: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_sanitizes_metric_names() {
+        let mut r = Registry::new();
+        r.counter_add("weird-name.total", 1);
+        r.counter_add("9lives", 2);
+        r.counter_add("bad metric{kind=\"x\"}", 3);
+        r.gauge_set("héllo", 7);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE weird_name_total counter"), "{text}");
+        assert!(text.contains("weird_name_total 1"), "{text}");
+        assert!(text.contains("_9lives 2"), "leading digit escaped: {text}");
+        assert!(
+            text.contains("bad_metric{kind=\"x\"} 3"),
+            "labels survive family sanitization: {text}"
+        );
+        assert!(text.contains("h_llo 7"), "non-ASCII collapses to _: {text}");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let family: String = line
+                .chars()
+                .take_while(|c| *c != '{' && *c != ' ')
+                .collect();
+            assert!(
+                family.chars().enumerate().all(|(i, c)| c == '_'
+                    || c == ':'
+                    || c.is_ascii_alphabetic()
+                    || (i > 0 && c.is_ascii_digit())),
+                "exported family {family:?} violates the grammar"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_stay_in_le_order() {
+        let mut r = Registry::new();
+        for v in [0, 3, 30, 300, 3_000, 300_000] {
+            r.observe("lat_ticks{name=\"mixed\"}", v);
+        }
+        let text = r.to_prometheus();
+        let mut les = Vec::new();
+        let mut cums = Vec::new();
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let le_start = line.find("le=\"").unwrap() + 4;
+            let le_end = line[le_start..].find('"').unwrap() + le_start;
+            les.push(line[le_start..le_end].to_string());
+            cums.push(
+                line[le_end..]
+                    .split_whitespace()
+                    .last()
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap(),
+            );
+        }
+        assert_eq!(les.last().map(String::as_str), Some("+Inf"));
+        let bounds: Vec<u64> = les[..les.len() - 1]
+            .iter()
+            .map(|le| le.parse().unwrap())
+            .collect();
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "le bounds must be strictly ascending: {les:?}"
+        );
+        assert!(
+            cums.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative counts must be monotone: {cums:?}"
+        );
+        assert_eq!(cums.last().copied(), Some(6), "+Inf carries the total");
     }
 
     #[test]

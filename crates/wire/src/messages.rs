@@ -226,6 +226,20 @@ pub enum ControlAction {
     QueryTelemetry,
 }
 
+impl ControlAction {
+    /// A short tag for traces and forensic marks.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            ControlAction::TurnOn => "turn-on",
+            ControlAction::TurnOff => "turn-off",
+            ControlAction::SetBrightness(_) => "set-brightness",
+            ControlAction::SetSchedule(_) => "set-schedule",
+            ControlAction::QuerySchedule => "query-schedule",
+            ControlAction::QueryTelemetry => "query-telemetry",
+        }
+    }
+}
+
 /// A trigger-action automation rule stored cloud-side (IFTTT-style,
 /// paper §V-B). When telemetry from `trigger_dev` satisfies `trigger`, the
 /// cloud relays `action` to `action_dev` — which is why injected fake
@@ -342,6 +356,52 @@ impl Message {
             self,
             Message::Status(_) | Message::Bind(_) | Message::Unbind(_)
         )
+    }
+
+    /// A fine-grained tag naming the exact primitive *shape* (Figures 3
+    /// and 4), used by the cloud's forensic marks and the `rb-forensics`
+    /// classifier to identify which forged primitive an attack used.
+    /// Unlike [`Message::kind_str`], this distinguishes e.g. the two
+    /// `Unbind` shapes, which map to different attack sub-cases
+    /// (A3-1 vs A3-2).
+    pub fn primitive_str(&self) -> &'static str {
+        match self {
+            Message::Login { .. } => "login",
+            Message::RequestDevToken { .. } => "request-dev-token",
+            Message::RequestBindToken { .. } => "request-bind-token",
+            Message::Status(payload) => match payload.kind {
+                StatusKind::Register => "status:register",
+                StatusKind::Heartbeat => "status:heartbeat",
+            },
+            Message::Bind(BindPayload::AclApp { .. }) => "bind:acl-app",
+            Message::Bind(BindPayload::AclDevice { .. }) => "bind:acl-device",
+            Message::Bind(BindPayload::Capability { .. }) => "bind:capability",
+            Message::Unbind(UnbindPayload::DevIdUserToken { .. }) => "unbind:dev-id+user-token",
+            Message::Unbind(UnbindPayload::DevIdOnly { .. }) => "unbind:dev-id",
+            Message::Control { .. } => "control",
+            Message::QueryShadow { .. } => "query-shadow",
+            Message::Share { .. } => "share",
+            Message::SetRule { .. } => "set-rule",
+            Message::Unshare { .. } => "unshare",
+        }
+    }
+
+    /// The device ID this message targets, if it names one. Used by the
+    /// cloud to attribute forensic marks to a device shadow.
+    pub fn dev_id(&self) -> Option<&DevId> {
+        match self {
+            Message::Status(payload) => Some(&payload.dev_id),
+            Message::Bind(payload) => payload.dev_id(),
+            Message::Unbind(payload) => Some(payload.dev_id()),
+            Message::Control { dev_id, .. }
+            | Message::QueryShadow { dev_id }
+            | Message::Share { dev_id, .. }
+            | Message::Unshare { dev_id, .. } => Some(dev_id),
+            Message::SetRule { rule, .. } => Some(&rule.trigger_dev),
+            Message::Login { .. }
+            | Message::RequestDevToken { .. }
+            | Message::RequestBindToken { .. } => None,
+        }
     }
 }
 
@@ -610,6 +670,62 @@ mod tests {
         assert_eq!(r.to_string(), "Denied(device already bound)");
         assert!(!r.is_ok());
         assert!(Response::Unbound.is_ok());
+    }
+
+    #[test]
+    fn primitive_str_distinguishes_shapes_kind_str_does_not() {
+        let unbind_reset = Message::Unbind(UnbindPayload::DevIdOnly { dev_id: dev_id() });
+        let unbind_user = Message::Unbind(UnbindPayload::DevIdUserToken {
+            dev_id: dev_id(),
+            user_token: UserToken::from_entropy(1),
+        });
+        // Same coarse kind, different primitive shape — the distinction the
+        // forensic classifier needs to tell A3-1 from A3-2.
+        assert_eq!(unbind_reset.kind_str(), unbind_user.kind_str());
+        assert_eq!(unbind_reset.primitive_str(), "unbind:dev-id");
+        assert_eq!(unbind_user.primitive_str(), "unbind:dev-id+user-token");
+
+        let register = Message::Status(StatusPayload::register(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+            DeviceAttributes::default(),
+        ));
+        let heartbeat = Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        ));
+        assert_eq!(register.primitive_str(), "status:register");
+        assert_eq!(heartbeat.primitive_str(), "status:heartbeat");
+
+        let cap = Message::Bind(BindPayload::Capability {
+            bind_token: BindToken::from_entropy(2),
+        });
+        assert_eq!(cap.primitive_str(), "bind:capability");
+    }
+
+    #[test]
+    fn message_dev_id_targets() {
+        let status = Message::Status(StatusPayload::heartbeat(
+            StatusAuth::DevId(dev_id()),
+            dev_id(),
+        ));
+        assert_eq!(status.dev_id(), Some(&dev_id()));
+        let login = Message::Login {
+            user_id: UserId::new("u"),
+            user_pw: UserPw::new("p"),
+        };
+        assert_eq!(login.dev_id(), None);
+        let cap = Message::Bind(BindPayload::Capability {
+            bind_token: BindToken::from_entropy(2),
+        });
+        assert_eq!(cap.dev_id(), None, "capability binds name no device");
+        let control = Message::Control {
+            dev_id: dev_id(),
+            user_token: UserToken::from_entropy(1),
+            session: None,
+            action: ControlAction::TurnOn,
+        };
+        assert_eq!(control.dev_id(), Some(&dev_id()));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`cloud`] | `rb-cloud` | the policy-driven IoT cloud |
 //! | [`device`] | `rb-device` | simulated firmware (and the 4-party hub) |
 //! | [`app`] | `rb-app` | the companion-app user agent |
+//! | [`forensics`] | `rb-forensics` | causal trees, trace exports, classifier |
 //! | [`scenario`] | `rb-scenario` | world builder |
 //! | [`attack`] | `rb-attack` | adversary, ID inference, campaigns |
 //!
@@ -40,6 +41,7 @@ pub use rb_attack as attack;
 pub use rb_cloud as cloud;
 pub use rb_core as core_model;
 pub use rb_device as device;
+pub use rb_forensics as forensics;
 pub use rb_netsim as netsim;
 pub use rb_provision as provision;
 pub use rb_scenario as scenario;

@@ -1,0 +1,136 @@
+//! EXP-FLEET — population-scale sweep throughput and parallel speedup.
+//!
+//! The perf baseline for every future scale PR. Runs the paper-scale fleet
+//! sweep — all ten Table III vendor designs × 16 seeds with 1000 homes
+//! spread across the 160 cells — once serially and once with a worker
+//! pool, then reports:
+//!
+//! * `cells_per_sec` / `homes_per_sec` — sweep throughput (parallel run),
+//! * `cell_p50_ms` / `cell_p95_ms` — per-cell wall latency quantiles,
+//! * `speedup` — serial wall time over parallel wall time,
+//! * `deterministic` — whether the two merged reports are byte-identical
+//!   (they must be; the fleet determinism tests enforce the same thing).
+//!
+//! Throughput and speedup are wall-clock, machine-dependent numbers: on a
+//! single-core CI runner the speedup will sit near 1.0, on an 8-way
+//! machine the sweep is embarrassingly parallel and the speedup tracks the
+//! core count. `deterministic` is the only field with a pinned expectation.
+//!
+//! Prints a human summary, then a single `BENCH ` line with a JSON
+//! document (CI uploads it as the fleet artifact):
+//!
+//! ```text
+//! cargo run --release -p rb-bench --bin exp_fleet
+//! cargo run --release -p rb-bench --bin exp_fleet -- out.json
+//! cargo run --release -p rb-bench --bin exp_fleet -- --homes 200 --threads 4
+//! ```
+
+use std::fmt::Write as _;
+
+use rb_fleet::{run_fleet, FleetSpec};
+
+fn main() {
+    let mut homes = 1000usize;
+    let mut threads = 8usize;
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--homes" => {
+                homes = iter.next().and_then(|s| s.parse().ok()).unwrap_or(homes);
+            }
+            "--threads" => {
+                threads = iter.next().and_then(|s| s.parse().ok()).unwrap_or(threads);
+            }
+            other => out_path = Some(other.to_owned()),
+        }
+    }
+
+    let spec = FleetSpec::paper_sweep(homes);
+    let cells = spec.cells().len();
+    println!(
+        "EXP-FLEET: {} designs x {} seeds = {cells} cells, {} homes/cell ({} homes total)\n",
+        spec.designs.len(),
+        spec.seeds.len(),
+        spec.homes_per_cell,
+        spec.total_homes()
+    );
+
+    println!("serial pass (1 thread)...");
+    let (serial_report, serial_t) = run_fleet(&spec.clone().threads(1));
+    println!(
+        "  {:.2}s wall, {:.1} cells/s",
+        serial_t.total_nanos as f64 / 1e9,
+        serial_t.cells_per_sec()
+    );
+
+    println!("parallel pass ({threads} threads)...");
+    let (parallel_report, parallel_t) = run_fleet(&spec.clone().threads(threads));
+    println!(
+        "  {:.2}s wall, {:.1} cells/s",
+        parallel_t.total_nanos as f64 / 1e9,
+        parallel_t.cells_per_sec()
+    );
+
+    let deterministic = serial_report.render() == parallel_report.render()
+        && serial_report.to_json() == parallel_report.to_json();
+    let speedup = serial_t.total_nanos as f64 / parallel_t.total_nanos.max(1) as f64;
+    let total_secs = parallel_t.total_nanos as f64 / 1e9;
+    let homes_per_sec = parallel_report.homes() as f64 / total_secs;
+    let p50_ms = parallel_t.quantile_nanos(0.5) as f64 / 1e6;
+    let p95_ms = parallel_t.quantile_nanos(0.95) as f64 / 1e6;
+
+    println!(
+        "\ncells={} converged={} homes={} control_homes={}",
+        parallel_report.cells.len(),
+        parallel_report.converged(),
+        parallel_report.homes(),
+        parallel_report.control_homes()
+    );
+    println!(
+        "throughput: {:.1} cells/s, {homes_per_sec:.0} homes/s | cell p50 {p50_ms:.1}ms p95 {p95_ms:.1}ms",
+        parallel_t.cells_per_sec()
+    );
+    println!("speedup vs serial: {speedup:.2}x at {threads} threads");
+    println!("merged reports byte-identical: {deterministic} (required — serial and parallel runs");
+    println!("must agree; throughput and speedup are machine-dependent wall-clock numbers).\n");
+
+    let mut json = String::from("{\"bench\":\"exp_fleet\",");
+    let _ = write!(
+        json,
+        "\"designs\":{},\"seeds\":{},\"cells\":{},\"homes_per_cell\":{},\"homes_total\":{},\
+         \"threads\":{threads},\"converged\":{},\"control_homes\":{},\
+         \"serial_secs\":{:.3},\"parallel_secs\":{:.3},\
+         \"cells_per_sec\":{:.2},\"homes_per_sec\":{:.1},\
+         \"cell_p50_ms\":{:.2},\"cell_p95_ms\":{:.2},\
+         \"speedup\":{:.3},\"deterministic\":{deterministic}}}",
+        spec.designs.len(),
+        spec.seeds.len(),
+        cells,
+        spec.homes_per_cell,
+        parallel_report.homes(),
+        parallel_report.converged(),
+        parallel_report.control_homes(),
+        serial_t.total_nanos as f64 / 1e9,
+        total_secs,
+        parallel_t.cells_per_sec(),
+        homes_per_sec,
+        p50_ms,
+        p95_ms,
+        speedup,
+    );
+    println!("BENCH {json}");
+
+    if !deterministic {
+        eprintln!("exp_fleet: serial and parallel merged reports diverged");
+        std::process::exit(1);
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("exp_fleet: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -11,6 +11,8 @@
 //! rbsim taxonomy                  # Table II
 //! rbsim table3                    # full live Table III
 //! rbsim space                     # exhaustive design-space survey
+//! rbsim fleet <N homes> [--threads T] [--seeds S] [--chaos]
+//!                                 # population-scale parallel sweep
 //! ```
 //!
 //! `lint` exits nonzero when any error-severity finding fires, so it can
@@ -377,9 +379,38 @@ fn cmd_space() {
     );
 }
 
+/// `rbsim fleet`: a population-scale sweep over all ten vendor designs.
+fn cmd_fleet(total_homes: usize, threads: usize, seeds: u64, chaos: bool) {
+    let mut spec =
+        rb_fleet::FleetSpec::new(vendor_designs(), (0..seeds.max(1)).collect(), total_homes)
+            .threads(threads);
+    if chaos {
+        spec = spec.with_profiles(&rb_scenario::ChaosProfile::ALL);
+    }
+    let cells = spec.cells().len();
+    println!(
+        "fleet sweep: {} designs x {} seeds x {} profile(s) = {} cells, {} homes/cell, {} thread(s)\n",
+        spec.designs.len(),
+        spec.seeds.len(),
+        spec.profiles.len(),
+        cells,
+        spec.homes_per_cell,
+        spec.threads
+    );
+    let (report, timings) = rb_fleet::run_fleet(&spec);
+    print!("{}", report.render());
+    println!(
+        "\nwall: {:.2}s | {:.1} cells/s | cell p50 {:.1}ms p95 {:.1}ms",
+        timings.total_nanos as f64 / 1e9,
+        timings.cells_per_sec(),
+        timings.quantile_nanos(0.5) as f64 / 1e6,
+        timings.quantile_nanos(0.95) as f64 / 1e6,
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: rbsim <list|audit|lint|verify|campaign|attack|metrics|trace|taxonomy|table3|space> [args]"
+        "usage: rbsim <list|audit|lint|verify|campaign|attack|metrics|trace|taxonomy|table3|space|fleet> [args]"
     );
     eprintln!("  rbsim audit tp-link");
     eprintln!("  rbsim lint tp-link");
@@ -389,6 +420,7 @@ fn usage() -> ! {
     eprintln!("  rbsim metrics tp-link 7 --prom");
     eprintln!("  rbsim trace tp-link 7 --chrome   # pipe to a file, load in Perfetto");
     eprintln!("  rbsim trace e-link --forensics   # reconstruct attacks from traces");
+    eprintln!("  rbsim fleet 1000 --threads 8     # 10 vendors x 16 seeds, 1000 homes");
     std::process::exit(2);
 }
 
@@ -474,6 +506,39 @@ fn main() {
             }
             let design = require_design(vendor.as_deref(), "`rbsim list`");
             cmd_trace(&design, seed, format);
+        }
+        Some("fleet") => {
+            let mut total_homes = 1000usize;
+            let mut threads = 1usize;
+            let mut seeds = 16u64;
+            let mut chaos = false;
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--threads" => {
+                        threads = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("--threads needs a number");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--seeds" => {
+                        seeds = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("--seeds needs a number");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--chaos" => chaos = true,
+                    other => {
+                        if let Ok(n) = other.parse() {
+                            total_homes = n;
+                        } else {
+                            eprintln!("unknown fleet argument: {other}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            cmd_fleet(total_homes, threads, seeds, chaos);
         }
         Some("attack") => {
             let design = require_design(args.get(1).map(String::as_str), "`rbsim list`");

@@ -18,6 +18,8 @@
 //!   [`rb_core::shadow::Shadow`] plus schedules, telemetry, and binding
 //!   session tokens);
 //! * [`audit`] — an append-only audit log consumed by experiments;
+//! * [`sharded`] — prefix-sharded hash maps backing the registry and the
+//!   token ledgers at fleet scale;
 //! * [`service`] — [`service::CloudService`]: the message handlers and the
 //!   [`rb_netsim::Actor`] implementation.
 //!
@@ -31,6 +33,7 @@ pub mod issued;
 pub mod monitor;
 pub mod registry;
 pub mod service;
+pub mod sharded;
 pub mod state;
 
 pub use monitor::{Monitor, SecurityAlert};

@@ -9,6 +9,8 @@ use std::collections::HashMap;
 
 use rb_wire::ids::DevId;
 
+use crate::sharded::ShardedMap;
+
 /// Simulated public-key signature over a device ID; see
 /// [`rb_wire::crypto::sign_dev_id`].
 pub fn sign(secret: u128, dev_id: &DevId) -> u128 {
@@ -26,9 +28,14 @@ pub struct DeviceRecord {
 }
 
 /// The registry of devices the vendor has manufactured.
+///
+/// Device records live in a [`ShardedMap`] keyed by device-id prefix, so a
+/// vendor-scale population (the fleet engine simulates thousands of homes
+/// per cell) spreads across 16 independent tables instead of rehashing one
+/// monolith. Key-id lookups stay a flat map — key ids are dense `u64`s.
 #[derive(Debug, Default)]
 pub struct DeviceRegistry {
-    devices: HashMap<DevId, DeviceRecord>,
+    devices: ShardedMap<DevId, DeviceRecord>,
     keys: HashMap<u64, u128>,
 }
 
@@ -64,7 +71,7 @@ impl DeviceRegistry {
         }
     }
 
-    /// Number of registered devices.
+    /// Number of registered devices (summed across shards).
     pub fn len(&self) -> usize {
         self.devices.len()
     }

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use rb_core::design::{BindScheme, DeviceAuthScheme, VendorDesign};
+use rb_core::design::{BindScheme, CloudChecks, DeviceAuthScheme, UnbindSupport, VendorDesign};
 use rb_core::shadow::ShadowState;
 use rb_netsim::{Actor, Ctx, Dest, NodeId, SimRng, Telemetry, Tick};
 use rb_wire::envelope::Envelope;
@@ -33,6 +33,19 @@ pub struct RateLimit {
     pub window: u64,
     /// Maximum requests per source node per window.
     pub max: u32,
+}
+
+/// The `Copy` control-flow knobs of a [`VendorDesign`], snapshotted per
+/// request. Handlers used to clone the whole design (including its heap
+/// `String` vendor name) on every message; this copies four plain enums
+/// and bit-structs instead while keeping the `design.checks.…` call sites
+/// unchanged.
+#[derive(Debug, Clone, Copy)]
+struct DesignKnobs {
+    checks: CloudChecks,
+    bind: BindScheme,
+    auth: DeviceAuthScheme,
+    unbind: UnbindSupport,
 }
 
 /// Cloud configuration.
@@ -161,6 +174,13 @@ impl CloudService {
         if before == after {
             return;
         }
+        if !self.telemetry.is_enabled() {
+            if self.forensics {
+                self.forensic_marks
+                    .push(format!("shadow dev={dev_id} from={before} to={after}"));
+            }
+            return;
+        }
         self.telemetry.with(|r| {
             r.counter_add(
                 &format!("cloud_shadow_transitions_total{{from=\"{before}\",to=\"{after}\"}}"),
@@ -201,6 +221,17 @@ impl CloudService {
     /// The design this cloud implements.
     pub fn design(&self) -> &VendorDesign {
         &self.config.design
+    }
+
+    /// Per-request snapshot of the design's `Copy` knobs (no allocation).
+    fn knobs(&self) -> DesignKnobs {
+        let d = &self.config.design;
+        DesignKnobs {
+            checks: d.checks,
+            bind: d.bind,
+            auth: d.auth,
+            unbind: d.unbind,
+        }
     }
 
     /// Vendor-side account signup.
@@ -284,14 +315,17 @@ impl CloudService {
         let rendered = outcome.reply.to_string();
         // The audit log and the metrics registry observe the same
         // request/outcome stream: the log keeps bounded per-request
-        // records, the registry keeps unbounded per-kind counters.
-        self.telemetry.with(|r| {
-            let kind = msg.kind_str();
-            r.counter_add(&format!("cloud_requests_total{{kind=\"{kind}\"}}"), 1);
-            if rendered.starts_with("Denied") {
-                r.counter_add(&format!("cloud_denials_total{{kind=\"{kind}\"}}"), 1);
-            }
-        });
+        // records, the registry keeps unbounded per-kind counters. The
+        // key formatting is skipped entirely when recording is off.
+        if self.telemetry.is_enabled() {
+            self.telemetry.with(|r| {
+                let kind = msg.kind_str();
+                r.counter_add(&format!("cloud_requests_total{{kind=\"{kind}\"}}"), 1);
+                if rendered.starts_with("Denied") {
+                    r.counter_add(&format!("cloud_denials_total{{kind=\"{kind}\"}}"), 1);
+                }
+            });
+        }
         if self.forensics {
             let dev = msg
                 .dev_id()
@@ -470,7 +504,7 @@ impl CloudService {
         }
 
         let mut pushes = Vec::new();
-        let design = self.config.design.clone();
+        let design = self.knobs();
 
         // TP-LINK semantics: a fresh registration implies a factory reset,
         // revoking any existing binding (attack surface A3-4).
@@ -583,7 +617,7 @@ impl CloudService {
         payload: &BindPayload,
         rng: &mut SimRng,
     ) -> Outcome {
-        let design = self.config.design.clone();
+        let design = self.knobs();
         // Resolve the requesting user and target device per the design's
         // accepted bind shape.
         let (dev_id, user) = match (design.bind, payload) {
@@ -729,22 +763,15 @@ impl CloudService {
     }
 
     fn device_of_node(&self, node: NodeId) -> Option<DevId> {
-        self.state
-            .iter_records()
-            .map(|(id, _)| id)
-            .find(|id| {
-                self.state
-                    .session(id)
-                    .map(|s| s.nodes.contains(&node))
-                    .unwrap_or(false)
-            })
-            .cloned()
+        // O(1) through the session reverse index; used to scan every shadow
+        // record on each capability bind.
+        self.state.device_of_node(node).cloned()
     }
 
     // -- Unbind ---------------------------------------------------------------
 
     fn handle_unbind(&mut self, from: NodeId, now: Tick, payload: &UnbindPayload) -> Outcome {
-        let design = self.config.design.clone();
+        let design = self.knobs();
         let dev_id = payload.dev_id().clone();
         self.monitor.observe_target(from, &dev_id, now);
         if !self.registry.knows(&dev_id) {
@@ -839,7 +866,7 @@ impl CloudService {
         session: Option<SessionToken>,
         action: &ControlAction,
     ) -> Outcome {
-        let design = self.config.design.clone();
+        let design = self.knobs();
         let user = match self.accounts.verify_token(user_token) {
             Ok(u) => u.clone(),
             Err(reason) => return Outcome::deny(reason),

@@ -1,0 +1,187 @@
+//! Prefix-sharded hash maps for the cloud's hot lookup tables.
+//!
+//! A vendor-scale cloud holds millions of device records and issued
+//! tokens. A single flat `HashMap` serves point lookups fine, but rehash
+//! pauses grow with the whole table and every operation contends on one
+//! allocation. [`ShardedMap`] splits the key space into [`SHARDS`] fixed
+//! shards by a cheap key prefix (device-id first byte, token low byte), so
+//! each shard stays small, rehashes independently, and — in the fleet
+//! engine's per-cell worlds — warms caches with only the slice of the
+//! population a cell actually touches.
+//!
+//! Sharding is an internal layout choice: lookups stay O(1), and nothing
+//! about the *result* of any operation depends on which shard a key lands
+//! in, so determinism of the simulation is untouched. Iteration walks
+//! shards in fixed index order; within a shard the order is as arbitrary
+//! as a `HashMap`'s, exactly as before.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rb_wire::ids::DevId;
+use rb_wire::tokens::{BindToken, DevToken};
+
+/// Number of shards. A power of two so the prefix folds with a mask.
+pub const SHARDS: usize = 16;
+
+/// A key that can name its shard with a one-byte prefix.
+///
+/// The prefix only spreads load — correctness never depends on its
+/// distribution, so a cheap byte (MAC first octet, token low byte) is
+/// enough.
+pub trait ShardKey: Hash + Eq {
+    /// A byte derived from the key; the shard is `prefix % SHARDS`.
+    fn shard_prefix(&self) -> u8;
+}
+
+impl ShardKey for DevId {
+    fn shard_prefix(&self) -> u8 {
+        match self {
+            // Low-order bytes vary across a fleet (OUI bytes do not).
+            DevId::Mac(mac) => mac.octets()[5],
+            DevId::Serial { vendor, seq } => (*vendor as u8) ^ (*seq as u8),
+            DevId::Digits { value, .. } => *value as u8,
+            DevId::Uuid(v) => *v as u8,
+        }
+    }
+}
+
+impl ShardKey for DevToken {
+    fn shard_prefix(&self) -> u8 {
+        self.to_u128() as u8
+    }
+}
+
+impl ShardKey for BindToken {
+    fn shard_prefix(&self) -> u8 {
+        self.to_u128() as u8
+    }
+}
+
+/// A hash map split into [`SHARDS`] independent shards by key prefix.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<HashMap<K, V>>,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| HashMap::new()).collect(),
+        }
+    }
+}
+
+impl<K: ShardKey, V> ShardedMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        ShardedMap::default()
+    }
+
+    fn shard(&self, key: &K) -> usize {
+        key.shard_prefix() as usize % SHARDS
+    }
+
+    /// Inserts a key/value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let s = self.shard(&key);
+        self.shards[s].insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shards[self.shard(key)].get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let s = self.shard(key);
+        self.shards[s].get_mut(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shards[self.shard(key)].contains_key(key)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let s = self.shard(key);
+        self.shards[s].remove(key)
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Iterates all entries, shard by shard in fixed shard order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.shards.iter().flat_map(HashMap::iter)
+    }
+
+    /// Iterates all keys, shard by shard in fixed shard order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.shards.iter().flat_map(HashMap::keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_wire::ids::MacAddr;
+
+    fn id(n: u8) -> DevId {
+        DevId::Mac(MacAddr::new([2, 0, 0, 0, 0, n]))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: ShardedMap<DevId, u32> = ShardedMap::new();
+        assert!(m.is_empty());
+        for n in 0..64 {
+            assert!(m.insert(id(n), u32::from(n)).is_none());
+        }
+        assert_eq!(m.len(), 64);
+        for n in 0..64 {
+            assert_eq!(m.get(&id(n)), Some(&u32::from(n)));
+            assert!(m.contains_key(&id(n)));
+        }
+        assert_eq!(m.insert(id(3), 99), Some(3));
+        *m.get_mut(&id(4)).expect("present") += 1;
+        assert_eq!(m.get(&id(4)), Some(&5));
+        assert_eq!(m.remove(&id(5)), Some(5));
+        assert!(!m.contains_key(&id(5)));
+        assert_eq!(m.len(), 63);
+    }
+
+    #[test]
+    fn keys_spread_over_multiple_shards() {
+        let mut m: ShardedMap<DevId, ()> = ShardedMap::new();
+        for n in 0..u8::MAX {
+            m.insert(id(n), ());
+        }
+        // Consecutive MAC low bytes must not all pile into one shard.
+        let occupied: std::collections::HashSet<usize> = m
+            .keys()
+            .map(|k| k.shard_prefix() as usize % SHARDS)
+            .collect();
+        assert_eq!(occupied.len(), SHARDS);
+        assert_eq!(m.iter().count(), usize::from(u8::MAX));
+    }
+
+    #[test]
+    fn token_prefixes_cover_shards() {
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..256u128 {
+            seen.insert(DevToken::from_entropy(e).shard_prefix() as usize % SHARDS);
+            seen.insert(BindToken::from_entropy(e << 1).shard_prefix() as usize % SHARDS);
+        }
+        assert_eq!(seen.len(), SHARDS);
+    }
+}

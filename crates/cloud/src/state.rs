@@ -50,16 +50,47 @@ pub struct ShadowRecord {
 }
 
 /// The cloud's per-device state: sessions and shadow records.
+///
+/// A reverse index maps each live node to the device(s) it currently
+/// speaks for, so resolving "which device is this connection?" — the
+/// capability-bind ownership check — is O(1) instead of a scan over every
+/// record the cloud has ever seen.
 #[derive(Debug, Default)]
 pub struct DeviceState {
     sessions: HashMap<DevId, DeviceSession>,
     records: HashMap<DevId, ShadowRecord>,
+    /// node → devices whose session contains it, in authentication order
+    /// (most recent last). Usually one entry; more only when a node
+    /// impersonates several devices concurrently.
+    node_index: HashMap<NodeId, Vec<DevId>>,
 }
 
 impl DeviceState {
     /// Empty state.
     pub fn new() -> Self {
         DeviceState::default()
+    }
+
+    fn index_add(&mut self, node: NodeId, dev_id: &DevId) {
+        let devs = self.node_index.entry(node).or_default();
+        if !devs.contains(dev_id) {
+            devs.push(dev_id.clone());
+        }
+    }
+
+    fn index_remove(&mut self, node: NodeId, dev_id: &DevId) {
+        if let Some(devs) = self.node_index.get_mut(&node) {
+            devs.retain(|d| d != dev_id);
+            if devs.is_empty() {
+                self.node_index.remove(&node);
+            }
+        }
+    }
+
+    /// The device a node's session speaks for (the most recently
+    /// authenticated one when a node impersonates several).
+    pub fn device_of_node(&self, node: NodeId) -> Option<&DevId> {
+        self.node_index.get(&node).and_then(|devs| devs.last())
     }
 
     /// The shadow record for a device, created on first touch.
@@ -93,7 +124,7 @@ impl DeviceState {
         now: Tick,
         concurrent_allowed: bool,
     ) -> Vec<NodeId> {
-        match self.sessions.get_mut(dev_id) {
+        let displaced = match self.sessions.get_mut(dev_id) {
             Some(session) => {
                 session.last_seen = now;
                 if let Some(s) = presented_session {
@@ -128,7 +159,12 @@ impl DeviceState {
                 );
                 Vec::new()
             }
+        };
+        self.index_add(node, dev_id);
+        for old in &displaced {
+            self.index_remove(*old, dev_id);
         }
+        displaced
     }
 
     /// Expires sessions whose last status is older than `timeout`,
@@ -136,14 +172,21 @@ impl DeviceState {
     /// IDs.
     pub fn expire_sessions(&mut self, now: Tick, timeout: u64) -> Vec<DevId> {
         let mut expired = Vec::new();
+        let mut dropped_nodes = Vec::new();
         self.sessions.retain(|dev_id, session| {
             if now - session.last_seen > timeout {
                 expired.push(dev_id.clone());
+                for node in &session.nodes {
+                    dropped_nodes.push((*node, dev_id.clone()));
+                }
                 false
             } else {
                 true
             }
         });
+        for (node, dev_id) in dropped_nodes {
+            self.index_remove(node, &dev_id);
+        }
         for dev_id in &expired {
             if let Some(rec) = self.records.get_mut(dev_id) {
                 rec.shadow.force_offline();
@@ -178,9 +221,14 @@ impl DeviceState {
     /// forcing the shadow offline.
     pub fn drop_node(&mut self, dev_id: &DevId, node: NodeId) {
         let mut emptied = false;
+        let mut had = false;
         if let Some(session) = self.sessions.get_mut(dev_id) {
+            had = session.nodes.contains(&node);
             session.nodes.retain(|n| *n != node);
             emptied = session.nodes.is_empty();
+        }
+        if had {
+            self.index_remove(node, dev_id);
         }
         if emptied {
             self.sessions.remove(dev_id);

@@ -1,0 +1,57 @@
+//! Serial-vs-parallel determinism: the merged fleet report must be
+//! *byte-identical* whatever the thread count, because each cell owns its
+//! world and the merge is slot-indexed. This is the invariant that makes
+//! the parallel engine trustworthy — any cross-cell leakage (shared RNG,
+//! shared registry, order-dependent merge) breaks it loudly here.
+
+use rb_core::vendors::vendor_designs;
+use rb_fleet::{run_fleet, FleetSpec};
+use rb_scenario::ChaosProfile;
+
+fn small_spec(seed_base: u64) -> FleetSpec {
+    // Two designs x two seeds x (benign + one chaos profile): eight cells,
+    // one home each — small enough for CI, rich enough to cover the chaos
+    // injection path.
+    let designs = vendor_designs().into_iter().take(2).collect();
+    FleetSpec::new(designs, vec![seed_base, seed_base + 1], 8)
+        .with_profiles(&[ChaosProfile::DupReorder])
+}
+
+#[test]
+fn threads_1_and_8_render_identical_reports_across_seeds() {
+    for seed_base in [1u64, 42, 20_260_805] {
+        let (serial, _) = run_fleet(&small_spec(seed_base).threads(1));
+        let (parallel, _) = run_fleet(&small_spec(seed_base).threads(8));
+        assert_eq!(
+            serial.render(),
+            parallel.render(),
+            "serial and 8-thread renders diverged for seed base {seed_base}"
+        );
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "serial and 8-thread JSON diverged for seed base {seed_base}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_pure_functions_of_the_spec() {
+    let (a, _) = run_fleet(&small_spec(7).threads(4));
+    let (b, _) = run_fleet(&small_spec(7).threads(4));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn benign_cells_converge_for_every_design() {
+    // All ten designs, one seed, benign: every cell must converge — this is
+    // the fleet-engine restatement of "the happy path works for every
+    // vendor".
+    let spec = FleetSpec::new(vendor_designs(), vec![11], 10).threads(4);
+    let (report, timings) = run_fleet(&spec);
+    assert_eq!(report.cells.len(), 10);
+    assert_eq!(report.converged(), 10, "report:\n{}", report.render());
+    assert_eq!(report.control_homes(), report.homes());
+    assert_eq!(timings.cell_nanos.len(), 10);
+    assert!(timings.total_nanos > 0);
+}

@@ -3,6 +3,7 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use rb_telemetry::Telemetry;
 
@@ -28,8 +29,10 @@ pub enum Dest {
 /// Connectivity of a node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeConfig {
-    /// Human-readable name for traces.
-    pub name: String,
+    /// Human-readable name for traces. Interned behind an `Arc`: cloning a
+    /// config (or the fleet engine building thousands of homes) shares one
+    /// allocation per name instead of copying the string.
+    pub name: Arc<str>,
     /// LAN membership, if any.
     pub lan: Option<LanId>,
     /// Whether the node can reach the WAN.
@@ -38,7 +41,7 @@ pub struct NodeConfig {
 
 impl NodeConfig {
     /// A node with WAN access only (cloud, remote attacker).
-    pub fn wan_only(name: impl Into<String>) -> Self {
+    pub fn wan_only(name: impl Into<Arc<str>>) -> Self {
         NodeConfig {
             name: name.into(),
             lan: None,
@@ -48,7 +51,7 @@ impl NodeConfig {
 
     /// A node confined to a LAN (an unprovisioned device, a Zigbee bulb
     /// behind a hub).
-    pub fn lan_only(name: impl Into<String>, lan: LanId) -> Self {
+    pub fn lan_only(name: impl Into<Arc<str>>, lan: LanId) -> Self {
         NodeConfig {
             name: name.into(),
             lan: Some(lan),
@@ -58,7 +61,7 @@ impl NodeConfig {
 
     /// A node on a LAN with WAN access through the home router (a
     /// provisioned device, the user's phone).
-    pub fn dual(name: impl Into<String>, lan: LanId) -> Self {
+    pub fn dual(name: impl Into<Arc<str>>, lan: LanId) -> Self {
         NodeConfig {
             name: name.into(),
             lan: Some(lan),
@@ -82,7 +85,9 @@ enum EventKind {
     Deliver {
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        // Shared, not owned: broadcasts and duplicated packets reference
+        // one buffer instead of cloning the bytes per delivery.
+        payload: Arc<[u8]>,
         ctx: TraceCtx,
     },
     Timer {
@@ -169,7 +174,9 @@ impl Simulation {
         assert!(wan.is_valid(), "invalid wan quality");
         Simulation {
             nodes: Vec::new(),
-            queue: BinaryHeap::new(),
+            // Pre-sized: a single-home binding run schedules a few hundred
+            // in-flight events; starting at 256 avoids the doubling churn.
+            queue: BinaryHeap::with_capacity(256),
             now: Tick::ZERO,
             seq: 0,
             rng: SimRng::new(seed),
@@ -447,11 +454,15 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, ev: Event) {
-        let now = self.now.as_u64();
-        self.telemetry.with(|r| {
-            r.counter_add("sim_events_total", 1);
-            r.gauge_set("sim_now_ticks", i64::try_from(now).unwrap_or(i64::MAX));
-        });
+        // One branch instead of a mutex round-trip when recording is off —
+        // the fleet engine runs every cell with a disabled handle.
+        if self.telemetry.is_enabled() {
+            let now = self.now.as_u64();
+            self.telemetry.with(|r| {
+                r.counter_add("sim_events_total", 1);
+                r.gauge_set("sim_now_ticks", i64::try_from(now).unwrap_or(i64::MAX));
+            });
+        }
         match ev.kind {
             EventKind::Start { node } => {
                 if self.nodes[node.0 as usize].powered {
@@ -608,6 +619,9 @@ impl Simulation {
     }
 
     fn route(&mut self, from: NodeId, dest: Dest, payload: Vec<u8>, trace_id: u64, parent: u64) {
+        // One allocation per send: broadcasts, retransmitted duplicates and
+        // the delivery event all share this buffer from here on.
+        let payload: Arc<[u8]> = payload.into();
         match dest {
             Dest::Unicast(to) => self.route_unicast(from, to, payload, trace_id, parent),
             Dest::Broadcast(lan) => {
@@ -656,7 +670,7 @@ impl Simulation {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: Arc<[u8]>,
         trace_id: u64,
         parent: u64,
     ) {
@@ -757,7 +771,7 @@ impl Simulation {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: Arc<[u8]>,
         quality: LinkQuality,
         ctx: TraceCtx,
     ) {

@@ -95,9 +95,25 @@ pub mod json {
 /// Cloning is cheap (one `Arc`); the handle is `Send + Sync` so bench
 /// binaries can move worlds across scoped threads. Locking recovers from
 /// poison (a panicking test thread must not wedge every other holder).
-#[derive(Clone, Debug, Default)]
+///
+/// A handle built with [`Telemetry::disabled`] records nothing: every
+/// write helper returns before touching the lock, so instrumented hot
+/// paths (the sim event loop, the cloud dispatcher) cost one branch per
+/// event instead of a mutex round-trip plus a map lookup. Fleet sweeps
+/// that only need the deterministic cell census run with recording off.
+#[derive(Clone, Debug)]
 pub struct Telemetry {
     inner: Arc<Mutex<Registry>>,
+    enabled: bool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            inner: Arc::default(),
+            enabled: true,
+        }
+    }
 }
 
 impl Telemetry {
@@ -106,7 +122,25 @@ impl Telemetry {
         Telemetry::default()
     }
 
-    /// Runs `f` with the registry locked.
+    /// A handle that drops every write: recording becomes a single branch,
+    /// and exports stay empty. Clones inherit the off switch, so threading
+    /// a disabled handle through a world silences every layer at once.
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: Arc::default(),
+            enabled: false,
+        }
+    }
+
+    /// Whether this handle records at all. Hot paths that format metric
+    /// keys before recording should check this first and skip the work.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f` with the registry locked. Runs even on a disabled handle
+    /// (reads and snapshots must always work); recording call sites should
+    /// guard with [`Telemetry::is_enabled`] instead.
     pub fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
         let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         f(&mut guard)
@@ -119,7 +153,9 @@ impl Telemetry {
 
     /// Adds `delta` to counter `name`.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        self.with(|r| r.counter_add(name, delta));
+        if self.enabled {
+            self.with(|r| r.counter_add(name, delta));
+        }
     }
 
     /// Reads counter `name` (0 when never touched).
@@ -129,22 +165,33 @@ impl Telemetry {
 
     /// Sets gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: i64) {
-        self.with(|r| r.gauge_set(name, value));
+        if self.enabled {
+            self.with(|r| r.gauge_set(name, value));
+        }
     }
 
     /// Records `value` into histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
-        self.with(|r| r.observe(name, value));
+        if self.enabled {
+            self.with(|r| r.observe(name, value));
+        }
     }
 
-    /// Opens a span; see [`Registry::start_span`].
+    /// Opens a span; see [`Registry::start_span`]. On a disabled handle
+    /// no span is stored and the returned id is dead.
     pub fn start_span(&self, name: &str, attrs: &[(&str, String)], now: u64) -> SpanId {
-        self.with(|r| r.start_span(name, attrs, now))
+        if self.enabled {
+            self.with(|r| r.start_span(name, attrs, now))
+        } else {
+            SpanId::default()
+        }
     }
 
     /// Closes a span; see [`Registry::end_span`].
     pub fn end_span(&self, id: SpanId, now: u64) {
-        self.with(|r| r.end_span(id, now));
+        if self.enabled {
+            self.with(|r| r.end_span(id, now));
+        }
     }
 
     /// A deep copy of the registry at this instant — the unit benches and

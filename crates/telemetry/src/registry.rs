@@ -8,7 +8,8 @@ use crate::histogram::Histogram;
 use crate::json;
 
 /// Opaque identifier of a span within one registry (creation-ordered).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// The `Default` id (`0`) is the dead id a disabled handle returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(pub u64);
 
 /// One recorded span: a named, attributed interval of simulated time.

@@ -23,6 +23,7 @@
 //! | [`forensics`] | `rb-forensics` | causal trees, trace exports, classifier |
 //! | [`scenario`] | `rb-scenario` | world builder |
 //! | [`attack`] | `rb-attack` | adversary, ID inference, campaigns |
+//! | [`fleet`] | `rb-fleet` | parallel population-scale sweep engine |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use rb_attack as attack;
 pub use rb_cloud as cloud;
 pub use rb_core as core_model;
 pub use rb_device as device;
+pub use rb_fleet as fleet;
 pub use rb_forensics as forensics;
 pub use rb_netsim as netsim;
 pub use rb_provision as provision;

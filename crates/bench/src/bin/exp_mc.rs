@@ -1,0 +1,218 @@
+//! EXP-MC — the model checker's three repo-wide gates, timed:
+//!
+//! * **determinism**: on every studied vendor the explorer's report is
+//!   byte-identical at 1, 4, and 8 worker threads — the parallel BFS has
+//!   no schedule-dependent output;
+//! * **agreement**: sweeping the full coherent design space, the model
+//!   checker, the bounded checker, the static analyzer, and the linter
+//!   agree on every design (zero `RB013` diagnostics);
+//! * **reproduction**: every minimal counterexample on every studied
+//!   vendor replays in the packet-level simulator and reproduces its
+//!   violation on the live cloud.
+//!
+//! Prints a human summary, then a single `BENCH ` line with a JSON
+//! document (CI uploads it as the verification artifact):
+//!
+//! ```text
+//! cargo run --release -p rb-bench --bin exp_mc
+//! cargo run --release -p rb-bench --bin exp_mc -- --vendors-only   # CI quick gate
+//! cargo run --release -p rb-bench --bin exp_mc -- --threads 4 out.json
+//! ```
+//!
+//! Throughput (`states_per_sec`, `designs_per_sec`) is wall-clock and
+//! machine-dependent; `deterministic`, `disagreements`, and
+//! `replay_failures` are the fields with pinned expectations (true / 0 /
+//! 0). Exits nonzero if any gate fails.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rb_core::design::VendorDesign;
+use rb_core::explore::all_designs;
+use rb_core::vendors::vendor_designs;
+use rb_mc::diag::verify_design;
+use rb_mc::explore::{explore, Property};
+use rb_mc::replay::replay;
+
+/// Per-sweep accumulator, merged deterministically by design index.
+#[derive(Default, Clone)]
+struct SweepTotals {
+    states: usize,
+    transitions: usize,
+    violations: [usize; 5],
+    secure: usize,
+    disagreements: usize,
+    shadow_coverage_sum: f64,
+}
+
+impl SweepTotals {
+    fn absorb(&mut self, other: &SweepTotals) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        for (a, b) in self.violations.iter_mut().zip(other.violations) {
+            *a += b;
+        }
+        self.secure += other.secure;
+        self.disagreements += other.disagreements;
+        self.shadow_coverage_sum += other.shadow_coverage_sum;
+    }
+}
+
+/// Verifies one chunk of the space serially (the explorer itself runs
+/// single-threaded here; parallelism comes from chunking the designs).
+fn sweep_chunk(designs: &[VendorDesign]) -> SweepTotals {
+    let mut t = SweepTotals::default();
+    for design in designs {
+        let v = verify_design(design, 1);
+        t.states += v.mc.reachable;
+        t.transitions += v.mc.transitions;
+        for (i, property) in Property::ALL.into_iter().enumerate() {
+            if v.mc.witness(property).is_some() {
+                t.violations[i] += 1;
+            }
+        }
+        if v.mc.is_secure() {
+            t.secure += 1;
+        }
+        t.disagreements += v.disagreements.len();
+        t.shadow_coverage_sum += v.mc.shadow_coverage_percent();
+    }
+    t
+}
+
+fn main() {
+    let mut threads = 8usize;
+    let mut vendors_only = false;
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = iter.next().and_then(|s| s.parse().ok()).unwrap_or(threads);
+            }
+            "--vendors-only" => vendors_only = true,
+            other => out_path = Some(other.to_owned()),
+        }
+    }
+    let threads = threads.max(1);
+
+    // Gate 1: determinism — byte-identical reports at 1/4/8 threads.
+    println!("EXP-MC: determinism gate (1/4/8 explorer threads)...");
+    let mut deterministic = true;
+    for design in vendor_designs() {
+        let one = explore(&design, 1);
+        if explore(&design, 4) != one || explore(&design, 8) != one {
+            eprintln!("  NONDETERMINISTIC: {}", design.vendor);
+            deterministic = false;
+        }
+    }
+    println!(
+        "  reports identical on all {} vendors: {deterministic}\n",
+        vendor_designs().len()
+    );
+
+    // Gate 2: the agreement sweep.
+    let designs = if vendors_only {
+        vendor_designs()
+    } else {
+        all_designs()
+    };
+    println!(
+        "EXP-MC: agreement sweep over {} design(s), {threads} worker(s)...",
+        designs.len()
+    );
+    let started = Instant::now();
+    let chunk_len = designs.len().div_ceil(threads);
+    let chunk_totals: Vec<SweepTotals> = std::thread::scope(|scope| {
+        let handles: Vec<_> = designs
+            .chunks(chunk_len.max(1))
+            .map(|chunk| scope.spawn(move || sweep_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("sweep worker panicked")))
+            .collect()
+    });
+    let sweep_secs = started.elapsed().as_secs_f64();
+    let mut totals = SweepTotals::default();
+    for t in &chunk_totals {
+        totals.absorb(t);
+    }
+    let states_per_sec = totals.states as f64 / sweep_secs.max(1e-9);
+    let designs_per_sec = designs.len() as f64 / sweep_secs.max(1e-9);
+    let avg_coverage = totals.shadow_coverage_sum / designs.len().max(1) as f64;
+    println!(
+        "  {} states, {} transitions in {sweep_secs:.2}s ({states_per_sec:.0} states/s, \
+         {designs_per_sec:.0} designs/s)",
+        totals.states, totals.transitions
+    );
+    for (i, property) in Property::ALL.into_iter().enumerate() {
+        println!(
+            "  {:17} violated on {:5} design(s)",
+            property.to_string(),
+            totals.violations[i]
+        );
+    }
+    println!(
+        "  secure designs: {} | mean shadow edge coverage: {avg_coverage:.1}%",
+        totals.secure
+    );
+    println!("  cross-tool disagreements: {}\n", totals.disagreements);
+
+    // Gate 3: every vendor counterexample reproduces in the simulator.
+    println!("EXP-MC: replay gate (every witness into the live simulator)...");
+    let mut replayed = 0usize;
+    let mut replay_failures = 0usize;
+    for design in vendor_designs() {
+        let report = explore(&design, 1);
+        for (property, witness) in report.violations() {
+            match replay(&design, property, witness) {
+                Ok(()) => replayed += 1,
+                Err(e) => {
+                    eprintln!("  REPLAY FAILED: {}: {property}: {e}", design.vendor);
+                    replay_failures += 1;
+                }
+            }
+        }
+    }
+    println!("  {replayed} witness(es) reproduced live, {replay_failures} failure(s)\n");
+
+    // `BENCH ` line (hand-rolled — the workspace's serde is a no-op stub).
+    let mut json = String::from("{\"bench\":\"exp_mc\",");
+    let _ = write!(
+        json,
+        "\"designs\":{},\"vendors_only\":{vendors_only},\"threads\":{threads},\
+         \"states_total\":{},\"transitions_total\":{},\
+         \"attacker_bound\":{},\"attacker_control\":{},\"user_disconnect\":{},\
+         \"stale_session\":{},\"rebind_livelock\":{},\"secure_designs\":{},\
+         \"sweep_secs\":{sweep_secs:.3},\"states_per_sec\":{states_per_sec:.0},\
+         \"designs_per_sec\":{designs_per_sec:.1},\"shadow_coverage_mean_pct\":{avg_coverage:.2},\
+         \"deterministic\":{deterministic},\"disagreements\":{},\
+         \"witnesses_replayed\":{replayed},\"replay_failures\":{replay_failures}}}",
+        designs.len(),
+        totals.states,
+        totals.transitions,
+        totals.violations[0],
+        totals.violations[1],
+        totals.violations[2],
+        totals.violations[3],
+        totals.violations[4],
+        totals.secure,
+        totals.disagreements,
+    );
+    println!("BENCH {json}");
+
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("exp_mc: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    if !deterministic || totals.disagreements > 0 || replay_failures > 0 {
+        eprintln!("exp_mc: a verification gate failed");
+        std::process::exit(1);
+    }
+    println!("EXP-MC: PASS");
+}

@@ -4,6 +4,8 @@
 //! rbsim list                      # the studied vendor designs
 //! rbsim audit <vendor>            # static attack-surface audit + fixes
 //! rbsim lint <vendor|--all>       # design lints (add --json or --sarif)
+//! rbsim verify <vendor>           # exhaustive model check + live replay
+//!                                 #   (--threads N, --json, --sarif, --no-replay)
 //! rbsim campaign <vendor> [seed]  # execute all nine attacks live
 //! rbsim attack <vendor> <A4-3>    # execute one attack with evidence
 //! rbsim metrics <vendor> [seed]   # binding-lifecycle telemetry (--json|--prom)
@@ -35,13 +37,15 @@ use rb_core::attacks::{AttackFamily, AttackId};
 use rb_core::design::VendorDesign;
 use rb_core::explore::survey;
 use rb_core::recommend::recommendations;
-use rb_core::spec::{check, cross_check};
 use rb_core::vendors::{
     capability_reference, public_key_reference, vendor_designs, weakest_design,
 };
 use rb_lint::diagnostic::Severity;
 use rb_lint::emit::{render_human, render_json, render_sarif};
 use rb_lint::rules::lint_design;
+use rb_mc::diag::verify_design;
+use rb_mc::explore::Property;
+use rb_mc::replay::replay;
 
 fn find_design(name: &str) -> Option<VendorDesign> {
     let needle = name.to_lowercase().replace(['-', '_', ' '], "");
@@ -297,29 +301,83 @@ fn cmd_trace(design: &VendorDesign, seed: u64, format: TraceFormat) {
     }
 }
 
-fn cmd_verify(design: &VendorDesign) {
-    println!("model-checking {}...\n", design.vendor);
-    let spec = check(design);
-    println!("reachable abstract states: {}", spec.reachable);
-    let show = |name: &str, trace: &Option<Vec<rb_core::spec::Act>>| match trace {
-        Some(t) => println!("  {name}: REACHABLE via {t:?}"),
-        None => println!("  {name}: unreachable"),
-    };
-    show("ATTACKER-BOUND  ", &spec.attacker_bound);
-    show("ATTACKER-CONTROL", &spec.attacker_control);
-    show("USER-DISCONNECT ", &spec.user_disconnect);
-    if spec.is_secure() {
-        println!("\nverdict: SECURE under the abstract model.");
-    } else {
-        println!("\nverdict: VULNERABLE (witness traces above are minimal).");
-    }
-    let disagreements = cross_check(std::slice::from_ref(design));
-    if disagreements.is_empty() {
-        println!("checker and analyzer agree on this design.");
-    } else {
-        for d in disagreements {
-            println!("DISAGREEMENT: {d}");
+/// Output format for `rbsim verify`.
+#[derive(Clone, Copy, PartialEq)]
+enum VerifyFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
+fn cmd_verify(design: &VendorDesign, threads: usize, format: VerifyFormat, do_replay: bool) {
+    let v = verify_design(design, threads);
+    match format {
+        VerifyFormat::Json => print!("{}", render_json(&v.findings)),
+        VerifyFormat::Sarif => print!("{}", render_sarif(std::slice::from_ref(&v.findings))),
+        VerifyFormat::Human => {
+            println!(
+                "model-checking {} (product machine, {threads} thread(s))...\n",
+                design.vendor
+            );
+            println!(
+                "reachable product states: {} | transitions: {} | max depth: {}",
+                v.mc.reachable, v.mc.transitions, v.mc.depth
+            );
+            println!(
+                "shadow-machine edge coverage: {:.1}%\n",
+                v.mc.shadow_coverage_percent()
+            );
+            for property in Property::ALL {
+                match v.mc.witness(property) {
+                    Some(w) => {
+                        let steps: Vec<String> = w.iter().map(ToString::to_string).collect();
+                        println!(
+                            "  {:17} VIOLATED ({} steps): {}",
+                            property.to_string(),
+                            w.len(),
+                            steps.join(" -> ")
+                        );
+                    }
+                    None => println!("  {:17} holds", property.to_string()),
+                }
+            }
+            if v.mc.is_secure() {
+                println!("\nverdict: SECURE — every property holds over the product machine.");
+            } else {
+                println!("\nverdict: VULNERABLE (witnesses above are minimal).");
+            }
         }
+    }
+    let mut failed = false;
+    if do_replay {
+        for (property, witness) in v.mc.violations() {
+            match replay(design, property, witness) {
+                Ok(()) => {
+                    if format == VerifyFormat::Human {
+                        println!(
+                            "replayed {property} in the simulator: violation reproduced live."
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("REPLAY FAILED for {property}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if v.disagreements.is_empty() {
+        if format == VerifyFormat::Human {
+            println!("model checker, bounded checker, analyzer, and linter agree on this design.");
+        }
+    } else {
+        for d in &v.disagreements {
+            eprintln!("DISAGREEMENT: {}", d.message);
+        }
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -415,6 +473,8 @@ fn usage() -> ! {
     eprintln!("  rbsim audit tp-link");
     eprintln!("  rbsim lint tp-link");
     eprintln!("  rbsim lint --all --sarif");
+    eprintln!("  rbsim verify e-link              # model-check + replay every witness");
+    eprintln!("  rbsim verify tp-link --sarif     # findings as a SARIF log");
     eprintln!("  rbsim campaign e-link 42");
     eprintln!("  rbsim attack tp-link A4-3");
     eprintln!("  rbsim metrics tp-link 7 --prom");
@@ -432,8 +492,27 @@ fn main() {
         Some("table3") => cmd_table3(),
         Some("space") => cmd_space(),
         Some("verify") => {
-            let design = require_design(args.get(1).map(String::as_str), "`rbsim list`");
-            cmd_verify(&design);
+            let mut format = VerifyFormat::Human;
+            let mut threads = 4usize;
+            let mut do_replay = true;
+            let mut vendor = None;
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--json" => format = VerifyFormat::Json,
+                    "--sarif" => format = VerifyFormat::Sarif,
+                    "--no-replay" => do_replay = false,
+                    "--threads" => {
+                        threads = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("--threads needs a number");
+                            std::process::exit(2);
+                        });
+                    }
+                    name => vendor = Some(name.to_owned()),
+                }
+            }
+            let design = require_design(vendor.as_deref(), "`rbsim list`");
+            cmd_verify(&design, threads, format, do_replay);
         }
         Some("lint") => {
             let mut format = LintFormat::Human;

@@ -26,6 +26,11 @@
 //!   executing the real message flows.
 //! * [`recommend`] — the **lessons-learned engine** (Section VII): given a
 //!   design, emits the paper's remediation advice that applies to it.
+//! * [`diagnostic`] — the **typed diagnostic model** every verdict engine
+//!   shares: the linter (`rb-lint`), the checker⇔analyzer cross-check
+//!   ([`spec::cross_check`]), and the exhaustive model checker (`rb-mc`)
+//!   all emit the same `Diagnostic`/`LintReport` shapes, so one SARIF log
+//!   carries all three.
 //!
 //! # Example
 //!
@@ -46,6 +51,7 @@
 pub mod analyzer;
 pub mod attacks;
 pub mod design;
+pub mod diagnostic;
 pub mod explore;
 pub mod recommend;
 pub mod shadow;

@@ -29,6 +29,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{BindScheme, ControlVerdict, VendorDesign};
+use crate::diagnostic::{Diagnostic, RuleId, Severity as DiagSeverity};
 
 /// A protocol principal in the abstract model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -53,11 +54,13 @@ pub enum DeviceSrc {
 }
 
 impl DeviceSrc {
-    fn includes_real(self) -> bool {
+    /// Whether the real device currently holds a live session.
+    pub fn includes_real(self) -> bool {
         matches!(self, DeviceSrc::Real | DeviceSrc::Both)
     }
 
-    fn online(self) -> bool {
+    /// Whether *any* session (real or forged) speaks as the device.
+    pub fn online(self) -> bool {
         self != DeviceSrc::None
     }
 }
@@ -345,7 +348,10 @@ pub fn check(design: &VendorDesign) -> SpecReport {
 }
 
 /// Checks the checker against the analyzer over a set of designs; returns
-/// disagreement descriptions (empty = the two independent semantics agree).
+/// one structured [`Diagnostic`] (rule `RB013`) per disagreement (empty =
+/// the two independent semantics agree). The `Display` of each diagnostic
+/// reproduces the historical one-line string form, so callers that printed
+/// the old `Vec<String>` output are unchanged.
 ///
 /// The correspondence, accounting for the checker being untimed:
 ///
@@ -353,9 +359,18 @@ pub fn check(design: &VendorDesign) -> SpecReport {
 /// * ATTACKER-CONTROL ⇔ forgeable bind ∧ control verdict `Relayed`;
 /// * USER-DISCONNECT ⇔ some A3 variant or A4-1 is feasible, or status
 ///   forgery resets bindings.
-pub fn cross_check(designs: &[VendorDesign]) -> Vec<String> {
+pub fn cross_check(designs: &[VendorDesign]) -> Vec<Diagnostic> {
     use crate::analyzer::analyze;
     use crate::attacks::AttackId;
+
+    let disagreement = |span: &str, message: String| Diagnostic {
+        rule: RuleId::RB013,
+        severity: DiagSeverity::Error,
+        span: span.to_owned(),
+        message,
+        related_attacks: Vec::new(),
+        fix: None,
+    };
 
     let mut out = Vec::new();
     for design in designs {
@@ -364,22 +379,28 @@ pub fn cross_check(designs: &[VendorDesign]) -> Vec<String> {
 
         let bound_expected = design.bind_forgeable();
         if spec.attacker_bound.is_some() != bound_expected {
-            out.push(format!(
-                "{}: ATTACKER-BOUND reachable={} but bind_forgeable={}",
-                design.vendor,
-                spec.attacker_bound.is_some(),
-                bound_expected
+            out.push(disagreement(
+                "spec.attacker_bound",
+                format!(
+                    "{}: ATTACKER-BOUND reachable={} but bind_forgeable={}",
+                    design.vendor,
+                    spec.attacker_bound.is_some(),
+                    bound_expected
+                ),
             ));
         }
 
         let control_expected = design.bind_forgeable()
             && matches!(design.hijack_control_verdict(), ControlVerdict::Relayed);
         if spec.attacker_control.is_some() != control_expected {
-            out.push(format!(
-                "{}: ATTACKER-CONTROL reachable={} but expected {}",
-                design.vendor,
-                spec.attacker_control.is_some(),
-                control_expected
+            out.push(disagreement(
+                "spec.attacker_control",
+                format!(
+                    "{}: ATTACKER-CONTROL reachable={} but expected {}",
+                    design.vendor,
+                    spec.attacker_control.is_some(),
+                    control_expected
+                ),
             ));
         }
 
@@ -393,11 +414,14 @@ pub fn cross_check(designs: &[VendorDesign]) -> Vec<String> {
         .iter()
         .any(|id| report.feasible(*id));
         if spec.user_disconnect.is_some() != disconnect_expected {
-            out.push(format!(
-                "{}: USER-DISCONNECT reachable={} but analyzer A3*/A4-1 feasible={}",
-                design.vendor,
-                spec.user_disconnect.is_some(),
-                disconnect_expected
+            out.push(disagreement(
+                "spec.user_disconnect",
+                format!(
+                    "{}: USER-DISCONNECT reachable={} but analyzer A3*/A4-1 feasible={}",
+                    design.vendor,
+                    spec.user_disconnect.is_some(),
+                    disconnect_expected
+                ),
             ));
         }
     }

@@ -9,8 +9,7 @@
 //! [`json_escape`] covers the control characters, quotes, and backslashes
 //! RFC 8259 requires.
 
-use crate::diagnostic::{Diagnostic, LintReport, Severity};
-use crate::rules::registry;
+use crate::diagnostic::{Diagnostic, LintReport, RuleId, Severity};
 use std::fmt::Write as _;
 
 /// Escapes a string for inclusion in a JSON string literal (without the
@@ -145,15 +144,18 @@ pub fn render_sarif(reports: &[LintReport]) -> String {
     out.push_str("          \"name\": \"rb-lint\",\n");
     out.push_str("          \"informationUri\": \"https://example.org/iot-remote-binding\",\n");
     out.push_str("          \"rules\": [\n");
-    let rules = registry()
+    // Every rule of the shared diagnostic model is declared, not just the
+    // linter's: the same log may carry cross-check (RB013) and model-
+    // checker (RB014–RB017) results.
+    let rules = RuleId::ALL
         .iter()
-        .map(|r| {
+        .map(|id| {
             format!(
                 "            {{\"id\": \"{}\", \"name\": \"{}\", \
                  \"shortDescription\": {{\"text\": \"{}\"}}}}",
-                r.id,
-                r.id.name(),
-                json_escape(r.summary)
+                id,
+                id.name(),
+                json_escape(id.summary())
             )
         })
         .collect::<Vec<_>>()

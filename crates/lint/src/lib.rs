@@ -8,7 +8,9 @@
 //! device. This crate turns those lessons into an enforceable tool — a
 //! *linter over designs* rather than over code:
 //!
-//! * [`diagnostic`] — the typed finding model: stable rule IDs
+//! * [`diagnostic`] — the typed finding model (re-exported from
+//!   [`rb_core::diagnostic`] so the checker, the cross-check, and the
+//!   model checker emit through the same surface): stable rule IDs
 //!   (`RB001`…), severities, spans naming the exact
 //!   [`VendorDesign`](rb_core::design::VendorDesign) field, related
 //!   attacks, and fix-its drawn from the lessons-learned catalogue.
@@ -37,7 +39,7 @@
 //! assert_eq!(finding.span, "checks.verify_unbind_is_bound_user");
 //! ```
 
-pub mod diagnostic;
+pub use rb_core::diagnostic;
 pub mod emit;
 pub mod harness;
 pub mod rules;

@@ -36,11 +36,9 @@ struct Finding {
 
 /// One registered lint rule.
 pub struct Rule {
-    /// Stable identifier.
+    /// Stable identifier. The rule's one-line summary lives on the ID
+    /// ([`RuleId::summary`]) so non-lint emitters share it.
     pub id: RuleId,
-    /// One-line description of the pattern the rule detects (rule
-    /// metadata, not per-finding text).
-    pub summary: &'static str,
     /// Severity when no feasible attack exploits the pattern on the
     /// design at hand.
     pub base_severity: Severity,
@@ -195,7 +193,6 @@ pub fn registry() -> Vec<Rule> {
     vec![
         Rule {
             id: RuleId::RB001,
-            summary: "unbinding is accepted without checking the requester owns the binding",
             base_severity: Severity::Warning,
             covers: &[A3_2, A4_3],
             fix: Some(RecommendationId::CheckUnbindOwnership),
@@ -203,7 +200,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB002,
-            summary: "the static device ID doubles as the device credential",
             base_severity: Severity::Warning,
             covers: &[A1, A3_4, A4_1, A4_2, A4_3],
             fix: Some(RecommendationId::UseDynamicDeviceToken),
@@ -211,7 +207,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB003,
-            summary: "binding requests replace an existing binding instead of being rejected",
             base_severity: Severity::Warning,
             covers: &[A3_3, A4_1],
             fix: Some(RecommendationId::RejectBindWhenBound),
@@ -219,7 +214,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB004,
-            summary: "the device-ID space is small enough to enumerate remotely",
             base_severity: Severity::Warning,
             covers: &[],
             fix: Some(RecommendationId::WidenIdSpace),
@@ -227,7 +221,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB005,
-            summary: "no post-binding session token while stolen bindings relay control",
             base_severity: Severity::Warning,
             covers: &[A4_1, A4_2, A4_3],
             fix: Some(RecommendationId::AddPostBindingSession),
@@ -235,7 +228,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB006,
-            summary: "bare Unbind:DevId is an accepted message",
             base_severity: Severity::Warning,
             covers: &[A3_1, A4_3],
             fix: Some(RecommendationId::DropDevIdOnlyUnbind),
@@ -243,7 +235,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB007,
-            summary: "user account credentials are delivered to the device",
             base_severity: Severity::Warning,
             covers: &[],
             fix: Some(RecommendationId::KeepUserCredentialsOffDevice),
@@ -251,7 +242,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB008,
-            summary: "the binding message is forgeable by a remote attacker",
             base_severity: Severity::Warning,
             covers: &[A2, A3_3, A4_1, A4_2, A4_3],
             fix: Some(RecommendationId::UseCapabilityBinding),
@@ -259,7 +249,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB009,
-            summary: "a fresh registration revokes the binding",
             base_severity: Severity::Warning,
             covers: &[A3_4],
             fix: Some(RecommendationId::DoNotResetBindingOnRegister),
@@ -267,7 +256,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB010,
-            summary: "the setup flow leaves an online-unbound window with a forgeable bind",
             base_severity: Severity::Warning,
             covers: &[A4_2],
             fix: Some(RecommendationId::UseCapabilityBinding),
@@ -275,7 +263,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB011,
-            summary: "concurrent status sessions are accepted for one device ID",
             base_severity: Severity::Warning,
             covers: &[A1],
             fix: None,
@@ -283,7 +270,6 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: RuleId::RB012,
-            summary: "part of the attack surface is opaque to review",
             base_severity: Severity::Note,
             covers: &[],
             fix: None,
@@ -345,8 +331,8 @@ mod tests {
     #[test]
     fn registry_is_in_rule_id_order_and_complete() {
         let rules = registry();
-        assert_eq!(rules.len(), RuleId::ALL.len());
-        for (rule, &expected) in rules.iter().zip(RuleId::ALL.iter()) {
+        assert_eq!(rules.len(), RuleId::LINT.len());
+        for (rule, &expected) in rules.iter().zip(RuleId::LINT.iter()) {
             assert_eq!(rule.id, expected);
         }
     }

@@ -6,7 +6,7 @@
 // Test helpers outside #[test] fns: panicking on fixture IO is correct here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use rb_core::vendors::vendor_designs;
+use rb_core::vendors::{e_link, vendor_designs};
 use rb_lint::emit::{render_human, render_sarif};
 use rb_lint::rules::lint_design;
 use std::path::{Path, PathBuf};
@@ -63,4 +63,51 @@ fn sarif_log_matches_golden() {
         &render_sarif(&reports),
         update,
     );
+}
+
+#[test]
+fn single_violating_vendor_sarif_matches_golden() {
+    // A one-report log for a known-violating design (E-Link, hijackable
+    // via a replacing bind), pinned so per-vendor SARIF export — what
+    // `rbsim lint <vendor> --sarif` emits — cannot drift silently.
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let report = lint_design(&e_link());
+    assert!(!report.diagnostics.is_empty(), "E-Link must have findings");
+    check(
+        &golden_dir().join("e_link_smart.sarif"),
+        &render_sarif(std::slice::from_ref(&report)),
+        update,
+    );
+}
+
+#[test]
+fn sarif_has_the_schema_shape_tools_expect() {
+    // Structural assertion independent of the pinned bytes: the elements
+    // SARIF 2.1.0 consumers key on (driver rules, results with levels,
+    // logical locations) must all be present, and the hand-rolled JSON
+    // must at least be brace/bracket balanced.
+    let reports: Vec<_> = vendor_designs().iter().map(lint_design).collect();
+    let sarif = render_sarif(&reports);
+    for key in [
+        "\"$schema\"",
+        "\"version\": \"2.1.0\"",
+        "\"runs\"",
+        "\"tool\"",
+        "\"driver\"",
+        "\"rules\"",
+        "\"results\"",
+        "\"ruleId\"",
+        "\"level\"",
+        "\"locations\"",
+        "\"logicalLocations\"",
+        "\"fullyQualifiedName\"",
+    ] {
+        assert!(sarif.contains(key), "SARIF log is missing {key}");
+    }
+    let count = |c: char| sarif.chars().filter(|&x| x == c).count();
+    assert_eq!(count('{'), count('}'), "unbalanced braces");
+    assert_eq!(count('['), count(']'), "unbalanced brackets");
+    // Every finding in the source reports surfaces as exactly one result.
+    let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    assert_eq!(sarif.matches("\"ruleId\"").count(), total);
 }

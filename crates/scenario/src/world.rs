@@ -428,6 +428,22 @@ impl World {
         }
     }
 
+    /// Adds a raw endpoint on home `i`'s LAN that shares the home's
+    /// public IP — a "console" harnesses use to drive the resident's
+    /// honest traffic (logins, binds, unbinds, local session delivery) as
+    /// explicit request/response exchanges, without the scripted app
+    /// agent. To the cloud it is indistinguishable from the home's app.
+    pub fn add_home_console(&mut self, i: usize) -> NodeId {
+        let lan = self.homes[i].lan;
+        let node = self.sim.add_node(
+            NodeConfig::dual(format!("console{i}"), lan),
+            Box::new(crate::RawEndpoint::new()),
+        );
+        let public_ip = 1000 + i as u32;
+        self.cloud_mut().set_public_ip(node, public_ip);
+        node
+    }
+
     /// Unboxes paused victim homes: powers their apps and devices on.
     pub fn resume_victims(&mut self) {
         for i in 0..self.homes.len() {

@@ -6,6 +6,9 @@
 //! * [`adversary`] — a WAN-only endpoint that logs into its *own* account
 //!   and forges protocol messages byte-for-byte (the in-simulation
 //!   equivalent of mitm-proxy + Postman + a raw OpenSSL socket);
+//! * [`acts`] — the executors' forged-step playbooks in symbolic form,
+//!   the act adapters model-level harnesses (the lifecycle fuzzer) draw
+//!   their attacker actions from;
 //! * [`idspace`] — device-ID inference: leak channels, search-space
 //!   arithmetic, and enumeration simulation (Section III-A and the §I
 //!   claims about 3-byte MAC suffixes and 6/7-digit IDs);
@@ -22,6 +25,7 @@
 //! device (hence knows app-side message formats), and has reverse
 //! engineered the firmware only where the vendor profile says so.
 
+pub mod acts;
 pub mod adversary;
 pub mod campaign;
 pub mod exec;

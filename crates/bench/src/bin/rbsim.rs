@@ -6,6 +6,8 @@
 //! rbsim lint <vendor|--all>       # design lints (add --json or --sarif)
 //! rbsim verify <vendor>           # exhaustive model check + live replay
 //!                                 #   (--threads N, --json, --sarif, --no-replay)
+//! rbsim fuzz <vendor>             # lifecycle fuzz campaign, shrunk findings
+//!                                 #   (--seed N, --runs N, --json)
 //! rbsim campaign <vendor> [seed]  # execute all nine attacks live
 //! rbsim attack <vendor> <A4-3>    # execute one attack with evidence
 //! rbsim metrics <vendor> [seed]   # binding-lifecycle telemetry (--json|--prom)
@@ -381,6 +383,60 @@ fn cmd_verify(design: &VendorDesign, threads: usize, format: VerifyFormat, do_re
     }
 }
 
+/// `rbsim fuzz`: a deterministic lifecycle fuzz campaign against one
+/// design, with shrunk findings, Table III classification, coverage
+/// versus the exhaustive checker, and the `RB013` cross-check.
+fn cmd_fuzz(design: &VendorDesign, cfg: &rb_fuzz::FuzzConfig, json: bool) {
+    let report = rb_fuzz::run_campaign(design, cfg);
+    let mc = rb_mc::explore::explore(design, 1);
+    let diags = rb_fuzz::oracle::cross_check(&report, &mc);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "fuzzing {} (seed {:#x}, {} runs)...\n",
+            design.vendor, cfg.seed, cfg.runs
+        );
+        println!(
+            "executed {} acts / {} product steps | {} unique state(s) | corpus {:016x}",
+            report.acts_executed, report.steps_executed, report.unique_states, report.corpus_digest
+        );
+        println!(
+            "shadow-transition coverage vs rb-mc: {:.1}% ({} of {} reachable edges)\n",
+            report.coverage_vs_mc(&mc),
+            report.shadow_edges.intersection(&mc.shadow_edges).count(),
+            mc.shadow_edges.len()
+        );
+        if report.findings.is_empty() {
+            println!("no property violations found.");
+        }
+        for f in &report.findings {
+            let cell = f.cell.map_or_else(
+                || "unnamed composite".to_owned(),
+                |c| format!("Table III {c}"),
+            );
+            println!(
+                "  {:17} run {:3}, {} -> {} acts after {} shrink step(s) [{cell}]",
+                f.property.to_string(),
+                f.run,
+                f.raw.len(),
+                f.minimal.len(),
+                f.shrink_steps
+            );
+            println!("      {}", rb_fuzz::campaign::render_acts(&f.minimal));
+        }
+    }
+    if !diags.is_empty() {
+        for d in &diags {
+            eprintln!("DISAGREEMENT: {}", d.message);
+        }
+        std::process::exit(1);
+    }
+    if !json {
+        println!("\nfuzzer and model checker agree on this design.");
+    }
+}
+
 fn cmd_taxonomy() {
     let witnesses = taxonomy_witnesses();
     for row in taxonomy() {
@@ -468,12 +524,13 @@ fn cmd_fleet(total_homes: usize, threads: usize, seeds: u64, chaos: bool) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rbsim <list|audit|lint|verify|campaign|attack|metrics|trace|taxonomy|table3|space|fleet> [args]"
+        "usage: rbsim <list|audit|lint|verify|fuzz|campaign|attack|metrics|trace|taxonomy|table3|space|fleet> [args]"
     );
     eprintln!("  rbsim audit tp-link");
     eprintln!("  rbsim lint tp-link");
     eprintln!("  rbsim lint --all --sarif");
     eprintln!("  rbsim verify e-link              # model-check + replay every witness");
+    eprintln!("  rbsim fuzz tp-link --runs 512    # lifecycle fuzzing, shrunk witnesses");
     eprintln!("  rbsim verify tp-link --sarif     # findings as a SARIF log");
     eprintln!("  rbsim campaign e-link 42");
     eprintln!("  rbsim attack tp-link A4-3");
@@ -513,6 +570,32 @@ fn main() {
             }
             let design = require_design(vendor.as_deref(), "`rbsim list`");
             cmd_verify(&design, threads, format, do_replay);
+        }
+        Some("fuzz") => {
+            let mut cfg = rb_fuzz::FuzzConfig::default();
+            let mut json = false;
+            let mut vendor = None;
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--seed" => {
+                        cfg.seed = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("--seed needs a number");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--runs" => {
+                        cfg.runs = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("--runs needs a number");
+                            std::process::exit(2);
+                        });
+                    }
+                    name => vendor = Some(name.to_owned()),
+                }
+            }
+            let design = require_design(vendor.as_deref(), "`rbsim list`");
+            cmd_fuzz(&design, &cfg, json);
         }
         Some("lint") => {
             let mut format = LintFormat::Human;

@@ -262,6 +262,18 @@ pub fn attacker_controls(design: &VendorDesign, s: AbsState) -> bool {
     matches!(design.hijack_control_verdict(), ControlVerdict::Relayed)
 }
 
+/// Whether the transition `pre --act--> post` *is* a USER-DISCONNECT
+/// event: an adversarial action destroys an established user binding.
+///
+/// This is the single definition of the paper's disconnection property at
+/// the step level. The bounded checker, the product-machine explorer
+/// (`rb-mc`), and the lifecycle fuzzer (`rb-fuzz`) all evaluate their
+/// trajectories through it, so the three tools cannot drift apart on what
+/// counts as a disconnection.
+pub fn user_disconnect_step(pre: AbsState, act: Act, post: AbsState) -> bool {
+    act.is_adversarial() && pre.bound == Some(Party::User) && post.bound != Some(Party::User)
+}
+
 /// The checker's verdict for one design.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpecReport {
@@ -321,11 +333,7 @@ pub fn check(design: &VendorDesign) -> SpecReport {
             let Some(next) = step(design, s, act) else {
                 continue;
             };
-            if act.is_adversarial()
-                && s.bound == Some(Party::User)
-                && next.bound != Some(Party::User)
-                && user_disconnect.is_none()
-            {
+            if user_disconnect.is_none() && user_disconnect_step(s, act, next) {
                 let mut p = path.clone();
                 p.push(act);
                 user_disconnect = Some(p);

@@ -1,0 +1,63 @@
+//! Coverage regression: on the all-defenses-on reference designs the
+//! fuzzer must reach every shadow-state transition the exhaustive
+//! checker proves reachable, while reporting zero violations — and the
+//! campaign must agree with rb-mc everywhere the cross-check looks.
+
+use rb_core::vendors::{capability_reference, public_key_reference, vendor_designs};
+use rb_fuzz::campaign::{run_campaign, FuzzConfig};
+use rb_fuzz::oracle::cross_check;
+use rb_mc::explore::explore;
+
+#[test]
+fn references_are_fully_covered_and_clean() {
+    for design in [capability_reference(), public_key_reference()] {
+        let report = run_campaign(&design, &FuzzConfig::default());
+        let mc = explore(&design, 1);
+        assert!(
+            report.findings.is_empty(),
+            "{}: the fuzzer violated a property on a secure reference: {:#?}",
+            design.vendor,
+            report.findings
+        );
+        assert_eq!(
+            report.shadow_edges, mc.shadow_edges,
+            "{}: fuzz coverage differs from the checker's reachable edge set",
+            design.vendor
+        );
+        let cov = report.coverage_vs_mc(&mc);
+        assert!(
+            (cov - 100.0).abs() < f64::EPSILON,
+            "{}: coverage {cov}% != 100%",
+            design.vendor
+        );
+    }
+}
+
+#[test]
+fn no_vendor_campaign_disagrees_with_the_checker() {
+    for design in vendor_designs() {
+        let report = run_campaign(&design, &FuzzConfig::default());
+        let mc = explore(&design, 1);
+        let diags = cross_check(&report, &mc);
+        assert!(
+            diags.is_empty(),
+            "{}: RB013 disagreements: {:#?}",
+            design.vendor,
+            diags
+        );
+    }
+}
+
+#[test]
+fn every_fuzzed_edge_is_checker_reachable_on_weak_designs_too() {
+    for design in vendor_designs() {
+        let report = run_campaign(&design, &FuzzConfig::default());
+        let mc = explore(&design, 1);
+        assert!(
+            report.shadow_edges.is_subset(&mc.shadow_edges),
+            "{}: fuzzer exercised an edge rb-mc proves unreachable",
+            design.vendor
+        );
+        assert!(report.coverage_vs_mc(&mc) <= 100.0 + f64::EPSILON);
+    }
+}

@@ -1,0 +1,144 @@
+//! Shrinker properties, pinned across 16 seeds: a shrunk counterexample
+//! still violates the same property, shrinking is deterministic and
+//! idempotent (no oscillation), the result is 1-minimal, and minimal
+//! witnesses carry no model-no-op padding.
+
+use rb_core::design::VendorDesign;
+use rb_core::vendors::{belkin, e_link, tp_link, weakest_design};
+use rb_fuzz::dsl::Act;
+use rb_fuzz::gen::{generate, run_rng};
+use rb_fuzz::oracle::violates;
+use rb_fuzz::shrink::{is_one_minimal, shrink};
+use rb_mc::explore::{trap_states, Property};
+use rb_mc::model::{self, PState};
+
+const SEEDS: [u64; 16] = [
+    0xF022_2019,
+    1,
+    2,
+    3,
+    5,
+    8,
+    13,
+    21,
+    34,
+    55,
+    89,
+    144,
+    0xDEAD_BEEF,
+    0xCAFE_F00D,
+    0x0123_4567_89AB_CDEF,
+    u64::MAX,
+];
+
+/// Every (design, property, raw run) triple the seeds produce, found by
+/// judging each generated run against the step oracle.
+fn violating_runs() -> Vec<(VendorDesign, Vec<bool>, Property, Vec<Act>)> {
+    let mut cases = Vec::new();
+    for design in [tp_link(), belkin(), e_link(), weakest_design()] {
+        let traps = trap_states(&design);
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let acts = generate(&design, &mut run_rng(seed, i as u32), 12);
+            for property in Property::ALL {
+                if violates(&design, &traps, &acts, property) {
+                    cases.push((design.clone(), traps.clone(), property, acts.clone()));
+                }
+            }
+        }
+    }
+    cases
+}
+
+#[test]
+fn the_seeds_actually_produce_violations() {
+    // The harness below is vacuous unless the seed set finds real work.
+    assert!(
+        violating_runs().len() >= 16,
+        "only {} violating runs across the seed matrix",
+        violating_runs().len()
+    );
+}
+
+#[test]
+fn shrunk_counterexamples_still_violate_the_same_property() {
+    for (design, traps, property, acts) in violating_runs() {
+        let shrunk = shrink(&design, &traps, &acts, property);
+        assert!(
+            violates(&design, &traps, &shrunk.minimal, property),
+            "{}: {property}: shrinking lost the violation ({acts:?} -> {:?})",
+            design.vendor,
+            shrunk.minimal
+        );
+        assert!(shrunk.minimal.len() <= acts.len());
+    }
+}
+
+#[test]
+fn shrinking_is_deterministic() {
+    for (design, traps, property, acts) in violating_runs() {
+        let a = shrink(&design, &traps, &acts, property);
+        let b = shrink(&design, &traps, &acts, property);
+        assert_eq!(a, b, "{}: {property}", design.vendor);
+    }
+}
+
+#[test]
+fn shrinking_terminates_at_a_fixed_point() {
+    // Re-shrinking a minimal witness must change nothing and cost no
+    // accepted reductions — the no-oscillation guarantee.
+    for (design, traps, property, acts) in violating_runs() {
+        let once = shrink(&design, &traps, &acts, property);
+        let twice = shrink(&design, &traps, &once.minimal, property);
+        assert_eq!(
+            once.minimal, twice.minimal,
+            "{}: {property}: shrinking oscillates",
+            design.vendor
+        );
+    }
+}
+
+#[test]
+fn shrunk_witnesses_are_one_minimal() {
+    for (design, traps, property, acts) in violating_runs() {
+        let shrunk = shrink(&design, &traps, &acts, property);
+        assert!(
+            is_one_minimal(&design, &traps, &shrunk.minimal, property),
+            "{}: {property}: {:?} is not 1-minimal",
+            design.vendor,
+            shrunk.minimal
+        );
+    }
+}
+
+#[test]
+fn minimal_witnesses_carry_no_noop_padding() {
+    // Control and chaos acts compile to zero product steps, so deleting
+    // one can never lose a model-level violation; 1-minimality therefore
+    // implies they never survive shrinking.
+    for (design, traps, property, acts) in violating_runs() {
+        let shrunk = shrink(&design, &traps, &acts, property);
+        assert!(
+            shrunk.minimal.iter().all(|a| !a.is_model_noop()),
+            "{}: {property}: no-op act survived in {:?}",
+            design.vendor,
+            shrunk.minimal
+        );
+    }
+}
+
+#[test]
+fn minimal_witnesses_are_legal_interleavings_that_step_the_model() {
+    for (design, traps, property, acts) in violating_runs() {
+        let shrunk = shrink(&design, &traps, &acts, property);
+        let compiled =
+            rb_fuzz::dsl::compile_seq(&design, &shrunk.minimal).expect("minimal is legal");
+        let mut s = PState::initial();
+        for c in &compiled {
+            for &(act, pre, post) in &c.steps {
+                assert_eq!(pre, s, "{}: {property}: trajectory tear", design.vendor);
+                assert_eq!(model::step(&design, pre, act), Some(post));
+                s = post;
+            }
+        }
+    }
+}

@@ -28,7 +28,7 @@ use crate::model::{self, McAct, PState, KEY_SPACE};
 use rb_core::design::VendorDesign;
 use rb_core::diagnostic::RuleId;
 use rb_core::shadow::{Primitive, ShadowState};
-use rb_core::spec::Party;
+use rb_core::spec::{self, Party};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -158,7 +158,8 @@ impl McReport {
 }
 
 /// The shadow primitive a product action drives, for coverage accounting.
-fn primitive_of(act: McAct) -> Primitive {
+/// Shared with rb-fuzz so both tools bucket coverage identically.
+pub fn primitive_of(act: McAct) -> Primitive {
     match act {
         McAct::DevRegister | McAct::AtkRegister => Primitive::Status,
         McAct::DevOffline => Primitive::Offline,
@@ -180,6 +181,75 @@ fn path_to(parents: &[Option<(u16, McAct)>], mut key: u16) -> Vec<McAct> {
     }
     acts.reverse();
     acts
+}
+
+/// Marks the *recoverable* states among the `reachable` keys: those from
+/// which honest actions alone can (re)establish the user's binding.
+/// Backward fixpoint under fairness of [`McAct::HONEST`]; a reachable
+/// state left unmarked is a REBIND-LIVELOCK trap.
+fn recoverable_map(design: &VendorDesign, reachable: &[u16]) -> Vec<bool> {
+    let mut recoverable = vec![false; KEY_SPACE];
+    for &key in reachable {
+        if PState::from_key(key).is_some_and(|s| s.bound == Some(Party::User)) {
+            recoverable[key as usize] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for &key in reachable {
+            if recoverable[key as usize] {
+                continue;
+            }
+            let Some(s) = PState::from_key(key) else {
+                continue;
+            };
+            let escapes = McAct::HONEST.iter().any(|&act| {
+                model::step(design, s, act).is_some_and(|n| recoverable[n.key() as usize])
+            });
+            if escapes {
+                recoverable[key as usize] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    recoverable
+}
+
+/// The reachable *trap* states of `design`'s product machine, as a
+/// [`KEY_SPACE`]-indexed map: `true` marks a reachable state from which
+/// honest actions can never re-establish the user's binding — the
+/// REBIND-LIVELOCK predicate as a per-state oracle.
+///
+/// Exposed so trajectory-level checkers (the lifecycle fuzzer's oracle
+/// set) can decide livelock for every state they visit without
+/// re-deriving the fairness fixpoint, guaranteeing they agree with
+/// [`explore`] by construction.
+pub fn trap_states(design: &VendorDesign) -> Vec<bool> {
+    // Serial BFS for reachability: the key space is 512 wide, so this is
+    // far cheaper than a full exploration report.
+    let mut visited = vec![false; KEY_SPACE];
+    let mut order = Vec::new();
+    let initial = PState::initial().key();
+    visited[initial as usize] = true;
+    order.push(initial);
+    let mut head = 0;
+    while head < order.len() {
+        let key = order[head];
+        head += 1;
+        for (_, child) in expand(design, key) {
+            if !visited[child as usize] {
+                visited[child as usize] = true;
+                order.push(child);
+            }
+        }
+    }
+    let recoverable = recoverable_map(design, &order);
+    (0..KEY_SPACE)
+        .map(|key| visited[key] && !recoverable[key])
+        .collect()
 }
 
 /// Expands one state: its accepted successors in action order.
@@ -275,10 +345,10 @@ pub fn explore(design: &VendorDesign, threads: usize) -> McReport {
             for (act, child) in slot.unwrap_or_default() {
                 transitions += 1;
                 shadow_edges.insert((shadow_of(pre), primitive_of(act)));
-                if act.is_adversarial()
-                    && pre.bound == Some(Party::User)
-                    && PState::from_key(child).is_some_and(|c| c.bound != Some(Party::User))
-                    && user_disconnect.is_none()
+                if user_disconnect.is_none()
+                    && PState::from_key(child).is_some_and(|c| {
+                        spec::user_disconnect_step(pre.abs(), act.spec_act(), c.abs())
+                    })
                 {
                     let mut p = path_to(&parents, key);
                     p.push(act);
@@ -305,37 +375,10 @@ pub fn explore(design: &VendorDesign, threads: usize) -> McReport {
         frontier = next;
     }
 
-    // Liveness: a reachable state is *recoverable* when honest actions
-    // alone can reach a user-bound state from it. Backward fixpoint over
-    // the (tiny) reachable set; the first unrecoverable state in BFS
-    // discovery order gives the minimal livelock witness.
-    let mut recoverable = vec![false; KEY_SPACE];
-    for &key in &discovery {
-        if PState::from_key(key).is_some_and(|s| s.bound == Some(Party::User)) {
-            recoverable[key as usize] = true;
-        }
-    }
-    loop {
-        let mut changed = false;
-        for &key in &discovery {
-            if recoverable[key as usize] {
-                continue;
-            }
-            let Some(s) = PState::from_key(key) else {
-                continue;
-            };
-            let escapes = McAct::HONEST.iter().any(|&act| {
-                model::step(design, s, act).is_some_and(|n| recoverable[n.key() as usize])
-            });
-            if escapes {
-                recoverable[key as usize] = true;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    // Liveness: backward fixpoint over the (tiny) reachable set; the
+    // first unrecoverable state in BFS discovery order gives the minimal
+    // livelock witness.
+    let recoverable = recoverable_map(design, &discovery);
     let rebind_livelock = discovery
         .iter()
         .find(|&&key| !recoverable[key as usize])
@@ -432,6 +475,23 @@ mod tests {
         // The same design with a bare unbind channel always recovers.
         d.unbind = rb_core::design::UnbindSupport::both();
         assert!(explore(&d, 4).rebind_livelock.is_none());
+    }
+
+    #[test]
+    fn trap_states_agree_with_the_livelock_verdict() {
+        // The per-state trap oracle and the explorer's REBIND-LIVELOCK
+        // verdict are two views of the same fixpoint; they must coincide
+        // across the design space.
+        for design in rb_core::explore::all_designs().into_iter().step_by(101) {
+            let report = explore(&design, 1);
+            let traps = trap_states(&design);
+            assert_eq!(
+                report.rebind_livelock.is_some(),
+                traps.iter().any(|&t| t),
+                "{}",
+                design.vendor
+            );
+        }
     }
 
     #[test]

@@ -112,24 +112,18 @@ fn forged_register(dev_id: &DevId) -> Message {
     ))
 }
 
-/// Runs `world` in short slices until `pred` holds or `max_ticks` pass;
-/// returns whether the predicate held.
-fn wait_until(world: &mut World, max_ticks: u64, pred: impl Fn(&World) -> bool) -> bool {
-    let deadline = world.now().as_u64().saturating_add(max_ticks);
-    loop {
-        if pred(world) {
-            return true;
-        }
-        if world.now().as_u64() >= deadline {
-            return false;
-        }
-        world.run_for(200);
-    }
-}
-
-/// One witness replay in flight: the live world plus the principals'
-/// clients and credentials.
-struct Replayer {
+/// One live witness interpretation in flight: the simulated world plus
+/// the principals' clients and credentials.
+///
+/// This is the machinery [`replay`] drives, exposed so other harnesses —
+/// the lifecycle fuzzer's interpreter in particular — can compile their
+/// own [`McAct`] trajectories onto a live [`World`] act by act: construct
+/// with [`LiveSession::new`], realize each act with [`LiveSession::apply`],
+/// check the cloud against the model with [`LiveSession::assert_cloud`],
+/// and close with [`LiveSession::assert_property`]. All waiting goes
+/// through the bounded [`World::try_run_until`] driver, so a livelocked
+/// interleaving cannot hang the caller.
+pub struct LiveSession {
     design: VendorDesign,
     world: World,
     console: Console,
@@ -144,8 +138,16 @@ struct Replayer {
     device_powered: bool,
 }
 
-impl Replayer {
-    fn new(design: &VendorDesign) -> Result<Self, String> {
+impl LiveSession {
+    /// Builds a fresh replay world for `design`: a paused victim home (the
+    /// model's initial state has no live device session), a console on the
+    /// home LAN playing the resident, and a logged-in WAN adversary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure when the victim's login or the
+    /// console bring-up does not complete.
+    pub fn new(design: &VendorDesign) -> Result<Self, String> {
         // Victims start paused: the model's initial state has no live
         // device session, and the app agent is never used — the console
         // plays the resident.
@@ -168,7 +170,7 @@ impl Replayer {
         };
         let mut adversary = Adversary::new();
         adversary.login(&mut world);
-        Ok(Replayer {
+        Ok(LiveSession {
             design: design.clone(),
             world,
             console,
@@ -256,7 +258,7 @@ impl Replayer {
         self.set_device_power(true);
         let dev_id = self.dev_id.clone();
         let want = self.owner_of(post.bound);
-        let settled = wait_until(&mut self.world, 4 * HEARTBEAT + 4_000, |w| {
+        let settled = self.world.try_run_until(4 * HEARTBEAT + 4_000, |w| {
             w.cloud().shadow_state(&dev_id).is_online() && w.cloud().bound_user(&dev_id) == want
         });
         if !settled {
@@ -438,8 +440,17 @@ impl Replayer {
         }
     }
 
-    /// Realizes one witness act.
-    fn apply(&mut self, act: McAct, pre: PState, post: PState) -> Result<(), String> {
+    /// Realizes one witness act as live traffic. `pre` and `post` are the
+    /// product-machine states around the act (the caller recomputes the
+    /// trajectory with [`model::step`]); the replay uses them to pick the
+    /// schedule details the untimed model leaves open.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the divergence when the simulator cannot
+    /// realize the act (a refused request, a session that cannot be kept
+    /// alive, an unforgeable message).
+    pub fn apply(&mut self, act: McAct, pre: PState, post: PState) -> Result<(), String> {
         match act {
             McAct::DevRegister => self.dev_register(post),
             McAct::DevOffline => self.dev_offline(post),
@@ -452,8 +463,30 @@ impl Replayer {
         }
     }
 
-    /// Asserts that the cloud's observable state matches the model state.
-    fn assert_cloud(&self, state: PState) -> Result<(), String> {
+    /// Advances the live world by `ticks` without driving any principal —
+    /// the realization of a pure observation step (the fuzz DSL's
+    /// `control` act and its chaos windows ride on this).
+    pub fn idle(&mut self, ticks: u64) {
+        self.world.run_for(ticks);
+    }
+
+    /// Injects a short benign chaos window (mild duplication/reordering)
+    /// starting now. Benign by the chaos-matrix invariance result: it
+    /// perturbs packet timing but must not change any binding outcome, so
+    /// per-act cloud assertions keep holding.
+    pub fn inject_benign_chaos(&mut self) {
+        let now = self.world.now().as_u64();
+        let plan = rb_netsim::FaultPlan::new().chaos_window(now + 10, 5_000, 150, 100, 2);
+        self.world.apply_fault_plan(&plan);
+    }
+
+    /// Asserts that the cloud's observable state — the bound user and the
+    /// online bit — matches the model state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn assert_cloud(&self, state: PState) -> Result<(), String> {
         let bound = self.world.cloud().bound_user(&self.dev_id);
         let want = self.owner_of(state.bound);
         if bound != want {
@@ -472,8 +505,14 @@ impl Replayer {
         Ok(())
     }
 
-    /// Asserts the violated property itself on the final live state.
-    fn assert_property(&mut self, property: Property, states: &[PState]) -> Result<(), String> {
+    /// Asserts the violated property itself on the final live state
+    /// (`states` is the full model trajectory, initial state included).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure when the live cloud does not
+    /// actually exhibit the violation.
+    pub fn assert_property(&mut self, property: Property, states: &[PState]) -> Result<(), String> {
         let attacker = Some(UserId::new(ATTACKER_ID));
         match property {
             Property::AttackerBound => {
@@ -628,7 +667,7 @@ pub fn replay(design: &VendorDesign, property: Property, witness: &[McAct]) -> R
         states.push(n);
     }
 
-    let mut replayer = Replayer::new(design)?;
+    let mut replayer = LiveSession::new(design)?;
     for (i, &act) in witness.iter().enumerate() {
         let (pre, post) = (states[i], states[i + 1]);
         replayer

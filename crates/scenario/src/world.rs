@@ -428,6 +428,28 @@ impl World {
         }
     }
 
+    /// Runs the simulation in short slices until `pred` holds or
+    /// `max_ticks` have elapsed; returns whether the predicate held.
+    ///
+    /// This is the bounded convergence driver every interpreter-style
+    /// harness (counterexample replay, the lifecycle fuzzer) must use
+    /// instead of an open `loop { run_for(..) }`: a livelocked or
+    /// never-converging interleaving costs at most `max_ticks` of
+    /// simulated time (plus one trailing slice) and then reports `false`
+    /// rather than hanging the harness.
+    pub fn try_run_until(&mut self, max_ticks: u64, pred: impl Fn(&World) -> bool) -> bool {
+        let deadline = self.sim.now().saturating_add(max_ticks);
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            self.sim.run_for(200);
+        }
+    }
+
     /// Adds a raw endpoint on home `i`'s LAN that shares the home's
     /// public IP — a "console" harnesses use to drive the resident's
     /// honest traffic (logins, binds, unbinds, local session delivery) as

@@ -1,0 +1,61 @@
+//! Pins the bounded convergence driver [`rb_scenario::World::try_run_until`].
+//!
+//! The lifecycle fuzzer and the counterexample replayer drive worlds
+//! through arbitrary — possibly livelocked — interleavings, so the driver
+//! they wait on must be provably bounded: a predicate that never holds
+//! costs at most `max_ticks` of simulated time (plus one trailing slice)
+//! and then reports `false`, instead of hanging the harness.
+
+use rb_core::shadow::ShadowState;
+use rb_core::vendors;
+use rb_scenario::WorldBuilder;
+
+#[test]
+fn an_unsatisfiable_predicate_returns_false_at_the_deadline() {
+    let mut world = WorldBuilder::new(vendors::tp_link(), 0xB0_07).build();
+    let start = world.now().as_u64();
+    let converged = world.try_run_until(5_000, |_| false);
+    assert!(!converged, "an unsatisfiable predicate cannot converge");
+    let elapsed = world.now().as_u64() - start;
+    assert!(elapsed >= 5_000, "the full budget was consumed: {elapsed}");
+    assert!(
+        elapsed < 5_000 + 400,
+        "overshoot is bounded by one slice: {elapsed}"
+    );
+}
+
+#[test]
+fn an_immediately_true_predicate_does_not_advance_time() {
+    let mut world = WorldBuilder::new(vendors::belkin(), 0xB0_08).build();
+    let start = world.now().as_u64();
+    assert!(world.try_run_until(1_000_000, |_| true));
+    assert_eq!(world.now().as_u64(), start, "no simulation slice was run");
+}
+
+#[test]
+fn a_real_convergence_is_detected_mid_budget() {
+    // Setup converges well before the budget; the driver must stop at the
+    // predicate, not at the deadline.
+    let mut world = WorldBuilder::new(vendors::tp_link(), 0xB0_09).build();
+    let converged = world.try_run_until(300_000, |w| {
+        w.shadow_state(0) == ShadowState::Control && w.app(0).is_bound()
+    });
+    assert!(converged, "the honest setup flow converges");
+    assert!(
+        world.now().as_u64() < 300_000,
+        "stopped at convergence, not the deadline: {}",
+        world.now().as_u64()
+    );
+}
+
+#[test]
+fn a_livelocked_interleaving_cannot_hang_the_harness() {
+    // A paused victim world never registers on its own: waiting for the
+    // Control shadow state is a livelock. The driver bounds it.
+    let mut world = WorldBuilder::new(vendors::e_link(), 0xB0_0A)
+        .victim_paused()
+        .build();
+    let converged = world.try_run_until(20_000, |w| w.shadow_state(0).is_online());
+    assert!(!converged, "a powered-off device never comes online");
+    assert!(world.now().as_u64() <= 20_000 + 400);
+}

@@ -25,6 +25,7 @@
 //! | [`attack`] | `rb-attack` | adversary, ID inference, campaigns |
 //! | [`fleet`] | `rb-fleet` | parallel population-scale sweep engine |
 //! | [`mc`] | `rb-mc` | exhaustive model checker + counterexample replay |
+//! | [`fuzz`] | `rb-fuzz` | lifecycle-DSL fuzzer with shrinking, mc-cross-checked |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use rb_core as core_model;
 pub use rb_device as device;
 pub use rb_fleet as fleet;
 pub use rb_forensics as forensics;
+pub use rb_fuzz as fuzz;
 pub use rb_mc as mc;
 pub use rb_netsim as netsim;
 pub use rb_provision as provision;

@@ -762,6 +762,7 @@ impl Actor for AppAgent {
                             Some(delay) => {
                                 self.cur_delay = delay;
                                 self.telemetry.incr("app_retries_total");
+                                self.telemetry.rate_event("app_retries", now.as_u64());
                                 self.enter_step(ctx);
                             }
                             None => {

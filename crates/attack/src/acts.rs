@@ -72,6 +72,26 @@ pub fn playbooks(id: AttackId) -> &'static [&'static [AtkStep]] {
     }
 }
 
+/// Named composite attacks: step sequences outside the paper's nine-row
+/// taxonomy, discovered by the lifecycle fuzzer and promoted into the
+/// shared vocabulary. These deliberately live in their own table — the
+/// [`playbooks`] map stays a faithful Table II transcription.
+///
+/// `A4-4` is the register-reset takeover on `register_resets_binding`
+/// designs (TP-LINK): a forged Register drops the victim's binding (the
+/// A3-4 denial-of-service), then a fresh forged Bind claims the now
+/// unbound device — a full hijack from two primitives neither of which
+/// achieves one alone.
+pub const COMPOSITES: &[(&str, &[AtkStep])] = &[("A4-4", &[AtkStep::Register, AtkStep::Bind])];
+
+/// The playbook of a named composite, if `name` names one.
+pub fn composite_playbook(name: &str) -> Option<&'static [AtkStep]> {
+    COMPOSITES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, steps)| *steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +118,26 @@ mod tests {
         assert_eq!(books[0][0], AtkStep::UnbindBare);
         assert_eq!(books[1][0], AtkStep::UnbindToken);
         assert!(books.iter().all(|b| b.last() == Some(&AtkStep::Bind)));
+    }
+
+    #[test]
+    fn the_register_reset_takeover_composite_is_pinned() {
+        // The fuzzer-found unnamed composite (register-reset unbind + fresh
+        // forged bind) is promoted to a named cell; its steps and its
+        // separation from the Table II map are both pinned.
+        let steps = composite_playbook("A4-4").expect("A4-4 is a named composite");
+        assert_eq!(steps, &[AtkStep::Register, AtkStep::Bind]);
+        assert_eq!(COMPOSITES.len(), 1, "one promoted composite so far");
+        assert!(
+            composite_playbook("A4-3").is_none(),
+            "Table II attacks are not composites"
+        );
+        // No Table II playbook equals the composite: it is genuinely new.
+        for id in AttackId::ALL {
+            for book in playbooks(id) {
+                assert_ne!(*book, steps, "{id} duplicates the composite");
+            }
+        }
     }
 
     #[test]

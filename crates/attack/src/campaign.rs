@@ -7,7 +7,7 @@ use rb_core::attacks::{AttackFamily, AttackId, Feasibility};
 use rb_core::design::VendorDesign;
 use rb_core::vendors;
 
-use crate::exec::{run_attack, AttackRun};
+use crate::exec::{run_attack, run_attack_opts, AttackOpts, AttackRun};
 
 /// The outcome of the nine-attack battery against one vendor design.
 #[derive(Debug, Clone)]
@@ -59,6 +59,15 @@ impl VendorCampaign {
         ]
     }
 
+    /// The attacks whose run drew at least one defensive intervention
+    /// from the victim cloud. Empty for every undefended campaign.
+    pub fn mitigated_cells(&self) -> Vec<AttackId> {
+        AttackId::ALL
+            .into_iter()
+            .filter(|id| self.runs[id].mitigated())
+            .collect()
+    }
+
     /// Compares execution against the analyzer's prediction, returning a
     /// description of every disagreement (empty = they agree exactly).
     pub fn disagreements(&self) -> Vec<String> {
@@ -95,6 +104,29 @@ pub fn run_campaign(design: &VendorDesign, base_seed: u64) -> VendorCampaign {
     for (i, id) in AttackId::ALL.into_iter().enumerate() {
         let seed = base_seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
         runs.insert(id, run_attack(design, id, seed));
+    }
+    VendorCampaign {
+        design: design.clone(),
+        runs,
+        prediction: analyze(design),
+    }
+}
+
+/// Like [`run_campaign`], with shared environment options applied to
+/// every run — the defended-campaign entry point: pass
+/// `AttackOpts { defense: DefensePolicy::hardened(), .. }` to rerun the
+/// battery against a cloud that fights back. Note the analyzer prediction
+/// still describes the *undefended* design; [`VendorCampaign::disagreements`]
+/// is only meaningful for the default options.
+pub fn run_campaign_opts(
+    design: &VendorDesign,
+    base_seed: u64,
+    opts: &AttackOpts,
+) -> VendorCampaign {
+    let mut runs = BTreeMap::new();
+    for (i, id) in AttackId::ALL.into_iter().enumerate() {
+        let seed = base_seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
+        runs.insert(id, run_attack_opts(design, id, seed, opts));
     }
     VendorCampaign {
         design: design.clone(),

@@ -7,6 +7,7 @@
 //! effects), including the honesty rule that attacks requiring unknown
 //! device-message formats are reported `O` (unconfirmable), not guessed.
 
+use rb_cloud::DefensePolicy;
 use rb_core::attacks::{AttackId, Feasibility};
 use rb_core::design::{BindScheme, DeviceAuthScheme, FirmwareKnowledge, VendorDesign};
 use rb_core::shadow::ShadowState;
@@ -35,6 +36,10 @@ pub struct AttackRun {
     /// [`AttackOpts::capture`] was set. Feed it to `rb_forensics::classify`
     /// to reconstruct the attack from the trace alone.
     pub capture: Option<Box<Capture>>,
+    /// Defensive interventions (token rotations, quarantines, bind
+    /// rate-limits) the victim cloud recorded during this run. Always 0
+    /// under the default disabled [`AttackOpts::defense`] policy.
+    pub mitigations: u64,
 }
 
 impl AttackRun {
@@ -44,6 +49,7 @@ impl AttackRun {
             outcome: Feasibility::Feasible,
             evidence,
             capture: None,
+            mitigations: 0,
         }
     }
 
@@ -53,6 +59,7 @@ impl AttackRun {
             outcome: Feasibility::blocked(by),
             evidence,
             capture: None,
+            mitigations: 0,
         }
     }
 
@@ -62,7 +69,13 @@ impl AttackRun {
             outcome: Feasibility::unconfirmable(reason),
             evidence: Vec::new(),
             capture: None,
+            mitigations: 0,
         }
+    }
+
+    /// Whether the victim cloud's online defenses intervened.
+    pub fn mitigated(&self) -> bool {
+        self.mitigations > 0
     }
 }
 
@@ -81,6 +94,11 @@ pub struct AttackOpts {
     /// tracing and cloud forensic marks enabled, and the run returns the
     /// full trace + role map in [`AttackRun::capture`].
     pub capture: bool,
+    /// The victim cloud's active-response policy. The default is fully
+    /// disabled — the baseline Table III campaign attacks an undefended
+    /// cloud; `exp_defense` reruns the grid under `DefensePolicy::hardened()`
+    /// to measure detection and mitigation.
+    pub defense: DefensePolicy,
 }
 
 /// Runs one attack against one design. Dispatches to the specific
@@ -104,6 +122,7 @@ pub fn run_attack_opts(
     // a fully set-up home. Construction lives here — not in the
     // executors — so the forensic capture wraps the *whole* run.
     let paused = matches!(id, AttackId::A2 | AttackId::A4_2);
+    let mitigations_before = mitigation_total(&opts.telemetry);
     let mut world = build_world(design, seed, opts, paused);
     let mut run = match id {
         AttackId::A1 => run_a1(design, &mut world),
@@ -128,17 +147,35 @@ pub fn run_attack_opts(
     opts.telemetry.incr(&format!(
         "attack_outcomes_total{{id=\"{id}\",outcome=\"{outcome}\"}}"
     ));
+    // Mitigation accounting: the shared registry counts every defensive
+    // intervention; the delta over this run is this run's share.
+    run.mitigations = mitigation_total(&opts.telemetry).saturating_sub(mitigations_before);
+    if run.mitigations > 0 {
+        opts.telemetry
+            .incr(&format!("attack_mitigated_total{{id=\"{id}\"}}"));
+    }
     if opts.capture {
         run.capture = Some(Box::new(rb_scenario::capture(&world)));
     }
     run
 }
 
+/// The running sum of `cloud_mitigations_total{action=…}` in a registry.
+fn mitigation_total(telemetry: &Telemetry) -> u64 {
+    telemetry
+        .snapshot()
+        .counters()
+        .filter(|(name, _)| name.starts_with("cloud_mitigations_total"))
+        .map(|(_, v)| v)
+        .sum()
+}
+
 /// Builds the victim world with the run's environment options applied.
 fn build_world(design: &VendorDesign, seed: u64, opts: &AttackOpts, paused: bool) -> World {
     let mut builder = WorldBuilder::new(design.clone(), seed)
         .fault_plan(opts.fault_plan.clone())
-        .with_telemetry(opts.telemetry.clone());
+        .with_telemetry(opts.telemetry.clone())
+        .defense(opts.defense.clone());
     if paused {
         builder = builder.victim_paused();
     }
@@ -399,6 +436,7 @@ fn run_a2(design: &VendorDesign, world: &mut World) -> AttackRun {
                 outcome: f,
                 evidence,
                 capture: None,
+                mitigations: 0,
             }
         }
     };
@@ -522,6 +560,7 @@ fn run_a3_3(design: &VendorDesign, world: &mut World) -> AttackRun {
                 outcome: f,
                 evidence,
                 capture: None,
+                mitigations: 0,
             }
         }
     };
@@ -619,6 +658,7 @@ fn run_a4_1(design: &VendorDesign, world: &mut World) -> AttackRun {
                 outcome: f,
                 evidence,
                 capture: None,
+                mitigations: 0,
             }
         }
     };
@@ -640,6 +680,7 @@ fn run_a4_1(design: &VendorDesign, world: &mut World) -> AttackRun {
         outcome,
         evidence,
         capture: None,
+        mitigations: 0,
     }
 }
 
@@ -661,6 +702,7 @@ fn run_a4_2(design: &VendorDesign, world: &mut World) -> AttackRun {
             outcome: f,
             evidence,
             capture: None,
+            mitigations: 0,
         };
     }
 
@@ -708,6 +750,7 @@ fn run_a4_2(design: &VendorDesign, world: &mut World) -> AttackRun {
         outcome,
         evidence,
         capture: None,
+        mitigations: 0,
     }
 }
 
@@ -761,6 +804,7 @@ fn run_a4_3(design: &VendorDesign, world: &mut World) -> AttackRun {
                 outcome: f,
                 evidence,
                 capture: None,
+                mitigations: 0,
             }
         }
     };
@@ -788,5 +832,6 @@ fn run_a4_3(design: &VendorDesign, world: &mut World) -> AttackRun {
         outcome,
         evidence,
         capture: None,
+        mitigations: 0,
     }
 }

@@ -32,5 +32,5 @@ pub mod exec;
 pub mod idspace;
 
 pub use adversary::Adversary;
-pub use campaign::{run_campaign, run_reference_campaign, VendorCampaign};
+pub use campaign::{run_campaign, run_campaign_opts, run_reference_campaign, VendorCampaign};
 pub use exec::{run_attack, run_attack_opts, AttackOpts, AttackRun};

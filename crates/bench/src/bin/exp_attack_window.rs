@@ -123,7 +123,11 @@ fn main() {
                         .count();
                     let alerts =
                         telemetry.counter("cloud_alerts_total{kind=\"contested-binding\"}");
-                    results.lock().insert((wi, di), (wins, alerts));
+                    // Alert burst: the sliding-window rate of the monitor's
+                    // `cloud_alerts` series over one setup window — the
+                    // `Telemetry::rate` helper, not hand-divided totals.
+                    let burst = telemetry.rate("cloud_alerts", window.max(1));
+                    results.lock().insert((wi, di), (wins, alerts, burst));
                 });
             }
         }
@@ -136,7 +140,7 @@ fn main() {
     for (wi, &window) in windows.iter().enumerate() {
         let mut row = vec![format!("{} ms", window)];
         for di in 0..designs.len() {
-            let (wins, _) = results[&(wi, di)];
+            let (wins, _, _) = results[&(wi, di)];
             row.push(format!("{wins}/{seeds}"));
         }
         rows.push(row);
@@ -152,12 +156,13 @@ fn main() {
     for (wi, &window) in windows.iter().enumerate() {
         let mut row = vec![format!("{} ms", window)];
         for di in 0..designs.len() {
-            let (_, alerts) = results[&(wi, di)];
-            row.push(alerts.to_string());
+            let (_, alerts, burst) = results[&(wi, di)];
+            row.push(format!("{alerts} (burst {burst}/win)"));
         }
         alert_rows.push(row);
     }
-    println!("contested-binding alerts raised at the cloud during the race:");
+    println!("contested-binding alerts raised at the cloud during the race");
+    println!("(burst = alerts inside one sliding setup window at the hottest recent moment):");
     println!("{}", render_table(&headers, &alert_rows));
 
     println!("shape check (paper §V-E): the race wins reliably on the DevId+app-bind design once");

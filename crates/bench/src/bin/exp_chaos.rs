@@ -61,6 +61,10 @@ fn sweep(design: &VendorDesign, drop_per_mille: u16) -> Vec<String> {
     let converged = setups.as_ref().map_or(0, Histogram::count);
     let aborted = snap.counter("app_giveups_total");
     let retries = snap.counter("app_retries_total");
+    // Retry pressure: the sliding-window rate around the newest retry
+    // (same `Telemetry::rate` helper the online monitor's anomaly
+    // detectors use — no hand-rolled events-per-tick division).
+    let burst = telemetry.rate("app_retries", 10_000);
     let median = setups
         .as_ref()
         .and_then(|h| h.p50())
@@ -74,6 +78,7 @@ fn sweep(design: &VendorDesign, drop_per_mille: u16) -> Vec<String> {
         format!("{converged}/{}", SEEDS.len()),
         format!("{aborted}/{}", SEEDS.len()),
         retries.to_string(),
+        burst.to_string(),
         median,
         max,
     ]
@@ -99,6 +104,7 @@ fn main() {
                 "converged",
                 "clean aborts",
                 "app retries",
+                "retries/10k",
                 "median ticks",
                 "max ticks"
             ],

@@ -234,6 +234,51 @@ fn cmd_metrics(design: &VendorDesign, seed: u64, format: MetricsFormat) {
     }
 }
 
+fn cmd_monitor(design: &VendorDesign, seed: u64, json: bool) {
+    let run = rb_scenario::monitor_run(design, seed);
+    if json {
+        // Hand-rolled JSON (the workspace serde is a no-op stub). Alert
+        // and state lines are plain `key=value` text: no escaping needed.
+        let lines = |text: &str| {
+            text.lines()
+                .map(|l| format!("\"{l}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "{{\"vendor\":\"{}\",\"seed\":{seed},\"converged\":{},\"alerts\":[{}],\"state\":[{}]}}",
+            design.vendor,
+            run.converged,
+            lines(&run.alert_stream),
+            lines(&run.state),
+        );
+        return;
+    }
+    println!(
+        "monitor: {} (seed {seed}) — hardened policy vs the scripted WAN attacker\n",
+        design.vendor
+    );
+    println!("benign setup converged: {}\n", run.converged);
+    println!("alert stream:");
+    for line in run.alert_stream.lines() {
+        println!("  {line}");
+    }
+    println!("\n{}", run.state);
+    let snap = run.telemetry.snapshot();
+    let total = |prefix: &str| -> u64 {
+        snap.counters()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    println!(
+        "\n{} alert(s), {} intervention(s); full metrics: `rbsim metrics {} --prom`",
+        total("cloud_alerts_total"),
+        total("cloud_mitigations_total"),
+        design.vendor.to_lowercase().replace(' ', "-"),
+    );
+}
+
 /// Output format for `rbsim trace`.
 #[derive(Clone, Copy, PartialEq)]
 enum TraceFormat {
@@ -411,10 +456,11 @@ fn cmd_fuzz(design: &VendorDesign, cfg: &rb_fuzz::FuzzConfig, json: bool) {
             println!("no property violations found.");
         }
         for f in &report.findings {
-            let cell = f.cell.map_or_else(
-                || "unnamed composite".to_owned(),
-                |c| format!("Table III {c}"),
-            );
+            let cell = match (f.cell, f.composite) {
+                (Some(c), _) => format!("Table III {c}"),
+                (None, Some(name)) => format!("composite {name}"),
+                (None, None) => "unnamed composite".to_owned(),
+            };
             println!(
                 "  {:17} run {:3}, {} -> {} acts after {} shrink step(s) [{cell}]",
                 f.property.to_string(),
@@ -524,7 +570,7 @@ fn cmd_fleet(total_homes: usize, threads: usize, seeds: u64, chaos: bool) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rbsim <list|audit|lint|verify|fuzz|campaign|attack|metrics|trace|taxonomy|table3|space|fleet> [args]"
+        "usage: rbsim <list|audit|lint|verify|fuzz|campaign|attack|metrics|monitor|trace|taxonomy|table3|space|fleet> [args]"
     );
     eprintln!("  rbsim audit tp-link");
     eprintln!("  rbsim lint tp-link");
@@ -535,6 +581,7 @@ fn usage() -> ! {
     eprintln!("  rbsim campaign e-link 42");
     eprintln!("  rbsim attack tp-link A4-3");
     eprintln!("  rbsim metrics tp-link 7 --prom");
+    eprintln!("  rbsim monitor tp-link 7          # streaming monitor vs a scripted attacker");
     eprintln!("  rbsim trace tp-link 7 --chrome   # pipe to a file, load in Perfetto");
     eprintln!("  rbsim trace e-link --forensics   # reconstruct attacks from traces");
     eprintln!("  rbsim fleet 1000 --threads 8     # 10 vendors x 16 seeds, 1000 homes");
@@ -647,6 +694,25 @@ fn main() {
             }
             let design = require_design(vendor.as_deref(), "`rbsim list`");
             cmd_metrics(&design, seed, format);
+        }
+        Some("monitor") => {
+            let mut json = false;
+            let mut seed = 7u64;
+            let mut vendor = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    other => {
+                        if let Ok(s) = other.parse() {
+                            seed = s;
+                        } else {
+                            vendor = Some(other.to_owned());
+                        }
+                    }
+                }
+            }
+            let design = require_design(vendor.as_deref(), "`rbsim list`");
+            cmd_monitor(&design, seed, json);
         }
         Some("trace") => {
             let mut format = TraceFormat::Timeline;

@@ -36,5 +36,5 @@ pub mod service;
 pub mod sharded;
 pub mod state;
 
-pub use monitor::{Monitor, SecurityAlert};
+pub use monitor::{DefensePolicy, Monitor, SecurityAlert};
 pub use service::{CloudConfig, CloudService, Outcome, RateLimit};

@@ -1,17 +1,36 @@
-//! Runtime security monitoring.
+//! Streaming runtime security monitoring and active defense.
 //!
 //! The paper's attacks succeed *silently*: nothing in the studied clouds
 //! notices a foreign unbind, a replaced binding, or an ID-space sweep. This
-//! module is the defensive counterpart — a passive monitor inside the cloud
-//! that raises [`SecurityAlert`]s on exactly the signatures the attack
-//! engine produces, so the detection experiment can measure which Table III
-//! attacks each design *could have noticed* without any protocol change.
+//! module is the defensive counterpart — an **online** monitor inside the
+//! cloud, fed by the service handlers on every request and shadow
+//! transition as the world runs (no post-hoc trace scans). It keeps
+//! per-source / per-device sliding-window state, raises typed
+//! [`SecurityAlert`]s onto a tick-stamped alert log, measures detection
+//! latency in simulation ticks, and publishes every alert onto the
+//! [`rb_telemetry`] streaming bus for outside subscribers (`rbsim
+//! monitor`, the defense bench).
+//!
+//! Detection alone is the passive half. The active half is a per-vendor
+//! [`DefensePolicy`]: the service drains newly raised alerts after every
+//! request and responds with binding-token rotation, bind rate-limiting,
+//! or quarantine of suspect devices — each response leaving a FAULT-style
+//! `defense …` mark in the causal trace so `rb-forensics` can classify
+//! mitigated outcomes. With the default (disabled) policy the monitor is
+//! purely observational and the service behaves byte-identically to a
+//! world without it.
+//!
+//! Everything in here is deterministic: state is a pure function of the
+//! observation sequence, and the rendered alert stream / state summary are
+//! byte-stable across runs and thread counts.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
 
+use crate::service::RateLimit;
 use rb_netsim::{NodeId, Telemetry, Tick};
 use rb_wire::ids::DevId;
-use rb_wire::tokens::UserId;
+use rb_wire::tokens::{SessionToken, UserId};
 
 /// A security-relevant anomaly observed by the cloud.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,7 +75,8 @@ pub enum SecurityAlert {
         new_ip: u32,
     },
     /// One source touched many distinct device IDs (the enumeration /
-    /// scalable-DoS signature of §V-C).
+    /// scalable-DoS signature of §V-C), either in total or as a burst
+    /// inside the sliding window.
     EnumerationSuspected {
         /// The probing source.
         source: NodeId,
@@ -88,6 +108,26 @@ pub enum SecurityAlert {
         /// Public IP of the bind request.
         from_ip: u32,
     },
+    /// A status-family request from an IP never co-located with the device
+    /// dropped its binding — a shadow transition the legitimate household
+    /// cannot have caused (the register-reset A3-4 signature seen online).
+    ImpossibleTransition {
+        /// The affected device.
+        dev_id: DevId,
+        /// Public IP the resetting request came from.
+        from_ip: u32,
+        /// The device's last co-located public IP.
+        known_ip: u32,
+    },
+    /// A retired binding-session token was presented again from an IP that
+    /// is not the device's own — replay of a stale credential after an
+    /// unbind, reset, or defensive rotation.
+    StaleTokenReplay {
+        /// The affected device.
+        dev_id: DevId,
+        /// Public IP the replay came from.
+        from_ip: u32,
+    },
 }
 
 impl SecurityAlert {
@@ -101,46 +141,196 @@ impl SecurityAlert {
             SecurityAlert::EnumerationSuspected { .. } => "enumeration",
             SecurityAlert::ContestedBinding { .. } => "contested-binding",
             SecurityAlert::RemoteOnlyBind { .. } => "remote-only-bind",
+            SecurityAlert::ImpossibleTransition { .. } => "impossible-transition",
+            SecurityAlert::StaleTokenReplay { .. } => "stale-token-replay",
+        }
+    }
+
+    /// One deterministic line describing the alert: `kind key=value …`.
+    /// This is the byte-stable body published onto the streaming bus and
+    /// rendered into the alert stream.
+    pub fn describe(&self) -> String {
+        match self {
+            SecurityAlert::ForeignUnbind {
+                dev_id,
+                victim,
+                requester,
+            } => format!("foreign-unbind dev={dev_id} victim={victim} requester={requester}"),
+            SecurityAlert::BareUnbind { dev_id, from_ip } => {
+                format!("bare-unbind dev={dev_id} from_ip={from_ip}")
+            }
+            SecurityAlert::BindingReplaced {
+                dev_id,
+                victim,
+                new_holder,
+            } => format!("binding-replaced dev={dev_id} victim={victim} new_holder={new_holder}"),
+            SecurityAlert::SessionMoved {
+                dev_id,
+                old_ip,
+                new_ip,
+            } => format!("session-moved dev={dev_id} old_ip={old_ip} new_ip={new_ip}"),
+            SecurityAlert::EnumerationSuspected {
+                source,
+                distinct_ids,
+            } => format!("enumeration source={source} distinct_ids={distinct_ids}"),
+            SecurityAlert::ContestedBinding {
+                dev_id,
+                holder,
+                challenger,
+                denials,
+            } => format!(
+                "contested-binding dev={dev_id} holder={holder} challenger={challenger} denials={denials}"
+            ),
+            SecurityAlert::RemoteOnlyBind {
+                dev_id,
+                holder,
+                from_ip,
+            } => format!("remote-only-bind dev={dev_id} holder={holder} from_ip={from_ip}"),
+            SecurityAlert::ImpossibleTransition {
+                dev_id,
+                from_ip,
+                known_ip,
+            } => format!("impossible-transition dev={dev_id} from_ip={from_ip} known_ip={known_ip}"),
+            SecurityAlert::StaleTokenReplay { dev_id, from_ip } => {
+                format!("stale-token-replay dev={dev_id} from_ip={from_ip}")
+            }
+        }
+    }
+
+    /// The device the alert concerns, when it concerns exactly one.
+    pub fn dev_id(&self) -> Option<&DevId> {
+        match self {
+            SecurityAlert::ForeignUnbind { dev_id, .. }
+            | SecurityAlert::BareUnbind { dev_id, .. }
+            | SecurityAlert::BindingReplaced { dev_id, .. }
+            | SecurityAlert::SessionMoved { dev_id, .. }
+            | SecurityAlert::ContestedBinding { dev_id, .. }
+            | SecurityAlert::RemoteOnlyBind { dev_id, .. }
+            | SecurityAlert::ImpossibleTransition { dev_id, .. }
+            | SecurityAlert::StaleTokenReplay { dev_id, .. } => Some(dev_id),
+            SecurityAlert::EnumerationSuspected { .. } => None,
         }
     }
 }
 
-/// The passive monitor: fed observations by the service handlers, keeps
-/// bounded per-source statistics, and accumulates alerts.
+/// Per-vendor active-response knobs. The default policy is fully disabled:
+/// the monitor observes and alerts but the service never intervenes, so
+/// Table III outcomes and every pinned golden are unchanged unless a world
+/// opts in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefensePolicy {
+    /// Rotate the binding-session token when a takeover-shaped alert
+    /// (binding-replaced, session-moved, stale-token-replay) names a bound
+    /// device, invalidating any stolen session.
+    pub rotate_tokens: bool,
+    /// Sliding-window rate limit applied to `Bind` requests per source
+    /// node (on top of any vendor-wide [`RateLimit`]); throttles bind
+    /// races and re-bind storms.
+    pub bind_limit: Option<RateLimit>,
+    /// Quarantine window in ticks. When an occupation-shaped alert
+    /// (contested-binding, remote-only-bind, impossible-transition,
+    /// bare-unbind, foreign-unbind, binding-replaced) names a device, a
+    /// remotely held binding is revoked and non-co-located binds are
+    /// denied until the window expires. `0` disables quarantine.
+    pub quarantine_ticks: u64,
+}
+
+impl DefensePolicy {
+    /// The fully disabled policy (same as `Default`).
+    pub fn disabled() -> Self {
+        DefensePolicy::default()
+    }
+
+    /// Every response enabled with the reference knobs used by the defense
+    /// experiments: rotation on, 6 binds per 10 000-tick window per
+    /// source, 30 000-tick quarantine.
+    pub fn hardened() -> Self {
+        DefensePolicy {
+            rotate_tokens: true,
+            bind_limit: Some(RateLimit {
+                window: 10_000,
+                max: 6,
+            }),
+            quarantine_ticks: 30_000,
+        }
+    }
+
+    /// Whether any response is switched on.
+    pub fn is_enabled(&self) -> bool {
+        self.rotate_tokens || self.bind_limit.is_some() || self.quarantine_ticks > 0
+    }
+}
+
+/// The streaming monitor: fed observations by the service handlers as the
+/// world runs, keeps bounded per-source sliding-window statistics, and
+/// accumulates a tick-stamped alert log.
 #[derive(Debug)]
 pub struct Monitor {
-    /// Raised alerts, in order.
+    /// Actionable alert queue (drained by [`Monitor::take_alerts`]).
     alerts: Vec<SecurityAlert>,
+    /// The cumulative tick-stamped alert log, in raise order. Never
+    /// drained; this is the byte-stable alert stream.
+    log: Vec<(Tick, SecurityAlert)>,
+    /// Position in `log` up to which defenses have already reacted.
+    defense_cursor: usize,
     /// Distinct device IDs touched per source.
     touched: HashMap<NodeId, HashSet<DevId>>,
+    /// Ticks at which each source first touched a *new* device ID, in
+    /// observation order (the enumeration sliding window).
+    first_touch: HashMap<NodeId, Vec<u64>>,
     /// Sources already flagged for enumeration (flag once).
     flagged: HashSet<NodeId>,
     /// Device public IPs observed from device sessions.
     device_ips: HashMap<DevId, u32>,
     /// AlreadyBound denials per (device, challenger).
     contested: HashMap<(DevId, UserId), u32>,
+    /// Tick of the first denial per contested pair (latency evidence).
+    contested_first: HashMap<(DevId, UserId), Tick>,
     /// Contested pairs already flagged.
     contested_flagged: HashSet<(DevId, UserId)>,
+    /// Retired binding-session tokens and their retirement tick.
+    retired: HashMap<(DevId, SessionToken), Tick>,
+    /// Replayed retired tokens already flagged (flag once per token).
+    replay_flagged: HashSet<(DevId, SessionToken)>,
+    /// Quarantined devices and the tick their quarantine expires.
+    quarantined: HashMap<DevId, Tick>,
     /// Threshold of distinct IDs per source before flagging.
     pub enumeration_threshold: usize,
+    /// Distinct *new* IDs inside [`Monitor::enumeration_window`] before
+    /// flagging (the burst detector; same flag-once as the total).
+    pub enumeration_rate_threshold: usize,
+    /// Sliding-window length in ticks for the enumeration burst detector.
+    pub enumeration_window: u64,
     /// AlreadyBound denials per (device, challenger) before flagging.
     pub contested_threshold: u32,
     /// Metrics sink: every raised alert also bumps
-    /// `cloud_alerts_total{kind="…"}`.
+    /// `cloud_alerts_total{kind="…"}`, feeds the
+    /// `monitor_detection_latency_ticks{kind="…"}` histogram, records the
+    /// `cloud_alerts` rate series, and publishes onto the streaming bus.
     telemetry: Telemetry,
 }
 
 impl Monitor {
-    /// A monitor with the default enumeration threshold (8 distinct IDs).
+    /// A monitor with the default thresholds (8 distinct IDs in total or
+    /// per 10 000-tick window, 3 denials).
     pub fn new() -> Self {
         Monitor {
             alerts: Vec::new(),
+            log: Vec::new(),
+            defense_cursor: 0,
             touched: HashMap::new(),
+            first_touch: HashMap::new(),
             flagged: HashSet::new(),
             device_ips: HashMap::new(),
             contested: HashMap::new(),
+            contested_first: HashMap::new(),
             contested_flagged: HashSet::new(),
+            retired: HashMap::new(),
+            replay_flagged: HashSet::new(),
+            quarantined: HashMap::new(),
             enumeration_threshold: 8,
+            enumeration_rate_threshold: 8,
+            enumeration_window: 10_000,
             contested_threshold: 3,
             telemetry: Telemetry::new(),
         }
@@ -152,51 +342,145 @@ impl Monitor {
         self.telemetry = telemetry;
     }
 
-    /// All alerts raised so far.
+    /// All alerts raised so far and not yet taken.
     pub fn alerts(&self) -> &[SecurityAlert] {
         &self.alerts
     }
 
-    /// Alerts of one kind.
-    pub fn count(&self, kind: &str) -> usize {
-        self.alerts.iter().filter(|a| a.kind() == kind).count()
+    /// The cumulative tick-stamped alert log (never drained).
+    pub fn alert_log(&self) -> &[(Tick, SecurityAlert)] {
+        &self.log
     }
 
-    /// Drains the alert list.
+    /// Alerts of one kind over the whole run (counted on the log, so
+    /// [`Monitor::take_alerts`] does not reset it).
+    pub fn count(&self, kind: &str) -> usize {
+        self.log.iter().filter(|(_, a)| a.kind() == kind).count()
+    }
+
+    /// Drains the actionable alert queue.
     pub fn take_alerts(&mut self) -> Vec<SecurityAlert> {
         std::mem::take(&mut self.alerts)
     }
 
-    pub(crate) fn raise(&mut self, alert: SecurityAlert) {
-        self.telemetry
-            .incr(&format!("cloud_alerts_total{{kind=\"{}\"}}", alert.kind()));
+    /// The byte-stable rendering of the alert stream: one
+    /// `t=<tick> <kind> <detail>` line per alert, in raise order. The
+    /// thread-count determinism gates diff this exact string.
+    pub fn render_alert_stream(&self) -> String {
+        let mut out = String::new();
+        for (at, alert) in &self.log {
+            let _ = writeln!(out, "t={} {}", at.as_u64(), alert.describe());
+        }
+        out
+    }
+
+    /// A deterministic summary of the monitor's internal state: alert
+    /// totals per kind plus the sizes of every tracking table, rendered in
+    /// sorted order. Byte-identical across runs and thread counts.
+    pub fn render_state(&self) -> String {
+        let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (_, alert) in &self.log {
+            *kinds.entry(alert.kind()).or_default() += 1;
+        }
+        let mut out = String::from("monitor-state\n");
+        for (kind, n) in kinds {
+            let _ = writeln!(out, "  alerts {kind}={n}");
+        }
+        let _ = writeln!(out, "  sources_tracked={}", self.touched.len());
+        let _ = writeln!(out, "  sources_flagged={}", self.flagged.len());
+        let _ = writeln!(out, "  device_ips={}", self.device_ips.len());
+        let _ = writeln!(out, "  contested_pairs={}", self.contested.len());
+        let _ = writeln!(out, "  retired_tokens={}", self.retired.len());
+        let mut quarantined: Vec<String> = self
+            .quarantined
+            .iter()
+            .map(|(dev, until)| format!("{dev}:{}", until.as_u64()))
+            .collect();
+        quarantined.sort_unstable();
+        let _ = writeln!(out, "  quarantined=[{}]", quarantined.join(", "));
+        out
+    }
+
+    /// Raises `alert` at `now` with detection evidence dating back to
+    /// `evidence_at`: bumps the per-kind counter, feeds the detection
+    /// latency histogram, records the `cloud_alerts` rate series, and
+    /// publishes the alert onto the streaming bus.
+    pub(crate) fn raise_with_evidence(
+        &mut self,
+        now: Tick,
+        evidence_at: Tick,
+        alert: SecurityAlert,
+    ) {
+        let kind = alert.kind();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .incr(&format!("cloud_alerts_total{{kind=\"{kind}\"}}"));
+            self.telemetry.observe(
+                &format!("monitor_detection_latency_ticks{{kind=\"{kind}\"}}"),
+                now.as_u64().saturating_sub(evidence_at.as_u64()),
+            );
+            self.telemetry.rate_event("cloud_alerts", now.as_u64());
+            self.telemetry
+                .publish(now.as_u64(), "alert", &alert.describe());
+        }
+        self.log.push((now, alert.clone()));
         self.alerts.push(alert);
     }
 
+    /// Raises an alert whose evidence is the raising observation itself
+    /// (zero detection latency).
+    pub(crate) fn raise(&mut self, now: Tick, alert: SecurityAlert) {
+        self.raise_with_evidence(now, now, alert);
+    }
+
     /// Records that `source` addressed `dev_id`; raises the enumeration
-    /// alert when the per-source distinct-ID count crosses the threshold.
-    pub(crate) fn observe_target(&mut self, source: NodeId, dev_id: &DevId, _now: Tick) {
+    /// alert when the per-source distinct-ID count crosses the absolute
+    /// threshold *or* the count of new IDs inside the sliding window
+    /// crosses the rate threshold.
+    pub(crate) fn observe_target(&mut self, source: NodeId, dev_id: &DevId, now: Tick) {
         let set = self.touched.entry(source).or_default();
-        set.insert(dev_id.clone());
-        if set.len() >= self.enumeration_threshold && self.flagged.insert(source) {
-            let distinct_ids = self.touched.get(&source).map_or(0, |s| s.len());
-            self.raise(SecurityAlert::EnumerationSuspected {
-                source,
-                distinct_ids,
-            });
+        if !set.insert(dev_id.clone()) {
+            return;
+        }
+        let ticks = self.first_touch.entry(source).or_default();
+        ticks.push(now.as_u64());
+        let window_start = now.as_u64().saturating_sub(self.enumeration_window);
+        let in_window = ticks.partition_point(|&t| t <= window_start);
+        let windowed = ticks.len() - in_window;
+        let total = self.touched.get(&source).map_or(0, HashSet::len);
+        let hit_total = total >= self.enumeration_threshold;
+        let hit_window = windowed >= self.enumeration_rate_threshold;
+        if (hit_total || hit_window) && self.flagged.insert(source) {
+            let ticks = self.first_touch.get(&source).cloned().unwrap_or_default();
+            let evidence = if hit_window {
+                ticks.get(in_window).copied().unwrap_or(now.as_u64())
+            } else {
+                ticks.first().copied().unwrap_or(now.as_u64())
+            };
+            self.raise_with_evidence(
+                now,
+                Tick(evidence),
+                SecurityAlert::EnumerationSuspected {
+                    source,
+                    distinct_ids: total,
+                },
+            );
         }
     }
 
     /// Records the public IP a device session spoke from; raises
     /// [`SecurityAlert::SessionMoved`] on change.
-    pub(crate) fn observe_device_ip(&mut self, dev_id: &DevId, ip: u32) {
+    pub(crate) fn observe_device_ip(&mut self, dev_id: &DevId, ip: u32, now: Tick) {
         match self.device_ips.insert(dev_id.clone(), ip) {
             Some(old_ip) if old_ip != ip => {
-                self.raise(SecurityAlert::SessionMoved {
-                    dev_id: dev_id.clone(),
-                    old_ip,
-                    new_ip: ip,
-                });
+                self.raise(
+                    now,
+                    SecurityAlert::SessionMoved {
+                        dev_id: dev_id.clone(),
+                        old_ip,
+                        new_ip: ip,
+                    },
+                );
             }
             _ => {}
         }
@@ -208,25 +492,112 @@ impl Monitor {
     }
 
     /// Records an `AlreadyBound` denial of `challenger` for a device held
-    /// by `holder`; flags the pair once the threshold is crossed.
+    /// by `holder`; flags the pair once the threshold is crossed. Latency
+    /// is measured from the pair's first denial.
     pub(crate) fn observe_bind_denial(
         &mut self,
         dev_id: &DevId,
         holder: &UserId,
         challenger: &UserId,
+        now: Tick,
     ) {
         let key = (dev_id.clone(), challenger.clone());
+        self.contested_first.entry(key.clone()).or_insert(now);
         let n = self.contested.entry(key.clone()).or_default();
         *n += 1;
         let denials = *n;
-        if denials >= self.contested_threshold && self.contested_flagged.insert(key) {
-            self.raise(SecurityAlert::ContestedBinding {
-                dev_id: dev_id.clone(),
-                holder: holder.clone(),
-                challenger: challenger.clone(),
-                denials,
-            });
+        if denials >= self.contested_threshold && self.contested_flagged.insert(key.clone()) {
+            let evidence = self.contested_first.get(&key).copied().unwrap_or(now);
+            self.raise_with_evidence(
+                now,
+                evidence,
+                SecurityAlert::ContestedBinding {
+                    dev_id: dev_id.clone(),
+                    holder: holder.clone(),
+                    challenger: challenger.clone(),
+                    denials,
+                },
+            );
         }
+    }
+
+    /// A status-family request from `from_ip` dropped the device's
+    /// binding; raises [`SecurityAlert::ImpossibleTransition`] when the
+    /// device is known to live at a different public IP.
+    pub(crate) fn observe_binding_drop(&mut self, dev_id: &DevId, from_ip: u32, now: Tick) {
+        if let Some(known_ip) = self.device_ip(dev_id) {
+            if known_ip != from_ip {
+                self.raise(
+                    now,
+                    SecurityAlert::ImpossibleTransition {
+                        dev_id: dev_id.clone(),
+                        from_ip,
+                        known_ip,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Marks a binding-session token as retired (unbind, reset, or
+    /// defensive rotation). A later presentation of the token from a
+    /// non-device IP is a stale-token replay.
+    pub(crate) fn retire_token(&mut self, dev_id: &DevId, token: SessionToken, now: Tick) {
+        self.retired.entry((dev_id.clone(), token)).or_insert(now);
+    }
+
+    /// Observes a presented binding-session token; raises
+    /// [`SecurityAlert::StaleTokenReplay`] (once per token) when the token
+    /// was retired and the presenter is not at the device's own IP.
+    /// Latency is measured from the retirement tick.
+    pub(crate) fn observe_presented_token(
+        &mut self,
+        dev_id: &DevId,
+        token: SessionToken,
+        from_ip: u32,
+        now: Tick,
+    ) {
+        let key = (dev_id.clone(), token);
+        let Some(&retired_at) = self.retired.get(&key) else {
+            return;
+        };
+        if self.device_ip(dev_id) == Some(from_ip) {
+            return;
+        }
+        if self.replay_flagged.insert(key) {
+            self.raise_with_evidence(
+                now,
+                retired_at,
+                SecurityAlert::StaleTokenReplay {
+                    dev_id: dev_id.clone(),
+                    from_ip,
+                },
+            );
+        }
+    }
+
+    /// Places `dev_id` under quarantine until `until`.
+    pub(crate) fn quarantine(&mut self, dev_id: &DevId, until: Tick) {
+        let slot = self.quarantined.entry(dev_id.clone()).or_insert(until);
+        if *slot < until {
+            *slot = until;
+        }
+    }
+
+    /// Whether `dev_id` is under quarantine at `now`.
+    pub(crate) fn is_quarantined(&self, dev_id: &DevId, now: Tick) -> bool {
+        self.quarantined
+            .get(dev_id)
+            .is_some_and(|&until| now < until)
+    }
+
+    /// The alerts raised since the last defense reaction, advancing the
+    /// defense cursor past them. The service calls this after every
+    /// handled request to drive the active responses.
+    pub(crate) fn drain_defense_alerts(&mut self) -> Vec<(Tick, SecurityAlert)> {
+        let fresh = self.log[self.defense_cursor..].to_vec();
+        self.defense_cursor = self.log.len();
+        fresh
     }
 }
 
@@ -259,25 +630,120 @@ mod tests {
     }
 
     #[test]
+    fn enumeration_burst_flags_inside_the_window() {
+        let mut m = Monitor::new();
+        // Absolute threshold far away; the burst detector must fire alone.
+        m.enumeration_threshold = 100;
+        m.enumeration_rate_threshold = 3;
+        m.enumeration_window = 1_000;
+        // Two touches long ago, outside the eventual window.
+        m.observe_target(NodeId(9), &id(1), Tick(10));
+        m.observe_target(NodeId(9), &id(2), Tick(20));
+        assert_eq!(m.count("enumeration"), 0);
+        // Three fresh IDs inside one window: flag.
+        m.observe_target(NodeId(9), &id(3), Tick(5_000));
+        m.observe_target(NodeId(9), &id(4), Tick(5_100));
+        assert_eq!(m.count("enumeration"), 0, "two in window is below 3");
+        m.observe_target(NodeId(9), &id(5), Tick(5_200));
+        assert_eq!(m.count("enumeration"), 1);
+        // Re-touching known IDs never re-flags.
+        m.observe_target(NodeId(9), &id(6), Tick(5_300));
+        assert_eq!(m.count("enumeration"), 1);
+    }
+
+    #[test]
+    fn enumeration_latency_measures_from_the_window_start() {
+        let tele = Telemetry::new();
+        let mut m = Monitor::new();
+        m.set_telemetry(tele.clone());
+        m.enumeration_threshold = 100;
+        m.enumeration_rate_threshold = 3;
+        m.enumeration_window = 1_000;
+        m.observe_target(NodeId(9), &id(1), Tick(5_000));
+        m.observe_target(NodeId(9), &id(2), Tick(5_100));
+        m.observe_target(NodeId(9), &id(3), Tick(5_250));
+        let snap = tele.snapshot();
+        let hist = snap
+            .histogram("monitor_detection_latency_ticks{kind=\"enumeration\"}")
+            .expect("latency histogram");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 250, "evidence = first touch in the window");
+    }
+
+    #[test]
     fn session_move_detected_only_on_change() {
         let mut m = Monitor::new();
-        m.observe_device_ip(&id(1), 100);
-        m.observe_device_ip(&id(1), 100);
+        m.observe_device_ip(&id(1), 100, Tick(1));
+        m.observe_device_ip(&id(1), 100, Tick(2));
         assert_eq!(m.count("session-moved"), 0);
-        m.observe_device_ip(&id(1), 200);
+        m.observe_device_ip(&id(1), 200, Tick(3));
         assert_eq!(m.count("session-moved"), 1);
         assert_eq!(m.device_ip(&id(1)), Some(200));
     }
 
     #[test]
-    fn take_alerts_drains() {
+    fn impossible_transition_requires_a_foreign_ip() {
         let mut m = Monitor::new();
-        m.raise(SecurityAlert::BareUnbind {
-            dev_id: id(1),
-            from_ip: 5,
-        });
+        // Unknown device IP: no basis for impossibility.
+        m.observe_binding_drop(&id(1), 9_999, Tick(5));
+        assert_eq!(m.count("impossible-transition"), 0);
+        m.observe_device_ip(&id(1), 1_000, Tick(6));
+        // Same IP as the device (the benign household reset): silent.
+        m.observe_binding_drop(&id(1), 1_000, Tick(7));
+        assert_eq!(m.count("impossible-transition"), 0);
+        // Foreign IP: alert.
+        m.observe_binding_drop(&id(1), 9_999, Tick(8));
+        assert_eq!(m.count("impossible-transition"), 1);
+    }
+
+    #[test]
+    fn stale_token_replay_flags_foreign_presentations_once() {
+        let mut m = Monitor::new();
+        let token = SessionToken::from_entropy(42);
+        m.observe_device_ip(&id(1), 1_000, Tick(1));
+        // Live token: nothing to flag.
+        m.observe_presented_token(&id(1), token, 9_999, Tick(2));
+        assert_eq!(m.count("stale-token-replay"), 0);
+        m.retire_token(&id(1), token, Tick(10));
+        // The honest device still heartbeating its stale token from its
+        // own IP is desync, not an attack.
+        m.observe_presented_token(&id(1), token, 1_000, Tick(20));
+        assert_eq!(m.count("stale-token-replay"), 0);
+        // A foreign replay flags, exactly once.
+        m.observe_presented_token(&id(1), token, 9_999, Tick(30));
+        m.observe_presented_token(&id(1), token, 9_999, Tick(40));
+        assert_eq!(m.count("stale-token-replay"), 1);
+    }
+
+    #[test]
+    fn stale_token_latency_measures_from_retirement() {
+        let tele = Telemetry::new();
+        let mut m = Monitor::new();
+        m.set_telemetry(tele.clone());
+        let token = SessionToken::from_entropy(7);
+        m.retire_token(&id(1), token, Tick(100));
+        m.observe_presented_token(&id(1), token, 9_999, Tick(350));
+        let snap = tele.snapshot();
+        let hist = snap
+            .histogram("monitor_detection_latency_ticks{kind=\"stale-token-replay\"}")
+            .expect("latency histogram");
+        assert_eq!((hist.count(), hist.sum()), (1, 250));
+    }
+
+    #[test]
+    fn take_alerts_drains_the_queue_not_the_log() {
+        let mut m = Monitor::new();
+        m.raise(
+            Tick(3),
+            SecurityAlert::BareUnbind {
+                dev_id: id(1),
+                from_ip: 5,
+            },
+        );
         assert_eq!(m.take_alerts().len(), 1);
         assert!(m.alerts().is_empty());
+        assert_eq!(m.alert_log().len(), 1, "the log is cumulative");
+        assert_eq!(m.count("bare-unbind"), 1);
     }
 
     #[test]
@@ -341,9 +807,29 @@ mod tests {
                 },
                 "remote-only-bind",
             ),
+            (
+                SecurityAlert::ImpossibleTransition {
+                    dev_id: id(1),
+                    from_ip: 9,
+                    known_ip: 1,
+                },
+                "impossible-transition",
+            ),
+            (
+                SecurityAlert::StaleTokenReplay {
+                    dev_id: id(1),
+                    from_ip: 9,
+                },
+                "stale-token-replay",
+            ),
         ];
         for (alert, kind) in cases {
             assert_eq!(alert.kind(), kind);
+            assert!(
+                alert.describe().starts_with(kind),
+                "describe() leads with the kind: {}",
+                alert.describe()
+            );
         }
     }
 
@@ -354,19 +840,37 @@ mod tests {
         let holder = UserId::new("owner");
         let mallory = UserId::new("mallory");
         for _ in 0..2 {
-            m.observe_bind_denial(&id(1), &holder, &mallory);
+            m.observe_bind_denial(&id(1), &holder, &mallory, Tick(10));
         }
         assert_eq!(m.count("contested-binding"), 0, "below threshold");
         for _ in 0..3 {
-            m.observe_bind_denial(&id(1), &holder, &mallory);
+            m.observe_bind_denial(&id(1), &holder, &mallory, Tick(20));
         }
         assert_eq!(m.count("contested-binding"), 1, "flagged exactly once");
         // A different challenger on the same device gets its own counter.
         let eve = UserId::new("eve");
         for _ in 0..3 {
-            m.observe_bind_denial(&id(1), &holder, &eve);
+            m.observe_bind_denial(&id(1), &holder, &eve, Tick(30));
         }
         assert_eq!(m.count("contested-binding"), 2);
+    }
+
+    #[test]
+    fn contested_latency_measures_from_the_first_denial() {
+        let tele = Telemetry::new();
+        let mut m = Monitor::new();
+        m.set_telemetry(tele.clone());
+        m.contested_threshold = 3;
+        let holder = UserId::new("owner");
+        let mallory = UserId::new("mallory");
+        m.observe_bind_denial(&id(1), &holder, &mallory, Tick(100));
+        m.observe_bind_denial(&id(1), &holder, &mallory, Tick(200));
+        m.observe_bind_denial(&id(1), &holder, &mallory, Tick(450));
+        let snap = tele.snapshot();
+        let hist = snap
+            .histogram("monitor_detection_latency_ticks{kind=\"contested-binding\"}")
+            .expect("latency histogram");
+        assert_eq!((hist.count(), hist.sum()), (1, 350));
     }
 
     #[test]
@@ -374,19 +878,28 @@ mod tests {
         let tele = Telemetry::new();
         let mut m = Monitor::new();
         m.set_telemetry(tele.clone());
-        m.raise(SecurityAlert::BareUnbind {
-            dev_id: id(1),
-            from_ip: 5,
-        });
-        m.raise(SecurityAlert::BareUnbind {
-            dev_id: id(2),
-            from_ip: 5,
-        });
-        m.raise(SecurityAlert::ForeignUnbind {
-            dev_id: id(1),
-            victim: UserId::new("v"),
-            requester: UserId::new("a"),
-        });
+        m.raise(
+            Tick(1),
+            SecurityAlert::BareUnbind {
+                dev_id: id(1),
+                from_ip: 5,
+            },
+        );
+        m.raise(
+            Tick(2),
+            SecurityAlert::BareUnbind {
+                dev_id: id(2),
+                from_ip: 5,
+            },
+        );
+        m.raise(
+            Tick(3),
+            SecurityAlert::ForeignUnbind {
+                dev_id: id(1),
+                victim: UserId::new("v"),
+                requester: UserId::new("a"),
+            },
+        );
         assert_eq!(tele.counter("cloud_alerts_total{kind=\"bare-unbind\"}"), 2);
         assert_eq!(
             tele.counter("cloud_alerts_total{kind=\"foreign-unbind\"}"),
@@ -397,6 +910,12 @@ mod tests {
         let drained = m.take_alerts();
         assert_eq!(drained.len(), 3);
         assert_eq!(tele.counter("cloud_alerts_total{kind=\"bare-unbind\"}"), 2);
+        // Every raise also lands on the streaming bus and the rate series.
+        let (_, events) = tele.events_since(0);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].topic, "alert");
+        assert!(events[0].body.starts_with("bare-unbind"));
+        assert_eq!(tele.rate("cloud_alerts", 10), 3);
     }
 
     #[test]
@@ -408,11 +927,81 @@ mod tests {
         m.observe_target(NodeId(9), &id(1), Tick(1));
         m.observe_target(NodeId(9), &id(2), Tick(1));
         assert_eq!(tele.counter("cloud_alerts_total{kind=\"enumeration\"}"), 1);
-        m.observe_device_ip(&id(1), 100);
-        m.observe_device_ip(&id(1), 200);
+        m.observe_device_ip(&id(1), 100, Tick(2));
+        m.observe_device_ip(&id(1), 200, Tick(3));
         assert_eq!(
             tele.counter("cloud_alerts_total{kind=\"session-moved\"}"),
             1
         );
+    }
+
+    #[test]
+    fn alert_stream_and_state_render_deterministically() {
+        let run = || {
+            let mut m = Monitor::new();
+            m.observe_device_ip(&id(1), 100, Tick(5));
+            m.observe_device_ip(&id(1), 9_999, Tick(40));
+            m.quarantine(&id(1), Tick(500));
+            m.quarantine(&id(2), Tick(300));
+            (m.render_alert_stream(), m.render_state())
+        };
+        let (stream, state) = run();
+        assert_eq!((stream.clone(), state.clone()), run());
+        assert!(
+            stream.contains("t=40 session-moved dev="),
+            "stream lines are tick-stamped: {stream}"
+        );
+        assert!(state.contains("alerts session-moved=1"), "{state}");
+        assert!(state.contains("quarantined=["), "{state}");
+    }
+
+    #[test]
+    fn quarantine_expires_and_extends() {
+        let mut m = Monitor::new();
+        m.quarantine(&id(1), Tick(100));
+        assert!(m.is_quarantined(&id(1), Tick(50)));
+        assert!(!m.is_quarantined(&id(1), Tick(100)), "until is exclusive");
+        assert!(!m.is_quarantined(&id(2), Tick(50)));
+        // Extension keeps the later deadline; shrinking is ignored.
+        m.quarantine(&id(1), Tick(200));
+        m.quarantine(&id(1), Tick(150));
+        assert!(m.is_quarantined(&id(1), Tick(199)));
+    }
+
+    #[test]
+    fn defense_drain_sees_each_alert_once() {
+        let mut m = Monitor::new();
+        m.raise(
+            Tick(1),
+            SecurityAlert::BareUnbind {
+                dev_id: id(1),
+                from_ip: 5,
+            },
+        );
+        let first = m.drain_defense_alerts();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0, Tick(1));
+        assert!(m.drain_defense_alerts().is_empty());
+        m.raise(
+            Tick(9),
+            SecurityAlert::BareUnbind {
+                dev_id: id(2),
+                from_ip: 5,
+            },
+        );
+        assert_eq!(m.drain_defense_alerts().len(), 1);
+        // The log itself is untouched by draining.
+        assert_eq!(m.alert_log().len(), 2);
+    }
+
+    #[test]
+    fn hardened_policy_is_enabled_and_default_is_not() {
+        assert!(!DefensePolicy::default().is_enabled());
+        assert!(!DefensePolicy::disabled().is_enabled());
+        let hard = DefensePolicy::hardened();
+        assert!(hard.is_enabled());
+        assert!(hard.rotate_tokens);
+        assert!(hard.bind_limit.is_some());
+        assert!(hard.quarantine_ticks > 0);
     }
 }

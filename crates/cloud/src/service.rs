@@ -21,7 +21,7 @@ use rb_wire::tokens::{SessionToken, UserId, UserPw, UserToken};
 use crate::accounts::AccountStore;
 use crate::audit::{AuditEntry, AuditLog};
 use crate::issued::{BindTokenLedger, DevTokenLedger};
-use crate::monitor::{Monitor, SecurityAlert};
+use crate::monitor::{DefensePolicy, Monitor, SecurityAlert};
 use crate::registry::{DeviceRecord, DeviceRegistry};
 use crate::state::DeviceState;
 
@@ -64,6 +64,10 @@ pub struct CloudConfig {
     /// Optional per-source rate limit (off by default — none of the studied
     /// vendors deployed one, which is what makes enumeration viable).
     pub rate_limit: Option<RateLimit>,
+    /// Active-response policy driven by the streaming monitor's alerts.
+    /// Disabled by default: the monitor observes but the service never
+    /// intervenes, keeping default-world behavior byte-identical.
+    pub defense: DefensePolicy,
 }
 
 impl CloudConfig {
@@ -76,6 +80,7 @@ impl CloudConfig {
             button_window: 30_000,
             audit_cap: 65_536,
             rate_limit: None,
+            defense: DefensePolicy::disabled(),
         }
     }
 }
@@ -124,6 +129,8 @@ pub struct CloudService {
     nat: HashMap<NodeId, u32>,
     rules: HashMap<rb_wire::tokens::UserId, Vec<AutomationRule>>,
     rate: HashMap<NodeId, (Tick, u32)>,
+    /// Per-source `Bind` windows for the defense policy's bind limiter.
+    bind_rate: HashMap<NodeId, (Tick, u32)>,
     monitor: Monitor,
     telemetry: Telemetry,
     forensics: bool,
@@ -145,6 +152,7 @@ impl CloudService {
             nat: HashMap::new(),
             rules: HashMap::new(),
             rate: HashMap::new(),
+            bind_rate: HashMap::new(),
             monitor: Monitor::new(),
             telemetry: Telemetry::new(),
             forensics: false,
@@ -278,6 +286,18 @@ impl CloudService {
         &mut self.monitor
     }
 
+    /// Installs an active-response policy. The default policy is disabled;
+    /// installing an enabled one makes the service react to fresh monitor
+    /// alerts after every handled request.
+    pub fn set_defense(&mut self, policy: DefensePolicy) {
+        self.config.defense = policy;
+    }
+
+    /// The active-response policy in force.
+    pub fn defense(&self) -> &DefensePolicy {
+        &self.config.defense
+    }
+
     /// Diagnostic access to a device's shadow state.
     pub fn shadow_state(&self, dev_id: &DevId) -> ShadowState {
         self.state.shadow_state(dev_id)
@@ -307,11 +327,19 @@ impl CloudService {
         msg: &Message,
         rng: &mut SimRng,
     ) -> Outcome {
-        let outcome = if self.rate_limited(from, now) {
+        let mut outcome = if self.rate_limited(from, now) {
             Outcome::deny(DenyReason::RateLimited)
         } else {
             self.dispatch(from, now, msg, rng)
         };
+        // Active responses run on the request path, right after the
+        // handler: whatever alerts this request raised are reacted to
+        // before the reply leaves, and any defensive revocation push rides
+        // the same outcome.
+        if self.config.defense.is_enabled() {
+            let pushes = self.apply_defenses(now, rng);
+            outcome.pushes.extend(pushes);
+        }
         let rendered = outcome.reply.to_string();
         // The audit log and the metrics registry observe the same
         // request/outcome stream: the log keeps bounded per-request
@@ -362,6 +390,140 @@ impl CloudService {
         }
         entry.1 += 1;
         entry.1 > limit.max
+    }
+
+    // -- Active defense ------------------------------------------------------
+
+    /// Whether this `Bind` request from `from` exceeds the defense policy's
+    /// bind limiter (and counts it against the window).
+    fn defense_bind_limited(&mut self, from: NodeId, now: Tick) -> bool {
+        let Some(limit) = self.config.defense.bind_limit else {
+            return false;
+        };
+        let entry = self.bind_rate.entry(from).or_insert((now, 0));
+        if now - entry.0 >= limit.window {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        entry.1 > limit.max
+    }
+
+    /// Records one mitigation: the `cloud_mitigations_total{action="…"}`
+    /// counter, the `cloud_mitigations` rate series, a `defense` event on
+    /// the streaming bus, and (under forensics) a FAULT-style
+    /// `defense action=… … trigger=…` mark tied to the causing request.
+    fn record_mitigation(&mut self, now: Tick, action: &str, detail: &str, trigger: &str) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .incr(&format!("cloud_mitigations_total{{action=\"{action}\"}}"));
+            self.telemetry.rate_event("cloud_mitigations", now.as_u64());
+            self.telemetry.publish(
+                now.as_u64(),
+                "defense",
+                &format!("{action} {detail} trigger={trigger}"),
+            );
+        }
+        if self.forensics {
+            self.forensic_marks.push(format!(
+                "defense action={action} {detail} trigger={trigger}"
+            ));
+        }
+    }
+
+    /// Reacts to the alerts raised since the last reaction, per the
+    /// configured [`DefensePolicy`]. Returns pushes (defensive revocation
+    /// notices) to append to the current outcome.
+    fn apply_defenses(&mut self, now: Tick, rng: &mut SimRng) -> Vec<(NodeId, Response)> {
+        let policy = self.config.defense.clone();
+        let mut pushes = Vec::new();
+        for (_, alert) in self.monitor.drain_defense_alerts() {
+            let kind = alert.kind();
+            let Some(dev_id) = alert.dev_id().cloned() else {
+                continue;
+            };
+            if policy.rotate_tokens
+                && matches!(
+                    kind,
+                    "binding-replaced" | "session-moved" | "stale-token-replay"
+                )
+            {
+                self.rotate_binding_token(&dev_id, now, rng, kind);
+            }
+            if policy.quarantine_ticks > 0
+                && matches!(
+                    kind,
+                    "contested-binding"
+                        | "remote-only-bind"
+                        | "impossible-transition"
+                        | "bare-unbind"
+                        | "foreign-unbind"
+                        | "binding-replaced"
+                )
+            {
+                pushes.extend(self.quarantine_device(&dev_id, now, policy.quarantine_ticks, kind));
+            }
+        }
+        pushes
+    }
+
+    /// Rotates a bound device's binding-session token, retiring the old
+    /// token so any stolen copy becomes replay-detectable and useless for
+    /// session-gated control.
+    fn rotate_binding_token(&mut self, dev_id: &DevId, now: Tick, rng: &mut SimRng, trigger: &str) {
+        let fresh = SessionToken::from_entropy(rng.entropy128());
+        let Some(record) = self.state.record_mut_existing(dev_id) else {
+            return;
+        };
+        if !record.shadow.state().is_bound() {
+            return;
+        }
+        let Some(old) = record.binding_session.replace(fresh) else {
+            record.binding_session = None;
+            return;
+        };
+        self.monitor.retire_token(dev_id, old, now);
+        self.record_mitigation(now, "rotate-token", &format!("dev={dev_id}"), trigger);
+    }
+
+    /// Quarantines a suspect device: non-co-located binds are denied until
+    /// the window expires, and a binding not provably co-located with the
+    /// device is revoked on the spot. Returns the revocation push, if any.
+    fn quarantine_device(
+        &mut self,
+        dev_id: &DevId,
+        now: Tick,
+        ticks: u64,
+        trigger: &str,
+    ) -> Vec<(NodeId, Response)> {
+        if self.monitor.is_quarantined(dev_id, now) {
+            return Vec::new();
+        }
+        self.monitor.quarantine(dev_id, now + ticks);
+        let dev_ip = self.monitor.device_ip(dev_id);
+        let mut pushes = Vec::new();
+        let mut detail = format!("dev={dev_id}");
+        if let Some(record) = self.state.record_mut_existing(dev_id) {
+            let colocated = matches!((record.binding_ip, dev_ip), (Some(b), Some(d)) if b == d);
+            if record.shadow.state().is_bound() && (record.remote_bind_flagged || !colocated) {
+                let before = record.shadow.state();
+                let revoked = record.shadow.on_unbind();
+                let after = record.shadow.state();
+                let old = record.binding_session.take();
+                record.guests.clear();
+                self.track_transition(dev_id, before, after, now);
+                if let Some(tok) = old {
+                    self.monitor.retire_token(dev_id, tok, now);
+                }
+                if let Some(user) = revoked {
+                    detail = format!("dev={dev_id} revoked={user}");
+                    if let Some(node) = self.accounts.node_of(&user) {
+                        pushes.push((node, Response::BindingRevoked));
+                    }
+                }
+            }
+        }
+        self.record_mitigation(now, "quarantine", &detail, trigger);
+        pushes
     }
 
     /// Expires stale device sessions (heartbeat timeout) and half-open
@@ -421,7 +583,7 @@ impl CloudService {
                 user_token,
                 session,
                 action,
-            } => self.handle_control(dev_id, user_token, *session, action),
+            } => self.handle_control(from, now, dev_id, user_token, *session, action),
             Message::Share {
                 dev_id,
                 user_token,
@@ -512,12 +674,22 @@ impl CloudService {
             && payload.kind == StatusKind::Register
             && self.state.shadow_state(&payload.dev_id).is_bound()
         {
+            // A bound shadow dropping on a Register from an address the
+            // device has never lived at is the impossible-transition
+            // signature (A3-4); the monitor's IP guard keeps genuine
+            // factory resets (same NAT) silent.
+            let reset_ip = self.public_ip(from);
+            self.monitor
+                .observe_binding_drop(&payload.dev_id, reset_ip, now);
             let record = self.state.record_mut(&payload.dev_id);
             let before = record.shadow.state();
             let revoked = record.shadow.on_unbind();
             let after = record.shadow.state();
-            record.binding_session = None;
+            let old_session = record.binding_session.take();
             record.guests.clear();
+            if let Some(tok) = old_session {
+                self.monitor.retire_token(&payload.dev_id, tok, now);
+            }
             self.track_transition(&payload.dev_id, before, after, now);
             if let Some(user) = revoked {
                 if let Some(node) = self.accounts.node_of(&user) {
@@ -536,7 +708,15 @@ impl CloudService {
         );
 
         let from_ip = self.public_ip(from);
-        self.monitor.observe_device_ip(&payload.dev_id, from_ip);
+        // Replay check runs against the *pre-update* device IP: an attacker
+        // forging a device session with a stolen-but-retired token must not
+        // first overwrite the co-location evidence that convicts it.
+        if let Some(tok) = payload.session {
+            self.monitor
+                .observe_presented_token(&payload.dev_id, tok, from_ip, now);
+        }
+        self.monitor
+            .observe_device_ip(&payload.dev_id, from_ip, now);
         // Retroactive co-location check: a binding created before the
         // device ever connected is flagged once the device's real IP shows
         // up somewhere else (the pre-emptive A2 occupation signature).
@@ -548,11 +728,14 @@ impl CloudService {
                 {
                     if bind_ip != from_ip {
                         record.remote_bind_flagged = true;
-                        self.monitor.raise(SecurityAlert::RemoteOnlyBind {
-                            dev_id: payload.dev_id.clone(),
-                            holder,
-                            from_ip: bind_ip,
-                        });
+                        self.monitor.raise(
+                            now,
+                            SecurityAlert::RemoteOnlyBind {
+                                dev_id: payload.dev_id.clone(),
+                                holder,
+                                from_ip: bind_ip,
+                            },
+                        );
                     }
                 }
             }
@@ -656,8 +839,23 @@ impl CloudService {
         };
 
         self.monitor.observe_target(from, &dev_id, now);
+        // Defense interventions on the bind path. Both are no-ops under the
+        // disabled policy (no limit configured, nothing ever quarantined).
+        // The limiter runs before the existence check so ID-space sweeps
+        // (which mostly hit unknown IDs) are priced out too.
+        if self.defense_bind_limited(from, now) {
+            self.record_mitigation(now, "rate-limit-bind", &format!("from={from}"), "bind-rate");
+            return Outcome::deny(DenyReason::RateLimited);
+        }
         if !self.registry.knows(&dev_id) {
             return Outcome::deny(DenyReason::UnknownDevice);
+        }
+        if self.monitor.is_quarantined(&dev_id, now)
+            && self.monitor.device_ip(&dev_id) != Some(self.public_ip(from))
+        {
+            // Only a requester co-located with the device may bind a
+            // quarantined DevId; everyone else waits out the window.
+            return Outcome::deny(DenyReason::RateLimited);
         }
         if design.checks.bind_requires_online_device
             && !self.state.shadow_state(&dev_id).is_online()
@@ -684,7 +882,8 @@ impl CloudService {
                 .cloned();
             if holder.as_ref() != Some(&user) {
                 if let Some(holder) = holder {
-                    self.monitor.observe_bind_denial(&dev_id, &holder, &user);
+                    self.monitor
+                        .observe_bind_denial(&dev_id, &holder, &user, now);
                 }
                 return Outcome::deny(DenyReason::AlreadyBound);
             }
@@ -713,29 +912,44 @@ impl CloudService {
                 .push(format!("bind dev={dev_id} user={user} displaced={prev}"));
         }
         let record = self.state.record_mut(&dev_id);
+        let old_session = record.binding_session;
         record.binding_session = session;
         record.binding_ip = Some(bind_ip);
         record.remote_bind_flagged = false;
         if displaced.is_some() {
             record.guests.clear();
         }
+        // The superseded binding token (if any) is retired: anyone still
+        // presenting it from an address other than the device's own is a
+        // replay.
+        if let Some(old) = old_session {
+            if Some(old) != session {
+                self.monitor.retire_token(&dev_id, old, now);
+            }
+        }
         if let Some(prev) = &displaced {
-            self.monitor.raise(SecurityAlert::BindingReplaced {
-                dev_id: dev_id.clone(),
-                victim: prev.clone(),
-                new_holder: user.clone(),
-            });
+            self.monitor.raise(
+                now,
+                SecurityAlert::BindingReplaced {
+                    dev_id: dev_id.clone(),
+                    victim: prev.clone(),
+                    new_holder: user.clone(),
+                },
+            );
         }
         // A bind whose source IP has never been co-located with the device
         // is the pre-emptive-occupation signature. If the device has not
         // connected yet, the check re-runs when it does (handle_status).
         if let Some(dev_ip) = self.monitor.device_ip(&dev_id) {
             if dev_ip != bind_ip {
-                self.monitor.raise(SecurityAlert::RemoteOnlyBind {
-                    dev_id: dev_id.clone(),
-                    holder: user.clone(),
-                    from_ip: bind_ip,
-                });
+                self.monitor.raise(
+                    now,
+                    SecurityAlert::RemoteOnlyBind {
+                        dev_id: dev_id.clone(),
+                        holder: user.clone(),
+                        from_ip: bind_ip,
+                    },
+                );
                 self.state.record_mut(&dev_id).remote_bind_flagged = true;
             }
         }
@@ -813,8 +1027,11 @@ impl CloudService {
         let before = record.shadow.state();
         let revoked = record.shadow.on_unbind();
         let after = record.shadow.state();
-        record.binding_session = None;
+        let old_session = record.binding_session.take();
         record.guests.clear();
+        if let Some(tok) = old_session {
+            self.monitor.retire_token(&dev_id, tok, now);
+        }
         self.track_transition(&dev_id, before, after, now);
         if self.forensics {
             let who = revoked
@@ -829,17 +1046,23 @@ impl CloudService {
             (UnbindPayload::DevIdOnly { .. }, _, _)
                 if self.monitor.device_ip(&dev_id) != Some(from_ip) =>
             {
-                self.monitor.raise(SecurityAlert::BareUnbind {
-                    dev_id: dev_id.clone(),
-                    from_ip,
-                });
+                self.monitor.raise(
+                    now,
+                    SecurityAlert::BareUnbind {
+                        dev_id: dev_id.clone(),
+                        from_ip,
+                    },
+                );
             }
             (UnbindPayload::DevIdUserToken { .. }, Some(victim), Some(req)) if victim != req => {
-                self.monitor.raise(SecurityAlert::ForeignUnbind {
-                    dev_id: dev_id.clone(),
-                    victim: victim.clone(),
-                    requester: req.clone(),
-                });
+                self.monitor.raise(
+                    now,
+                    SecurityAlert::ForeignUnbind {
+                        dev_id: dev_id.clone(),
+                        victim: victim.clone(),
+                        requester: req.clone(),
+                    },
+                );
             }
             _ => {}
         }
@@ -861,12 +1084,23 @@ impl CloudService {
 
     fn handle_control(
         &mut self,
+        from: NodeId,
+        now: Tick,
         dev_id: &DevId,
         user_token: &UserToken,
         session: Option<SessionToken>,
         action: &ControlAction,
     ) -> Outcome {
         let design = self.knobs();
+        self.monitor.observe_target(from, dev_id, now);
+        // A retired binding token presented on the control path from an
+        // address that is not the device's own is the stale-token-replay
+        // signature (the paper's stolen-session A1 follow-up).
+        if let Some(tok) = session {
+            let from_ip = self.public_ip(from);
+            self.monitor
+                .observe_presented_token(dev_id, tok, from_ip, now);
+        }
         let user = match self.accounts.verify_token(user_token) {
             Ok(u) => u.clone(),
             Err(reason) => return Outcome::deny(reason),

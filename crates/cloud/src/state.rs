@@ -103,6 +103,13 @@ impl DeviceState {
         self.records.get(dev_id)
     }
 
+    /// Mutable access to a record *without* creating it — for maintenance
+    /// paths (defense mitigations) that must not materialize shadows for
+    /// devices the cloud never heard from.
+    pub fn record_mut_existing(&mut self, dev_id: &DevId) -> Option<&mut ShadowRecord> {
+        self.records.get_mut(dev_id)
+    }
+
     /// The session for a device, if any.
     pub fn session(&self, dev_id: &DevId) -> Option<&DeviceSession> {
         self.sessions.get(dev_id)

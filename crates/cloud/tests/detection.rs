@@ -279,3 +279,190 @@ fn contested_binding_flags_the_a2_victim_experience() {
     }
     assert_eq!(h.cloud.monitor().count("contested-binding"), 1);
 }
+
+// -- Active defense ----------------------------------------------------------
+
+#[test]
+fn quarantine_revokes_a_hijacked_binding_and_blocks_rebinds() {
+    let mut h = H::new(vendors::e_link());
+    let _ = h.setup();
+    h.cloud.set_defense(rb_cloud::DefensePolicy::hardened());
+    let attacker = h.login(ATTACKER_NODE, "attacker", "a");
+    // The hijack still *succeeds* as a request — but the binding-replaced
+    // alert it raises is reacted to before the reply leaves, revoking the
+    // non-co-located binding on the spot.
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
+    );
+    assert!(r.is_ok(), "the hijack bind itself is accepted: {r}");
+    assert!(
+        !h.cloud.shadow_state(&dev_id()).is_bound(),
+        "quarantine revoked the hijacker's binding in the same outcome"
+    );
+    assert_eq!(
+        h.cloud
+            .telemetry()
+            .counter("cloud_mitigations_total{action=\"quarantine\"}"),
+        1
+    );
+    // While quarantined, the attacker cannot re-bind from the WAN…
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
+    );
+    assert_eq!(
+        r,
+        Response::Denied {
+            reason: rb_wire::messages::DenyReason::RateLimited
+        }
+    );
+    // …but the victim, co-located with the device, re-binds immediately.
+    let victim = h.login(USER_NODE, "victim", "v");
+    let r = h.send(
+        USER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
+    );
+    assert!(r.is_ok(), "co-located victim rebind during quarantine: {r}");
+    assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("victim")));
+}
+
+#[test]
+fn token_rotation_turns_a_displaced_session_into_a_detected_replay() {
+    // KONKE issues post-binding session tokens and tolerates re-binds.
+    let mut h = H::new(vendors::konke());
+    h.cloud.set_defense(rb_cloud::DefensePolicy {
+        rotate_tokens: true,
+        bind_limit: None,
+        quarantine_ticks: 0,
+    });
+    // KONKE auth is DevToken: the victim fetches one, the device registers
+    // with it, the victim binds.
+    let victim = h.login(USER_NODE, "victim", "v");
+    let dev_token = match h.send(USER_NODE, Message::RequestDevToken { user_token: victim }) {
+        Response::DevTokenIssued { dev_token } => dev_token,
+        other => panic!("{other}"),
+    };
+    let r = h.send(
+        DEVICE_NODE,
+        Message::Status(StatusPayload::register(
+            StatusAuth::DevToken(dev_token),
+            dev_id(),
+            DeviceAttributes::default(),
+        )),
+    );
+    assert!(r.is_ok(), "{r}");
+    let r = h.send(
+        USER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: victim,
+        }),
+    );
+    assert!(r.is_ok(), "{r}");
+    let attacker = h.login(ATTACKER_NODE, "attacker", "a");
+    let stolen = match h.send(
+        ATTACKER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
+    ) {
+        Response::Bound { session } => session.expect("KONKE issues sessions"),
+        other => panic!("{other}"),
+    };
+    // The displacement alert triggered a rotation: the token the hijacker
+    // just received is already retired.
+    assert_eq!(
+        h.cloud
+            .telemetry()
+            .counter("cloud_mitigations_total{action=\"rotate-token\"}"),
+        1
+    );
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Control {
+            dev_id: dev_id(),
+            user_token: attacker,
+            session: Some(stolen),
+            action: rb_wire::messages::ControlAction::TurnOn,
+        },
+    );
+    assert!(!r.is_ok(), "rotated-away session must not control: {r}");
+    assert_eq!(
+        h.cloud.monitor().count("stale-token-replay"),
+        1,
+        "presenting the retired token from a foreign IP is a replay"
+    );
+}
+
+#[test]
+fn bind_rate_limiter_prices_out_bind_floods() {
+    let mut h = H::new(vendors::ozwi());
+    h.cloud.set_defense(rb_cloud::DefensePolicy {
+        rotate_tokens: false,
+        bind_limit: Some(rb_cloud::RateLimit {
+            window: 10_000,
+            max: 3,
+        }),
+        quarantine_ticks: 0,
+    });
+    let attacker = h.login(ATTACKER_NODE, "attacker", "a");
+    let mut denied = 0;
+    for i in 0..8u32 {
+        let probe = DevId::Digits { value: i, width: 6 };
+        let r = h.send(
+            ATTACKER_NODE,
+            Message::Bind(BindPayload::AclApp {
+                dev_id: probe,
+                user_token: attacker,
+            }),
+        );
+        if r == (Response::Denied {
+            reason: rb_wire::messages::DenyReason::RateLimited,
+        }) {
+            denied += 1;
+        }
+    }
+    assert_eq!(denied, 5, "probes beyond the window max are denied");
+    assert_eq!(
+        h.cloud
+            .telemetry()
+            .counter("cloud_mitigations_total{action=\"rate-limit-bind\"}"),
+        5
+    );
+}
+
+#[test]
+fn disabled_policy_never_intervenes() {
+    // Same hijack as the quarantine test, default (disabled) policy: the
+    // monitor sees everything, the service changes nothing.
+    let mut h = H::new(vendors::e_link());
+    let _ = h.setup();
+    let attacker = h.login(ATTACKER_NODE, "attacker", "a");
+    let r = h.send(
+        ATTACKER_NODE,
+        Message::Bind(BindPayload::AclApp {
+            dev_id: dev_id(),
+            user_token: attacker,
+        }),
+    );
+    assert!(r.is_ok());
+    assert_eq!(h.cloud.monitor().count("binding-replaced"), 1);
+    assert_eq!(h.cloud.bound_user(&dev_id()), Some(UserId::new("attacker")));
+    assert_eq!(
+        h.cloud
+            .telemetry()
+            .counter("cloud_mitigations_total{action=\"quarantine\"}"),
+        0
+    );
+}

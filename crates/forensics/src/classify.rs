@@ -10,8 +10,10 @@
 //!
 //! Rules, in precedence order (per device):
 //!
-//! 1. Foreign accepted unbind followed by a foreign accepted bind —
-//!    the unbind-then-bind hijack, **A4-3**.
+//! 1. Foreign binding drop followed by a foreign accepted bind. If the
+//!    drop was a forged unbind this is the unbind-then-bind hijack,
+//!    **A4-3**; if it was a register-reset (`status:` primitive) it is
+//!    the promoted register-reset takeover, **A4-4**.
 //! 2. Foreign bind displacing the holder: **A4-1** if a later foreign
 //!    control was accepted (the hijack paid off), else **A3-3** (the
 //!    displacement is a pure unbinding DoS).
@@ -40,7 +42,7 @@ pub struct Attribution {
     pub dev_id: String,
     /// The attack family (`A1`..`A4`).
     pub family: String,
-    /// The precise sub-case (`A1`, `A2`, `A3-1`..`A3-4`, `A4-1`..`A4-3`).
+    /// The precise sub-case (`A1`, `A2`, `A3-1`..`A3-4`, `A4-1`..`A4-4`).
     pub sub_case: String,
     /// The forged primitive that initiated the attack.
     pub primitive: String,
@@ -52,6 +54,10 @@ pub struct Attribution {
     pub attacker: NodeId,
     /// When the initiating forgery was handled.
     pub at: Tick,
+    /// Whether the cloud's online defenses intervened on this device
+    /// (a `defense action=…` mark names it): the incident was detected
+    /// and actively mitigated, not merely reconstructed post-hoc.
+    pub mitigated: bool,
 }
 
 /// Everything the cloud said about one handled request (all marks sharing
@@ -70,6 +76,8 @@ struct RequestRecord {
     unbind: Option<(String, String)>,
     /// `push <Kind> to=n<node>`.
     pushes: Vec<(String, NodeId)>,
+    /// Devices a `defense action=…` mark in this request names.
+    defended: Vec<String>,
 }
 
 impl RequestRecord {
@@ -164,6 +172,10 @@ fn collect_records(capture: &Capture) -> BTreeMap<u64, RequestRecord> {
             if let (Some(dev), Some(who)) = (word_field(rest, "dev"), word_field(rest, "revoked")) {
                 record.unbind = Some((dev.to_string(), who.to_string()));
             }
+        } else if let Some(rest) = text.strip_prefix("defense ") {
+            if let Some(dev) = word_field(rest, "dev") {
+                record.defended.push(dev.to_string());
+            }
         } else if let Some(rest) = text.strip_prefix("push ") {
             let kind = rest.split(' ').next().unwrap_or(rest).to_string();
             if let Some(node) = word_field(rest, "to")
@@ -206,6 +218,11 @@ pub fn classify(capture: &Capture) -> Vec<Attribution> {
     let mut findings = Vec::new();
     for home in &capture.roles.homes {
         let dev = home.dev_id.as_str();
+        // Any defense mark naming the device — across all requests, since
+        // mitigation rides the triggering request, not the initiating one.
+        let mitigated = records
+            .values()
+            .any(|r| r.defended.iter().any(|d| d == dev));
         // The per-device view: (span, record, origin, foreign).
         let mut rows = Vec::new();
         for (span, record) in &ordered {
@@ -240,6 +257,7 @@ pub fn classify(capture: &Capture) -> Vec<Attribution> {
                 trace_id,
                 attacker: origin.unwrap_or(NodeId(u32::MAX)),
                 at: record.at,
+                mitigated,
             }
         };
 
@@ -266,13 +284,21 @@ pub fn classify(capture: &Capture) -> Vec<Attribution> {
             })
         };
 
-        // Rule 1: unbind-then-bind hijack (A4-3).
+        // Rule 1: a foreign binding drop followed by a foreign bind. The
+        // dropping primitive names the cell: a forged unbind is the
+        // unbind-then-bind hijack (A4-3); a register-reset (`status:`)
+        // is the promoted register-reset takeover (A4-4).
         let chain = foreign_unbinds
             .iter()
             .find_map(|u| foreign_binds.iter().find(|b| **b > *u).map(|b| (*u, *b)));
         if let Some((u, _b)) = chain {
             let (span, record, origin, _) = &rows[u];
-            findings.push(attribution(*span, record, *origin, "A4", "A4-3"));
+            let sub = if record.primitive().starts_with("status:") {
+                "A4-4"
+            } else {
+                "A4-3"
+            };
+            findings.push(attribution(*span, record, *origin, "A4", sub));
             continue;
         }
 
@@ -475,6 +501,59 @@ mod tests {
         ]);
         let f = classify(&cap).remove(0);
         assert_eq!((f.family.as_str(), f.sub_case.as_str()), ("A4", "A4-3"));
+        assert!(!f.mitigated, "no defense mark, no mitigation claim");
+    }
+
+    #[test]
+    fn register_reset_then_bind_is_the_promoted_a4_4() {
+        // The fuzzer-found composite: a foreign register-reset drops the
+        // binding (A3-4 alone), then a separate foreign bind claims the
+        // device. The dropping primitive is `status:`, so the chain is
+        // the promoted A4-4, not A4-3.
+        let cap = capture(vec![
+            sent(5, 3, 2),
+            mark(6, 2, "shadow dev=d1 from=control to=online"),
+            mark(6, 2, "rpc status:register dev=d1 outcome=StatusAccepted"),
+            sent(7, 3, 4),
+            mark(8, 4, "bind dev=d1 user=evil displaced=none"),
+            mark(8, 4, "rpc bind:acl-device dev=d1 outcome=Bound"),
+        ]);
+        let f = classify(&cap).remove(0);
+        assert_eq!((f.family.as_str(), f.sub_case.as_str()), ("A4", "A4-4"));
+        assert_eq!(f.primitive, "status:register");
+        assert_eq!(f.attacker, NodeId(3));
+        assert!(!f.mitigated);
+    }
+
+    #[test]
+    fn defense_marks_set_the_mitigated_flag() {
+        // Same A4-4 chain, but the online monitor quarantined the device
+        // off the impossible transition: the attribution carries
+        // mitigated=true even though the defense mark rides a later span.
+        let cap = capture(vec![
+            sent(5, 3, 2),
+            mark(6, 2, "shadow dev=d1 from=control to=online"),
+            mark(6, 2, "rpc status:register dev=d1 outcome=StatusAccepted"),
+            sent(7, 3, 4),
+            mark(8, 4, "bind dev=d1 user=evil displaced=none"),
+            mark(8, 4, "rpc bind:acl-device dev=d1 outcome=Bound"),
+            mark(
+                8,
+                4,
+                "defense action=quarantine dev=d1 trigger=impossible-transition",
+            ),
+        ]);
+        let f = classify(&cap).remove(0);
+        assert_eq!(f.sub_case, "A4-4");
+        assert!(f.mitigated, "the defense mark names the device");
+        // A defense mark for some other device does not taint d1.
+        let cap = capture(vec![
+            sent(5, 3, 2),
+            mark(6, 2, "unbind dev=d1 revoked=u0"),
+            mark(6, 2, "rpc unbind:dev-id dev=d1 outcome=Unbound"),
+            mark(6, 2, "defense action=quarantine dev=d9 trigger=bare-unbind"),
+        ]);
+        assert!(!classify(&cap).remove(0).mitigated);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::dsl::{compile_seq, shadow_of, Act};
 use crate::oracle::check_step;
-use rb_attack::acts::{playbooks, AtkStep};
+use rb_attack::acts::{playbooks, AtkStep, COMPOSITES};
 use rb_core::analyzer::analyze;
 use rb_core::attacks::AttackId;
 use rb_core::design::VendorDesign;
@@ -95,6 +95,44 @@ pub fn classify(
     None
 }
 
+/// The named composite a witness realizes when no single Table III cell
+/// does ([`classify`] returned `None`): the concatenated forged steps of
+/// its attack acts, matched against the promoted
+/// [`rb_attack::acts::COMPOSITES`] table. Returns `None` for
+/// single-cell witnesses, non-violating sequences, and composites still
+/// unnamed.
+pub fn classify_composite(
+    design: &VendorDesign,
+    traps: &[bool],
+    property: Property,
+    minimal: &[Act],
+) -> Option<&'static str> {
+    if classify(design, traps, property, minimal).is_some() {
+        return None;
+    }
+    let compiled = compile_seq(design, minimal)?;
+    let mut violated = false;
+    let mut kinds: Vec<AtkStep> = Vec::new();
+    for c in &compiled {
+        if !matches!(c.act, Act::Attack(_)) {
+            continue;
+        }
+        for &(act, pre, post) in &c.steps {
+            kinds.push(step_kind(act)?);
+            if check_step(design, traps, pre, act, post).contains(&property) {
+                violated = true;
+            }
+        }
+    }
+    if !violated {
+        return None;
+    }
+    COMPOSITES
+        .iter()
+        .find(|(_, steps)| **steps == kinds[..])
+        .map(|(name, _)| *name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +202,38 @@ mod tests {
         assert_eq!(
             classify(&d, &traps, Property::AttackerBound, &witness),
             None
+        );
+        // …but since its promotion the composite table names it A4-4.
+        assert_eq!(
+            classify_composite(&d, &traps, Property::AttackerBound, &witness),
+            Some("A4-4")
+        );
+    }
+
+    #[test]
+    fn single_cell_witnesses_are_not_composites() {
+        // A witness a Table III cell already names never gets a composite
+        // label — classify() wins.
+        let d = e_link();
+        let traps = trap_states(&d);
+        let witness = [Act::Setup, Act::Attack(AttackId::A4_1)];
+        assert_eq!(
+            classify_composite(&d, &traps, Property::AttackerBound, &witness),
+            None
+        );
+        // Nor does a non-violating register+bind shape on a design where
+        // registration does not reset bindings.
+        let d = ozwi();
+        let traps = trap_states(&d);
+        let witness = [
+            Act::Setup,
+            Act::Attack(AttackId::A3_4),
+            Act::Attack(AttackId::A4_2),
+        ];
+        assert_eq!(
+            classify_composite(&d, &traps, Property::RebindLivelock, &witness),
+            None,
+            "shape match alone is not enough — the property must be violated"
         );
     }
 

@@ -59,6 +59,9 @@ pub struct Finding {
     /// The Table III cell the minimal witness rediscovers, when the
     /// violating step sits inside an analyzer-feasible attack act.
     pub cell: Option<AttackId>,
+    /// The promoted composite the witness realizes when no single Table
+    /// III cell names it (e.g. `A4-4`, the register-reset takeover).
+    pub composite: Option<&'static str>,
 }
 
 /// The campaign's full, deterministic output.
@@ -141,7 +144,7 @@ impl FuzzReport {
             let _ = write!(
                 s,
                 "{{\"property\":\"{}\",\"rule\":\"{:?}\",\"run\":{},\"raw_len\":{},\
-                 \"minimal\":\"{}\",\"minimal_len\":{},\"shrink_steps\":{},\"cell\":{}}}",
+                 \"minimal\":\"{}\",\"minimal_len\":{},\"shrink_steps\":{},\"cell\":{}",
                 f.property,
                 f.property.rule_id(),
                 f.run,
@@ -150,6 +153,12 @@ impl FuzzReport {
                 f.minimal.len(),
                 f.shrink_steps,
                 f.cell
+                    .map_or_else(|| "null".to_owned(), |c| format!("\"{c}\""))
+            );
+            let _ = write!(
+                s,
+                ",\"composite\":{}}}",
+                f.composite
                     .map_or_else(|| "null".to_owned(), |c| format!("\"{c}\""))
             );
         }
@@ -213,6 +222,8 @@ pub fn run_campaign(design: &VendorDesign, cfg: &FuzzConfig) -> FuzzReport {
             }
             let shrunk = shrink(design, &traps, &acts, property);
             let cell = classify(design, &traps, property, &shrunk.minimal);
+            let composite =
+                crate::adapt::classify_composite(design, &traps, property, &shrunk.minimal);
             findings.push(Finding {
                 property,
                 run,
@@ -220,6 +231,7 @@ pub fn run_campaign(design: &VendorDesign, cfg: &FuzzConfig) -> FuzzReport {
                 minimal: shrunk.minimal,
                 shrink_steps: shrunk.steps,
                 cell,
+                composite,
             });
         }
     }

@@ -23,6 +23,6 @@ mod world;
 
 pub use chaos::ChaosProfile;
 pub use forensic::{capture, trace_run};
-pub use observe::{metrics_run, metrics_run_with};
+pub use observe::{defended_metrics_run, metrics_run, metrics_run_with, monitor_run, MonitorRun};
 pub use raw::RawEndpoint;
 pub use world::{Home, World, WorldBuilder};

@@ -1,7 +1,7 @@
 //! The world builder.
 
 use rb_app::{AppAgent, AppConfig};
-use rb_cloud::{CloudConfig, CloudService};
+use rb_cloud::{CloudConfig, CloudService, DefensePolicy};
 use rb_core::design::{DeviceAuthScheme, SetupOrder, VendorDesign};
 use rb_core::shadow::ShadowState;
 use rb_device::{DeviceAgent, DeviceConfig, ProvisioningMode};
@@ -44,6 +44,8 @@ pub struct WorldBuilder {
     home_lan_quality: Vec<(usize, LinkQuality)>,
     fault_plan: FaultPlan,
     telemetry: Telemetry,
+    defense: DefensePolicy,
+    stream_tap: bool,
 }
 
 impl WorldBuilder {
@@ -64,7 +66,26 @@ impl WorldBuilder {
             home_lan_quality: Vec::new(),
             fault_plan: FaultPlan::new(),
             telemetry: Telemetry::new(),
+            defense: DefensePolicy::disabled(),
+            stream_tap: false,
         }
+    }
+
+    /// Installs an active-response policy on the cloud (monitor-enabled
+    /// world). The default is the disabled policy, under which the monitor
+    /// observes but the cloud never intervenes — byte-identical to a world
+    /// built without this call.
+    pub fn defense(mut self, policy: DefensePolicy) -> Self {
+        self.defense = policy;
+        self
+    }
+
+    /// Mirrors actor marks and injected faults onto the telemetry
+    /// streaming bus as the world runs (the netsim event-stream tap), so
+    /// online observers can follow the run without a trace.
+    pub fn stream_tap(mut self) -> Self {
+        self.stream_tap = true;
+        self
     }
 
     /// Shares an external metrics registry with every layer of the world
@@ -149,10 +170,14 @@ impl WorldBuilder {
         if self.trace {
             sim.enable_trace();
         }
+        if self.stream_tap {
+            sim.enable_stream_tap();
+        }
         let mut rng = SimRng::new(self.seed ^ 0x5eed_5eed);
 
         let mut cloud_service = CloudService::new(CloudConfig::new(self.design.clone()));
         cloud_service.set_telemetry(self.telemetry.clone());
+        cloud_service.set_defense(self.defense.clone());
         // Forensic marks only make sense when there is a trace to attach
         // them to; untraced worlds skip the string formatting entirely.
         cloud_service.set_forensics(self.trace);

@@ -34,7 +34,7 @@ mod histogram;
 mod registry;
 
 pub use histogram::{Histogram, TICK_BUCKETS};
-pub use registry::{Registry, SpanId, SpanRecord};
+pub use registry::{Registry, SpanId, SpanRecord, StreamEvent};
 
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -194,6 +194,45 @@ impl Telemetry {
         }
     }
 
+    /// Records one occurrence of tick-rate series `name` at tick `at`;
+    /// see [`Registry::rate_event`].
+    pub fn rate_event(&self, name: &str, at: u64) {
+        if self.enabled {
+            self.with(|r| r.rate_event(name, at));
+        }
+    }
+
+    /// The sliding-window rate of series `name` over the `window_ticks`
+    /// window ending at the series' latest event; see [`Registry::rate`].
+    /// Reads work on disabled handles too (they just see zero).
+    pub fn rate(&self, name: &str, window_ticks: u64) -> u64 {
+        self.with(|r| r.rate(name, window_ticks))
+    }
+
+    /// The sliding-window rate of series `name` as of an explicit tick;
+    /// see [`Registry::rate_at`].
+    pub fn rate_at(&self, name: &str, window_ticks: u64, now: u64) -> u64 {
+        self.with(|r| r.rate_at(name, window_ticks, now))
+    }
+
+    /// Publishes an event onto the streaming bus; see [`Registry::publish`].
+    pub fn publish(&self, at: u64, topic: &str, body: &str) {
+        if self.enabled {
+            self.with(|r| r.publish(at, topic, body));
+        }
+    }
+
+    /// Copies out the events published after `cursor` plus the cursor to
+    /// resume from; see [`Registry::events_since`]. This is the polling
+    /// half of the subscriber API: online consumers (the cloud monitor
+    /// CLI, live dashboards) call it between simulation slices.
+    pub fn events_since(&self, cursor: usize) -> (usize, Vec<StreamEvent>) {
+        self.with(|r| {
+            let (next, events) = r.events_since(cursor);
+            (next, events.to_vec())
+        })
+    }
+
     /// A deep copy of the registry at this instant — the unit benches and
     /// experiments diff and aggregate.
     pub fn snapshot(&self) -> Registry {
@@ -307,6 +346,24 @@ mod tests {
             (t.to_json(), t.to_prometheus(), t.render_human())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rate_and_stream_respect_the_enabled_switch() {
+        let on = Telemetry::new();
+        on.rate_event("binds", 10);
+        on.rate_event("binds", 20);
+        on.publish(20, "alert", "x");
+        assert_eq!(on.rate("binds", 15), 2);
+        assert_eq!(on.rate_at("binds", 5, 20), 1);
+        let (cursor, events) = on.events_since(0);
+        assert_eq!((cursor, events.len()), (1, 1));
+
+        let off = Telemetry::disabled();
+        off.rate_event("binds", 10);
+        off.publish(10, "alert", "x");
+        assert_eq!(off.rate("binds", 100), 0);
+        assert_eq!(off.events_since(0), (0, vec![]));
     }
 
     #[test]

@@ -7,6 +7,21 @@ use std::fmt::Write as _;
 use crate::histogram::Histogram;
 use crate::json;
 
+/// One event published onto the in-registry streaming bus: a tick-stamped
+/// `(topic, body)` pair consumed by online subscribers (the cloud monitor,
+/// `rbsim monitor`) through [`Registry::events_since`]. Stream events are
+/// deliberately *not* part of the JSON/Prometheus exports, so publishing
+/// never perturbs the pinned goldens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// Simulation tick the event was published at.
+    pub at: u64,
+    /// Coarse routing key (`"alert"`, `"defense"`, `"net"`, …).
+    pub topic: String,
+    /// Rendered event body (deterministic, byte-stable).
+    pub body: String,
+}
+
 /// Opaque identifier of a span within one registry (creation-ordered).
 /// The `Default` id (`0`) is the dead id a disabled handle returns.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -53,6 +68,11 @@ pub struct Registry {
     /// Ids of currently open spans, innermost last (parent inference).
     open_spans: Vec<u64>,
     lifecycle: BTreeMap<String, DeviceLifecycle>,
+    /// Tick-stamped event series behind the sliding-window [`Registry::rate`]
+    /// helper, keyed by series name. Kept sorted by tick.
+    rates: BTreeMap<String, Vec<u64>>,
+    /// The streaming bus: publish-ordered events for online subscribers.
+    stream: Vec<StreamEvent>,
 }
 
 impl Registry {
@@ -211,9 +231,83 @@ impl Registry {
         }
     }
 
+    // ----- tick-rate series -------------------------------------------------
+
+    /// Records one occurrence of `series` at tick `at`. The series backs
+    /// the sliding-window [`Registry::rate`] helper; it is kept sorted by
+    /// tick (call sites are almost always monotone, so this is an append).
+    pub fn rate_event(&mut self, series: &str, at: u64) {
+        let ticks = self.rates.entry(series.to_string()).or_default();
+        match ticks.last() {
+            Some(&last) if last > at => {
+                let idx = ticks.partition_point(|&t| t <= at);
+                ticks.insert(idx, at);
+            }
+            _ => ticks.push(at),
+        }
+    }
+
+    /// Events of `series` inside the window `(end - window_ticks, end]`
+    /// where `end` is the latest recorded tick — the instantaneous
+    /// sliding-window rate at the newest observation. 0 for an empty or
+    /// unknown series.
+    pub fn rate(&self, series: &str, window_ticks: u64) -> u64 {
+        match self.rates.get(series).and_then(|t| t.last()) {
+            Some(&end) => self.rate_at(series, window_ticks, end),
+            None => 0,
+        }
+    }
+
+    /// Events of `series` inside `(now - window_ticks, now]` — the
+    /// sliding-window rate as of an explicit tick `now`. A window covering
+    /// the whole clock (`window_ticks >= now`) includes tick-0 events.
+    pub fn rate_at(&self, series: &str, window_ticks: u64, now: u64) -> u64 {
+        let Some(ticks) = self.rates.get(series) else {
+            return 0;
+        };
+        let end = ticks.partition_point(|&t| t <= now);
+        let start = if window_ticks >= now {
+            0
+        } else {
+            ticks.partition_point(|&t| t <= now - window_ticks)
+        };
+        end.saturating_sub(start) as u64
+    }
+
+    /// Total recorded events of `series` regardless of window.
+    pub fn rate_events_total(&self, series: &str) -> u64 {
+        self.rates.get(series).map_or(0, |t| t.len() as u64)
+    }
+
+    // ----- streaming bus ----------------------------------------------------
+
+    /// Publishes one event onto the streaming bus. Subscribers poll with
+    /// [`Registry::events_since`]; exporters never see the stream.
+    pub fn publish(&mut self, at: u64, topic: &str, body: &str) {
+        self.stream.push(StreamEvent {
+            at,
+            topic: topic.to_string(),
+            body: body.to_string(),
+        });
+    }
+
+    /// The events published after `cursor`, plus the new cursor to resume
+    /// from. A subscriber that stores the returned cursor and polls again
+    /// sees every event exactly once, in publish order.
+    pub fn events_since(&self, cursor: usize) -> (usize, &[StreamEvent]) {
+        let start = cursor.min(self.stream.len());
+        (self.stream.len(), &self.stream[start..])
+    }
+
+    /// The whole published stream in publish order.
+    pub fn stream(&self) -> &[StreamEvent] {
+        &self.stream
+    }
+
     /// Folds `other`'s counters and histograms into this registry (used by
     /// benches to aggregate across seeds). Gauges take `other`'s value;
-    /// spans and lifecycle state are not merged.
+    /// rate series merge (resorted by tick); spans, lifecycle state, and
+    /// the event stream are not merged.
     pub fn merge_from(&mut self, other: &Registry) {
         for (name, value) in &other.counters {
             self.counter_add(name, *value);
@@ -228,6 +322,11 @@ impl Registry {
                     self.histograms.insert(name.clone(), hist.clone());
                 }
             }
+        }
+        for (name, ticks) in &other.rates {
+            let mine = self.rates.entry(name.clone()).or_default();
+            mine.extend_from_slice(ticks);
+            mine.sort_unstable();
         }
     }
 
@@ -602,6 +701,77 @@ mod tests {
         assert_eq!(a.counter("x_total"), 3);
         assert_eq!(a.counter("y_total"), 5);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn rate_counts_events_in_a_left_open_window() {
+        let mut r = Registry::new();
+        for at in [100, 500, 900, 1_000, 1_500] {
+            r.rate_event("binds", at);
+        }
+        // Window (500, 1500]: 900, 1000, 1500 — the left edge is excluded.
+        assert_eq!(r.rate_at("binds", 1_000, 1_500), 3);
+        // rate() anchors the window at the latest event.
+        assert_eq!(r.rate("binds", 1_000), 3);
+        assert_eq!(r.rate("binds", 10_000), 5);
+        // A window covering the whole clock keeps tick-0 events.
+        r.rate_event("boot", 0);
+        assert_eq!(r.rate_at("boot", 50, 10), 1);
+        // Unknown series and empty windows read as zero.
+        assert_eq!(r.rate("missing", 1_000), 0);
+        assert_eq!(r.rate_at("binds", 10, 40), 0);
+        assert_eq!(r.rate_events_total("binds"), 5);
+    }
+
+    #[test]
+    fn rate_events_tolerate_out_of_order_ticks() {
+        let mut r = Registry::new();
+        r.rate_event("s", 300);
+        r.rate_event("s", 100);
+        r.rate_event("s", 200);
+        assert_eq!(r.rate_at("s", 150, 300), 2); // (150, 300]: 200, 300
+        assert_eq!(r.rate("s", 1_000), 3);
+    }
+
+    #[test]
+    fn rate_series_merge_and_stay_sorted() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.rate_event("s", 10);
+        a.rate_event("s", 30);
+        b.rate_event("s", 20);
+        a.merge_from(&b);
+        assert_eq!(a.rate_at("s", 15, 30), 2); // (15, 30]: 20, 30
+        assert_eq!(a.rate_events_total("s"), 3);
+    }
+
+    #[test]
+    fn stream_cursor_sees_every_event_exactly_once() {
+        let mut r = Registry::new();
+        r.publish(5, "alert", "contested dev=d1");
+        let (cursor, batch) = r.events_since(0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].at, 5);
+        assert_eq!(batch[0].topic, "alert");
+        r.publish(9, "defense", "rotate-token dev=d1");
+        let (cursor2, batch2) = r.events_since(cursor);
+        assert_eq!(batch2.len(), 1);
+        assert_eq!(batch2[0].body, "rotate-token dev=d1");
+        let (_, empty) = r.events_since(cursor2);
+        assert!(empty.is_empty());
+        // A stale cursor past the end is clamped, not a panic.
+        assert!(r.events_since(usize::MAX).1.is_empty());
+        assert_eq!(r.stream().len(), 2);
+    }
+
+    #[test]
+    fn stream_and_rates_never_leak_into_exports() {
+        let mut r = Registry::new();
+        r.publish(1, "alert", "x");
+        r.rate_event("s", 1);
+        assert!(r.to_json().contains("\"counters\": {}"));
+        assert!(!r.to_json().contains("alert"));
+        assert_eq!(r.to_prometheus(), "");
     }
 
     #[test]

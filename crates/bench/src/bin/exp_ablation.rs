@@ -9,6 +9,7 @@
 
 use rb_attack::campaign::run_campaign;
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::analyzer::analyze;
 use rb_core::attacks::AttackId;
 use rb_core::recommend::{recommendations, RecommendationId};
@@ -67,6 +68,19 @@ fn main() {
     for (id, (vendors_hit, kills)) in &summary {
         println!("  {id}: applies to {vendors_hit} vendors, eliminates {kills} attack instances");
     }
+
+    // The machine-readable artifact: the ablation matrix as per-fix
+    // counters (all static-analysis numbers, fully deterministic).
+    let mut report = BenchReport::new("exp_ablation");
+    report
+        .meta("live", live)
+        .metric_u64("ablation_rows", rows.len() as u64);
+    for (id, (vendors_hit, kills)) in &summary {
+        report
+            .metric_u64(&format!("fix.{id}.vendors"), *vendors_hit as u64)
+            .metric_u64(&format!("fix.{id}.eliminates"), *kills as u64);
+    }
+    emit(&report, None);
 
     if live {
         // Validate one ablation dynamically: TP-LINK with DevId-only unbind

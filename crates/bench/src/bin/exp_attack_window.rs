@@ -13,6 +13,7 @@
 
 use rb_attack::Adversary;
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::design::VendorDesign;
 use rb_core::vendors;
 use rb_netsim::Telemetry;
@@ -168,4 +169,21 @@ fn main() {
     println!("shape check (paper §V-E): the race wins reliably on the DevId+app-bind design once");
     println!("the window exceeds the probe interval; DevToken designs never yield control; the");
     println!("device-initiated design leaves a ~2 ms window that realistic probing cannot hit.");
+
+    // The machine-readable artifact: the full win/alert grid, keyed by
+    // design and window (all deterministic sim-domain counts).
+    let mut report = BenchReport::new("exp_attack_window");
+    report.meta("seeds_per_point", seeds);
+    for (wi, &window) in windows.iter().enumerate() {
+        for (di, (name, _)) in designs.iter().enumerate() {
+            let (wins, alerts, burst) = results[&(wi, di)];
+            let key =
+                |stat: &str| format!("{}.win_{window}ms.{stat}", name.replace([' ', '/'], "_"));
+            report
+                .metric_u64(&key("wins"), wins as u64)
+                .metric_u64(&key("alerts"), alerts)
+                .metric_u64(&key("burst"), burst);
+        }
+    }
+    emit(&report, None);
 }

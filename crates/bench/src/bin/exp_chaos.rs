@@ -17,6 +17,7 @@
 //! ```
 
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::design::VendorDesign;
 use rb_core::vendors;
 use rb_netsim::telemetry::Histogram;
@@ -48,7 +49,33 @@ fn run_once(design: &VendorDesign, seed: u64, drop_per_mille: u16, telemetry: &T
     world.try_run_setup(HORIZON);
 }
 
-fn sweep(design: &VendorDesign, drop_per_mille: u16) -> Vec<String> {
+/// One sweep point's deterministic numbers (everything the table shows).
+struct SweepPoint {
+    drop_per_mille: u16,
+    converged: u64,
+    aborted: u64,
+    retries: u64,
+    burst: u64,
+    median: Option<u64>,
+    max: Option<u64>,
+}
+
+impl SweepPoint {
+    fn row(&self) -> Vec<String> {
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".into(), |t| t.to_string());
+        vec![
+            format!("{:.0}%", f64::from(self.drop_per_mille) / 10.0),
+            format!("{}/{}", self.converged, SEEDS.len()),
+            format!("{}/{}", self.aborted, SEEDS.len()),
+            self.retries.to_string(),
+            self.burst.to_string(),
+            opt(self.median),
+            opt(self.max),
+        ]
+    }
+}
+
+fn sweep(design: &VendorDesign, drop_per_mille: u16) -> SweepPoint {
     let telemetry = Telemetry::new();
     for seed in SEEDS {
         run_once(design, seed, drop_per_mille, &telemetry);
@@ -65,23 +92,15 @@ fn sweep(design: &VendorDesign, drop_per_mille: u16) -> Vec<String> {
     // (same `Telemetry::rate` helper the online monitor's anomaly
     // detectors use — no hand-rolled events-per-tick division).
     let burst = telemetry.rate("app_retries", 10_000);
-    let median = setups
-        .as_ref()
-        .and_then(|h| h.p50())
-        .map_or_else(|| "-".into(), |t| t.to_string());
-    let max = setups
-        .as_ref()
-        .and_then(|h| h.max())
-        .map_or_else(|| "-".into(), |t| t.to_string());
-    vec![
-        format!("{:.0}%", f64::from(drop_per_mille) / 10.0),
-        format!("{converged}/{}", SEEDS.len()),
-        format!("{aborted}/{}", SEEDS.len()),
-        retries.to_string(),
-        burst.to_string(),
-        median,
-        max,
-    ]
+    SweepPoint {
+        drop_per_mille,
+        converged,
+        aborted,
+        retries,
+        burst,
+        median: setups.as_ref().and_then(|h| h.p50()),
+        max: setups.as_ref().and_then(|h| h.max()),
+    }
 }
 
 fn main() {
@@ -92,10 +111,11 @@ fn main() {
         design.vendor
     );
 
-    let mut rows = Vec::new();
-    for drop_per_mille in [0u16, 100, 200, 300, 400, 500] {
-        rows.push(sweep(&design, drop_per_mille));
-    }
+    let points: Vec<SweepPoint> = [0u16, 100, 200, 300, 400, 500]
+        .into_iter()
+        .map(|d| sweep(&design, d))
+        .collect();
+    let rows: Vec<Vec<String>> = points.iter().map(SweepPoint::row).collect();
     println!(
         "{}",
         render_table(
@@ -114,4 +134,26 @@ fn main() {
 
     println!("shape check: convergence time and retry volume grow with loss but every seed");
     println!("terminates — either bound, or a clean abort once the retry budget is exhausted.");
+
+    // The machine-readable artifact: per-sweep-point counters keyed by
+    // drop rate, all deterministic sim-domain numbers.
+    let mut report = BenchReport::new("exp_chaos");
+    report
+        .meta("design", &design.vendor)
+        .meta("seeds", SEEDS.len());
+    for p in &points {
+        let key = |stat: &str| format!("drop_{}.{stat}", p.drop_per_mille);
+        report
+            .metric_u64(&key("converged"), p.converged)
+            .metric_u64(&key("aborted"), p.aborted)
+            .metric_u64(&key("retries"), p.retries)
+            .metric_u64(&key("retry_burst"), p.burst);
+        if let Some(m) = p.median {
+            report.metric_u64(&key("median_ticks"), m);
+        }
+        if let Some(m) = p.max {
+            report.metric_u64(&key("max_ticks"), m);
+        }
+    }
+    emit(&report, std::env::args().nth(1).as_deref());
 }

@@ -28,11 +28,11 @@
 //! cargo run --release -p rb-bench --bin exp_defense -- --out bench_defense.json
 //! ```
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use rb_attack::{run_attack, run_attack_opts, AttackOpts};
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_cloud::DefensePolicy;
 use rb_core::attacks::{AttackId, Feasibility};
 use rb_core::vendors::{self, vendor_designs};
@@ -253,46 +253,35 @@ fn main() {
         }
     );
 
-    // The machine-readable artifact (hand-rolled JSON; the workspace's
-    // serde is a no-op stub).
+    // The machine-readable artifact: the unified schema-versioned report
+    // (per-cell counters flattened to dotted metric keys).
     let precision = if precision_ok { 1.0 } else { 0.0 };
-    let mut json = format!(
-        "{{\"bench\":\"exp_defense\",\"seed\":{SEED},\"benign_runs\":{benign_runs},\
-         \"benign_alerts\":{benign_alerts},\"benign_mitigations\":{benign_mitigations},\
-         \"precision\":{precision:.3},\"recall\":{recall:.3},\
-         \"feasible_cells\":{feasible},\"detected_cells\":{detected},\
-         \"mitigated_cells\":{},\"min_window_reduction\":{},\
-         \"alerts_per_sec\":{alerts_per_sec:.0},\"thread_determinism\":{determinism_ok},\
-         \"cells\":[",
-        mitigated.len(),
-        min_reduction.map_or_else(|| "null".to_owned(), |w| w.to_string()),
-    );
-    for (i, c) in cells.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"vendor\":\"{}\",\"cell\":\"{}\",\"alerts\":{},\"mitigations\":{},\
-             \"window_reduction\":{}}}",
-            c.vendor,
-            c.id,
-            c.alerts,
-            c.mitigations,
-            c.window_reduction
-                .map_or_else(|| "null".to_owned(), |w| w.to_string()),
-        );
+    let mut report = BenchReport::new("exp_defense");
+    report
+        .meta("seed", SEED)
+        .metric_u64("benign_runs", benign_runs)
+        .metric_u64("benign_alerts", benign_alerts)
+        .metric_u64("benign_mitigations", benign_mitigations)
+        .metric_f64("precision", precision)
+        .metric_f64("recall", recall)
+        .metric_u64("feasible_cells", feasible as u64)
+        .metric_u64("detected_cells", detected as u64)
+        .metric_u64("mitigated_cells", mitigated.len() as u64)
+        .metric_f64("alerts_per_sec", alerts_per_sec)
+        .metric_bool("thread_determinism", determinism_ok);
+    if let Some(w) = min_reduction {
+        report.metric_u64("min_window_reduction", w);
     }
-    json.push_str("]}");
-    println!("BENCH {json}");
-
-    if let Some(path) = out_path {
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("exp_defense: cannot write {path}: {e}");
-            std::process::exit(1);
+    for c in &cells {
+        let key = |stat: &str| format!("{}.{}.{stat}", c.vendor, c.id);
+        report
+            .metric_u64(&key("alerts"), c.alerts)
+            .metric_u64(&key("mitigations"), c.mitigations);
+        if let Some(w) = c.window_reduction {
+            report.metric_u64(&key("window_reduction"), w);
         }
-        eprintln!("wrote {path}");
     }
+    emit(&report, out_path.as_deref());
 
     let mut failed = false;
     if !precision_ok {

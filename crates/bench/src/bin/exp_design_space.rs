@@ -8,6 +8,7 @@
 //! ```
 
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::analyzer::analyze;
 use rb_core::attacks::AttackId;
 use rb_core::explore::{all_designs, check_theorems, minimal_secure_design, survey};
@@ -96,4 +97,20 @@ fn main() {
         "\nof the paper's ten real vendors, {secure_vendors} fall in the fully-secure region (paper: 1 — Philips Hue)"
     );
     let _ = all_designs();
+
+    // The machine-readable artifact (exhaustive static sweep).
+    let mut report = BenchReport::new("exp_design_space");
+    report
+        .metric_u64("designs_total", stats.total as u64)
+        .metric_u64("fully_secure", stats.fully_secure as u64)
+        .metric_u64("provably_secure", stats.provably_secure as u64)
+        .metric_u64("theorem_violations", violations.len() as u64)
+        .metric_u64("secure_vendors", secure_vendors as u64);
+    for id in AttackId::ALL {
+        report.metric_u64(
+            &format!("{id}.feasible_designs"),
+            stats.feasible_counts.get(&id).copied().unwrap_or(0) as u64,
+        );
+    }
+    emit(&report, std::env::args().nth(1).as_deref());
 }

@@ -13,6 +13,7 @@
 
 use rb_attack::campaign::run_all_parallel;
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::attacks::AttackId;
 
 fn main() {
@@ -61,6 +62,17 @@ fn main() {
     println!("\nsignature key: foreign-unbind = A3-2 | bare-unbind = A3-1 | binding-replaced =");
     println!("A3-3/A4-1 | session-moved = status forgery (A1/A3-4) | remote-only-bind = A2/A4-2");
     println!("| enumeration = §V-C sweeps. No protocol change required — the monitor is passive.");
+
+    // The machine-readable artifact (deterministic campaign-derived counts).
+    let mut report = BenchReport::new("exp_detection");
+    report
+        .metric_u64(
+            "successful_attacks",
+            (noisy_successes + silent_successes) as u64,
+        )
+        .metric_u64("noisy_successes", noisy_successes as u64)
+        .metric_u64("silent_successes", silent_successes as u64);
+    emit(&report, None);
 
     assert!(
         silent_successes == 0,

@@ -5,28 +5,50 @@
 //!
 //! The attacker enumerates the ID space of a product series and occupies
 //! every binding before the owners set up. Measured across series sizes,
-//! for a vulnerable design vs the capability-based reference.
+//! for a vulnerable design vs the capability-based reference — under the
+//! phase profiler and the counting allocator, so the bench also reports
+//! homes/sec, peak bytes/home, and where the ticks went.
+//!
+//! Prints the human table, then a single `BENCH ` line with the
+//! schema-versioned [`rb_bench::report::BenchReport`] document;
+//! `benches/baselines/dos_scale.json` gates the deterministic fields in
+//! CI via `rb_bench::compare`.
 //!
 //! ```text
 //! cargo run -p rb-bench --bin exp_dos_scale
+//! cargo run -p rb-bench --bin exp_dos_scale -- out.json
 //! ```
+
+use std::time::Instant;
 
 use rb_attack::Adversary;
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::design::VendorDesign;
 use rb_core::vendors;
+use rb_prof::{AllocScope, CountingAlloc, Profiler};
 use rb_scenario::WorldBuilder;
 use rb_wire::ids::IdScheme;
 use rb_wire::messages::{BindPayload, Message, Response};
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 /// Occupies every enumerable device of a series pre-setup, then lets the
 /// victims try. Returns (bindings occupied, victims locked out).
-fn dos_series(design: &VendorDesign, homes: usize, seed: u64) -> (usize, usize) {
+fn dos_series(
+    design: &VendorDesign,
+    homes: usize,
+    seed: u64,
+    profiler: &Profiler,
+) -> (usize, usize) {
     let mut world = WorldBuilder::new(design.clone(), seed)
         .homes(homes)
         .victim_paused()
+        .with_profiler(profiler.clone())
         .build();
     let mut adv = Adversary::new();
+    let token = profiler.enter("dos.enumerate", world.now().as_u64());
     let user_token = adv.login(&mut world);
 
     // Enumerate the ID space in allocation order (sequential IDs!) and fire
@@ -45,16 +67,20 @@ fn dos_series(design: &VendorDesign, homes: usize, seed: u64) -> (usize, usize) 
             occupied += 1;
         }
     }
+    profiler.exit(token, world.now().as_u64());
 
     // The victims unbox their devices.
+    let token = profiler.enter("dos.victim_setup", world.now().as_u64());
     world.resume_victims();
     world.try_run_setup(150_000);
     let locked_out = (0..homes).filter(|&i| !world.app(i).is_bound()).count();
+    profiler.exit(token, world.now().as_u64());
     (occupied, locked_out)
 }
 
 fn main() {
     println!("EXP-DOS: scalable binding denial-of-service over a product series\n");
+    let out_path = std::env::args().nth(1);
 
     // A vulnerable vendor with sequential IDs (OZWI-style camera line).
     let mut vulnerable = vendors::ozwi();
@@ -64,10 +90,21 @@ fn main() {
     };
     let secure = vendors::capability_reference();
 
+    let profiler = Profiler::new();
+    let scope = AllocScope::start();
+    let started = Instant::now();
+    let mut report = BenchReport::new("exp_dos_scale");
     let mut rows = Vec::new();
+    let mut homes_total = 0usize;
     for homes in [1usize, 2, 4, 8, 16] {
-        let (occ_v, lock_v) = dos_series(&vulnerable, homes, 7_000 + homes as u64);
-        let (occ_s, lock_s) = dos_series(&secure, homes, 9_000 + homes as u64);
+        let (occ_v, lock_v) = dos_series(&vulnerable, homes, 7_000 + homes as u64, &profiler);
+        let (occ_s, lock_s) = dos_series(&secure, homes, 9_000 + homes as u64, &profiler);
+        homes_total += homes * 2;
+        report
+            .metric_u64(&format!("occupied_vulnerable_{homes}"), occ_v as u64)
+            .metric_u64(&format!("locked_out_vulnerable_{homes}"), lock_v as u64)
+            .metric_u64(&format!("occupied_capability_{homes}"), occ_s as u64)
+            .metric_u64(&format!("locked_out_capability_{homes}"), lock_s as u64);
         rows.push(vec![
             homes.to_string(),
             format!("{occ_v}/{homes}"),
@@ -76,6 +113,9 @@ fn main() {
             format!("{lock_s}/{homes}"),
         ]);
     }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let alloc = scope.finish();
+    let profile = profiler.snapshot();
     println!(
         "{}",
         render_table(
@@ -92,4 +132,27 @@ fn main() {
 
     println!("shape check (paper §V-C): the DoS scales linearly over the whole series for");
     println!("ACL designs with sequential IDs, and is identically zero for capability binding.");
+    println!(
+        "\nenvelope: {homes_total} homes in {elapsed_secs:.2}s ({:.0} homes/s), peak live {} bytes \
+         ({:.0} bytes/home)",
+        homes_total as f64 / elapsed_secs,
+        alloc.peak_live_bytes,
+        alloc.peak_live_bytes as f64 / homes_total.max(1) as f64
+    );
+    println!("phase ticks: {}\n", profile.total_ticks());
+
+    report
+        .meta("series_sizes", "1,2,4,8,16")
+        .metric_u64("homes_total", homes_total as u64)
+        .metric_u64("total_ticks", profile.total_ticks())
+        .metric_f64("elapsed_secs", elapsed_secs)
+        .metric_f64("homes_per_sec", homes_total as f64 / elapsed_secs)
+        .metric_u64("peak_alloc_bytes", alloc.peak_live_bytes)
+        .metric_u64(
+            "peak_bytes_per_home",
+            alloc.peak_live_bytes / homes_total.max(1) as u64,
+        )
+        .with_alloc(alloc)
+        .with_profile(&profile);
+    emit(&report, out_path.as_deref());
 }

@@ -1,33 +1,42 @@
-//! EXP-FLEET — population-scale sweep throughput and parallel speedup.
+//! EXP-FLEET — population-scale sweep throughput, parallel speedup, and
+//! the memory/phase envelope.
 //!
 //! The perf baseline for every future scale PR. Runs the paper-scale fleet
 //! sweep — all ten Table III vendor designs × 16 seeds with 1000 homes
 //! spread across the 160 cells — once serially and once with a worker
-//! pool, then reports:
+//! pool, both under the phase profiler, then reports:
 //!
 //! * `cells_per_sec` / `homes_per_sec` — sweep throughput (parallel run),
 //! * `cell_p50_ms` / `cell_p95_ms` — per-cell wall latency quantiles,
 //! * `speedup` — serial wall time over parallel wall time,
-//! * `deterministic` — whether the two merged reports are byte-identical
-//!   (they must be; the fleet determinism tests enforce the same thing).
+//! * `peak_alloc_bytes` / `peak_bytes_per_home` — the counting
+//!   allocator's window over the parallel pass,
+//! * the merged phase tree (`fleet.cell` → `sim.*` ticks), and
+//! * `deterministic` — whether the two merged reports **and** the two
+//!   merged folded profiles are byte-identical (they must be; the fleet
+//!   determinism tests enforce the same thing).
 //!
-//! Throughput and speedup are wall-clock, machine-dependent numbers: on a
-//! single-core CI runner the speedup will sit near 1.0, on an 8-way
-//! machine the sweep is embarrassingly parallel and the speedup tracks the
-//! core count. `deterministic` is the only field with a pinned expectation.
+//! Throughput, speedup, and allocator numbers are machine/build-dependent;
+//! `deterministic` and the phase ticks are the pinned expectations —
+//! `benches/baselines/fleet.json` gates them in CI via `rb_bench::compare`.
 //!
-//! Prints a human summary, then a single `BENCH ` line with a JSON
-//! document (CI uploads it as the fleet artifact):
+//! Prints a human summary, then a single `BENCH ` line with the
+//! schema-versioned [`rb_bench::report::BenchReport`] document:
 //!
 //! ```text
 //! cargo run --release -p rb-bench --bin exp_fleet
 //! cargo run --release -p rb-bench --bin exp_fleet -- out.json
 //! cargo run --release -p rb-bench --bin exp_fleet -- --homes 200 --threads 4
+//! RB_BENCH_OUT=artifacts cargo run --release -p rb-bench --bin exp_fleet
 //! ```
 
-use std::fmt::Write as _;
+use rb_bench::report::{emit, BenchReport};
+use rb_fleet::{run_fleet_profiled, FleetSpec};
+use rb_prof::{AllocScope, CountingAlloc};
 
-use rb_fleet::{run_fleet, FleetSpec};
+/// Measure the whole binary, so the sweep's peak shows up in the window.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let mut homes = 1000usize;
@@ -57,16 +66,19 @@ fn main() {
         spec.total_homes()
     );
 
-    println!("serial pass (1 thread)...");
-    let (serial_report, serial_t) = run_fleet(&spec.clone().threads(1));
+    println!("serial pass (1 thread, profiled)...");
+    let (serial_report, serial_profile, serial_t) = run_fleet_profiled(&spec.clone().threads(1));
     println!(
         "  {:.2}s wall, {:.1} cells/s",
         serial_t.total_nanos as f64 / 1e9,
         serial_t.cells_per_sec()
     );
 
-    println!("parallel pass ({threads} threads)...");
-    let (parallel_report, parallel_t) = run_fleet(&spec.clone().threads(threads));
+    println!("parallel pass ({threads} threads, profiled)...");
+    let scope = AllocScope::start();
+    let (parallel_report, parallel_profile, parallel_t) =
+        run_fleet_profiled(&spec.clone().threads(threads));
+    let alloc = scope.finish();
     println!(
         "  {:.2}s wall, {:.1} cells/s",
         parallel_t.total_nanos as f64 / 1e9,
@@ -74,18 +86,21 @@ fn main() {
     );
 
     let deterministic = serial_report.render() == parallel_report.render()
-        && serial_report.to_json() == parallel_report.to_json();
+        && serial_report.to_json() == parallel_report.to_json()
+        && serial_profile.folded() == parallel_profile.folded();
     let speedup = serial_t.total_nanos as f64 / parallel_t.total_nanos.max(1) as f64;
     let total_secs = parallel_t.total_nanos as f64 / 1e9;
-    let homes_per_sec = parallel_report.homes() as f64 / total_secs;
+    let homes_total = parallel_report.homes();
+    let homes_per_sec = homes_total as f64 / total_secs;
     let p50_ms = parallel_t.quantile_nanos(0.5) as f64 / 1e6;
     let p95_ms = parallel_t.quantile_nanos(0.95) as f64 / 1e6;
+    let peak_bytes_per_home = alloc.peak_live_bytes as f64 / homes_total.max(1) as f64;
 
     println!(
         "\ncells={} converged={} homes={} control_homes={}",
         parallel_report.cells.len(),
         parallel_report.converged(),
-        parallel_report.homes(),
+        homes_total,
         parallel_report.control_homes()
     );
     println!(
@@ -93,44 +108,45 @@ fn main() {
         parallel_t.cells_per_sec()
     );
     println!("speedup vs serial: {speedup:.2}x at {threads} threads");
-    println!("merged reports byte-identical: {deterministic} (required — serial and parallel runs");
-    println!("must agree; throughput and speedup are machine-dependent wall-clock numbers).\n");
-
-    let mut json = String::from("{\"bench\":\"exp_fleet\",");
-    let _ = write!(
-        json,
-        "\"designs\":{},\"seeds\":{},\"cells\":{},\"homes_per_cell\":{},\"homes_total\":{},\
-         \"threads\":{threads},\"converged\":{},\"control_homes\":{},\
-         \"serial_secs\":{:.3},\"parallel_secs\":{:.3},\
-         \"cells_per_sec\":{:.2},\"homes_per_sec\":{:.1},\
-         \"cell_p50_ms\":{:.2},\"cell_p95_ms\":{:.2},\
-         \"speedup\":{:.3},\"deterministic\":{deterministic}}}",
-        spec.designs.len(),
-        spec.seeds.len(),
-        cells,
-        spec.homes_per_cell,
-        parallel_report.homes(),
-        parallel_report.converged(),
-        parallel_report.control_homes(),
-        serial_t.total_nanos as f64 / 1e9,
-        total_secs,
-        parallel_t.cells_per_sec(),
-        homes_per_sec,
-        p50_ms,
-        p95_ms,
-        speedup,
+    println!(
+        "alloc (parallel pass): peak live {} bytes ({peak_bytes_per_home:.0} bytes/home), {} allocations",
+        alloc.peak_live_bytes, alloc.allocs_total
     );
-    println!("BENCH {json}");
+    println!("\nhot phases (merged over all cells, sim ticks):");
+    print!("{}", parallel_profile.hot_table(8));
+    println!(
+        "\nmerged reports and profiles byte-identical: {deterministic} (required — serial and"
+    );
+    println!(
+        "parallel runs must agree; wall-clock and allocator numbers are machine-dependent).\n"
+    );
+
+    let mut report = BenchReport::new("exp_fleet");
+    report
+        .meta("designs", spec.designs.len())
+        .meta("seeds", spec.seeds.len())
+        .meta("homes_per_cell", spec.homes_per_cell)
+        .meta("threads", threads)
+        .metric_u64("cells", cells as u64)
+        .metric_u64("homes_total", homes_total as u64)
+        .metric_u64("converged", parallel_report.converged() as u64)
+        .metric_u64("control_homes", parallel_report.control_homes() as u64)
+        .metric_bool("deterministic", deterministic)
+        .metric_f64("serial_secs", serial_t.total_nanos as f64 / 1e9)
+        .metric_f64("parallel_secs", total_secs)
+        .metric_f64("cells_per_sec", parallel_t.cells_per_sec())
+        .metric_f64("homes_per_sec", homes_per_sec)
+        .metric_f64("cell_p50_ms", p50_ms)
+        .metric_f64("cell_p95_ms", p95_ms)
+        .metric_f64("speedup", speedup)
+        .metric_u64("peak_alloc_bytes", alloc.peak_live_bytes)
+        .metric_u64("peak_bytes_per_home", peak_bytes_per_home as u64)
+        .with_alloc(alloc)
+        .with_profile(&parallel_profile);
+    emit(&report, out_path.as_deref());
 
     if !deterministic {
-        eprintln!("exp_fleet: serial and parallel merged reports diverged");
+        eprintln!("exp_fleet: serial and parallel merged reports or profiles diverged");
         std::process::exit(1);
-    }
-    if let Some(path) = out_path {
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("exp_fleet: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
     }
 }

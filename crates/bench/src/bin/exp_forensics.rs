@@ -33,11 +33,11 @@
 //! cargo run --release -p rb-bench --bin exp_forensics -- --out out.json
 //! ```
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use rb_attack::{run_attack_opts, AttackOpts};
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::attacks::{AttackId, Feasibility};
 use rb_core::vendors::vendor_designs;
 use rb_forensics::classify;
@@ -183,36 +183,24 @@ fn main() {
     );
     println!("events/s is wall-clock classifier throughput on this machine.\n");
 
-    // The machine-readable artifact: one JSON document on a single
-    // `BENCH ` line (hand-rolled — the workspace's serde is a no-op stub).
-    let mut json = format!("{{\"bench\":\"exp_forensics\",\"seed\":{SEED},");
-    let _ = write!(
-        json,
-        "\"precision\":{precision:.3},\"recall\":{recall:.3},\
-         \"events_total\":{events},\"events_per_sec\":{:.0},\"vendors\":[",
-        events as f64 / secs
-    );
-    for (i, s) in stats.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"vendor\":\"{}\",\"feasible\":{},\"reconstructed\":{},\
-             \"benign_false_positives\":{},\"events\":{}}}",
-            s.vendor, s.feasible, s.reconstructed, s.false_positives, s.events
-        );
+    // The machine-readable artifact: the unified schema-versioned report
+    // (per-vendor counters flattened to dotted metric keys).
+    let mut report = BenchReport::new("exp_forensics");
+    report
+        .meta("seed", SEED)
+        .metric_f64("precision", precision)
+        .metric_f64("recall", recall)
+        .metric_u64("events_total", events as u64)
+        .metric_f64("events_per_sec", events as f64 / secs);
+    for s in &stats {
+        let key = |stat: &str| format!("{}.{stat}", s.vendor);
+        report
+            .metric_u64(&key("feasible"), s.feasible as u64)
+            .metric_u64(&key("reconstructed"), s.reconstructed as u64)
+            .metric_u64(&key("benign_false_positives"), s.false_positives as u64)
+            .metric_u64(&key("events"), s.events as u64);
     }
-    json.push_str("]}");
-    println!("BENCH {json}");
-
-    if let Some(path) = out_path {
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("exp_forensics: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
-    }
+    emit(&report, out_path.as_deref());
     if precision < 1.0 || recall < 1.0 {
         eprintln!("exp_forensics: reconstruction fell short of the acceptance bar");
         std::process::exit(1);

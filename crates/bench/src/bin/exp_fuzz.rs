@@ -28,9 +28,9 @@
 //! `unshrunk_findings:0`, `replay_failures:0`, `cells >= 3`, and
 //! `best_coverage_pct >= 95`. Exits nonzero if any gate fails.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use rb_bench::report::{emit, BenchReport};
 use rb_core::vendors::{capability_reference, public_key_reference, vendor_designs};
 use rb_fuzz::campaign::{render_acts, run_campaign, FuzzConfig};
 use rb_fuzz::interp::validate_finding;
@@ -167,38 +167,29 @@ fn main() {
          unshrunk: {unshrunk} | replay failures: {replay_failures}\n"
     );
 
-    // `BENCH ` line (hand-rolled — the workspace's serde is a no-op stub).
-    let mut json = String::from("{\"bench\":\"exp_fuzz\",");
-    let _ = write!(
-        json,
-        "\"seed\":{},\"runs_per_design\":{},\"designs\":{},\
-         \"acts_executed\":{acts_total},\"steps_executed\":{steps_total},\
-         \"unique_states\":{unique_states_total},\"execs_per_sec\":{execs_per_sec:.0},\
-         \"findings\":{findings_total},\"shrink_steps_total\":{shrink_steps_total},\
-         \"cells\":[{}],\"distinct_cells\":{},\"best_coverage_pct\":{best_coverage:.2},\
-         \"deterministic\":{deterministic},\"disagreements\":{disagreements},\
-         \"unshrunk_findings\":{unshrunk},\"oversize_findings\":{oversize},\
-         \"reference_dirty\":{reference_dirty},\
-         \"witnesses_replayed\":{replayed},\"replay_failures\":{replay_failures}}}",
-        cfg.seed,
-        cfg.runs,
-        designs.len(),
-        cell_names
-            .iter()
-            .map(|c| format!("\"{c}\""))
-            .collect::<Vec<_>>()
-            .join(","),
-        cells.len(),
-    );
-    println!("BENCH {json}");
-
-    if let Some(path) = out_path {
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("exp_fuzz: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
-    }
+    // The machine-readable artifact: the unified schema-versioned report.
+    let mut report = BenchReport::new("exp_fuzz");
+    report
+        .meta("seed", cfg.seed)
+        .meta("runs_per_design", cfg.runs)
+        .meta("designs", designs.len())
+        .metric_u64("acts_executed", acts_total as u64)
+        .metric_u64("steps_executed", steps_total as u64)
+        .metric_u64("unique_states", unique_states_total as u64)
+        .metric_f64("execs_per_sec", execs_per_sec)
+        .metric_u64("findings", findings_total as u64)
+        .metric_u64("shrink_steps_total", shrink_steps_total as u64)
+        .metric_text("cells", &cell_names.join(","))
+        .metric_u64("distinct_cells", cells.len() as u64)
+        .metric_f64("best_coverage_pct", best_coverage)
+        .metric_bool("deterministic", deterministic)
+        .metric_u64("disagreements", disagreements as u64)
+        .metric_u64("unshrunk_findings", unshrunk as u64)
+        .metric_u64("oversize_findings", oversize as u64)
+        .metric_u64("reference_dirty", reference_dirty as u64)
+        .metric_u64("witnesses_replayed", replayed as u64)
+        .metric_u64("replay_failures", replay_failures as u64);
+    emit(&report, out_path.as_deref());
     let pass = deterministic
         && disagreements == 0
         && unshrunk == 0

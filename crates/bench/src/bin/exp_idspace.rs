@@ -17,6 +17,7 @@ use std::collections::HashSet;
 use rb_attack::idspace::{
     cost_table, random_sweep, sequential_sweep, vendor_leak_channels, EnumerationCost,
 };
+use rb_bench::report::{emit, BenchReport};
 use rb_bench::{human_secs, render_table};
 use rb_netsim::SimRng;
 use rb_wire::ids::{DevId, IdScheme};
@@ -106,6 +107,13 @@ ID acquisition per studied vendor (paper §VI-A):"
     // bounded sweep find?
     println!("\nsimulated sweeps against a 1000-unit product series (100k probes):");
     let mut rng = SimRng::new(99);
+    let mut report = BenchReport::new("exp_idspace");
+    report
+        .meta("population", 1000)
+        .meta("probe_budget", 100_000)
+        .metric_bool("six_digit_within_hour", six.within_an_hour())
+        .metric_bool("seven_digit_within_hour", seven.within_an_hour())
+        .metric_u64("mac_oui_search_space", mac.search_space as u64);
     let mut rows = Vec::new();
     for (name, scheme) in [
         (
@@ -127,6 +135,10 @@ ID acquisition per studied vendor (paper §VI-A):"
         let population: HashSet<DevId> = (0..1000).map(|i| scheme.id_at(i)).collect();
         let seq = sequential_sweep(&scheme, &population, 100_000);
         let rnd = random_sweep(&scheme, &population, 100_000, &mut rng);
+        let key = name.replace([' ', '/'], "_");
+        report
+            .metric_u64(&format!("{key}.sequential_hits"), seq.hits.len() as u64)
+            .metric_u64(&format!("{key}.random_hits"), rnd.hits.len() as u64);
         rows.push(vec![
             name.to_owned(),
             format!("{}/1000", seq.hits.len()),
@@ -161,4 +173,6 @@ with a 10 req/s per-source rate limit (rb-cloud supports one; no studied vendor 
                 .unwrap_or_else(|| "forever".into())
         );
     }
+
+    emit(&report, std::env::args().nth(1).as_deref());
 }

@@ -17,6 +17,7 @@
 //! self-check for the rule registry.
 
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::vendors::vendor_designs;
 use rb_lint::diagnostic::Severity;
 use rb_lint::harness::{false_alarms_on_minimal_secure, sweep};
@@ -81,6 +82,19 @@ fn main() {
         "{}",
         render_table(&["vendor", "err", "warn", "note", "error rules"], &rows)
     );
+
+    // The machine-readable artifact (static sweep — fully deterministic).
+    let mut report = BenchReport::new("exp_lint");
+    report
+        .metric_u64("designs_swept", outcome.designs as u64)
+        .metric_u64("flagged", outcome.flagged as u64)
+        .metric_u64("clean", outcome.clean as u64)
+        .metric_u64("feasible_pairs", outcome.feasible_pairs as u64)
+        .metric_u64("soundness_violations", outcome.violations.len() as u64)
+        .metric_u64("false_alarms_on_minimal_secure", alarms.len() as u64)
+        .metric_bool("sound", outcome.is_sound())
+        .metric_bool("precise", alarms.is_empty());
+    emit(&report, std::env::args().nth(1).as_deref());
 
     if !outcome.is_sound() || !alarms.is_empty() {
         std::process::exit(1);

@@ -24,9 +24,9 @@
 //! `replay_failures` are the fields with pinned expectations (true / 0 /
 //! 0). Exits nonzero if any gate fails.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use rb_bench::report::{emit, BenchReport};
 use rb_core::design::VendorDesign;
 use rb_core::explore::all_designs;
 use rb_core::vendors::vendor_designs;
@@ -178,38 +178,29 @@ fn main() {
     }
     println!("  {replayed} witness(es) reproduced live, {replay_failures} failure(s)\n");
 
-    // `BENCH ` line (hand-rolled — the workspace's serde is a no-op stub).
-    let mut json = String::from("{\"bench\":\"exp_mc\",");
-    let _ = write!(
-        json,
-        "\"designs\":{},\"vendors_only\":{vendors_only},\"threads\":{threads},\
-         \"states_total\":{},\"transitions_total\":{},\
-         \"attacker_bound\":{},\"attacker_control\":{},\"user_disconnect\":{},\
-         \"stale_session\":{},\"rebind_livelock\":{},\"secure_designs\":{},\
-         \"sweep_secs\":{sweep_secs:.3},\"states_per_sec\":{states_per_sec:.0},\
-         \"designs_per_sec\":{designs_per_sec:.1},\"shadow_coverage_mean_pct\":{avg_coverage:.2},\
-         \"deterministic\":{deterministic},\"disagreements\":{},\
-         \"witnesses_replayed\":{replayed},\"replay_failures\":{replay_failures}}}",
-        designs.len(),
-        totals.states,
-        totals.transitions,
-        totals.violations[0],
-        totals.violations[1],
-        totals.violations[2],
-        totals.violations[3],
-        totals.violations[4],
-        totals.secure,
-        totals.disagreements,
-    );
-    println!("BENCH {json}");
-
-    if let Some(path) = out_path {
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("exp_mc: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
-    }
+    // The machine-readable artifact: the unified schema-versioned report.
+    let mut report = BenchReport::new("exp_mc");
+    report
+        .meta("vendors_only", vendors_only)
+        .meta("threads", threads)
+        .metric_u64("designs", designs.len() as u64)
+        .metric_u64("states_total", totals.states as u64)
+        .metric_u64("transitions_total", totals.transitions as u64)
+        .metric_u64("attacker_bound", totals.violations[0] as u64)
+        .metric_u64("attacker_control", totals.violations[1] as u64)
+        .metric_u64("user_disconnect", totals.violations[2] as u64)
+        .metric_u64("stale_session", totals.violations[3] as u64)
+        .metric_u64("rebind_livelock", totals.violations[4] as u64)
+        .metric_u64("secure_designs", totals.secure as u64)
+        .metric_f64("sweep_secs", sweep_secs)
+        .metric_f64("states_per_sec", states_per_sec)
+        .metric_f64("designs_per_sec", designs_per_sec)
+        .metric_f64("shadow_coverage_mean_pct", avg_coverage)
+        .metric_bool("deterministic", deterministic)
+        .metric_u64("disagreements", totals.disagreements as u64)
+        .metric_u64("witnesses_replayed", replayed as u64)
+        .metric_u64("replay_failures", replay_failures as u64);
+    emit(&report, out_path.as_deref());
     if !deterministic || totals.disagreements > 0 || replay_failures > 0 {
         eprintln!("exp_mc: a verification gate failed");
         std::process::exit(1);

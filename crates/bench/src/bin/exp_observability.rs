@@ -25,10 +25,10 @@
 //!
 //! With a path argument the same JSON is also written to that file.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use rb_bench::render_table;
+use rb_bench::report::{emit, BenchReport};
 use rb_core::vendors;
 use rb_netsim::telemetry::{Histogram, Registry};
 use rb_scenario::metrics_run;
@@ -62,21 +62,6 @@ fn cell(h: Option<&Histogram>) -> String {
             format!("{}/{}/{}", fmt(h.p50()), fmt(h.p95()), fmt(h.max()))
         }
         _ => "-".into(),
-    }
-}
-
-/// JSON fragment for one histogram: counts and tick percentiles.
-fn json_hist(h: Option<&Histogram>) -> String {
-    let num = |v: Option<u64>| v.map_or_else(|| "null".into(), |t| t.to_string());
-    match h {
-        Some(h) if h.count() > 0 => format!(
-            "{{\"count\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
-            h.count(),
-            num(h.p50()),
-            num(h.p95()),
-            num(h.max())
-        ),
-        _ => "{\"count\":0,\"p50\":null,\"p95\":null,\"max\":null}".into(),
     }
 }
 
@@ -140,44 +125,33 @@ fn main() {
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
     let total_secs: f64 = stats.iter().map(|s| s.elapsed_secs).sum();
 
-    // The machine-readable artifact: one JSON document on a single
-    // `BENCH ` line (hand-rolled — the workspace's serde is a no-op stub).
-    let mut json = String::from("{\"bench\":\"exp_observability\",\"seeds\":[7,11,13],");
-    let _ = write!(
-        json,
-        "\"events_total\":{total_events},\"events_per_sec\":{:.0},\"vendors\":[",
-        total_events as f64 / total_secs
-    );
-    for (i, s) in stats.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(json, "{{\"vendor\":\"{}\",", s.vendor);
-        for (j, (_, metric)) in LIFECYCLE.iter().enumerate() {
-            if j > 0 {
-                json.push(',');
+    // The machine-readable artifact: the unified schema-versioned report
+    // (per-vendor histograms flattened to dotted metric keys, so every
+    // percentile is individually gate-able against a baseline).
+    let mut report = BenchReport::new("exp_observability");
+    report
+        .meta("seeds", "7,11,13")
+        .metric_u64("events_total", total_events)
+        .metric_f64("events_per_sec", total_events as f64 / total_secs);
+    for s in &stats {
+        for (_, metric) in LIFECYCLE {
+            let h = s.merged.histogram(metric).filter(|h| h.count() > 0);
+            let key = |stat: &str| format!("{}.{metric}.{stat}", s.vendor);
+            report.metric_u64(&key("count"), h.map_or(0, Histogram::count));
+            for (stat, value) in [
+                ("p50", h.and_then(Histogram::p50)),
+                ("p95", h.and_then(Histogram::p95)),
+                ("max", h.and_then(Histogram::max)),
+            ] {
+                if let Some(v) = value {
+                    report.metric_u64(&key(stat), v);
+                }
             }
-            let _ = write!(
-                json,
-                "\"{metric}\":{}",
-                json_hist(s.merged.histogram(metric))
-            );
         }
-        let _ = write!(
-            json,
-            ",\"setups_converged\":{},\"events_per_sec\":{:.0}}}",
-            s.converged,
-            s.events as f64 / s.elapsed_secs
+        report.metric_u64(
+            &format!("{}.setups_converged", s.vendor),
+            s.converged as u64,
         );
     }
-    json.push_str("]}");
-    println!("BENCH {json}");
-
-    if let Some(path) = std::env::args().nth(1) {
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("exp_observability: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
-    }
+    emit(&report, std::env::args().nth(1).as_deref());
 }

@@ -25,6 +25,8 @@
 //! | `exp_observability` | extension — binding-latency percentiles + sim throughput |
 //! | `rbsim` | the whole toolkit as one CLI |
 
+pub mod report;
+
 use std::fmt::Write as _;
 
 /// Renders an ASCII table: a header row plus data rows, column-aligned.

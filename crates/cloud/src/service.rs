@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use rb_core::design::{BindScheme, CloudChecks, DeviceAuthScheme, UnbindSupport, VendorDesign};
 use rb_core::shadow::ShadowState;
-use rb_netsim::{Actor, Ctx, Dest, NodeId, SimRng, Telemetry, Tick};
+use rb_netsim::{Actor, Ctx, Dest, NodeId, Profiler, SimRng, Telemetry, Tick};
 use rb_wire::envelope::Envelope;
 use rb_wire::ids::DevId;
 use rb_wire::messages::{
@@ -133,6 +133,10 @@ pub struct CloudService {
     bind_rate: HashMap<NodeId, (Tick, u32)>,
     monitor: Monitor,
     telemetry: Telemetry,
+    /// Phase profiler: disabled by default (one branch per request); a
+    /// recording handle tallies the codec round-trip and dispatch under
+    /// the simulation's open `sim.deliver` phase.
+    profiler: Profiler,
     forensics: bool,
     forensic_marks: Vec<String>,
 }
@@ -155,6 +159,7 @@ impl CloudService {
             bind_rate: HashMap::new(),
             monitor: Monitor::new(),
             telemetry: Telemetry::new(),
+            profiler: Profiler::disabled(),
             forensics: false,
             forensic_marks: Vec::new(),
         }
@@ -219,6 +224,13 @@ impl CloudService {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.monitor.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    /// Installs a phase profiler (usually the simulation's handle, so the
+    /// cloud's `cloud.decode` / `cloud.dispatch` / `cloud.encode` tallies
+    /// nest under the open `sim.deliver` phase).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The telemetry handle this cloud records into.
@@ -1346,6 +1358,9 @@ impl Actor for CloudService {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        // One tally per wire-level decode attempt, garbage included: the
+        // codec leg of the request round-trip.
+        self.profiler.tally("cloud.decode", 0);
         let Ok(Envelope::Request { corr, msg }) = Envelope::decode(payload) else {
             // Responses and garbage are ignored; a real cloud would log.
             return;
@@ -1356,6 +1371,7 @@ impl Actor for CloudService {
             let rng = ctx.rng();
             // Fork keeps determinism while avoiding aliasing ctx.
             let mut local = rng.fork();
+            self.profiler.tally("cloud.dispatch", 0);
             self.handle_message(from, now, &msg, &mut local)
         };
         if self.forensics {
@@ -1370,6 +1386,7 @@ impl Actor for CloudService {
                 ctx.mark(text);
             }
         }
+        self.profiler.tally("cloud.encode", 0);
         ctx.send(
             Dest::Unicast(from),
             Envelope::Response {
@@ -1380,6 +1397,7 @@ impl Actor for CloudService {
             .to_vec(),
         );
         for (node, rsp) in outcome.pushes {
+            self.profiler.tally("cloud.encode", 0);
             ctx.send(Dest::Unicast(node), Envelope::push(rsp).encode().to_vec());
         }
     }

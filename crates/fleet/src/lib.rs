@@ -44,6 +44,7 @@ use std::time::Instant;
 
 use rb_core::design::VendorDesign;
 use rb_core::vendors::vendor_designs;
+use rb_prof::{PhaseProfile, Profiler};
 use rb_scenario::{ChaosProfile, WorldBuilder};
 use rb_telemetry::Telemetry;
 
@@ -198,9 +199,25 @@ impl FleetSpec {
 /// Runs one cell to completion: builds the private world, injects the
 /// profile's faults, runs setup, reduces to a [`CellReport`].
 pub fn run_cell(cell: &Cell) -> CellReport {
+    run_cell_with(cell, Profiler::disabled())
+}
+
+/// Like [`run_cell`] but with a recording [`Profiler`]: the whole cell is
+/// bracketed by a `fleet.cell` phase, with the simulator's per-event
+/// phases nested underneath. Returns the cell's private phase tree along
+/// with the report; [`run_fleet_profiled`] merges the trees in cell order.
+pub fn run_cell_profiled(cell: &Cell) -> (CellReport, PhaseProfile) {
+    let profiler = Profiler::new();
+    let report = run_cell_with(cell, profiler.clone());
+    (report, profiler.snapshot())
+}
+
+fn run_cell_with(cell: &Cell, profiler: Profiler) -> CellReport {
+    let token = profiler.enter("fleet.cell", 0);
     let mut world = WorldBuilder::new(cell.design.clone(), cell.seed)
         .homes(cell.homes)
         .with_telemetry(Telemetry::disabled())
+        .with_profiler(profiler.clone())
         .build();
     if let Some(profile) = cell.profile {
         let plan = profile.plan(&world, cell.seed);
@@ -212,6 +229,7 @@ pub fn run_cell(cell: &Cell) -> CellReport {
     let control = (0..n)
         .filter(|&i| world.shadow_state(i) == rb_core::shadow::ShadowState::Control)
         .count();
+    profiler.exit(token, world.now().as_u64());
     CellReport {
         vendor: cell.design.vendor.clone(),
         seed: cell.seed,
@@ -344,9 +362,40 @@ impl FleetTimings {
 /// byte-identical to a serial run.
 pub fn run_fleet(spec: &FleetSpec) -> (FleetReport, FleetTimings) {
     let cells = spec.cells();
-    let threads = spec.threads.max(1).min(cells.len().max(1));
+    let (reports, timings) = run_pool(&cells, spec.threads, run_cell);
+    (FleetReport { cells: reports }, timings)
+}
+
+/// Like [`run_fleet`], additionally returning the merged phase tree:
+/// every cell runs under its own private [`Profiler`] (workers share no
+/// profiling state, so recording adds no contention) and the per-cell
+/// trees are absorbed **in cell order** after the pool drains. Tick sums
+/// are commutative, so the merged profile — like the report — is
+/// byte-identical for any thread count.
+pub fn run_fleet_profiled(spec: &FleetSpec) -> (FleetReport, PhaseProfile, FleetTimings) {
+    let cells = spec.cells();
+    let (results, timings) = run_pool(&cells, spec.threads, run_cell_profiled);
+    let mut merged = PhaseProfile::default();
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, profile) in results {
+        merged.merge(&profile);
+        reports.push(report);
+    }
+    (FleetReport { cells: reports }, merged, timings)
+}
+
+/// The shared work-stealing pool: workers claim cell indices from an
+/// atomic cursor and deposit `run(cell)` into the cell's slot, so the
+/// collected vector is in cell order regardless of completion order.
+fn run_pool<R: Send>(
+    cells: &[Cell],
+    threads: usize,
+    run: impl Fn(&Cell) -> R + Sync,
+) -> (Vec<R>, FleetTimings) {
+    let threads = threads.max(1).min(cells.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(CellReport, u64)>>> = Mutex::new(vec![None; cells.len()]);
+    let slots: Mutex<Vec<Option<(R, u64)>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(cells.len()).collect());
     let started = Instant::now();
 
     std::thread::scope(|scope| {
@@ -355,10 +404,10 @@ pub fn run_fleet(spec: &FleetSpec) -> (FleetReport, FleetTimings) {
                 let i = cursor.fetch_add(1, Ordering::SeqCst);
                 let Some(cell) = cells.get(i) else { break };
                 let cell_started = Instant::now();
-                let report = run_cell(cell);
+                let result = run(cell);
                 let nanos = u64::try_from(cell_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 if let Ok(mut slots) = slots.lock() {
-                    slots[i] = Some((report, nanos));
+                    slots[i] = Some((result, nanos));
                 }
             });
         }
@@ -369,19 +418,19 @@ pub fn run_fleet(spec: &FleetSpec) -> (FleetReport, FleetTimings) {
         Ok(v) => v,
         Err(poisoned) => poisoned.into_inner(),
     };
-    let mut reports = Vec::with_capacity(filled.len());
+    let mut results = Vec::with_capacity(filled.len());
     let mut cell_nanos = Vec::with_capacity(filled.len());
     for (i, slot) in filled.into_iter().enumerate() {
         match slot {
-            Some((report, nanos)) => {
-                reports.push(report);
+            Some((result, nanos)) => {
+                results.push(result);
                 cell_nanos.push(nanos);
             }
             None => unreachable!("cell {i} was claimed but never reported"),
         }
     }
     (
-        FleetReport { cells: reports },
+        results,
         FleetTimings {
             cell_nanos,
             total_nanos,

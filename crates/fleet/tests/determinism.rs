@@ -5,7 +5,7 @@
 //! shared registry, order-dependent merge) breaks it loudly here.
 
 use rb_core::vendors::vendor_designs;
-use rb_fleet::{run_fleet, FleetSpec};
+use rb_fleet::{run_fleet, run_fleet_profiled, FleetSpec};
 use rb_scenario::ChaosProfile;
 
 fn small_spec(seed_base: u64) -> FleetSpec {
@@ -40,6 +40,28 @@ fn repeated_runs_are_pure_functions_of_the_spec() {
     let (a, _) = run_fleet(&small_spec(7).threads(4));
     let (b, _) = run_fleet(&small_spec(7).threads(4));
     assert_eq!(a, b);
+}
+
+#[test]
+fn folded_profile_is_identical_across_thread_counts() {
+    // The merged phase profile is assembled in cell-slot order, so the
+    // folded export must be byte-identical at any worker count — the
+    // profiler restatement of the fleet's core determinism invariant.
+    let (report_1, profile_1, _) = run_fleet_profiled(&small_spec(7).threads(1));
+    let folded_1 = profile_1.folded();
+    assert!(!folded_1.is_empty(), "profiled fleet produced no phases");
+    for threads in [4usize, 8] {
+        let (report_n, profile_n, _) = run_fleet_profiled(&small_spec(7).threads(threads));
+        assert_eq!(report_1, report_n, "report diverged at {threads} threads");
+        assert_eq!(
+            folded_1,
+            profile_n.folded(),
+            "folded profile diverged at {threads} threads"
+        );
+    }
+    // And reruns at the same thread count are byte-identical too.
+    let (_, profile_again, _) = run_fleet_profiled(&small_spec(7).threads(4));
+    assert_eq!(folded_1, profile_again.folded(), "rerun diverged");
 }
 
 #[test]

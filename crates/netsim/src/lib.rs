@@ -77,3 +77,6 @@ pub use trace::{TraceCtx, TraceEntry, TraceEvent, TraceParseError};
 // Re-exported so actors and harnesses can record into the simulation's
 // registry without naming the telemetry crate themselves.
 pub use rb_telemetry::{self as telemetry, Telemetry};
+
+// Likewise for the phase profiler the simulation can carry.
+pub use rb_prof::{self as prof, Profiler};

@@ -5,6 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
+use rb_prof::Profiler;
 use rb_telemetry::Telemetry;
 
 use crate::actor::{Actor, Ctx, Effect, TimerKey};
@@ -154,6 +155,13 @@ pub struct Simulation {
     /// Metrics sink. Counter updates never draw randomness or schedule
     /// events, so instrumentation cannot perturb the event stream.
     telemetry: Telemetry,
+    /// Phase profiler. Disabled by default (one branch per event); when a
+    /// harness installs a recording handle, each dispatched event becomes
+    /// a phase (`sim.deliver`, `sim.timer`, …) charged the tick gap that
+    /// led up to it, and the per-packet fault check is tallied. Profiling
+    /// never draws randomness or schedules events, so it cannot perturb
+    /// the event stream.
+    profiler: Profiler,
     /// When set, actor marks and injected faults are also published onto
     /// the telemetry streaming bus (topics `mark` / `fault`) so online
     /// subscribers can watch the run live without collecting a trace.
@@ -198,6 +206,7 @@ impl Simulation {
             next_trace_id: 1,
             next_span_id: 1,
             telemetry: Telemetry::new(),
+            profiler: Profiler::disabled(),
             stream_tap: false,
         }
     }
@@ -222,6 +231,19 @@ impl Simulation {
     /// metrics recorded into the previous handle are not migrated.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// The simulation's phase-profiler handle (disabled unless a harness
+    /// installed a recording one).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Installs a phase profiler: every subsequently dispatched event is
+    /// charged to a `sim.*` phase under whatever phase the harness holds
+    /// open. Call before the first event runs.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Enables event tracing (off by default; traces grow unbounded).
@@ -432,8 +454,9 @@ impl Simulation {
                 self.queue.push(Reverse(ev));
                 break;
             }
+            let gap = ev.at.as_u64().saturating_sub(self.now.as_u64());
             self.now = ev.at;
-            self.dispatch(ev);
+            self.dispatch_profiled(ev, gap);
         }
         if self.now < until {
             self.now = until;
@@ -450,8 +473,9 @@ impl Simulation {
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some(Reverse(ev)) => {
+                let gap = ev.at.as_u64().saturating_sub(self.now.as_u64());
                 self.now = ev.at;
-                self.dispatch(ev);
+                self.dispatch_profiled(ev, gap);
                 true
             }
             None => false,
@@ -469,6 +493,28 @@ impl Simulation {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Dispatches one event, attributing the tick gap that led up to it
+    /// (`gap = ev.at - previous now`) to the event's phase. Events are
+    /// instantaneous in tick time, so the gap *is* where simulated time
+    /// goes: `sim.deliver` accumulates delivery latency, `sim.timer`
+    /// accumulates waits. Profiling off (the default) costs one branch.
+    fn dispatch_profiled(&mut self, ev: Event, gap: u64) {
+        if !self.profiler.is_enabled() {
+            self.dispatch(ev);
+            return;
+        }
+        let name = match ev.kind {
+            EventKind::Start { .. } => "sim.start",
+            EventKind::Deliver { .. } => "sim.deliver",
+            EventKind::Timer { .. } => "sim.timer",
+            EventKind::Inject { .. } => "sim.inject",
+        };
+        let now = self.now.as_u64();
+        let token = self.profiler.enter(name, now);
+        self.dispatch(ev);
+        self.profiler.exit_add(token, now, gap);
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -797,6 +843,9 @@ impl Simulation {
         ctx: TraceCtx,
     ) {
         self.telemetry.incr("sim_packets_sent_total");
+        // The per-packet fault check (loss/latency/chaos sampling below)
+        // is a zero-tick tally under whatever phase is open.
+        self.profiler.tally("sim.fault_check", 0);
         let at = self.now;
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEntry {

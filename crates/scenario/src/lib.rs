@@ -18,11 +18,13 @@
 mod chaos;
 mod forensic;
 mod observe;
+mod prof;
 mod raw;
 mod world;
 
 pub use chaos::ChaosProfile;
 pub use forensic::{capture, trace_run};
 pub use observe::{defended_metrics_run, metrics_run, metrics_run_with, monitor_run, MonitorRun};
+pub use prof::{prof_run, ProfRun};
 pub use raw::RawEndpoint;
 pub use world::{Home, World, WorldBuilder};

@@ -6,7 +6,8 @@ use rb_core::design::{DeviceAuthScheme, SetupOrder, VendorDesign};
 use rb_core::shadow::ShadowState;
 use rb_device::{DeviceAgent, DeviceConfig, ProvisioningMode};
 use rb_netsim::{
-    FaultPlan, LanId, LinkQuality, NodeConfig, NodeId, SimRng, Simulation, Telemetry, Tick,
+    FaultPlan, LanId, LinkQuality, NodeConfig, NodeId, Profiler, SimRng, Simulation, Telemetry,
+    Tick,
 };
 use rb_wire::ids::DevId;
 use rb_wire::tokens::{UserId, UserPw};
@@ -44,6 +45,7 @@ pub struct WorldBuilder {
     home_lan_quality: Vec<(usize, LinkQuality)>,
     fault_plan: FaultPlan,
     telemetry: Telemetry,
+    profiler: Profiler,
     defense: DefensePolicy,
     stream_tap: bool,
 }
@@ -66,6 +68,7 @@ impl WorldBuilder {
             home_lan_quality: Vec::new(),
             fault_plan: FaultPlan::new(),
             telemetry: Telemetry::new(),
+            profiler: Profiler::disabled(),
             defense: DefensePolicy::disabled(),
             stream_tap: false,
         }
@@ -94,6 +97,14 @@ impl WorldBuilder {
     /// default each world gets a private registry.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Shares a phase profiler with the tick-consuming layers (sim event
+    /// loop, cloud request path). Disabled by default, so building a world
+    /// without one adds a single branch per event.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -167,6 +178,7 @@ impl WorldBuilder {
     pub fn build(self) -> World {
         let mut sim = Simulation::with_quality(self.seed, self.lan_quality, self.wan_quality);
         sim.set_telemetry(self.telemetry.clone());
+        sim.set_profiler(self.profiler.clone());
         if self.trace {
             sim.enable_trace();
         }
@@ -177,6 +189,7 @@ impl WorldBuilder {
 
         let mut cloud_service = CloudService::new(CloudConfig::new(self.design.clone()));
         cloud_service.set_telemetry(self.telemetry.clone());
+        cloud_service.set_profiler(self.profiler.clone());
         cloud_service.set_defense(self.defense.clone());
         // Forensic marks only make sense when there is a trace to attach
         // them to; untraced worlds skip the string formatting entirely.

@@ -187,6 +187,23 @@ impl Telemetry {
         }
     }
 
+    /// Opens a span with an explicit parent (`None` = root), bypassing
+    /// stack inference; see [`Registry::start_span_with_parent`]. On a
+    /// disabled handle no span is stored and the returned id is dead.
+    pub fn start_span_with_parent(
+        &self,
+        name: &str,
+        attrs: &[(&str, String)],
+        now: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        if self.enabled {
+            self.with(|r| r.start_span_with_parent(name, attrs, now, parent))
+        } else {
+            SpanId::default()
+        }
+    }
+
     /// Closes a span; see [`Registry::end_span`].
     pub fn end_span(&self, id: SpanId, now: u64) {
         if self.enabled {
@@ -331,6 +348,33 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.spans()[0].parent, None);
         assert_eq!(snap.spans()[1].parent, Some(snap.spans()[0].id));
+    }
+
+    #[test]
+    fn explicit_parents_override_stack_inference() {
+        let t = Telemetry::new();
+        // Two interleaved "homes": stack inference would nest the second
+        // setup under the first; explicit parents keep both roots.
+        let home0 = t.start_span_with_parent("setup", &[], 0, None);
+        let home1 = t.start_span_with_parent("setup", &[], 2, None);
+        let bind = t.start_span_with_parent("bind", &[], 5, Some(home1));
+        t.end_span(bind, 7);
+        t.end_span(home1, 8);
+        t.end_span(home0, 9);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans()[0].parent, None);
+        assert_eq!(snap.spans()[1].parent, None);
+        assert_eq!(snap.spans()[2].parent, Some(home1.0));
+        // Explicit-parent spans feed the same duration histograms.
+        let hist = snap.histogram("span_ticks{name=\"setup\"}").unwrap();
+        assert_eq!((hist.count(), hist.sum()), (2, 6 + 9));
+        // …and the stack-inference path is unperturbed for later spans.
+        let outer = span!(t, 10, "outer");
+        let inner = span!(t, 11, "inner");
+        let snap = t.snapshot();
+        assert_eq!(snap.spans()[4].parent, Some(outer.0));
+        t.end_span(inner, 12);
+        t.end_span(outer, 13);
     }
 
     #[test]

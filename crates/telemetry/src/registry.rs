@@ -140,11 +140,45 @@ impl Registry {
 
     /// Opens a span at `now`. The innermost still-open span becomes its
     /// parent, which is how spans nest over the flat `TraceEvent` stream.
+    ///
+    /// Stack inference is right for call-shaped nesting within one
+    /// component but mis-nests interleaved spans from unrelated components
+    /// (two homes' setups overlap in time without one containing the
+    /// other); callers that know the true hierarchy should pass it via
+    /// [`Registry::start_span_with_parent`].
     pub fn start_span(&mut self, name: &str, attrs: &[(&str, String)], now: u64) -> SpanId {
+        let parent = self.open_spans.last().copied();
+        self.push_span(name, attrs, now, parent)
+    }
+
+    /// Opens a span at `now` with an explicit parent — `None` forces a
+    /// root span even while other spans are open. The recorded parent is
+    /// exactly what the caller states, so hierarchical instrumentation
+    /// (the `rb-prof` phase tree, the Perfetto export) agrees with the
+    /// span table byte for byte. Closing an explicit-parent span feeds
+    /// the same `span_ticks{name="…"}` histogram as a stack-inferred one.
+    pub fn start_span_with_parent(
+        &mut self,
+        name: &str,
+        attrs: &[(&str, String)],
+        now: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        let parent = parent.map(|p| p.0);
+        self.push_span(name, attrs, now, parent)
+    }
+
+    fn push_span(
+        &mut self,
+        name: &str,
+        attrs: &[(&str, String)],
+        now: u64,
+        parent: Option<u64>,
+    ) -> SpanId {
         let id = self.spans.len() as u64;
         self.spans.push(SpanRecord {
             id,
-            parent: self.open_spans.last().copied(),
+            parent,
             name: name.to_string(),
             attrs: attrs
                 .iter()

@@ -13,6 +13,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`telemetry`] | `rb-telemetry` | deterministic metrics, spans, exporters |
+//! | [`prof`] | `rb-prof` | deterministic phase profiler + counting allocator |
 //! | [`wire`] | `rb-wire` | identifiers, tokens, messages, binary codec |
 //! | [`netsim`] | `rb-netsim` | deterministic discrete-event network |
 //! | [`provision`] | `rb-provision` | SmartConfig/Airkiss/AP-mode/labels/SSDP |
@@ -49,6 +50,7 @@ pub use rb_forensics as forensics;
 pub use rb_fuzz as fuzz;
 pub use rb_mc as mc;
 pub use rb_netsim as netsim;
+pub use rb_prof as prof;
 pub use rb_provision as provision;
 pub use rb_scenario as scenario;
 pub use rb_telemetry as telemetry;

@@ -2,6 +2,8 @@
 
 use std::any::Any;
 
+use bytes::Bytes;
+
 use crate::rng::SimRng;
 use crate::sim::Dest;
 use crate::time::Tick;
@@ -27,6 +29,16 @@ pub trait Actor: Any {
     /// LAN) is delivered.
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
         let _ = (ctx, from, payload);
+    }
+
+    /// Zero-copy variant of [`Actor::on_packet`]: the payload arrives as
+    /// the shared [`Bytes`] buffer the simulator routed, so decoders can
+    /// slice it (a refcount bump) instead of copying. The simulator calls
+    /// this entry point; the default forwards to [`Actor::on_packet`], so
+    /// actors that don't care about allocation behaviour implement only
+    /// the slice form.
+    fn on_packet_bytes(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &Bytes) {
+        self.on_packet(ctx, from, payload);
     }
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.

@@ -5,6 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use rb_prof::Profiler;
 use rb_telemetry::Telemetry;
 
@@ -87,8 +88,9 @@ enum EventKind {
         from: NodeId,
         to: NodeId,
         // Shared, not owned: broadcasts and duplicated packets reference
-        // one buffer instead of cloning the bytes per delivery.
-        payload: Arc<[u8]>,
+        // one buffer instead of cloning the bytes per delivery, and actors
+        // can slice it without copying (zero-copy decode).
+        payload: Bytes,
         ctx: TraceCtx,
     },
     Timer {
@@ -574,7 +576,7 @@ impl Simulation {
                     });
                 }
                 self.with_actor(to, Some(ctx), |actor, actor_ctx| {
-                    actor.on_packet(actor_ctx, from, &payload);
+                    actor.on_packet_bytes(actor_ctx, from, &payload);
                 });
             }
             EventKind::Timer { node, key } => {
@@ -688,7 +690,7 @@ impl Simulation {
     fn route(&mut self, from: NodeId, dest: Dest, payload: Vec<u8>, trace_id: u64, parent: u64) {
         // One allocation per send: broadcasts, retransmitted duplicates and
         // the delivery event all share this buffer from here on.
-        let payload: Arc<[u8]> = payload.into();
+        let payload = Bytes::from(payload);
         match dest {
             Dest::Unicast(to) => self.route_unicast(from, to, payload, trace_id, parent),
             Dest::Broadcast(lan) => {
@@ -737,7 +739,7 @@ impl Simulation {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Arc<[u8]>,
+        payload: Bytes,
         trace_id: u64,
         parent: u64,
     ) {
@@ -838,7 +840,7 @@ impl Simulation {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Arc<[u8]>,
+        payload: Bytes,
         quality: LinkQuality,
         ctx: TraceCtx,
     ) {

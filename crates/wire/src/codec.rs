@@ -1,19 +1,58 @@
-//! A compact, self-describing binary codec for the wire vocabulary.
+//! Wire codecs: the object-safe [`Codec`] trait, the self-describing
+//! big-endian [`ClassicCodec`], and the [`CodecKind`] selector.
 //!
 //! The experiments forge messages at the byte level — the same vantage point
 //! the paper's authors had with a MITM proxy, Postman, and raw OpenSSL
-//! sockets — so the codec is a real serializer, not a facade over `serde`.
-//! Layout conventions:
+//! sockets — so the codecs are real serializers, not facades over `serde`.
+//! Two formats coexist behind the trait (byte-level layouts in
+//! `WIRE-FORMAT.md` at the repository root):
 //!
-//! * enum variants: one tag byte;
-//! * integers: big-endian fixed width;
-//! * strings: `u16` length prefix + UTF-8 bytes (length-capped);
-//! * sequences: `u16` element count.
+//! * [`ClassicCodec`] — the original format, and the default everywhere:
+//!   one tag byte per enum variant, big-endian fixed-width integers,
+//!   `u16`-length-prefixed strings, `u16` element counts. Its output is
+//!   pinned by hex goldens: it never drifts.
+//! * [`CompactCodec`](crate::compact::CompactCodec) — varint/TLV framing
+//!   with a zero-copy decode path (decoded strings borrow the packet
+//!   buffer).
 //!
-//! [`decode_message`] / [`decode_response`] reject trailing bytes, unknown
+//! The free functions [`encode_message`] / [`decode_message`] /
+//! [`encode_response`] / [`decode_response`] *are* the classic format;
+//! [`ClassicCodec`] forwards to them, so pre-trait call sites and the trait
+//! produce identical bytes. All decoders reject trailing bytes, unknown
 //! tags, and out-of-range lengths with precise [`WireError`]s.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rb_wire::codec::{Codec, CodecKind};
+//! use rb_wire::envelope::{CorrId, Envelope};
+//! use rb_wire::ids::{DevId, MacAddr};
+//! use rb_wire::messages::{BindPayload, Message};
+//! use rb_wire::tokens::UserToken;
+//!
+//! # fn main() -> Result<(), rb_wire::WireError> {
+//! let env = Envelope::Request {
+//!     corr: CorrId(7),
+//!     msg: Message::Bind(BindPayload::AclApp {
+//!         dev_id: DevId::Mac(MacAddr::new([0x94, 0x10, 0x3e, 1, 2, 3])),
+//!         user_token: UserToken::from_entropy(42),
+//!     }),
+//! };
+//! // Every codec round-trips every envelope; the wire bytes differ.
+//! for kind in CodecKind::ALL {
+//!     let codec: &dyn Codec = kind.codec();
+//!     let bytes = codec.encode_envelope(&env);
+//!     assert_eq!(codec.decode_envelope(&bytes)?, env);
+//! }
+//! assert!(CodecKind::default() == CodecKind::Classic);
+//! # Ok(())
+//! # }
+//! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::envelope::Envelope;
 
 use crate::error::WireError;
 use crate::ids::{DevId, MacAddr};
@@ -28,6 +67,154 @@ use crate::tokens::{BindToken, DevToken, SessionToken, UserId, UserPw, UserToken
 pub const MAX_STR: usize = 1024;
 /// Maximum accepted sequence length on the wire.
 pub const MAX_SEQ: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// The pluggable codec abstraction.
+// ---------------------------------------------------------------------------
+
+/// An object-safe wire codec: encode/decode for the three framed value
+/// kinds ([`Envelope`], [`Message`], [`Response`]).
+///
+/// Implementations are stateless unit structs, so a codec is selected once
+/// (per agent, or for a whole simulated world via
+/// `WorldBuilder::with_codec`) and shared as a `&'static dyn Codec`.
+/// Decoders take [`Bytes`] rather than `&[u8]` so a zero-copy
+/// implementation can return values that borrow the packet buffer — a
+/// refcount bump instead of a per-field allocation.
+///
+/// Both built-in codecs satisfy, for every value `v`:
+/// `decode(encode(v)) == Ok(v)` (the cross-codec property tests pin this),
+/// and reject malformed input with a [`WireError`] instead of panicking.
+pub trait Codec: Send + Sync {
+    /// Short stable name for reports, traces, and CLI flags.
+    fn name(&self) -> &'static str;
+
+    /// Serializes a [`Message`].
+    fn encode_message(&self, msg: &Message) -> Bytes;
+
+    /// Deserializes a [`Message`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation, unknown tags, invalid UTF-8,
+    /// out-of-range values, or trailing bytes.
+    fn decode_message(&self, bytes: &Bytes) -> Result<Message, WireError>;
+
+    /// Serializes a [`Response`].
+    fn encode_response(&self, rsp: &Response) -> Bytes;
+
+    /// Deserializes a [`Response`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the frame is malformed.
+    fn decode_response(&self, bytes: &Bytes) -> Result<Response, WireError>;
+
+    /// Serializes an [`Envelope`] (direction + correlation id + body).
+    fn encode_envelope(&self, env: &Envelope) -> Bytes;
+
+    /// Deserializes an [`Envelope`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the frame is malformed.
+    fn decode_envelope(&self, bytes: &Bytes) -> Result<Envelope, WireError>;
+}
+
+/// The original self-describing big-endian format (see `WIRE-FORMAT.md`
+/// §2): one tag byte per enum variant, fixed-width integers, `u16`
+/// length-prefixed strings. The default codec; its byte output is pinned
+/// by committed hex goldens and must never change.
+///
+/// ```rust
+/// use rb_wire::codec::{ClassicCodec, Codec, encode_message};
+/// use rb_wire::messages::Message;
+/// use rb_wire::tokens::{UserId, UserPw};
+///
+/// let msg = Message::Login {
+///     user_id: UserId::new("alice@example.com"),
+///     user_pw: UserPw::new("s3cret"),
+/// };
+/// // The trait and the pre-trait free functions agree byte for byte.
+/// let via_trait = ClassicCodec.encode_message(&msg);
+/// assert_eq!(via_trait, encode_message(&msg));
+/// assert_eq!(ClassicCodec.decode_message(&via_trait), Ok(msg));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClassicCodec;
+
+impl Codec for ClassicCodec {
+    fn name(&self) -> &'static str {
+        "classic"
+    }
+
+    fn encode_message(&self, msg: &Message) -> Bytes {
+        encode_message(msg)
+    }
+
+    fn decode_message(&self, bytes: &Bytes) -> Result<Message, WireError> {
+        decode_message(bytes)
+    }
+
+    fn encode_response(&self, rsp: &Response) -> Bytes {
+        encode_response(rsp)
+    }
+
+    fn decode_response(&self, bytes: &Bytes) -> Result<Response, WireError> {
+        decode_response(bytes)
+    }
+
+    fn encode_envelope(&self, env: &Envelope) -> Bytes {
+        env.encode()
+    }
+
+    fn decode_envelope(&self, bytes: &Bytes) -> Result<Envelope, WireError> {
+        Envelope::decode(bytes)
+    }
+}
+
+/// Selects one of the built-in codecs. `Copy`, so it threads through
+/// configuration structs ([`Default`] is [`CodecKind::Classic`]); call
+/// [`CodecKind::codec`] at the byte boundary to get the implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// The pinned self-describing big-endian format ([`ClassicCodec`]).
+    #[default]
+    Classic,
+    /// The varint/TLV zero-copy format
+    /// ([`CompactCodec`](crate::compact::CompactCodec)).
+    Compact,
+}
+
+impl CodecKind {
+    /// Every built-in codec, for sweeps and cross-codec tests.
+    pub const ALL: [CodecKind; 2] = [CodecKind::Classic, CodecKind::Compact];
+
+    /// The codec implementation.
+    pub fn codec(self) -> &'static dyn Codec {
+        match self {
+            CodecKind::Classic => &ClassicCodec,
+            CodecKind::Compact => &crate::compact::CompactCodec,
+        }
+    }
+
+    /// Stable name (`"classic"` / `"compact"`), matching
+    /// [`Codec::name`].
+    pub fn name(self) -> &'static str {
+        self.codec().name()
+    }
+
+    /// Parses a [`CodecKind::name`] back (CLI flags, config files).
+    pub fn from_name(name: &str) -> Option<CodecKind> {
+        CodecKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Low-level reader with context-carrying errors.
@@ -142,10 +329,10 @@ fn put_string(buf: &mut BytesMut, s: &str) {
 // DevId
 // ---------------------------------------------------------------------------
 
-const DEVID_MAC: u8 = 0x01;
-const DEVID_SERIAL: u8 = 0x02;
-const DEVID_DIGITS: u8 = 0x03;
-const DEVID_UUID: u8 = 0x04;
+pub(crate) const DEVID_MAC: u8 = 0x01;
+pub(crate) const DEVID_SERIAL: u8 = 0x02;
+pub(crate) const DEVID_DIGITS: u8 = 0x03;
+pub(crate) const DEVID_UUID: u8 = 0x04;
 
 fn put_dev_id(buf: &mut BytesMut, id: &DevId) {
     match id {
@@ -208,9 +395,9 @@ fn get_dev_id(r: &mut Reader<'_>) -> Result<DevId, WireError> {
 // StatusAuth / StatusPayload
 // ---------------------------------------------------------------------------
 
-const AUTH_DEVTOKEN: u8 = 0x01;
-const AUTH_DEVID: u8 = 0x02;
-const AUTH_PUBKEY: u8 = 0x03;
+pub(crate) const AUTH_DEVTOKEN: u8 = 0x01;
+pub(crate) const AUTH_DEVID: u8 = 0x02;
+pub(crate) const AUTH_PUBKEY: u8 = 0x03;
 
 fn put_status_auth(buf: &mut BytesMut, auth: &StatusAuth) {
     match auth {
@@ -247,13 +434,13 @@ fn get_status_auth(r: &mut Reader<'_>) -> Result<StatusAuth, WireError> {
     }
 }
 
-const TEL_POWER: u8 = 0x01;
-const TEL_TEMP: u8 = 0x02;
-const TEL_SWITCH: u8 = 0x03;
-const TEL_BRIGHT: u8 = 0x04;
-const TEL_LOCK: u8 = 0x05;
-const TEL_MOTION: u8 = 0x06;
-const TEL_ALARM: u8 = 0x07;
+pub(crate) const TEL_POWER: u8 = 0x01;
+pub(crate) const TEL_TEMP: u8 = 0x02;
+pub(crate) const TEL_SWITCH: u8 = 0x03;
+pub(crate) const TEL_BRIGHT: u8 = 0x04;
+pub(crate) const TEL_LOCK: u8 = 0x05;
+pub(crate) const TEL_MOTION: u8 = 0x06;
+pub(crate) const TEL_ALARM: u8 = 0x07;
 
 fn put_telemetry(buf: &mut BytesMut, t: &TelemetryFrame) {
     match t {
@@ -375,7 +562,7 @@ fn get_status(r: &mut Reader<'_>) -> Result<StatusPayload, WireError> {
         auth,
         dev_id,
         kind,
-        attributes: DeviceAttributes { model, firmware },
+        attributes: DeviceAttributes::new(model, firmware),
         session,
         telemetry,
         button_pressed,
@@ -386,9 +573,9 @@ fn get_status(r: &mut Reader<'_>) -> Result<StatusPayload, WireError> {
 // Bind / Unbind / Control
 // ---------------------------------------------------------------------------
 
-const BIND_ACL_APP: u8 = 0x01;
-const BIND_ACL_DEVICE: u8 = 0x02;
-const BIND_CAPABILITY: u8 = 0x03;
+pub(crate) const BIND_ACL_APP: u8 = 0x01;
+pub(crate) const BIND_ACL_DEVICE: u8 = 0x02;
+pub(crate) const BIND_CAPABILITY: u8 = 0x03;
 
 fn put_bind(buf: &mut BytesMut, b: &BindPayload) {
     match b {
@@ -435,8 +622,8 @@ fn get_bind(r: &mut Reader<'_>) -> Result<BindPayload, WireError> {
     }
 }
 
-const UNBIND_ID_TOKEN: u8 = 0x01;
-const UNBIND_ID_ONLY: u8 = 0x02;
+pub(crate) const UNBIND_ID_TOKEN: u8 = 0x01;
+pub(crate) const UNBIND_ID_ONLY: u8 = 0x02;
 
 fn put_unbind(buf: &mut BytesMut, u: &UnbindPayload) {
     match u {
@@ -468,12 +655,12 @@ fn get_unbind(r: &mut Reader<'_>) -> Result<UnbindPayload, WireError> {
     }
 }
 
-const ACT_ON: u8 = 0x01;
-const ACT_OFF: u8 = 0x02;
-const ACT_BRIGHT: u8 = 0x03;
-const ACT_SET_SCHED: u8 = 0x04;
-const ACT_QUERY_SCHED: u8 = 0x05;
-const ACT_QUERY_TEL: u8 = 0x06;
+pub(crate) const ACT_ON: u8 = 0x01;
+pub(crate) const ACT_OFF: u8 = 0x02;
+pub(crate) const ACT_BRIGHT: u8 = 0x03;
+pub(crate) const ACT_SET_SCHED: u8 = 0x04;
+pub(crate) const ACT_QUERY_SCHED: u8 = 0x05;
+pub(crate) const ACT_QUERY_TEL: u8 = 0x06;
 
 fn put_action(buf: &mut BytesMut, a: &ControlAction) {
     match a {
@@ -515,23 +702,23 @@ fn get_action(r: &mut Reader<'_>) -> Result<ControlAction, WireError> {
 // Message
 // ---------------------------------------------------------------------------
 
-const MSG_LOGIN: u8 = 0x10;
-const MSG_REQ_DEVTOKEN: u8 = 0x11;
-const MSG_REQ_BINDTOKEN: u8 = 0x12;
-const MSG_STATUS: u8 = 0x13;
-const MSG_BIND: u8 = 0x14;
-const MSG_UNBIND: u8 = 0x15;
-const MSG_CONTROL: u8 = 0x16;
-const MSG_QUERY_SHADOW: u8 = 0x17;
-const MSG_SHARE: u8 = 0x18;
-const MSG_UNSHARE: u8 = 0x19;
-const MSG_SET_RULE: u8 = 0x1a;
+pub(crate) const MSG_LOGIN: u8 = 0x10;
+pub(crate) const MSG_REQ_DEVTOKEN: u8 = 0x11;
+pub(crate) const MSG_REQ_BINDTOKEN: u8 = 0x12;
+pub(crate) const MSG_STATUS: u8 = 0x13;
+pub(crate) const MSG_BIND: u8 = 0x14;
+pub(crate) const MSG_UNBIND: u8 = 0x15;
+pub(crate) const MSG_CONTROL: u8 = 0x16;
+pub(crate) const MSG_QUERY_SHADOW: u8 = 0x17;
+pub(crate) const MSG_SHARE: u8 = 0x18;
+pub(crate) const MSG_UNSHARE: u8 = 0x19;
+pub(crate) const MSG_SET_RULE: u8 = 0x1a;
 
-const TRG_TEMP_ABOVE: u8 = 0x01;
-const TRG_TEMP_BELOW: u8 = 0x02;
-const TRG_ALARM: u8 = 0x03;
-const TRG_MOTION: u8 = 0x04;
-const TRG_POWER: u8 = 0x05;
+pub(crate) const TRG_TEMP_ABOVE: u8 = 0x01;
+pub(crate) const TRG_TEMP_BELOW: u8 = 0x02;
+pub(crate) const TRG_ALARM: u8 = 0x03;
+pub(crate) const TRG_MOTION: u8 = 0x04;
+pub(crate) const TRG_POWER: u8 = 0x05;
 
 fn put_trigger(buf: &mut BytesMut, t: &RuleTrigger) {
     match t {
@@ -715,22 +902,22 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
 // Response
 // ---------------------------------------------------------------------------
 
-const RSP_LOGIN_OK: u8 = 0x20;
-const RSP_DEVTOKEN: u8 = 0x21;
-const RSP_BINDTOKEN: u8 = 0x22;
-const RSP_STATUS_ACCEPTED: u8 = 0x23;
-const RSP_BOUND: u8 = 0x24;
-const RSP_UNBOUND: u8 = 0x25;
-const RSP_CONTROL_OK: u8 = 0x26;
-const RSP_SHADOW: u8 = 0x27;
-const RSP_TEL_PUSH: u8 = 0x28;
-const RSP_CTRL_PUSH: u8 = 0x29;
-const RSP_REVOKED: u8 = 0x2a;
-const RSP_DENIED: u8 = 0x2b;
-const RSP_SHARE_OK: u8 = 0x2c;
-const RSP_RULE_SET: u8 = 0x2d;
+pub(crate) const RSP_LOGIN_OK: u8 = 0x20;
+pub(crate) const RSP_DEVTOKEN: u8 = 0x21;
+pub(crate) const RSP_BINDTOKEN: u8 = 0x22;
+pub(crate) const RSP_STATUS_ACCEPTED: u8 = 0x23;
+pub(crate) const RSP_BOUND: u8 = 0x24;
+pub(crate) const RSP_UNBOUND: u8 = 0x25;
+pub(crate) const RSP_CONTROL_OK: u8 = 0x26;
+pub(crate) const RSP_SHADOW: u8 = 0x27;
+pub(crate) const RSP_TEL_PUSH: u8 = 0x28;
+pub(crate) const RSP_CTRL_PUSH: u8 = 0x29;
+pub(crate) const RSP_REVOKED: u8 = 0x2a;
+pub(crate) const RSP_DENIED: u8 = 0x2b;
+pub(crate) const RSP_SHARE_OK: u8 = 0x2c;
+pub(crate) const RSP_RULE_SET: u8 = 0x2d;
 
-fn deny_to_u8(d: DenyReason) -> u8 {
+pub(crate) fn deny_to_u8(d: DenyReason) -> u8 {
     match d {
         DenyReason::UnknownUser => 13,
         DenyReason::BadCredentials => 0,
@@ -749,7 +936,7 @@ fn deny_to_u8(d: DenyReason) -> u8 {
     }
 }
 
-fn deny_from_u8(v: u8) -> Result<DenyReason, WireError> {
+pub(crate) fn deny_from_u8(v: u8) -> Result<DenyReason, WireError> {
     Ok(match v {
         0 => DenyReason::BadCredentials,
         1 => DenyReason::InvalidUserToken,

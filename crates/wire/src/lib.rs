@@ -23,9 +23,13 @@
 //! * the primitive message vocabulary exchanged between device, app, and
 //!   cloud ([`messages`]),
 //! * request/response envelopes with correlation ids ([`envelope`]),
-//! * a compact self-describing binary codec ([`codec`]) so that "forging a
-//!   message" in the attack crates means constructing real bytes, exactly as
-//!   the paper's authors did with Postman and raw sockets.
+//! * a pluggable [`codec::Codec`] trait with two interchangeable binary wire
+//!   formats — the self-describing big-endian classic format
+//!   ([`codec::ClassicCodec`]) and a varint/TLV format with zero-copy decode
+//!   ([`compact::CompactCodec`]) — so that "forging a message" in the attack
+//!   crates means constructing real bytes, exactly as the paper's authors did
+//!   with Postman and raw sockets. See `WIRE-FORMAT.md` for the byte-level
+//!   specification of both formats.
 //!
 //! # Example
 //!
@@ -47,7 +51,9 @@
 //! # }
 //! ```
 
+pub mod bytestr;
 pub mod codec;
+pub mod compact;
 pub mod crypto;
 pub mod envelope;
 pub mod error;

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::bytestr::ByteStr;
 use crate::ids::DevId;
 use crate::telemetry::{RuleTrigger, ScheduleEntry, TelemetryFrame};
 use crate::tokens::{BindToken, DevToken, SessionToken, UserId, UserPw, UserToken};
@@ -60,17 +61,21 @@ pub enum StatusKind {
 
 /// Static attributes reported alongside status messages ("the firmware
 /// version and the model name").
+///
+/// Fields are [`ByteStr`]s so a zero-copy decoder can slice them straight
+/// out of the packet buffer; they still print, compare, and deref like
+/// strings.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DeviceAttributes {
     /// Marketing model name.
-    pub model: String,
+    pub model: ByteStr,
     /// Firmware version string.
-    pub firmware: String,
+    pub firmware: ByteStr,
 }
 
 impl DeviceAttributes {
     /// Convenience constructor.
-    pub fn new(model: impl Into<String>, firmware: impl Into<String>) -> Self {
+    pub fn new(model: impl Into<ByteStr>, firmware: impl Into<ByteStr>) -> Self {
         DeviceAttributes {
             model: model.into(),
             firmware: firmware.into(),

@@ -8,6 +8,7 @@
 //! entropy, keeping this crate free of RNG dependencies and the simulations
 //! deterministic.
 
+use crate::bytestr::ByteStr;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -92,8 +93,11 @@ token_newtype!(
 );
 
 /// `UserId`: the human-readable account identifier, e.g. an email address.
+///
+/// Backed by a [`ByteStr`], so a decoder holding the packet's [`bytes::Bytes`]
+/// buffer can build one without copying the identifier out.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct UserId(String);
+pub struct UserId(ByteStr);
 
 impl UserId {
     /// Maximum accepted length in bytes.
@@ -101,16 +105,13 @@ impl UserId {
 
     /// Creates a user id, truncating to [`UserId::MAX_LEN`] bytes.
     pub fn new(id: impl Into<String>) -> Self {
-        let mut s = id.into();
-        if s.len() > Self::MAX_LEN {
-            // Truncate on a char boundary.
-            let mut cut = Self::MAX_LEN;
-            while !s.is_char_boundary(cut) {
-                cut -= 1;
-            }
-            s.truncate(cut);
-        }
-        UserId(s)
+        UserId::from_bytestr(ByteStr::new(id))
+    }
+
+    /// Creates a user id from an existing [`ByteStr`] (zero-copy when the
+    /// value fits [`UserId::MAX_LEN`]; truncation slices, never copies).
+    pub fn from_bytestr(id: ByteStr) -> Self {
+        UserId(id.truncated(Self::MAX_LEN))
     }
 
     /// The identifier as a string slice.
@@ -135,12 +136,17 @@ impl From<&str> for UserId {
 /// fourth lesson is that this credential "should never be delivered to the
 /// device", which device-initiated ACL binding violates.
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct UserPw(String);
+pub struct UserPw(ByteStr);
 
 impl UserPw {
     /// Creates a password value.
     pub fn new(pw: impl Into<String>) -> Self {
-        UserPw(pw.into())
+        UserPw(ByteStr::new(pw))
+    }
+
+    /// Creates a password from an existing [`ByteStr`] (zero-copy).
+    pub fn from_bytestr(pw: ByteStr) -> Self {
+        UserPw(pw)
     }
 
     /// Constant-time-ish comparison (length leak only); enough for a

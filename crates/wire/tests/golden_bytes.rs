@@ -1,0 +1,247 @@
+//! Golden hex fixtures pinning the byte output of every codec.
+//!
+//! The classic fixtures freeze the pre-trait wire format: if any of them
+//! change, old captures and forged-packet experiments silently break, so a
+//! failure here is a wire-compatibility break, not a test to "update".
+//! The compact fixtures pin the varint/TLV layout documented in
+//! `WIRE-FORMAT.md` §3. Each fixture must decode back to the source value
+//! under its own codec and must be *rejected* by the other codec's
+//! envelope decoder (the direction bytes are disjoint by design).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use bytes::Bytes;
+use rb_wire::codec::CodecKind;
+use rb_wire::envelope::{CorrId, Envelope};
+use rb_wire::ids::{DevId, MacAddr};
+use rb_wire::messages::{BindPayload, ControlAction, DenyReason, Message, Response};
+use rb_wire::tokens::{BindToken, SessionToken, UserId, UserPw, UserToken};
+
+fn fixtures() -> Vec<(&'static str, Envelope)> {
+    let dev_id = DevId::Mac(MacAddr::new([0x94, 0x10, 0x3e, 0x01, 0x02, 0x03]));
+    vec![
+        (
+            "login",
+            Envelope::Request {
+                corr: CorrId(1),
+                msg: Message::Login {
+                    user_id: UserId::new("alice@example.com"),
+                    user_pw: UserPw::new("hunter2"),
+                },
+            },
+        ),
+        (
+            "bind_acl_app",
+            Envelope::Request {
+                corr: CorrId(2),
+                msg: Message::Bind(BindPayload::AclApp {
+                    dev_id: dev_id.clone(),
+                    user_token: UserToken::from_bytes([7u8; 16]),
+                }),
+            },
+        ),
+        (
+            "bind_capability",
+            Envelope::Request {
+                corr: CorrId(3),
+                msg: Message::Bind(BindPayload::Capability {
+                    bind_token: BindToken::from_bytes([9u8; 16]),
+                }),
+            },
+        ),
+        (
+            "control",
+            Envelope::Request {
+                corr: CorrId(4),
+                msg: Message::Control {
+                    dev_id,
+                    user_token: UserToken::from_bytes([7u8; 16]),
+                    session: None,
+                    action: ControlAction::TurnOn,
+                },
+            },
+        ),
+        (
+            "login_ok",
+            Envelope::Response {
+                corr: CorrId(1),
+                rsp: Response::LoginOk {
+                    user_token: UserToken::from_bytes([7u8; 16]),
+                },
+            },
+        ),
+        (
+            "bound_push",
+            Envelope::push(Response::Bound {
+                session: Some(SessionToken::from_bytes([3u8; 16])),
+            }),
+        ),
+        (
+            "denied",
+            Envelope::Response {
+                corr: CorrId(5),
+                rsp: Response::Denied {
+                    reason: DenyReason::NotBound,
+                },
+            },
+        ),
+    ]
+}
+
+/// `(fixture name, codec, expected hex)` — regenerate ONLY for the compact
+/// codec, and only with a spec change to `WIRE-FORMAT.md`; classic entries
+/// are frozen forever.
+const GOLDEN: &[(&str, CodecKind, &str)] = &[
+    (
+        "login",
+        CodecKind::Classic,
+        "010000000000000001100011616c696365406578616d706c652e636f6d000768756e74657232",
+    ),
+    (
+        "login",
+        CodecKind::Compact,
+        "c1011011616c696365406578616d706c652e636f6d0768756e74657232",
+    ),
+    (
+        "bind_acl_app",
+        CodecKind::Classic,
+        "01000000000000000214010194103e01020307070707070707070707070707070707",
+    ),
+    (
+        "bind_acl_app",
+        CodecKind::Compact,
+        "c10214010194103e01020307070707070707070707070707070707",
+    ),
+    (
+        "bind_capability",
+        CodecKind::Classic,
+        "010000000000000003140309090909090909090909090909090909",
+    ),
+    (
+        "bind_capability",
+        CodecKind::Compact,
+        "c103140309090909090909090909090909090909",
+    ),
+    (
+        "control",
+        CodecKind::Classic,
+        "010000000000000004160194103e010203070707070707070707070707070707070001",
+    ),
+    (
+        "control",
+        CodecKind::Compact,
+        "c104160194103e0102030707070707070707070707070707070701",
+    ),
+    (
+        "login_ok",
+        CodecKind::Classic,
+        "0200000000000000012007070707070707070707070707070707",
+    ),
+    (
+        "login_ok",
+        CodecKind::Compact,
+        "c2012007070707070707070707070707070707",
+    ),
+    (
+        "bound_push",
+        CodecKind::Classic,
+        "020000000000000000240103030303030303030303030303030303",
+    ),
+    (
+        "bound_push",
+        CodecKind::Compact,
+        "c20024011003030303030303030303030303030303",
+    ),
+    ("denied", CodecKind::Classic, "0200000000000000052b05"),
+    ("denied", CodecKind::Compact, "c2052b05"),
+];
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(hex: &str) -> Bytes {
+    let raw: Vec<u8> = (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("fixture hex"))
+        .collect();
+    Bytes::from(raw)
+}
+
+fn fixture(name: &str) -> Envelope {
+    fixtures()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, env)| env)
+        .expect("fixture name")
+}
+
+#[test]
+fn every_fixture_has_goldens_for_every_codec() {
+    for (name, _) in fixtures() {
+        for kind in CodecKind::ALL {
+            assert!(
+                GOLDEN.iter().any(|(n, k, _)| *n == name && *k == kind),
+                "missing golden for {name}/{kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn encoding_matches_golden_bytes() {
+    for (name, kind, hex) in GOLDEN {
+        let env = fixture(name);
+        assert_eq!(
+            to_hex(&env.encode_with(*kind)),
+            *hex,
+            "{name}/{kind}: wire format drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_bytes_decode_to_fixture() {
+    for (name, kind, hex) in GOLDEN {
+        let env = fixture(name);
+        let bytes = from_hex(hex);
+        assert_eq!(
+            Envelope::decode_with(*kind, &bytes).expect("golden must decode"),
+            env,
+            "{name}/{kind}"
+        );
+    }
+}
+
+#[test]
+fn goldens_are_rejected_by_the_other_codec() {
+    for (name, kind, hex) in GOLDEN {
+        let other = match kind {
+            CodecKind::Classic => CodecKind::Compact,
+            CodecKind::Compact => CodecKind::Classic,
+        };
+        let bytes = from_hex(hex);
+        assert!(
+            Envelope::decode_with(other, &bytes).is_err(),
+            "{name}: {other} accepted a {kind} frame"
+        );
+    }
+}
+
+#[test]
+fn compact_goldens_are_never_larger_than_classic() {
+    for (name, _) in fixtures() {
+        let classic = GOLDEN
+            .iter()
+            .find(|(n, k, _)| *n == name && *k == CodecKind::Classic)
+            .expect("classic golden");
+        let compact = GOLDEN
+            .iter()
+            .find(|(n, k, _)| *n == name && *k == CodecKind::Compact)
+            .expect("compact golden");
+        assert!(
+            compact.2.len() <= classic.2.len(),
+            "{name}: compact frame larger than classic"
+        );
+    }
+}
